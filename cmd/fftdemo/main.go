@@ -1,0 +1,114 @@
+// Command fftdemo illustrates the paper's two algorithmic figures on the
+// terminal: the Cooley–Tukey butterfly recursion of Fig. 1 (stage-by-stage
+// trace of an 8-point FFT) and the "FFT → component-wise multiplication →
+// IFFT" circulant product of Fig. 2, followed by the O(n²)-versus-O(n log n)
+// crossover sweep that motivates the whole design.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"time"
+
+	"repro/internal/circulant"
+	"repro/internal/fft"
+)
+
+func main() {
+	sweep := flag.Bool("sweep", true, "run the direct-vs-FFT crossover sweep")
+	flag.Parse()
+
+	fmt.Println("== Fig. 1: Cooley–Tukey 8-point FFT, stage by stage ==")
+	x := []complex128{1, 2, 3, 4, 4, 3, 2, 1}
+	fmt.Printf("input:            %v\n", fmtVec(x))
+	// Trace: sizes 2, 4, 8 (the three butterfly columns of Fig. 1).
+	for _, size := range []int{2, 4, 8} {
+		stage := partialFFT(x, size)
+		fmt.Printf("after size-%d BFs: %v\n", size, fmtVec(stage))
+	}
+	fmt.Printf("naive DFT:        %v\n\n", fmtVec(fft.DFT(x)))
+
+	fmt.Println("== Fig. 2: Wᵀx by FFT → ∘ → IFFT ==")
+	w := []float64{0.5, -0.25, 0.125, 0.0625}
+	v := []float64{1, 2, 3, 4}
+	c := circulant.NewCirculant(w)
+	fmt.Printf("w          = %v\n", w)
+	fmt.Printf("FFT(w)     = %v   (pre-computed, stored instead of W)\n", fmtVec(c.Spectrum()))
+	fmt.Printf("x          = %v\n", v)
+	fmt.Printf("FFT(x)     = %v\n", fmtVec(fft.FFTReal(v)))
+	fmt.Printf("IFFT(∘)    = %v\n", c.MulVec(v))
+	fmt.Printf("direct C·x = %v\n\n", c.MulVecDirect(v))
+
+	if *sweep {
+		fmt.Println("== O(n²) direct vs O(n log n) FFT circulant product ==")
+		fmt.Printf("%8s %14s %14s %10s\n", "n", "direct ns/op", "fft ns/op", "speedup")
+		rng := rand.New(rand.NewSource(1))
+		for _, n := range []int{16, 64, 256, 1024, 4096} {
+			wv := make([]float64, n)
+			xv := make([]float64, n)
+			for i := range wv {
+				wv[i], xv[i] = rng.NormFloat64(), rng.NormFloat64()
+			}
+			cc := circulant.NewCirculant(wv)
+			direct := timeOp(func() { cc.MulVecDirect(xv) })
+			fast := timeOp(func() { cc.MulVec(xv) })
+			fmt.Printf("%8d %14d %14d %9.1fx\n", n, direct, fast, float64(direct)/float64(fast))
+		}
+	}
+}
+
+// partialFFT runs the iterative butterflies only up to the given stage size,
+// exposing the intermediate columns of Fig. 1 (bit-reversal reorder, then
+// size-2, size-4, size-8 butterfly stages, mirroring fft.Plan).
+func partialFFT(x []complex128, maxSize int) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		out[reverse(i, 3)] = x[i]
+	}
+	for size := 2; size <= maxSize; size <<= 1 {
+		half := size / 2
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				ang := -2 * math.Pi * float64(k) / float64(size)
+				a := out[start+k]
+				b := out[start+k+half] * cmplx.Exp(complex(0, ang))
+				out[start+k] = a + b
+				out[start+k+half] = a - b
+			}
+		}
+	}
+	return out
+}
+
+func reverse(v, bits int) int {
+	r := 0
+	for i := 0; i < bits; i++ {
+		r = r<<1 | v&1
+		v >>= 1
+	}
+	return r
+}
+
+func timeOp(f func()) int64 {
+	const reps = 200
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return time.Since(start).Nanoseconds() / reps
+}
+
+func fmtVec(v []complex128) string {
+	s := "["
+	for i, c := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.2f%+.2fi", real(c), imag(c))
+	}
+	return s + "]"
+}

@@ -1,0 +1,166 @@
+// Command tables regenerates the paper's evaluation artefacts: Table I
+// (platform specs), Table II (MNIST per-image runtimes + accuracy), Table
+// III (CIFAR-10 per-image runtimes + accuracy), the Fig. 5 accuracy-versus-
+// latency series, and the storage/compression summary behind the paper's
+// O(n²)→O(n) claim.
+//
+// Usage:
+//
+//	tables [-quick] [-table 1|2|3] [-fig 5] [-storage] [-energy] [-breakdown] [-all]
+//
+// -quick uses the cut-down training configurations (seconds instead of a
+// minute); recorded EXPERIMENTS.md numbers use the defaults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/ops"
+	"repro/internal/platform"
+	"repro/internal/tensor"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1, 2 or 3)")
+	fig := flag.Int("fig", 0, "regenerate one figure (5)")
+	storage := flag.Bool("storage", false, "print the storage/compression summary")
+	energy := flag.Bool("energy", false, "print the per-device energy and model-download summary")
+	breakdown := flag.Bool("breakdown", false, "print the Arch-3 per-layer latency attribution (XU3, C++)")
+	all := flag.Bool("all", false, "regenerate everything")
+	quick := flag.Bool("quick", false, "use cut-down training configurations")
+	fullCIFAR := flag.Bool("fullcifar", false, "train the full 32x32 Arch-3 for the Table III accuracy (minutes)")
+	flag.Parse()
+
+	if !*all && *table == 0 && *fig == 0 && !*storage && !*energy && !*breakdown {
+		*all = true
+	}
+
+	mnistCfg := experiments.DefaultMNISTConfig()
+	cifarCfg := experiments.DefaultCIFARConfig()
+	if *quick {
+		mnistCfg = experiments.QuickMNISTConfig()
+		cifarCfg = experiments.QuickCIFARConfig()
+	}
+
+	var r1, r2, r3 experiments.Result
+	need12 := *all || *table == 2 || *fig == 5 || *energy
+	need3 := *all || *table == 3 || *fig == 5
+	if need12 {
+		fmt.Fprintln(os.Stderr, "training Arch-1 and Arch-2 on synthetic MNIST...")
+		r1 = experiments.TrainMNISTArch(1, mnistCfg)
+		r2 = experiments.TrainMNISTArch(2, mnistCfg)
+	}
+	if need3 {
+		if *fullCIFAR {
+			fmt.Fprintln(os.Stderr, "training the full Arch-3 on synthetic CIFAR-10 (this takes minutes)...")
+			r3 = experiments.TrainCIFARFull(experiments.FullCIFARConfig())
+		} else {
+			fmt.Fprintln(os.Stderr, "training Arch-3 (scaled) on synthetic CIFAR-10...")
+			r3 = experiments.TrainCIFAR(cifarCfg)
+		}
+	}
+
+	if *all || *table == 1 {
+		fmt.Println("TABLE I. PLATFORMS UNDER TEST AND THEIR SPECIFICATIONS.")
+		fmt.Print(platform.TableI())
+		fmt.Println()
+	}
+	if *all || *table == 2 {
+		fmt.Println("TABLE II. CORE RUNTIME OF EACH ROUND OF INFERENCE FOR RESIZED MNIST IMAGES.")
+		printLatencyTable(experiments.TableII(r1, r2))
+		fmt.Printf("\npaper accuracies: Arch-1 %.2f%%, Arch-2 %.2f%% (true MNIST); measured here on synthetic digits.\n\n",
+			experiments.PaperAccuracy["arch1"], experiments.PaperAccuracy["arch2"])
+	}
+	if *all || *table == 3 {
+		fmt.Println("TABLE III. CORE RUNTIME OF EACH ROUND OF INFERENCE FOR CIFAR-10 IMAGES.")
+		printLatencyTable(experiments.TableIII(r3))
+		trainer := "the scaled trainer"
+		if *fullCIFAR {
+			trainer = "the full 32x32 Arch-3"
+		}
+		fmt.Printf("\npaper accuracy: Arch-3 %.1f%% (true CIFAR-10); measured here on the synthetic stand-in with %s.\n\n",
+			experiments.PaperAccuracy["arch3"], trainer)
+	}
+	if *all || *fig == 5 {
+		fmt.Println("FIG. 5. PERFORMANCE VS. ACCURACY (series data)")
+		fmt.Printf("%-14s %-10s %12s %10s\n", "System", "Dataset", "µs/image", "Accuracy%")
+		for _, p := range experiments.Fig5(r1, r3) {
+			fmt.Printf("%-14s %-10s %12.1f %10.2f\n", p.System, p.Dataset, p.USPerImg, p.Accuracy)
+		}
+		fmt.Println()
+	}
+	if *all || *storage {
+		printStorage()
+	}
+	if *all || *breakdown {
+		fmt.Println("\nARCH-3 LATENCY ATTRIBUTION (per layer; where the Table III time goes)")
+		rng := rand.New(rand.NewSource(1))
+		net := nn.Arch3(rng)
+		net.Add(nn.NewSoftmax())
+		net.Forward(tensor.New(1, 32, 32, 3), false)
+		var stages []platform.LayerCost
+		for _, l := range net.Layers {
+			var c ops.Counts
+			l.CountOps(&c)
+			stages = append(stages, platform.LayerCost{Name: l.Name(), Counts: c})
+		}
+		cfg := platform.Config{Spec: platform.Platforms()[1], Env: platform.EnvCPP}
+		fmt.Print(cfg.BreakdownReport(stages))
+	}
+	if *all || *energy {
+		fmt.Println("\nENERGY (modelled, Arch-1 workload; §I embedded-efficiency motivation)")
+		fmt.Print(platform.EnergyReport(r1.Counts))
+		fmt.Printf("IBM TrueNorth published scale: ~%.1f µJ/image\n", platform.TrueNorthEnergyUJ)
+
+		fmt.Println("\nMODEL DOWNLOAD (§I challenge (i): mobile-link transfer of the model file)")
+		dense := platform.ModelBytes(50698, 8) // Arch-1 dense float64
+		circ := platform.ModelBytes(2314, 8)   // Arch-1 block-circulant
+		fmt.Printf("%-16s %14s %14s\n", "Link", "dense Arch-1", "circulant Arch-1")
+		for _, l := range platform.MobileLinks() {
+			fmt.Printf("%-16s %13.2fs %13.3fs\n", l.Name,
+				l.DownloadSeconds(dense), l.DownloadSeconds(circ))
+		}
+	}
+}
+
+func printLatencyTable(cells []experiments.Cell) {
+	fmt.Printf("%-7s %-5s %-16s %14s %14s %8s %10s\n",
+		"Arch", "Impl", "Device", "modelled µs", "paper µs", "Δ%", "Accuracy%")
+	for _, c := range cells {
+		delta := "-"
+		if c.PaperUS > 0 {
+			delta = fmt.Sprintf("%+.1f", (c.US/c.PaperUS-1)*100)
+		}
+		paper := "-"
+		if c.PaperUS > 0 {
+			paper = fmt.Sprintf("%14.1f", c.PaperUS)
+		}
+		fmt.Printf("%-7s %-5s %-16s %14.1f %14s %8s %10.2f\n",
+			c.Arch, c.Env, c.Device, c.US, paper, delta, c.Accuracy)
+	}
+}
+
+func printStorage() {
+	fmt.Println("STORAGE / COMPRESSION (paper §IV: O(n²) → O(n) weight storage)")
+	rng := rand.New(rand.NewSource(1))
+	rows := []struct {
+		name  string
+		circ  *nn.Network
+		dense *nn.Network
+	}{
+		{"Arch-1", nn.Arch1(rng), nn.Arch1Dense(rng)},
+		{"Arch-2", nn.Arch2(rng), nn.Arch2Dense(rng)},
+	}
+	fmt.Printf("%-8s %16s %16s %12s\n", "Arch", "circulant params", "dense params", "compression")
+	for _, r := range rows {
+		c, d := r.circ.NumParams(), r.dense.NumParams()
+		fmt.Printf("%-8s %16d %16d %11.1fx\n", r.name, c, d, float64(d)/float64(c))
+	}
+	a3 := nn.Arch3(rng)
+	fmt.Printf("%-8s %16d %16s %12s\n", "Arch-3", a3.NumParams(), "(see DESIGN.md)", "-")
+}

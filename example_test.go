@@ -1,0 +1,30 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example reproduces the heart of the paper in a few lines: a
+// block-circulant weight matrix multiplied through the FFT procedure, with
+// its compression ratio and the modelled latency of the deployed Arch-1
+// pipeline on the paper's best device.
+func Example() {
+	w, err := repro.NewBlockCirculant(512, 256, 64)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("W stores %d of %d parameters (%.0fx compression)\n",
+		w.NumParams(), w.Rows()*w.Cols(), w.CompressionRatio())
+
+	y := w.TransMulVec(make([]float64, 512)) // Wᵀx via FFT → ∘ → IFFT
+	fmt.Printf("Wᵀx has %d outputs\n", len(y))
+
+	honor := repro.Platforms()[2]
+	fmt.Printf("best device: %s (%s)\n", honor.Name, honor.PrimaryCPU)
+	// Output:
+	// W stores 2048 of 131072 parameters (64x compression)
+	// Wᵀx has 256 outputs
+	// best device: Huawei Honor 6X (4 x 2.1GHz Cortex-A53)
+}

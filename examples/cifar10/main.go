@@ -1,0 +1,77 @@
+// CIFAR-10 example: the paper's Arch-3 CONV network
+// (64Conv3-64Conv3-128Conv3-128Conv3-512F-1024F-1024F-10F, first two CONV
+// layers dense, the rest block-circulant). The example
+//
+//  1. runs one real inference through the full Arch-3 stack,
+//  2. prints its per-layer structure and parameter/compression accounting,
+//  3. prints the modelled Table-III latency cells,
+//  4. trains the scaled accuracy variant on synthetic CIFAR images.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/nn"
+	"repro/internal/ops"
+	"repro/internal/platform"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	fmt.Println("building the full Arch-3 and running one real inference...")
+	net := nn.Arch3(rng)
+	net.Add(nn.NewSoftmax())
+	imgs := dataset.SyntheticCIFAR(2, 1)
+	start := time.Now()
+	preds := net.Predict(imgs.X)
+	host := time.Since(start)
+	fmt.Printf("host inference of %d images took %v (untrained predictions: %v)\n\n",
+		imgs.Len(), host, preds)
+
+	fmt.Println("architecture:")
+	fmt.Print(net.Summary())
+
+	dense := 0
+	for _, l := range net.Layers {
+		if c, ok := l.(*nn.CircConv2D); ok {
+			fmt.Printf("%s compression %.0fx\n", c.Name(), c.CompressionRatio())
+		}
+		if c, ok := l.(*nn.CircDense); ok {
+			fmt.Printf("%s compression %.0fx\n", c.Name(), c.CompressionRatio())
+		}
+		_ = dense
+	}
+
+	counts := net.CountOps()
+	fmt.Printf("\nper-image cost: %.1f Mflops, %.1f MB traffic, %d library calls\n",
+		counts.Flops()/1e6, float64(counts.Bytes())/1e6, counts.APICalls)
+
+	fmt.Println("\nmodelled core runtime (Table III):")
+	for _, env := range []platform.Env{platform.EnvJava, platform.EnvCPP} {
+		for _, spec := range platform.Platforms()[1:] { // XU3, Honor 6X
+			us := platform.Config{Spec: spec, Env: env}.EstimateUS(counts)
+			fmt.Printf("  %-5s %-16s %8.0f µs/image\n", env, spec.Name, us)
+		}
+	}
+
+	// Per-layer latency attribution: where the 8.6 ms actually goes.
+	var stages []platform.LayerCost
+	for _, l := range net.Layers {
+		var c ops.Counts
+		l.CountOps(&c)
+		stages = append(stages, platform.LayerCost{Name: l.Name(), Counts: c})
+	}
+	xu3 := platform.Config{Spec: platform.Platforms()[1], Env: platform.EnvCPP}
+	fmt.Println()
+	fmt.Print(xu3.BreakdownReport(stages))
+
+	fmt.Println("\ntraining the scaled accuracy variant on synthetic CIFAR...")
+	r := experiments.TrainCIFAR(experiments.QuickCIFARConfig())
+	fmt.Printf("accuracy %.1f%% (paper on true CIFAR-10: %.1f%%; see EXPERIMENTS.md for the substitution)\n",
+		r.Accuracy*100, experiments.PaperAccuracy["arch3"])
+}

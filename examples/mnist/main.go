@@ -1,0 +1,56 @@
+// MNIST example: trains the paper's Arch-1 (256-128-128-10) and Arch-2
+// (121-64-64-10) block-circulant FC networks on synthetic digits — resized
+// with the same bilinear transformation the paper applies — then prints each
+// network's Table-II row: accuracy plus modelled per-image latency on all
+// three Table-I platforms in both runtimes.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/tensor"
+)
+
+func main() {
+	// One synthetic sample, as the classifier sees it after the paper's
+	// bilinear resize to 16×16.
+	sample := dataset.Resize(dataset.SyntheticMNIST(10, 42), 16, 16)
+	img := tensor.FromSlice(sample.X.Data[:16*16], 16, 16, 1)
+	fmt.Printf("synthetic digit (label %d) at 16x16:\n%s\n", sample.Labels[0], dataset.ASCIIArt(img))
+
+	cfg := experiments.QuickMNISTConfig()
+	fmt.Printf("training on %d synthetic digits (%d epochs)...\n\n", cfg.TrainSamples, cfg.Epochs)
+
+	r1 := experiments.TrainMNISTArch(1, cfg)
+	r2 := experiments.TrainMNISTArch(2, cfg)
+	fmt.Printf("Arch-1 (16x16 input): accuracy %.2f%%  (paper on true MNIST: %.2f%%)\n",
+		r1.Accuracy*100, experiments.PaperAccuracy["arch1"])
+	fmt.Printf("Arch-2 (11x11 input): accuracy %.2f%%  (paper on true MNIST: %.2f%%)\n\n",
+		r2.Accuracy*100, experiments.PaperAccuracy["arch2"])
+
+	fmt.Println("Core runtime of each round of inference (modelled, µs/image — Table II):")
+	fmt.Printf("%-7s %-5s  %-14s %-12s %-16s\n", "Arch", "Impl", "LG Nexus 5", "Odroid XU3", "Huawei Honor 6X")
+	for _, row := range []struct {
+		name string
+		res  experiments.Result
+	}{{"Arch-1", r1}, {"Arch-2", r2}} {
+		for _, env := range []platform.Env{platform.EnvJava, platform.EnvCPP} {
+			fmt.Printf("%-7s %-5s ", row.name, env)
+			for _, spec := range platform.Platforms() {
+				us := platform.Config{Spec: spec, Env: env}.EstimateUS(row.res.Counts)
+				fmt.Printf(" %-13.1f", us)
+			}
+			fmt.Println()
+		}
+	}
+
+	// The paper's battery observation (§V-B).
+	spec := platform.Platforms()[0]
+	plugged := platform.Config{Spec: spec, Env: platform.EnvJava}.EstimateUS(r1.Counts)
+	battery := platform.Config{Spec: spec, Env: platform.EnvJava, Battery: true}.EstimateUS(r1.Counts)
+	fmt.Printf("\non battery (Java, Nexus 5): %.1f → %.1f µs (+%.0f%%); C++ unchanged\n",
+		plugged, battery, (battery/plugged-1)*100)
+}

@@ -1,0 +1,246 @@
+package circulant
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+
+	"repro/internal/fft"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// BlockCirculant is an m×n matrix partitioned into a k×l grid of b×b
+// circulant blocks (k = ⌈m/b⌉, l = ⌈n/b⌉; the matrix is implicitly
+// zero-padded to k·b × l·b as in the paper's footnote on general m, n).
+//
+// It stores only the k·l defining vectors (k·l·b parameters instead of m·n)
+// plus their cached spectra. The Base tensor is exposed so an optimiser can
+// update parameters in place; call Refresh afterwards to re-derive spectra.
+type BlockCirculant struct {
+	rows, cols int // logical (unpadded) dimensions
+	block      int
+	k, l       int
+
+	// Base holds the defining vectors, shape [k][l][block]; Base[i][j] is
+	// the first column of block C_ij.
+	Base *tensor.Tensor
+
+	spec []complex128 // k·l·block cached spectra, laid out like Base
+
+	poolOnce sync.Once
+	pool     *sync.Pool // *workspace, power-of-two fast paths
+}
+
+// NewBlockCirculant creates an m×n block-circulant matrix with square block
+// size b (all defining vectors zero). b must be positive; m, n must be
+// positive.
+func NewBlockCirculant(rows, cols, block int) (*BlockCirculant, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("circulant: non-positive matrix dimensions %dx%d", rows, cols)
+	}
+	if block < 1 {
+		return nil, fmt.Errorf("circulant: non-positive block size %d", block)
+	}
+	m := &BlockCirculant{
+		rows:  rows,
+		cols:  cols,
+		block: block,
+		k:     (rows + block - 1) / block,
+		l:     (cols + block - 1) / block,
+	}
+	m.Base = tensor.New(m.k, m.l, block)
+	m.spec = make([]complex128, m.k*m.l*block)
+	return m, nil
+}
+
+// MustNewBlockCirculant is NewBlockCirculant that panics on error (for
+// statically-known-good shapes).
+func MustNewBlockCirculant(rows, cols, block int) *BlockCirculant {
+	m, err := NewBlockCirculant(rows, cols, block)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Rows returns the logical row count m.
+func (m *BlockCirculant) Rows() int { return m.rows }
+
+// Cols returns the logical column count n.
+func (m *BlockCirculant) Cols() int { return m.cols }
+
+// BlockSize returns b.
+func (m *BlockCirculant) BlockSize() int { return m.block }
+
+// Grid returns the block-grid dimensions (k row blocks, l column blocks).
+func (m *BlockCirculant) Grid() (k, l int) { return m.k, m.l }
+
+// NumParams returns the number of stored parameters (k·l·b), the numerator of
+// the paper's storage-reduction claim.
+func (m *BlockCirculant) NumParams() int { return m.k * m.l * m.block }
+
+// CompressionRatio returns dense-parameter count divided by stored-parameter
+// count: (m·n)/(k·l·b).
+func (m *BlockCirculant) CompressionRatio() float64 {
+	return float64(m.rows) * float64(m.cols) / float64(m.NumParams())
+}
+
+// InitRandom fills the defining vectors with a Glorot-style distribution
+// scaled for the dense-equivalent fan-in/fan-out and refreshes spectra.
+func (m *BlockCirculant) InitRandom(rng *rand.Rand) *BlockCirculant {
+	m.Base.XavierInit(rng, m.rows, m.cols)
+	m.Refresh()
+	return m
+}
+
+// baseVec returns the defining vector of block (i,j) as a shared slice.
+func (m *BlockCirculant) baseVec(i, j int) []float64 {
+	off := (i*m.l + j) * m.block
+	return m.Base.Data[off : off+m.block]
+}
+
+// blockSpec returns the cached spectrum of block (i,j) as a shared slice.
+func (m *BlockCirculant) blockSpec(i, j int) []complex128 {
+	off := (i*m.l + j) * m.block
+	return m.spec[off : off+m.block]
+}
+
+// Refresh recomputes all cached block spectra from Base. Call after any
+// in-place parameter update (e.g. an optimiser step).
+func (m *BlockCirculant) Refresh() {
+	for i := 0; i < m.k; i++ {
+		for j := 0; j < m.l; j++ {
+			copy(m.blockSpec(i, j), fft.FFTReal(m.baseVec(i, j)))
+		}
+	}
+}
+
+// padBlocks zero-pads v to nblk·b and returns the per-block FFTs.
+func padBlocks(v []float64, nblk, b int) [][]complex128 {
+	out := make([][]complex128, nblk)
+	buf := make([]float64, b)
+	for j := 0; j < nblk; j++ {
+		for t := 0; t < b; t++ {
+			idx := j*b + t
+			if idx < len(v) {
+				buf[t] = v[idx]
+			} else {
+				buf[t] = 0
+			}
+		}
+		out[j] = fft.FFTReal(buf)
+	}
+	return out
+}
+
+// MulVec returns W·x (x of length Cols, result of length Rows) using
+// per-input-block FFTs, spectral-domain accumulation, and one IFFT per output
+// block — Algorithm 1 of the paper in its m ≤ n and m > n general form.
+func (m *BlockCirculant) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("circulant: MulVec length %d, want %d", len(x), m.cols))
+	}
+	if fft.IsPow2(m.block) {
+		return m.mulVecFast(x)
+	}
+	xf := padBlocks(x, m.l, m.block)
+	out := make([]float64, m.rows)
+	acc := make([]complex128, m.block)
+	for i := 0; i < m.k; i++ {
+		for t := range acc {
+			acc[t] = 0
+		}
+		for j := 0; j < m.l; j++ {
+			s := m.blockSpec(i, j)
+			xj := xf[j]
+			for t := 0; t < m.block; t++ {
+				acc[t] += s[t] * xj[t]
+			}
+		}
+		yi := fft.IFFT(acc)
+		hi := min((i+1)*m.block, m.rows)
+		for t := i * m.block; t < hi; t++ {
+			out[t] = real(yi[t-i*m.block])
+		}
+	}
+	return out
+}
+
+// TransMulVec returns Wᵀ·x (x of length Rows, result of length Cols): the
+// forward bottleneck Wᵀx of the paper's FC layer (Eqn. 3), in correlation
+// form.
+func (m *BlockCirculant) TransMulVec(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("circulant: TransMulVec length %d, want %d", len(x), m.rows))
+	}
+	if fft.IsPow2(m.block) {
+		return m.transMulVecFast(x)
+	}
+	xf := padBlocks(x, m.k, m.block)
+	out := make([]float64, m.cols)
+	acc := make([]complex128, m.block)
+	for j := 0; j < m.l; j++ {
+		for t := range acc {
+			acc[t] = 0
+		}
+		for i := 0; i < m.k; i++ {
+			s := m.blockSpec(i, j)
+			xi := xf[i]
+			for t := 0; t < m.block; t++ {
+				acc[t] += cmplx.Conj(s[t]) * xi[t]
+			}
+		}
+		yj := fft.IFFT(acc)
+		hi := min((j+1)*m.block, m.cols)
+		for t := j * m.block; t < hi; t++ {
+			out[t] = real(yj[t-j*m.block])
+		}
+	}
+	return out
+}
+
+// Dense expands the block-circulant matrix to an explicit rows×cols tensor
+// (padding truncated), used for validation and as the uncompressed baseline.
+func (m *BlockCirculant) Dense() *tensor.Tensor {
+	d := tensor.New(m.rows, m.cols)
+	b := m.block
+	for i := 0; i < m.k; i++ {
+		for j := 0; j < m.l; j++ {
+			w := m.baseVec(i, j)
+			for a := 0; a < b; a++ {
+				r := i*b + a
+				if r >= m.rows {
+					break
+				}
+				for c := 0; c < b; c++ {
+					cc := j*b + c
+					if cc >= m.cols {
+						break
+					}
+					d.Set(w[((a-c)%b+b)%b], r, cc)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// MulVecOps returns the analytical cost of one FFT-based MulVec (and,
+// symmetrically, TransMulVec).
+func (m *BlockCirculant) MulVecOps() ops.Counts {
+	return ops.BlockCirculantMatVec(m.k, m.l, m.block)
+}
+
+// DenseOps returns the cost of the equivalent uncompressed dense product.
+func (m *BlockCirculant) DenseOps() ops.Counts {
+	return ops.DenseMatVec(m.rows, m.cols)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

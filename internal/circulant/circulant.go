@@ -1,0 +1,117 @@
+// Package circulant implements the paper's primary contribution: circulant
+// and block-circulant weight matrices whose matrix–vector products are
+// computed by the "FFT → component-wise multiplication → IFFT" procedure
+// (circular convolution theorem, Fig. 2), reducing an O(n²) product to
+// O(n log n) and weight storage from O(n²) to O(n).
+//
+// A circulant matrix C ∈ R^{n×n} is defined by its first column
+// w = (w₁ … wₙ): C[a][b] = w[(a−b) mod n]. Then
+//
+//	C·x  = IFFT(FFT(w) ∘ FFT(x))            (circular convolution)
+//	Cᵀ·x = IFFT(conj(FFT(w)) ∘ FFT(x))      (circular correlation)
+//
+// The block-circulant generalisation W = [C_ij] (k×l grid of b×b circulant
+// blocks) covers non-square matrices and trades compression ratio against
+// accuracy via the block size b (paper §II, §IV-A). Spectra FFT(w_ij) are
+// cached so inference never re-transforms weights — the paper's
+// "store FFT(wᵢ) instead of W" storage scheme.
+package circulant
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/fft"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Circulant is a single n×n circulant matrix defined by its first column.
+type Circulant struct {
+	n    int
+	w    []float64
+	spec []complex128 // cached FFT(w)
+}
+
+// NewCirculant builds a circulant matrix from its defining vector (the first
+// column). The vector must be nonempty; it is copied.
+func NewCirculant(w []float64) *Circulant {
+	if len(w) == 0 {
+		panic("circulant: empty defining vector")
+	}
+	c := &Circulant{n: len(w), w: append([]float64(nil), w...)}
+	c.refresh()
+	return c
+}
+
+func (c *Circulant) refresh() { c.spec = fft.FFTReal(c.w) }
+
+// Size returns n.
+func (c *Circulant) Size() int { return c.n }
+
+// Base returns a copy of the defining vector.
+func (c *Circulant) Base() []float64 { return append([]float64(nil), c.w...) }
+
+// Spectrum returns the cached FFT of the defining vector (not a copy; callers
+// must not modify it).
+func (c *Circulant) Spectrum() []complex128 { return c.spec }
+
+// MulVec returns C·x via FFT → ∘ → IFFT.
+func (c *Circulant) MulVec(x []float64) []float64 {
+	if len(x) != c.n {
+		panic(fmt.Sprintf("circulant: MulVec length %d, want %d", len(x), c.n))
+	}
+	xf := fft.FFTReal(x)
+	for i := range xf {
+		xf[i] *= c.spec[i]
+	}
+	return realParts(fft.IFFT(xf))
+}
+
+// TransMulVec returns Cᵀ·x via the correlation form of the procedure.
+func (c *Circulant) TransMulVec(x []float64) []float64 {
+	if len(x) != c.n {
+		panic(fmt.Sprintf("circulant: TransMulVec length %d, want %d", len(x), c.n))
+	}
+	xf := fft.FFTReal(x)
+	for i := range xf {
+		xf[i] = cmplx.Conj(c.spec[i]) * xf[i]
+	}
+	return realParts(fft.IFFT(xf))
+}
+
+// MulVecDirect returns C·x by the O(n²) definition; the baseline against
+// which the FFT path is validated and benchmarked (Fig. 2 experiment).
+func (c *Circulant) MulVecDirect(x []float64) []float64 {
+	out := make([]float64, c.n)
+	for a := 0; a < c.n; a++ {
+		var s float64
+		for b := 0; b < c.n; b++ {
+			s += c.w[((a-b)%c.n+c.n)%c.n] * x[b]
+		}
+		out[a] = s
+	}
+	return out
+}
+
+// Dense expands the circulant matrix to an explicit n×n tensor.
+func (c *Circulant) Dense() *tensor.Tensor {
+	d := tensor.New(c.n, c.n)
+	for a := 0; a < c.n; a++ {
+		for b := 0; b < c.n; b++ {
+			d.Set(c.w[((a-b)%c.n+c.n)%c.n], a, b)
+		}
+	}
+	return d
+}
+
+// MulVecOps returns the analytical cost of one FFT-based MulVec/TransMulVec.
+func (c *Circulant) MulVecOps() ops.Counts { return ops.CirculantMatVec(c.n) }
+
+func realParts(c []complex128) []float64 {
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = real(v)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package circulant_test
+
+import (
+	"fmt"
+
+	"repro/internal/circulant"
+)
+
+// ExampleCirculant demonstrates the paper's Fig. 2 procedure: a circulant
+// matrix–vector product computed as IFFT(FFT(w) ∘ FFT(x)).
+func ExampleCirculant() {
+	c := circulant.NewCirculant([]float64{1, 2, 3, 4})
+	y := c.MulVec([]float64{1, 0, 0, 0}) // first column of C
+	fmt.Printf("%.0f %.0f %.0f %.0f\n", y[0], y[1], y[2], y[3])
+	// Output: 1 2 3 4
+}
+
+// ExampleBlockCirculant shows the storage side of the paper's contribution:
+// an m×n block-circulant matrix stores k·l·b parameters instead of m·n.
+func ExampleBlockCirculant() {
+	w, err := circulant.NewBlockCirculant(512, 256, 64)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dense parameters:  %d\n", w.Rows()*w.Cols())
+	fmt.Printf("stored parameters: %d\n", w.NumParams())
+	fmt.Printf("compression:       %.0fx\n", w.CompressionRatio())
+	// Output:
+	// dense parameters:  131072
+	// stored parameters: 2048
+	// compression:       64x
+}
+
+// ExampleToeplitz shows the related-work baseline's parameter count: a
+// same-size Toeplitz matrix needs 2n−1 values where a circulant needs n.
+func ExampleToeplitz() {
+	tp, err := circulant.NewToeplitz(make([]float64, 2*64-1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("n=%d toeplitz params: %d\n", tp.Size(), tp.NumParams())
+	// Output: n=64 toeplitz params: 127
+}

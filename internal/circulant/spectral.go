@@ -1,0 +1,177 @@
+package circulant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/fft"
+)
+
+// Spectral is the frozen, inference-only representation of a block-circulant
+// matrix: it stores only the non-redundant half spectrum of each defining
+// vector (b/2+1 complex values per b×b block, by conjugate symmetry of real
+// FFTs). This is the paper's deployment format — "we can simply keep the FFT
+// result FFT(wᵢ) instead of the whole matrix W" (§IV-A) — and what the
+// engine's parameter files store for circulant layers.
+//
+// The block size must be even (in practice a power of two).
+type Spectral struct {
+	rows, cols int
+	block      int
+	k, l       int
+	half       [][]complex128 // k·l half-spectra of length block/2+1
+}
+
+// ToSpectral freezes a BlockCirculant into its half-spectrum deployment form.
+// The block size must be even.
+func (m *BlockCirculant) ToSpectral() (*Spectral, error) {
+	if m.block%2 != 0 {
+		return nil, fmt.Errorf("circulant: spectral form requires even block size, got %d", m.block)
+	}
+	s := &Spectral{rows: m.rows, cols: m.cols, block: m.block, k: m.k, l: m.l}
+	s.half = make([][]complex128, m.k*m.l)
+	for i := 0; i < m.k; i++ {
+		for j := 0; j < m.l; j++ {
+			s.half[i*m.l+j] = fft.RFFT(m.baseVec(i, j))
+		}
+	}
+	return s, nil
+}
+
+// ToBlockCirculant thaws the spectral form back into a trainable
+// BlockCirculant (inverting the half-spectra back to defining vectors).
+func (s *Spectral) ToBlockCirculant() *BlockCirculant {
+	m := MustNewBlockCirculant(s.rows, s.cols, s.block)
+	for i := 0; i < s.k; i++ {
+		for j := 0; j < s.l; j++ {
+			w := fft.IRFFT(s.half[i*s.l+j], s.block)
+			copy(m.baseVec(i, j), w)
+		}
+	}
+	m.Refresh()
+	return m
+}
+
+// Rows returns the logical row count.
+func (s *Spectral) Rows() int { return s.rows }
+
+// Cols returns the logical column count.
+func (s *Spectral) Cols() int { return s.cols }
+
+// BlockSize returns b.
+func (s *Spectral) BlockSize() int { return s.block }
+
+// StorageFloats returns the number of real scalars this representation
+// stores: k·l·(b+2) (each half spectrum is b/2+1 complex = b+2 reals),
+// versus rows·cols for the dense matrix.
+func (s *Spectral) StorageFloats() int { return s.k * s.l * (s.block + 2) }
+
+// TransMulVec computes Wᵀ·x from the half spectra, expanding each to a full
+// spectrum on the fly.
+func (s *Spectral) TransMulVec(x []float64) []float64 {
+	if len(x) != s.rows {
+		panic(fmt.Sprintf("circulant: Spectral.TransMulVec length %d, want %d", len(x), s.rows))
+	}
+	b := s.block
+	xf := padBlocks(x, s.k, b)
+	out := make([]float64, s.cols)
+	acc := make([]complex128, b)
+	for j := 0; j < s.l; j++ {
+		for t := range acc {
+			acc[t] = 0
+		}
+		for i := 0; i < s.k; i++ {
+			h := s.half[i*s.l+j]
+			xi := xf[i]
+			// Bins 0..b/2 directly; bins b/2+1..b−1 by conjugate symmetry.
+			for t := 0; t <= b/2; t++ {
+				acc[t] += cmplx.Conj(h[t]) * xi[t]
+			}
+			for t := b/2 + 1; t < b; t++ {
+				acc[t] += h[b-t] * xi[t]
+			}
+		}
+		yj := fft.IFFT(acc)
+		hi := min((j+1)*b, s.cols)
+		for t := j * b; t < hi; t++ {
+			out[t] = real(yj[t-j*b])
+		}
+	}
+	return out
+}
+
+// Spectral binary format (little-endian):
+//
+//	magic  uint32 0x4C504353 ("SCPL")
+//	rows, cols, block  uint32 each
+//	k·l half-spectra, each (block/2+1)×(re float64, im float64)
+
+const spectralMagic = 0x4C504353
+
+// WriteTo serialises the spectral weights.
+func (s *Spectral) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], spectralMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(s.rows))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(s.cols))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(s.block))
+	k, err := w.Write(hdr)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	buf := make([]byte, 16*(s.block/2+1))
+	for _, h := range s.half {
+		for i, c := range h {
+			binary.LittleEndian.PutUint64(buf[16*i:], math.Float64bits(real(c)))
+			binary.LittleEndian.PutUint64(buf[16*i+8:], math.Float64bits(imag(c)))
+		}
+		k, err = w.Write(buf)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadSpectral deserialises spectral weights written by WriteTo.
+func ReadSpectral(r io.Reader) (*Spectral, error) {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("circulant: reading spectral header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != spectralMagic {
+		return nil, fmt.Errorf("circulant: bad spectral magic %#x", m)
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[4:]))
+	cols := int(binary.LittleEndian.Uint32(hdr[8:]))
+	block := int(binary.LittleEndian.Uint32(hdr[12:]))
+	if rows < 1 || cols < 1 || block < 2 || block%2 != 0 || rows > 1<<24 || cols > 1<<24 || block > 1<<20 {
+		return nil, fmt.Errorf("circulant: implausible spectral dims %dx%d block %d", rows, cols, block)
+	}
+	s := &Spectral{
+		rows: rows, cols: cols, block: block,
+		k: (rows + block - 1) / block,
+		l: (cols + block - 1) / block,
+	}
+	s.half = make([][]complex128, s.k*s.l)
+	buf := make([]byte, 16*(block/2+1))
+	for idx := range s.half {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("circulant: reading spectrum %d: %w", idx, err)
+		}
+		h := make([]complex128, block/2+1)
+		for i := range h {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(buf[16*i:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(buf[16*i+8:]))
+			h[i] = complex(re, im)
+		}
+		s.half[idx] = h
+	}
+	return s, nil
+}

@@ -1,0 +1,131 @@
+package circulant
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestToeplitzDenseStructure(t *testing.T) {
+	// n=3, diagonals d[−2..2] = 1..5: T[i][j] = d[i−j].
+	tp, err := NewToeplitz([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{
+		{3, 2, 1},
+		{4, 3, 2},
+		{5, 4, 3},
+	}
+	d := tp.Dense()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if d.At(i, j) != want[i][j] {
+				t.Fatalf("Dense[%d][%d] = %g, want %g", i, j, d.At(i, j), want[i][j])
+			}
+		}
+	}
+	if tp.NumParams() != 5 || tp.Size() != 3 {
+		t.Errorf("params=%d size=%d", tp.NumParams(), tp.Size())
+	}
+}
+
+func TestToeplitzRejectsEvenLengths(t *testing.T) {
+	if _, err := NewToeplitz(nil); err == nil {
+		t.Error("expected error for empty diagonals")
+	}
+	if _, err := NewToeplitz(make([]float64, 4)); err == nil {
+		t.Error("expected error for even diagonal count")
+	}
+}
+
+func TestToeplitzFFTMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 8, 17, 64, 121} {
+		diag := randVec(rng, 2*n-1)
+		tp, err := NewToeplitz(diag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randVec(rng, n)
+		fast := tp.MulVec(x)
+		direct := tp.MulVecDirect(x)
+		dense := tensor.MatVec(tp.Dense(), x)
+		if d := maxAbsDiff(fast, direct); d > 1e-8 {
+			t.Errorf("n=%d: embedded-circulant product differs from direct by %g", n, d)
+		}
+		if d := maxAbsDiff(fast, dense); d > 1e-8 {
+			t.Errorf("n=%d: embedded-circulant product differs from dense by %g", n, d)
+		}
+	}
+}
+
+func TestToeplitzProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		tp, err := NewToeplitz(randVec(r, 2*n-1))
+		if err != nil {
+			return false
+		}
+		x := randVec(r, n)
+		return maxAbsDiff(tp.MulVec(x), tp.MulVecDirect(x)) <= 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToeplitzVsCirculantParamComparison(t *testing.T) {
+	// The paper's §II point: an n×n circulant stores n parameters, the
+	// same-size Toeplitz stores 2n−1 ≈ 2n.
+	n := 64
+	c := NewCirculant(make([]float64, n))
+	tp, _ := NewToeplitz(make([]float64, 2*n-1))
+	if got := float64(tp.NumParams()) / float64(len(c.Base())); got < 1.9 || got > 2.0 {
+		t.Errorf("Toeplitz/circulant parameter ratio %.2f, want ≈2", got)
+	}
+}
+
+func TestToeplitzOpsCostBetweenCirculantAndDense(t *testing.T) {
+	n := 256
+	circ := ops2Flops(CirculantMatVecOps(n))
+	toep := func() float64 {
+		tp, _ := NewToeplitz(make([]float64, 2*n-1))
+		return tp.MulVecOps().Flops()
+	}()
+	dense := float64(2 * n * n)
+	if !(circ < toep && toep < dense) {
+		t.Errorf("expected circulant(%.0f) < toeplitz(%.0f) < dense(%.0f)", circ, toep, dense)
+	}
+}
+
+// helpers keeping the test self-contained.
+func CirculantMatVecOps(n int) float64 {
+	c := NewCirculant(make([]float64, n))
+	return c.MulVecOps().Flops()
+}
+
+func ops2Flops(f float64) float64 { return f }
+
+func BenchmarkToeplitzMulVec(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 512
+	tp, err := NewToeplitz(randVec(rng, 2*n-1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randVec(rng, n)
+	b.Run("fft", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tp.MulVec(x)
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tp.MulVecDirect(x)
+		}
+	})
+}

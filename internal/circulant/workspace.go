@@ -1,0 +1,125 @@
+package circulant
+
+import (
+	"sync"
+
+	"repro/internal/fft"
+)
+
+// Workspace-pooled fast paths for power-of-two block sizes. The generic
+// MulVec/TransMulVec allocate per call (padBlocks + per-block IFFTs); the
+// paths below reuse pooled complex buffers and drive the cached fft.Plan
+// directly, which matters because CircConv2D issues one transpose product
+// per kernel position per output pixel. Non power-of-two blocks keep the
+// generic path.
+//
+// Workspaces are pooled per matrix, so concurrent products on the same
+// matrix are safe: each call takes its own workspace.
+
+type workspace struct {
+	in   []complex128   // one block of input, complex-promoted
+	spec [][]complex128 // per-block input spectra, max(k,l) entries
+	acc  []complex128   // spectral accumulator
+}
+
+func (m *BlockCirculant) newWorkspace() *workspace {
+	nblk := m.k
+	if m.l > nblk {
+		nblk = m.l
+	}
+	w := &workspace{
+		in:   make([]complex128, m.block),
+		spec: make([][]complex128, nblk),
+		acc:  make([]complex128, m.block),
+	}
+	for i := range w.spec {
+		w.spec[i] = make([]complex128, m.block)
+	}
+	return w
+}
+
+func (m *BlockCirculant) getWorkspace() *workspace {
+	if m.pool == nil {
+		m.poolOnce.Do(func() {
+			m.pool = &sync.Pool{New: func() any { return m.newWorkspace() }}
+		})
+	}
+	return m.pool.Get().(*workspace)
+}
+
+func (m *BlockCirculant) putWorkspace(w *workspace) { m.pool.Put(w) }
+
+// blockSpectraInto fills ws.spec[0..nblk) with the FFTs of the zero-padded
+// blocks of v using the cached plan.
+func (m *BlockCirculant) blockSpectraInto(ws *workspace, v []float64, nblk int, p *fft.Plan) {
+	b := m.block
+	for j := 0; j < nblk; j++ {
+		for t := 0; t < b; t++ {
+			idx := j*b + t
+			if idx < len(v) {
+				ws.in[t] = complex(v[idx], 0)
+			} else {
+				ws.in[t] = 0
+			}
+		}
+		p.Forward(ws.spec[j], ws.in)
+	}
+}
+
+// mulVecFast is MulVec for power-of-two blocks with pooled buffers.
+func (m *BlockCirculant) mulVecFast(x []float64) []float64 {
+	p := fft.PlanFor(m.block)
+	ws := m.getWorkspace()
+	defer m.putWorkspace(ws)
+	m.blockSpectraInto(ws, x, m.l, p)
+	out := make([]float64, m.rows)
+	b := m.block
+	for i := 0; i < m.k; i++ {
+		for t := range ws.acc {
+			ws.acc[t] = 0
+		}
+		for j := 0; j < m.l; j++ {
+			s := m.blockSpec(i, j)
+			xj := ws.spec[j]
+			for t := 0; t < b; t++ {
+				ws.acc[t] += s[t] * xj[t]
+			}
+		}
+		p.Inverse(ws.acc, ws.acc)
+		hi := min((i+1)*b, m.rows)
+		for t := i * b; t < hi; t++ {
+			out[t] = real(ws.acc[t-i*b])
+		}
+	}
+	return out
+}
+
+// transMulVecFast is TransMulVec for power-of-two blocks with pooled
+// buffers.
+func (m *BlockCirculant) transMulVecFast(x []float64) []float64 {
+	p := fft.PlanFor(m.block)
+	ws := m.getWorkspace()
+	defer m.putWorkspace(ws)
+	m.blockSpectraInto(ws, x, m.k, p)
+	out := make([]float64, m.cols)
+	b := m.block
+	for j := 0; j < m.l; j++ {
+		for t := range ws.acc {
+			ws.acc[t] = 0
+		}
+		for i := 0; i < m.k; i++ {
+			s := m.blockSpec(i, j)
+			xi := ws.spec[i]
+			for t := 0; t < b; t++ {
+				sv := s[t]
+				ws.acc[t] += complex(real(sv), -imag(sv)) * xi[t]
+			}
+		}
+		p.Inverse(ws.acc, ws.acc)
+		hi := min((j+1)*b, m.cols)
+		for t := j * b; t < hi; t++ {
+			out[t] = real(ws.acc[t-j*b])
+		}
+	}
+	return out
+}

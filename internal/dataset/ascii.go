@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// asciiRamp maps intensity quantiles to glyphs, darkest last.
+const asciiRamp = " .:-=+*#%@"
+
+// ASCIIArt renders a greyscale [H, W, 1] (or [H, W, C], averaged) image as
+// terminal art — the debugging view for the synthetic generators.
+func ASCIIArt(img *tensor.Tensor) string {
+	if img.Rank() != 3 {
+		panic("dataset: ASCIIArt needs an [H,W,C] image")
+	}
+	h, w, c := img.Dim(0), img.Dim(1), img.Dim(2)
+	var b strings.Builder
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 0.0
+			for ch := 0; ch < c; ch++ {
+				v += img.At(y, x, ch)
+			}
+			v /= float64(c)
+			idx := int(v * float64(len(asciiRamp)))
+			if idx >= len(asciiRamp) {
+				idx = len(asciiRamp) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			b.WriteByte(asciiRamp[idx])
+			b.WriteByte(asciiRamp[idx]) // double width ≈ square aspect
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

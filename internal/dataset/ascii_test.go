@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestASCIIArtShapeAndContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	img := RenderDigit(8, 16, rng)
+	art := ASCIIArt(img)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("%d lines, want 16", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 32 { // double-width glyphs
+			t.Fatalf("line width %d, want 32", len(l))
+		}
+	}
+	// A rendered digit must contain both ink and background.
+	if !strings.Contains(art, " ") || strings.Count(art, " ") == len(art) {
+		t.Error("art lacks contrast")
+	}
+	dark := 0
+	for _, ch := range art {
+		if ch == '@' || ch == '%' || ch == '#' {
+			dark++
+		}
+	}
+	if dark == 0 {
+		t.Error("no dark stroke pixels rendered")
+	}
+}
+
+func TestASCIIArtClampsOutOfRange(t *testing.T) {
+	img := tensor.New(2, 2, 1)
+	img.Data[0] = -5
+	img.Data[1] = 42
+	art := ASCIIArt(img)
+	if len(art) == 0 {
+		t.Fatal("empty art")
+	}
+	if !strings.Contains(art, "@") {
+		t.Error("over-range pixel must clamp to the darkest glyph")
+	}
+}
+
+func TestASCIIArtAveragesChannels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	img := RenderCIFAR(0, rng)
+	if got := ASCIIArt(img); len(strings.Split(strings.TrimRight(got, "\n"), "\n")) != 32 {
+		t.Error("RGB image must render 32 rows")
+	}
+}

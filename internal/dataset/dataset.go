@@ -1,0 +1,101 @@
+// Package dataset provides the evaluation data substrate of the
+// reproduction. The paper evaluates on MNIST (bilinearly resized to 16×16
+// and 11×11) and CIFAR-10; neither raw dataset is available offline, so this
+// package generates deterministic synthetic stand-ins with the same shapes
+// and class structure:
+//
+//   - SyntheticMNIST: 28×28 greyscale digits rasterised from per-digit
+//     stroke skeletons with random affine jitter and noise, then resized
+//     with the same bilinear transformation the paper applies;
+//   - SyntheticCIFAR: 32×32×3 images from ten parametric shape/texture
+//     classes with colour jitter and noise.
+//
+// Latency results (Tables II/III) are data-independent; accuracy results are
+// reported as measured-on-synthetic with the substitution noted in
+// EXPERIMENTS.md. The package also implements IDX-format file IO so the
+// engine's inputs parser (Fig. 4, third module) reads the same container
+// format as the original MNIST distribution.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dataset is a labelled batch of images: X has shape [N, H, W, C] (or
+// [N, features] once flattened), Labels has length N.
+type Dataset struct {
+	X      *tensor.Tensor
+	Labels []int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return d.X.Dim(0) }
+
+// Classes returns the number of distinct labels (max label + 1).
+func (d *Dataset) Classes() int {
+	m := 0
+	for _, l := range d.Labels {
+		if l+1 > m {
+			m = l + 1
+		}
+	}
+	return m
+}
+
+// Batch returns samples [lo, lo+size) as a batched tensor plus labels; it
+// clamps at the end of the dataset.
+func (d *Dataset) Batch(lo, size int) (*tensor.Tensor, []int) {
+	n := d.Len()
+	if lo < 0 || lo >= n {
+		panic(fmt.Sprintf("dataset: batch start %d outside [0,%d)", lo, n))
+	}
+	hi := lo + size
+	if hi > n {
+		hi = n
+	}
+	sl := d.X.Len() / n
+	shape := d.X.Shape()
+	shape[0] = hi - lo
+	return tensor.FromSlice(d.X.Data[lo*sl:hi*sl], shape...), d.Labels[lo:hi]
+}
+
+// Shuffle permutes samples in place, deterministically under rng.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	n := d.Len()
+	sl := d.X.Len() / n
+	tmp := make([]float64, sl)
+	rng.Shuffle(n, func(i, j int) {
+		a := d.X.Data[i*sl : (i+1)*sl]
+		b := d.X.Data[j*sl : (j+1)*sl]
+		copy(tmp, a)
+		copy(a, b)
+		copy(b, tmp)
+		d.Labels[i], d.Labels[j] = d.Labels[j], d.Labels[i]
+	})
+}
+
+// Split partitions the dataset into a prefix of n samples and the remainder
+// (views over the same backing data).
+func (d *Dataset) Split(n int) (head, tail *Dataset) {
+	total := d.Len()
+	if n <= 0 || n >= total {
+		panic(fmt.Sprintf("dataset: split point %d outside (0,%d)", n, total))
+	}
+	sl := d.X.Len() / total
+	hs := d.X.Shape()
+	hs[0] = n
+	ts := d.X.Shape()
+	ts[0] = total - n
+	return &Dataset{X: tensor.FromSlice(d.X.Data[:n*sl], hs...), Labels: d.Labels[:n]},
+		&Dataset{X: tensor.FromSlice(d.X.Data[n*sl:], ts...), Labels: d.Labels[n:]}
+}
+
+// Flatten returns a view of the dataset with per-sample dimensions collapsed
+// to one feature vector ([N, H·W·C]), the input format of FC networks.
+func (d *Dataset) Flatten() *Dataset {
+	n := d.Len()
+	return &Dataset{X: d.X.Reshape(n, d.X.Len()/n), Labels: d.Labels}
+}

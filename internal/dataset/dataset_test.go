@@ -1,0 +1,256 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSyntheticMNISTShapeAndDeterminism(t *testing.T) {
+	d1 := SyntheticMNIST(50, 42)
+	d2 := SyntheticMNIST(50, 42)
+	if got := d1.X.Shape(); got[0] != 50 || got[1] != 28 || got[2] != 28 || got[3] != 1 {
+		t.Fatalf("shape %v", got)
+	}
+	if !d1.X.AllClose(d2.X, 0) {
+		t.Error("same seed must give identical images")
+	}
+	for i := range d1.Labels {
+		if d1.Labels[i] != d2.Labels[i] {
+			t.Fatal("same seed must give identical labels")
+		}
+	}
+	d3 := SyntheticMNIST(50, 43)
+	if d1.X.AllClose(d3.X, 0) {
+		t.Error("different seeds must differ")
+	}
+}
+
+func TestSyntheticMNISTPixelsInRange(t *testing.T) {
+	d := SyntheticMNIST(30, 1)
+	for _, v := range d.X.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %g outside [0,1]", v)
+		}
+	}
+}
+
+func TestSyntheticMNISTClassBalance(t *testing.T) {
+	d := SyntheticMNIST(200, 2)
+	counts := make([]int, 10)
+	for _, l := range d.Labels {
+		if l < 0 || l > 9 {
+			t.Fatalf("label %d outside 0-9", l)
+		}
+		counts[l]++
+	}
+	for digit, c := range counts {
+		if c != 20 {
+			t.Errorf("digit %d: %d samples, want 20", digit, c)
+		}
+	}
+}
+
+func TestDigitsAreVisuallyDistinct(t *testing.T) {
+	// Mean rendered images of different digits must differ substantially —
+	// a sanity check that the stroke skeletons are not degenerate.
+	rng := rand.New(rand.NewSource(3))
+	means := make([]*tensor.Tensor, 10)
+	for d := 0; d < 10; d++ {
+		acc := tensor.New(28, 28, 1)
+		for k := 0; k < 10; k++ {
+			acc.AddInPlace(RenderDigit(d, 28, rng))
+		}
+		means[d] = acc.Scale(0.1)
+	}
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			if d := means[a].Sub(means[b]).Norm2(); d < 1.0 {
+				t.Errorf("digits %d and %d nearly identical (distance %.3f)", a, b, d)
+			}
+		}
+	}
+}
+
+func TestBilinearResizeConstantImage(t *testing.T) {
+	img := tensor.New(28, 28, 1)
+	img.Fill(0.7)
+	out := BilinearResize(img, 16, 16)
+	for _, v := range out.Data {
+		if math.Abs(v-0.7) > 1e-12 {
+			t.Fatalf("constant image resampled to %g", v)
+		}
+	}
+}
+
+func TestBilinearResizeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	img := tensor.New(8, 8, 2).Randn(rng, 1)
+	out := BilinearResize(img, 8, 8)
+	if !out.AllClose(img, 1e-12) {
+		t.Error("same-size resize must be the identity")
+	}
+}
+
+func TestBilinearResizePreservesMeanApproximately(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := SyntheticMNIST(5, 6)
+	_ = rng
+	r := Resize(d, 16, 16)
+	if got := r.X.Shape(); got[1] != 16 || got[2] != 16 {
+		t.Fatalf("resized shape %v", got)
+	}
+	meanIn := d.X.Sum() / float64(d.X.Len())
+	meanOut := r.X.Sum() / float64(r.X.Len())
+	if math.Abs(meanIn-meanOut) > 0.05 {
+		t.Errorf("mean drifted from %.4f to %.4f under resize", meanIn, meanOut)
+	}
+}
+
+func TestPaperInputDimensions(t *testing.T) {
+	// 16×16 = 256 (Arch-1 input) and 11×11 = 121 (Arch-2 input).
+	d := SyntheticMNIST(3, 7)
+	if got := Resize(d, 16, 16).Flatten().X.Dim(1); got != 256 {
+		t.Errorf("16x16 flatten = %d features, want 256", got)
+	}
+	if got := Resize(d, 11, 11).Flatten().X.Dim(1); got != 121 {
+		t.Errorf("11x11 flatten = %d features, want 121", got)
+	}
+}
+
+func TestSyntheticCIFARShapesAndDeterminism(t *testing.T) {
+	d1 := SyntheticCIFAR(40, 9)
+	d2 := SyntheticCIFAR(40, 9)
+	if got := d1.X.Shape(); got[0] != 40 || got[1] != 32 || got[2] != 32 || got[3] != 3 {
+		t.Fatalf("shape %v", got)
+	}
+	if !d1.X.AllClose(d2.X, 0) {
+		t.Error("same seed must give identical images")
+	}
+	for _, v := range d1.X.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %g outside [0,1]", v)
+		}
+	}
+}
+
+func TestCIFARClassesAreDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	means := make([]*tensor.Tensor, 10)
+	for c := 0; c < 10; c++ {
+		acc := tensor.New(32, 32, 3)
+		for k := 0; k < 8; k++ {
+			acc.AddInPlace(RenderCIFAR(c, rng))
+		}
+		means[c] = acc.Scale(1.0 / 8)
+	}
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			if d := means[a].Sub(means[b]).Norm2(); d < 0.5 {
+				t.Errorf("classes %s and %s nearly identical (distance %.3f)",
+					CIFARClassName(a), CIFARClassName(b), d)
+			}
+		}
+	}
+}
+
+func TestBatchAndSplit(t *testing.T) {
+	d := SyntheticMNIST(30, 11)
+	x, labels := d.Batch(10, 8)
+	if x.Dim(0) != 8 || len(labels) != 8 {
+		t.Fatalf("batch sizes %d/%d", x.Dim(0), len(labels))
+	}
+	// Clamping at the end.
+	x2, l2 := d.Batch(28, 8)
+	if x2.Dim(0) != 2 || len(l2) != 2 {
+		t.Errorf("clamped batch sizes %d/%d", x2.Dim(0), len(l2))
+	}
+	head, tail := d.Split(20)
+	if head.Len() != 20 || tail.Len() != 10 {
+		t.Errorf("split sizes %d/%d", head.Len(), tail.Len())
+	}
+}
+
+func TestShuffleKeepsLabelAlignment(t *testing.T) {
+	// Tag each image's first pixel with its label; shuffling must keep the
+	// association intact.
+	d := SyntheticMNIST(40, 12)
+	for i := range d.Labels {
+		d.X.Data[i*28*28] = float64(d.Labels[i])
+	}
+	d.Shuffle(rand.New(rand.NewSource(1)))
+	for i := range d.Labels {
+		if int(d.X.Data[i*28*28]) != d.Labels[i] {
+			t.Fatal("shuffle broke image/label alignment")
+		}
+	}
+}
+
+func TestIDXImageRoundTrip(t *testing.T) {
+	d := SyntheticMNIST(12, 13)
+	var buf bytes.Buffer
+	if err := WriteIDXImages(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIDXImages(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameShape(d.X) {
+		t.Fatalf("shape %v, want %v", back.Shape(), d.X.Shape())
+	}
+	// Byte quantisation loses at most 1/255 ≈ 0.004 per pixel.
+	if !back.AllClose(d.X, 0.5/255+1e-9) {
+		t.Error("round-tripped pixels differ by more than quantisation error")
+	}
+}
+
+func TestIDXLabelRoundTrip(t *testing.T) {
+	d := SyntheticCIFAR(25, 14)
+	var buf bytes.Buffer
+	if err := WriteIDXLabels(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := ReadIDXLabels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 25 {
+		t.Fatalf("%d labels", len(labels))
+	}
+	for i := range labels {
+		if labels[i] != d.Labels[i] {
+			t.Fatal("label mismatch after round trip")
+		}
+	}
+}
+
+func TestIDXRejectsGarbage(t *testing.T) {
+	if _, err := ReadIDXImages(bytes.NewReader([]byte{1, 2}), 1); err == nil {
+		t.Error("expected error on truncated IDX")
+	}
+	if _, err := ReadIDXImages(bytes.NewReader(make([]byte, 16)), 1); err == nil {
+		t.Error("expected error on bad magic")
+	}
+	if _, err := ReadIDXLabels(bytes.NewReader(make([]byte, 8))); err == nil {
+		t.Error("expected error on bad label magic")
+	}
+}
+
+func TestCIFARMultiChannelIDXRoundTrip(t *testing.T) {
+	d := SyntheticCIFAR(6, 15)
+	var buf bytes.Buffer
+	if err := WriteIDXImages(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIDXImages(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameShape(d.X) {
+		t.Fatalf("shape %v, want %v", back.Shape(), d.X.Shape())
+	}
+}

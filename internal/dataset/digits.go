@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Synthetic handwritten-digit generation: each digit class is a set of
+// stroke polylines on the unit square; samples are rendered at 28×28 (the
+// MNIST raster) by signed-distance stroking after a random affine jitter
+// (rotation, anisotropic scale, translation, stroke width), plus additive
+// Gaussian pixel noise. The generator is deterministic under its seed.
+
+type point struct{ x, y float64 }
+
+type stroke []point // polyline through ≥2 points
+
+// digitStrokes holds the skeleton strokes for digits 0–9 in unit
+// coordinates (x right, y down).
+var digitStrokes = [10][]stroke{
+	// 0: closed oval ring.
+	{ring(0.5, 0.5, 0.28, 0.38, 12)},
+	// 1: serif, vertical bar, base.
+	{{{0.35, 0.28}, {0.55, 0.12}}, {{0.55, 0.12}, {0.55, 0.88}}, {{0.38, 0.88}, {0.72, 0.88}}},
+	// 2: top curve, diagonal, bottom bar.
+	{{{0.22, 0.3}, {0.3, 0.14}, {0.62, 0.1}, {0.78, 0.28}, {0.68, 0.48}, {0.24, 0.86}}, {{0.24, 0.86}, {0.8, 0.86}}},
+	// 3: two stacked arcs meeting mid-left of centre.
+	{{{0.24, 0.14}, {0.62, 0.1}, {0.78, 0.27}, {0.55, 0.46}}, {{0.55, 0.46}, {0.8, 0.62}, {0.68, 0.86}, {0.25, 0.88}}},
+	// 4: diagonal, crossbar, vertical.
+	{{{0.62, 0.1}, {0.2, 0.62}}, {{0.2, 0.62}, {0.84, 0.62}}, {{0.62, 0.1}, {0.62, 0.9}}},
+	// 5: top bar, descender, belly.
+	{{{0.78, 0.12}, {0.26, 0.12}}, {{0.26, 0.12}, {0.24, 0.48}}, {{0.24, 0.48}, {0.6, 0.42}, {0.8, 0.6}, {0.7, 0.84}, {0.26, 0.88}}},
+	// 6: sweeping left curve closing into a lower loop.
+	{{{0.68, 0.1}, {0.4, 0.3}, {0.24, 0.58}, {0.3, 0.84}, {0.58, 0.9}, {0.76, 0.72}, {0.62, 0.54}, {0.28, 0.62}}},
+	// 7: top bar and long diagonal.
+	{{{0.2, 0.12}, {0.8, 0.12}}, {{0.8, 0.12}, {0.42, 0.9}}},
+	// 8: two stacked rings.
+	{ring(0.5, 0.3, 0.2, 0.17, 10), ring(0.5, 0.68, 0.24, 0.2, 10)},
+	// 9: upper ring with a tail.
+	{ring(0.52, 0.32, 0.22, 0.2, 10), {{0.73, 0.4}, {0.66, 0.9}}},
+}
+
+// ring approximates an axis-aligned ellipse with an n-gon polyline.
+func ring(cx, cy, rx, ry float64, n int) stroke {
+	s := make(stroke, n+1)
+	for i := 0; i <= n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		s[i] = point{cx + rx*math.Sin(a), cy - ry*math.Cos(a)}
+	}
+	return s
+}
+
+// distToSegment returns the Euclidean distance from p to segment ab.
+func distToSegment(p, a, b point) float64 {
+	dx, dy := b.x-a.x, b.y-a.y
+	l2 := dx*dx + dy*dy
+	if l2 == 0 {
+		return math.Hypot(p.x-a.x, p.y-a.y)
+	}
+	t := ((p.x-a.x)*dx + (p.y-a.y)*dy) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return math.Hypot(p.x-(a.x+t*dx), p.y-(a.y+t*dy))
+}
+
+// jitter is one sample's random affine deformation.
+type jitter struct {
+	rot       float64
+	sx, sy    float64
+	tx, ty    float64
+	width     float64
+	noise     float64
+	intensity float64
+}
+
+func randomJitter(rng *rand.Rand) jitter {
+	return jitter{
+		rot:       (rng.Float64()*2 - 1) * 0.18,
+		sx:        0.85 + rng.Float64()*0.28,
+		sy:        0.85 + rng.Float64()*0.28,
+		tx:        (rng.Float64()*2 - 1) * 0.07,
+		ty:        (rng.Float64()*2 - 1) * 0.07,
+		width:     0.045 + rng.Float64()*0.03,
+		noise:     0.01 + rng.Float64()*0.04,
+		intensity: 0.85 + rng.Float64()*0.15,
+	}
+}
+
+// apply maps a skeleton point through the jitter transform (rotation about
+// the square centre, scaling, translation).
+func (j jitter) apply(p point) point {
+	x, y := p.x-0.5, p.y-0.5
+	c, s := math.Cos(j.rot), math.Sin(j.rot)
+	x, y = c*x-s*y, s*x+c*y
+	return point{0.5 + x*j.sx + j.tx, 0.5 + y*j.sy + j.ty}
+}
+
+// RenderDigit rasterises one digit class to a size×size greyscale image in
+// [0,1], deterministic under rng.
+func RenderDigit(digit, size int, rng *rand.Rand) *tensor.Tensor {
+	if digit < 0 || digit > 9 {
+		panic("dataset: digit outside 0-9")
+	}
+	j := randomJitter(rng)
+	// Pre-transform skeleton.
+	var segs [][2]point
+	for _, st := range digitStrokes[digit] {
+		prev := j.apply(st[0])
+		for _, p := range st[1:] {
+			cur := j.apply(p)
+			segs = append(segs, [2]point{prev, cur})
+			prev = cur
+		}
+	}
+	img := tensor.New(size, size, 1)
+	inv := 1 / float64(size)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			p := point{(float64(x) + 0.5) * inv, (float64(y) + 0.5) * inv}
+			d := math.Inf(1)
+			for _, s := range segs {
+				if v := distToSegment(p, s[0], s[1]); v < d {
+					d = v
+				}
+			}
+			// Soft stroke profile: full intensity inside the stroke core,
+			// linear falloff over one stroke-width.
+			v := 0.0
+			switch {
+			case d <= j.width:
+				v = j.intensity
+			case d <= 2*j.width:
+				v = j.intensity * (2 - d/j.width)
+			}
+			v += rng.NormFloat64() * j.noise
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			img.Set(v, y, x, 0)
+		}
+	}
+	return img
+}
+
+// SyntheticMNIST generates n 28×28 greyscale digit samples with balanced
+// class labels, deterministic under seed. The shape is [n, 28, 28, 1].
+func SyntheticMNIST(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{X: tensor.New(n, 28, 28, 1), Labels: make([]int, n)}
+	sl := 28 * 28
+	for i := 0; i < n; i++ {
+		digit := i % 10
+		d.Labels[i] = digit
+		img := RenderDigit(digit, 28, rng)
+		copy(d.X.Data[i*sl:(i+1)*sl], img.Data)
+	}
+	d.Shuffle(rng)
+	return d
+}

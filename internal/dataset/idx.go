@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// IDX-format IO. IDX is the container format of the original MNIST
+// distribution (big-endian magic, dimension sizes, then raw unsigned bytes);
+// the engine's inputs parser (Fig. 4, third module) consumes image and label
+// files in this format, so the reproduction's file-level pipeline matches
+// the paper's "load test data from a file" flow.
+//
+//	magic: 0x00000803 for rank-3 ubyte (images), 0x00000801 for rank-1
+//	ubyte (labels). Pixels are stored as bytes 0..255 and mapped to [0,1].
+
+const (
+	idxMagicImages = 0x00000803
+	idxMagicLabels = 0x00000801
+)
+
+// WriteIDXImages writes the dataset's images (shape [N,H,W,1] or [N,H,W,3];
+// multi-channel data is written as C consecutive rank-3 planes per sample
+// collapsed into rows — for engine use, greyscale is the common case) as an
+// IDX ubyte file. Values are clamped to [0,1] and quantised to bytes.
+func WriteIDXImages(w io.Writer, d *Dataset) error {
+	if d.X.Rank() != 4 {
+		return fmt.Errorf("dataset: WriteIDXImages needs [N,H,W,C], got %v", d.X.Shape())
+	}
+	n, h, wd, c := d.X.Dim(0), d.X.Dim(1), d.X.Dim(2), d.X.Dim(3)
+	bw := bufio.NewWriter(w)
+	hdr := [4]uint32{idxMagicImages, uint32(n), uint32(h * c), uint32(wd)}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range d.X.Data {
+		b := byte(clamp01(v)*255 + 0.5)
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteIDXLabels writes the dataset's labels as an IDX rank-1 ubyte file.
+func WriteIDXLabels(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.BigEndian, uint32(idxMagicLabels)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(d.Labels))); err != nil {
+		return err
+	}
+	for _, l := range d.Labels {
+		if l < 0 || l > 255 {
+			return fmt.Errorf("dataset: label %d not representable as a byte", l)
+		}
+		if err := bw.WriteByte(byte(l)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIDXImages reads an IDX image file; channels is the channel count the
+// rows were collapsed with in WriteIDXImages (1 for greyscale). The result
+// has shape [N, H, W, channels] with pixels in [0,1].
+func ReadIDXImages(r io.Reader, channels int) (*tensor.Tensor, error) {
+	if channels < 1 {
+		return nil, fmt.Errorf("dataset: channel count %d", channels)
+	}
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(r, binary.BigEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("dataset: reading IDX header: %w", err)
+		}
+	}
+	if hdr[0] != idxMagicImages {
+		return nil, fmt.Errorf("dataset: bad IDX image magic %#x", hdr[0])
+	}
+	n, hc, w := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if hc%channels != 0 {
+		return nil, fmt.Errorf("dataset: IDX row count %d not divisible by %d channels", hc, channels)
+	}
+	h := hc / channels
+	if n < 1 || h < 1 || w < 1 || n > 1<<24 || h > 4096 || w > 4096 {
+		return nil, fmt.Errorf("dataset: implausible IDX dimensions %dx%dx%d", n, h, w)
+	}
+	buf := make([]byte, n*h*w*channels)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("dataset: reading IDX pixels: %w", err)
+	}
+	t := tensor.New(n, h, w, channels)
+	for i, b := range buf {
+		t.Data[i] = float64(b) / 255
+	}
+	return t, nil
+}
+
+// ReadIDXLabels reads an IDX label file.
+func ReadIDXLabels(r io.Reader) ([]int, error) {
+	var magic, n uint32
+	if err := binary.Read(r, binary.BigEndian, &magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading IDX label magic: %w", err)
+	}
+	if magic != idxMagicLabels {
+		return nil, fmt.Errorf("dataset: bad IDX label magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("dataset: implausible label count %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("dataset: reading labels: %w", err)
+	}
+	out := make([]int, n)
+	for i, b := range buf {
+		out[i] = int(b)
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// BilinearResize resamples an [H, W, C] image to [outH, outW, C] using the
+// same bilinear transformation the paper applies to MNIST before training
+// and testing (§V-B): source coordinates are mapped with the half-pixel
+// convention and blended from the four nearest texels.
+func BilinearResize(img *tensor.Tensor, outH, outW int) *tensor.Tensor {
+	if img.Rank() != 3 {
+		panic(fmt.Sprintf("dataset: BilinearResize needs [H,W,C], got %v", img.Shape()))
+	}
+	if outH < 1 || outW < 1 {
+		panic(fmt.Sprintf("dataset: bad output size %dx%d", outH, outW))
+	}
+	h, w, c := img.Dim(0), img.Dim(1), img.Dim(2)
+	out := tensor.New(outH, outW, c)
+	sy := float64(h) / float64(outH)
+	sx := float64(w) / float64(outW)
+	for oy := 0; oy < outH; oy++ {
+		fy := (float64(oy)+0.5)*sy - 0.5
+		y0 := int(fy)
+		if fy < 0 {
+			fy, y0 = 0, 0
+		}
+		y1 := y0 + 1
+		if y1 >= h {
+			y1 = h - 1
+		}
+		wy := fy - float64(y0)
+		for ox := 0; ox < outW; ox++ {
+			fx := (float64(ox)+0.5)*sx - 0.5
+			x0 := int(fx)
+			if fx < 0 {
+				fx, x0 = 0, 0
+			}
+			x1 := x0 + 1
+			if x1 >= w {
+				x1 = w - 1
+			}
+			wx := fx - float64(x0)
+			for ch := 0; ch < c; ch++ {
+				v := (1-wy)*(1-wx)*img.At(y0, x0, ch) +
+					(1-wy)*wx*img.At(y0, x1, ch) +
+					wy*(1-wx)*img.At(y1, x0, ch) +
+					wy*wx*img.At(y1, x1, ch)
+				out.Set(v, oy, ox, ch)
+			}
+		}
+	}
+	return out
+}
+
+// Resize applies BilinearResize to every sample of an image dataset,
+// returning a new dataset of shape [N, outH, outW, C].
+func Resize(d *Dataset, outH, outW int) *Dataset {
+	n := d.Len()
+	h, w, c := d.X.Dim(1), d.X.Dim(2), d.X.Dim(3)
+	out := &Dataset{X: tensor.New(n, outH, outW, c), Labels: d.Labels}
+	inSl := h * w * c
+	outSl := outH * outW * c
+	for i := 0; i < n; i++ {
+		img := tensor.FromSlice(d.X.Data[i*inSl:(i+1)*inSl], h, w, c)
+		r := BilinearResize(img, outH, outW)
+		copy(out.X.Data[i*outSl:(i+1)*outSl], r.Data)
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package engine
+
+// Canonical architecture files for the paper's three evaluation networks,
+// usable directly with ParseArchitecture and shipped by cmd/train alongside
+// the parameter files. Keeping them as plain text here documents the file
+// format and guarantees the CLI, tests and benches all parse the exact same
+// topologies as nn.Arch1/Arch2/Arch3.
+
+// Arch1Text is the paper's MNIST Arch-1 (256-128-128-10, §V-B).
+const Arch1Text = `# Arch-1: resized 16x16 MNIST, two block-circulant FC layers (paper §V-B)
+input 256
+circfc 128 block=64 act=relu
+circfc 128 block=64 act=relu
+fc 10
+softmax
+`
+
+// Arch2Text is the paper's MNIST Arch-2 (121-64-64-10, §V-B).
+const Arch2Text = `# Arch-2: resized 11x11 MNIST, two block-circulant FC layers (paper §V-B)
+input 121
+circfc 64 block=32 act=relu
+circfc 64 block=32 act=relu
+fc 10
+softmax
+`
+
+// Arch3Text is the paper's CIFAR-10 Arch-3
+// (128x3x32x32-64Conv3-64Conv3-128Conv3-128Conv3-512F-1024F-1024F-10F, §V-C);
+// the first two CONV layers are traditional, the rest block-circulant.
+const Arch3Text = `# Arch-3: CIFAR-10 CONV network (paper §V-C); first two CONV layers dense
+input 32 32 3
+conv 64 3 act=relu
+conv 64 3 act=relu
+maxpool 2
+circconv 128 3 block=64 act=relu
+circconv 128 3 block=64 act=relu
+maxpool 2
+flatten
+circfc 512 block=128 act=relu
+circfc 1024 block=128 act=relu
+circfc 1024 block=128 act=relu
+fc 10
+softmax
+`

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The on-device parsers consume files from outside the trust boundary; they
+// must reject malformed input with errors, never panic. These tests throw
+// structured garbage at all three parsers.
+
+func TestParserNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	words := []string{
+		"input", "fc", "circfc", "conv", "circconv", "fftconv", "maxpool",
+		"avgpool", "flatten", "dropout", "relu", "softmax", "batchnorm",
+		"block=64", "block=0", "block=x", "act=relu", "act=?", "stride=-1",
+		"pad=9", "0", "1", "-5", "16", "121", "3.5", "#", "###", "\t", "∞",
+	}
+	for trial := 0; trial < 300; trial++ {
+		var sb strings.Builder
+		lines := rng.Intn(8)
+		for i := 0; i < lines; i++ {
+			tokens := rng.Intn(5)
+			for j := 0; j < tokens; j++ {
+				sb.WriteString(words[rng.Intn(len(words))])
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte('\n')
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on:\n%s\npanic: %v", sb.String(), r)
+				}
+			}()
+			e, err := ParseArchitecture(strings.NewReader(sb.String()), rng)
+			if err == nil && e != nil {
+				// A parse that succeeds must yield a runnable network.
+				if len(e.Net.Layers) == 0 || len(e.InShape) == 0 {
+					t.Fatalf("successful parse with empty network for:\n%s", sb.String())
+				}
+			}
+		}()
+	}
+}
+
+func TestParameterParserNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := mustParse(t, Arch2Text)
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parameter parser panicked on %d random bytes: %v", n, r)
+				}
+			}()
+			if err := e.LoadParameters(bytes.NewReader(buf)); err == nil {
+				t.Fatal("parameter parser accepted random bytes")
+			}
+		}()
+	}
+}
+
+func TestInputsParserNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := mustParse(t, Arch2Text)
+	for trial := 0; trial < 200; trial++ {
+		a := make([]byte, rng.Intn(100))
+		b := make([]byte, rng.Intn(100))
+		rng.Read(a)
+		rng.Read(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("inputs parser panicked: %v", r)
+				}
+			}()
+			if _, err := e.LoadInputs(bytes.NewReader(a), bytes.NewReader(b), 1); err == nil {
+				t.Fatal("inputs parser accepted random bytes")
+			}
+		}()
+	}
+}
+
+func TestTruncatedParameterFiles(t *testing.T) {
+	// Valid prefix, cut at every length: must error cleanly at each cut.
+	r2 := mustParse(t, Arch2Text)
+	var full bytes.Buffer
+	if err := SaveParameters(&full, r2.Net); err != nil {
+		t.Fatal(err)
+	}
+	data := full.Bytes()
+	for _, cut := range []int{0, 1, 4, 11, 12, 13, 100, len(data) - 1} {
+		e := mustParse(t, Arch2Text)
+		if err := e.LoadParameters(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("accepted parameter file truncated at %d/%d bytes", cut, len(data))
+		}
+	}
+	// The untruncated file must load.
+	e := mustParse(t, Arch2Text)
+	if err := e.LoadParameters(bytes.NewReader(data)); err != nil {
+		t.Errorf("full file rejected: %v", err)
+	}
+}

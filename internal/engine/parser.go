@@ -1,0 +1,284 @@
+// Package engine implements the four-module software stack of the paper's
+// Fig. 4:
+//
+//  1. the architecture parser, which constructs the network from a textual
+//     description;
+//  2. the parameters parser, which reads a binary file of trained weights
+//     and biases;
+//  3. the inputs parser, which loads test data (IDX image/label files);
+//  4. the inference engine, which produces predictions.
+//
+// Together with cmd/infer this is the deployed, on-device half of the
+// paper's system; cmd/train plays the data-centre half that produces the
+// parameter files.
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Architecture file format — one directive per line, '#' comments:
+//
+//	input 16 16 1            # image input H W C (or: input 256 for flat)
+//	conv 64 3 [stride=1 pad=0] [act=relu]
+//	circconv 128 3 block=64 [stride=1 pad=0] [act=relu]
+//	fftconv 64 3 [act=relu]          # frequency-domain CONV baseline [11]
+//	maxpool 2 | avgpool 2
+//	flatten
+//	fc 128 [act=relu]
+//	circfc 128 block=64 [act=relu]
+//	batchnorm
+//	dropout 0.5
+//	relu | sigmoid | tanh | softmax
+//
+// The parser tracks activation shapes line by line, so dimension errors are
+// reported with the offending line number.
+
+// Engine couples a parsed network with its expected input shape.
+type Engine struct {
+	Net     *nn.Network
+	InShape []int // per-sample input shape, e.g. [256] or [32 32 3]
+}
+
+// ParseArchitecture builds a randomly-initialised network from the textual
+// architecture description (module 1 of Fig. 4). rng seeds the layer
+// initialisers; deployed weights are installed by LoadParameters.
+func ParseArchitecture(r io.Reader, rng *rand.Rand) (*Engine, error) {
+	sc := bufio.NewScanner(r)
+	var e Engine
+	var shape []int // current per-sample shape
+	net := nn.NewNetwork()
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		op, args := strings.ToLower(fields[0]), fields[1:]
+		fail := func(format string, a ...any) error {
+			return fmt.Errorf("engine: line %d (%s): %s", lineNo, op, fmt.Sprintf(format, a...))
+		}
+
+		if op == "input" {
+			if shape != nil {
+				return nil, fail("duplicate input directive")
+			}
+			dims, _, err := parseInts(args, len(args))
+			if err != nil || (len(dims) != 1 && len(dims) != 3) {
+				return nil, fail("want 1 or 3 positive dimensions, got %v", args)
+			}
+			shape = dims
+			e.InShape = dims
+			continue
+		}
+		if shape == nil {
+			return nil, fail("input directive must come first")
+		}
+
+		opts, pos := splitOpts(args)
+		act := opts["act"]
+		switch op {
+		case "fc", "circfc":
+			if len(shape) != 1 {
+				return nil, fail("needs a flat input (insert 'flatten'), have shape %v", shape)
+			}
+			dims, _, err := parseInts(pos, 1)
+			if err != nil {
+				return nil, fail("want one output size: %v", err)
+			}
+			out := dims[0]
+			if op == "fc" {
+				net.Add(nn.NewDense(shape[0], out, rng))
+			} else {
+				block, err := optInt(opts, "block")
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				net.Add(nn.NewCircDense(shape[0], out, block, rng))
+			}
+			shape = []int{out}
+		case "batchnorm":
+			if len(shape) == 0 {
+				return nil, fail("needs a preceding layer")
+			}
+			net.Add(nn.NewBatchNorm(shape[len(shape)-1]))
+		case "fftconv":
+			if len(shape) != 3 {
+				return nil, fail("needs an image input, have shape %v", shape)
+			}
+			dims, _, err := parseInts(pos, 2)
+			if err != nil {
+				return nil, fail("want output-channels and kernel size: %v", err)
+			}
+			g := tensor.Conv2DGeom{
+				H: shape[0], W: shape[1], C: shape[2],
+				P: dims[0], R: dims[1], Stride: 1,
+			}
+			l, err := nn.NewFFTConv2D(g, rng)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			net.Add(l)
+			shape = []int{g.OutH(), g.OutW(), g.P}
+		case "conv", "circconv":
+			if len(shape) != 3 {
+				return nil, fail("needs an image input, have shape %v", shape)
+			}
+			dims, _, err := parseInts(pos, 2)
+			if err != nil {
+				return nil, fail("want output-channels and kernel size: %v", err)
+			}
+			g := tensor.Conv2DGeom{
+				H: shape[0], W: shape[1], C: shape[2],
+				P: dims[0], R: dims[1], Stride: 1,
+			}
+			if v, ok := opts["stride"]; ok {
+				if g.Stride, err = strconv.Atoi(v); err != nil {
+					return nil, fail("bad stride %q", v)
+				}
+			}
+			if v, ok := opts["pad"]; ok {
+				if g.Pad, err = strconv.Atoi(v); err != nil {
+					return nil, fail("bad pad %q", v)
+				}
+			}
+			if err := g.Validate(); err != nil {
+				return nil, fail("%v", err)
+			}
+			if op == "conv" {
+				net.Add(nn.NewConv2D(g, rng))
+			} else {
+				block, err := optInt(opts, "block")
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				net.Add(nn.NewCircConv2D(g, block, rng))
+			}
+			shape = []int{g.OutH(), g.OutW(), g.P}
+		case "maxpool", "avgpool":
+			if len(shape) != 3 {
+				return nil, fail("needs an image input, have shape %v", shape)
+			}
+			dims, _, err := parseInts(pos, 1)
+			if err != nil {
+				return nil, fail("want window size: %v", err)
+			}
+			sz := dims[0]
+			if shape[0]%sz != 0 || shape[1]%sz != 0 {
+				return nil, fail("shape %v not divisible by window %d", shape, sz)
+			}
+			if op == "maxpool" {
+				net.Add(nn.NewMaxPool(sz))
+			} else {
+				net.Add(nn.NewAvgPool(sz))
+			}
+			shape = []int{shape[0] / sz, shape[1] / sz, shape[2]}
+		case "flatten":
+			if len(shape) != 3 {
+				return nil, fail("needs an image input, have shape %v", shape)
+			}
+			net.Add(nn.NewFlatten())
+			shape = []int{shape[0] * shape[1] * shape[2]}
+		case "dropout":
+			if len(pos) != 1 {
+				return nil, fail("want one rate argument")
+			}
+			rate, err := strconv.ParseFloat(pos[0], 64)
+			if err != nil || rate < 0 || rate >= 1 {
+				return nil, fail("bad dropout rate %q", pos[0])
+			}
+			net.Add(nn.NewDropout(rate, rng.Float64))
+		case "relu", "sigmoid", "tanh", "softmax":
+			if err := addActivation(net, op); err != nil {
+				return nil, fail("%v", err)
+			}
+		default:
+			return nil, fail("unknown directive")
+		}
+		if act != "" {
+			if err := addActivation(net, act); err != nil {
+				return nil, fail("%v", err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("engine: reading architecture: %w", err)
+	}
+	if shape == nil {
+		return nil, fmt.Errorf("engine: architecture has no input directive")
+	}
+	if len(net.Layers) == 0 {
+		return nil, fmt.Errorf("engine: architecture has no layers")
+	}
+	e.Net = net
+	return &e, nil
+}
+
+func addActivation(net *nn.Network, name string) error {
+	switch name {
+	case "relu":
+		net.Add(nn.NewReLU())
+	case "sigmoid":
+		net.Add(nn.NewSigmoid())
+	case "tanh":
+		net.Add(nn.NewTanh())
+	case "softmax":
+		net.Add(nn.NewSoftmax())
+	default:
+		return fmt.Errorf("unknown activation %q", name)
+	}
+	return nil
+}
+
+// splitOpts separates key=value options from positional arguments.
+func splitOpts(args []string) (opts map[string]string, pos []string) {
+	opts = make(map[string]string)
+	for _, a := range args {
+		if i := strings.IndexByte(a, '='); i > 0 {
+			opts[strings.ToLower(a[:i])] = a[i+1:]
+		} else {
+			pos = append(pos, a)
+		}
+	}
+	return opts, pos
+}
+
+func parseInts(args []string, want int) ([]int, []string, error) {
+	if len(args) < want {
+		return nil, nil, fmt.Errorf("want %d integers, have %d", want, len(args))
+	}
+	out := make([]int, want)
+	for i := 0; i < want; i++ {
+		v, err := strconv.Atoi(args[i])
+		if err != nil || v < 1 {
+			return nil, nil, fmt.Errorf("bad positive integer %q", args[i])
+		}
+		out[i] = v
+	}
+	return out, args[want:], nil
+}
+
+func optInt(opts map[string]string, key string) (int, error) {
+	v, ok := opts[key]
+	if !ok {
+		return 0, fmt.Errorf("missing required option %s=", key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad %s value %q", key, v)
+	}
+	return n, nil
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestParseFFTConvAndBatchNorm(t *testing.T) {
+	e := mustParse(t, `
+input 8 8 2
+fftconv 4 3 act=relu
+batchnorm
+maxpool 2
+flatten
+fc 5 act=relu
+batchnorm
+fc 3
+softmax
+`)
+	x := tensor.New(3, 8, 8, 2).Randn(rand.New(rand.NewSource(1)), 1)
+	out := e.Net.Forward(x, false)
+	if out.Dim(0) != 3 || out.Dim(1) != 3 {
+		t.Errorf("output shape %v", out.Shape())
+	}
+}
+
+func TestParseFFTConvRejectsStride(t *testing.T) {
+	bad := "input 8 8 1\nfftconv 4 3 stride=2\n"
+	if _, err := ParseArchitecture(bytes.NewReader([]byte(bad)), rand.New(rand.NewSource(1))); err == nil {
+		// stride option is ignored by fftconv parsing (always 1); the layer
+		// itself would reject non-1 strides if it were plumbed. The parse
+		// must still succeed or fail — either way the directive must not
+		// produce a stride-2 FFT conv. Probe by shape.
+		e := mustParse(t, bad)
+		if got := e.Net.Layers[0].(*nn.FFTConv2D).Geom.Stride; got != 1 {
+			t.Errorf("fftconv stride %d, want 1", got)
+		}
+	}
+}
+
+func TestParseBatchNormNeedsPredecessor(t *testing.T) {
+	if _, err := ParseArchitecture(bytes.NewReader([]byte("batchnorm\n")), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("expected error for batchnorm before input")
+	}
+}
+
+func TestSaveLoadNetworkWithNewLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	fc, err := nn.NewFFTConv2D(tensor.Conv2DGeom{H: 6, W: 6, C: 1, R: 3, P: 2, Stride: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn := nn.NewBatchNorm(2)
+	net := nn.NewNetwork(fc, bn, nn.NewFlatten(), nn.NewDense(4*4*2, 3, rng))
+	// Push some data through training mode so BatchNorm has running stats.
+	x := tensor.New(4, 6, 6, 1).Randn(rng, 1)
+	net.Forward(x, true)
+
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nn.Load(&buf, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := net.Forward(x, false)
+	got := loaded.Forward(x, false)
+	if !got.AllClose(want, 1e-9) {
+		t.Error("round-tripped network (FFTConv2D + BatchNorm) differs")
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// The deployment bundles written by cmd/train pair a trained network with an
+// architecture text file; this test pins the pairing: every shipped text
+// must parse to a network whose parameter tensors match the trainer's
+// network exactly (count and shapes), or LoadParameters would reject the
+// bundle.
+
+func TestArch3ScaledTextMatchesTrainer(t *testing.T) {
+	e, err := engine.ParseArchitecture(strings.NewReader(Arch3ScaledText), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer := Arch3Scaled(rand.New(rand.NewSource(2)))
+	pe, pt := e.Net.Params(), trainer.Params()
+	if len(pe) != len(pt) {
+		t.Fatalf("parsed arch has %d parameter tensors, trainer %d", len(pe), len(pt))
+	}
+	for i := range pe {
+		if !pe[i].Value.SameShape(pt[i].Value) {
+			t.Errorf("parameter %d: parsed shape %v, trainer shape %v",
+				i, pe[i].Value.Shape(), pt[i].Value.Shape())
+		}
+	}
+	if len(e.InShape) != 3 || e.InShape[0] != 16 || e.InShape[2] != 3 {
+		t.Errorf("input shape %v", e.InShape)
+	}
+}
+
+func TestShippedMNISTArchTextsMatchTrainers(t *testing.T) {
+	cases := []struct {
+		text string
+		arch int
+	}{
+		{engine.Arch1Text, 1},
+		{engine.Arch2Text, 2},
+	}
+	for _, tc := range cases {
+		e, err := engine.ParseArchitecture(strings.NewReader(tc.text), rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := TrainMNISTArch(tc.arch, TrainConfig{
+			TrainSamples: 50, TestSamples: 10, Epochs: 1, BatchSize: 10,
+			LR: 0.01, Momentum: 0.9, Seed: 3,
+		})
+		pe, pt := e.Net.Params(), r.Net.Params()
+		if len(pe) != len(pt) {
+			t.Fatalf("arch %d: parsed %d parameter tensors, trainer %d", tc.arch, len(pe), len(pt))
+		}
+		for i := range pe {
+			if !pe[i].Value.SameShape(pt[i].Value) {
+				t.Errorf("arch %d parameter %d: shapes %v vs %v",
+					tc.arch, i, pe[i].Value.Shape(), pt[i].Value.Shape())
+			}
+		}
+	}
+}

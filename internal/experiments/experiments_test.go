@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// The quick configurations keep this package's tests inside a normal test
+// budget; the recorded EXPERIMENTS.md numbers use the Default configs via
+// cmd/tables.
+
+func TestTrainMNISTArch1Quick(t *testing.T) {
+	r := TrainMNISTArch(1, QuickMNISTConfig())
+	if r.Accuracy < 0.90 {
+		t.Errorf("Arch-1 quick accuracy %.3f < 0.90", r.Accuracy)
+	}
+	if r.Counts.Flops() <= 0 || r.Counts.APICalls < 6 {
+		t.Errorf("implausible op counts %v", r.Counts)
+	}
+}
+
+func TestTrainMNISTArch2Quick(t *testing.T) {
+	r := TrainMNISTArch(2, QuickMNISTConfig())
+	if r.Accuracy < 0.80 {
+		t.Errorf("Arch-2 quick accuracy %.3f < 0.80", r.Accuracy)
+	}
+}
+
+func TestTrainCIFARQuick(t *testing.T) {
+	r := TrainCIFAR(QuickCIFARConfig())
+	// Ten synthetic classes; anything far above the 10% chance floor shows
+	// the CONV pipeline learns. (The Default config reaches much higher;
+	// see EXPERIMENTS.md.)
+	if r.Accuracy < 0.40 {
+		t.Errorf("CIFAR quick accuracy %.3f < 0.40", r.Accuracy)
+	}
+	// The latency workload must be the full Arch-3, which costs tens of
+	// megaflops per image.
+	if r.Counts.Flops() < 1e7 {
+		t.Errorf("Arch-3 latency workload too small: %.0f flops", r.Counts.Flops())
+	}
+}
+
+func TestTableShapes(t *testing.T) {
+	r1 := TrainMNISTArch(1, QuickMNISTConfig())
+	r2 := TrainMNISTArch(2, QuickMNISTConfig())
+	r3 := TrainCIFAR(QuickCIFARConfig())
+
+	t2 := TableII(r1, r2)
+	if len(t2) != 12 { // 2 archs × 2 envs × 3 devices
+		t.Fatalf("Table II has %d cells, want 12", len(t2))
+	}
+	for _, c := range t2 {
+		if c.US <= 0 {
+			t.Errorf("non-positive latency in cell %+v", c)
+		}
+		if c.PaperUS > 0 {
+			if rel := c.US/c.PaperUS - 1; rel > 0.15 || rel < -0.15 {
+				t.Errorf("%s %s %s: %.1fµs vs paper %.1fµs (%.0f%% off)",
+					c.Arch, c.Env, c.Device, c.US, c.PaperUS, rel*100)
+			}
+		}
+	}
+
+	t3 := TableIII(r3)
+	if len(t3) != 4 { // 2 envs × 2 devices
+		t.Fatalf("Table III has %d cells, want 4", len(t3))
+	}
+	for _, c := range t3 {
+		if rel := c.US/c.PaperUS - 1; rel > 0.15 || rel < -0.15 {
+			t.Errorf("arch3 %s %s: %.0fµs vs paper %.0fµs (%.0f%% off)",
+				c.Env, c.Device, c.US, c.PaperUS, rel*100)
+		}
+	}
+
+	f5 := Fig5(r1, r3)
+	if len(f5) != 4 {
+		t.Fatalf("Fig. 5 has %d points, want 4", len(f5))
+	}
+	// Headline Fig. 5 claims: our MNIST point is ~10× faster than TrueNorth's
+	// 1000 µs; our CIFAR point is ~10× slower than TrueNorth's 800 µs.
+	var ourMNIST, ourCIFAR float64
+	for _, p := range f5 {
+		if p.System == "Our Method" && p.Dataset == "MNIST" {
+			ourMNIST = p.USPerImg
+		}
+		if p.System == "Our Method" && p.Dataset == "CIFAR-10" {
+			ourCIFAR = p.USPerImg
+		}
+	}
+	if speedup := 1000 / ourMNIST; speedup < 5 || speedup > 20 {
+		t.Errorf("MNIST speedup vs TrueNorth %.1fx outside the paper's ~10x", speedup)
+	}
+	if slowdown := ourCIFAR / 800; slowdown < 5 || slowdown > 20 {
+		t.Errorf("CIFAR slowdown vs TrueNorth %.1fx outside the paper's ~10x", slowdown)
+	}
+}
+
+func TestAccuracyOrderingMatchesPaper(t *testing.T) {
+	// Paper: Arch-1 is ~2 points more accurate than Arch-2. On the easier
+	// synthetic digits both saturate near the ceiling, so we assert Arch-1
+	// is not markedly below Arch-2 rather than a strict 2-point gap.
+	r1 := TrainMNISTArch(1, QuickMNISTConfig())
+	r2 := TrainMNISTArch(2, QuickMNISTConfig())
+	if r1.Accuracy < r2.Accuracy-0.05 {
+		t.Errorf("Arch-1 accuracy %.3f markedly below Arch-2 %.3f — ordering flipped",
+			r1.Accuracy, r2.Accuracy)
+	}
+}
+
+func TestJavaCppRatiosInTables(t *testing.T) {
+	r1 := TrainMNISTArch(1, QuickMNISTConfig())
+	r2 := TrainMNISTArch(2, QuickMNISTConfig())
+	cells := TableII(r1, r2)
+	byKey := map[string]float64{}
+	for _, c := range cells {
+		byKey[c.Arch+"/"+c.Env.String()+"/"+c.Device] = c.US
+	}
+	for _, arch := range []string{"arch1", "arch2"} {
+		for _, spec := range platform.Platforms() {
+			j := byKey[arch+"/Java/"+spec.Name]
+			n := byKey[arch+"/C++/"+spec.Name]
+			if r := j / n; r < 2.0 || r > 3.0 {
+				t.Errorf("%s on %s: Java/C++ ratio %.2f outside paper band", arch, spec.Name, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// bluesteinState holds the precomputed chirp and padded chirp spectrum for one
+// transform length, so repeated arbitrary-size transforms (e.g. the 121-point
+// inputs of the paper's Arch-2) amortise setup cost.
+type bluesteinState struct {
+	n     int
+	m     int          // padded power-of-two length ≥ 2n-1
+	chirp []complex128 // chirp[k] = e^{-iπk²/n}
+	bspec []complex128 // FFT of the symmetric inverse-chirp sequence
+	plan  *Plan
+}
+
+var bluesteinCache sync.Map // int -> *bluesteinState
+
+func bluesteinFor(n int) *bluesteinState {
+	if v, ok := bluesteinCache.Load(n); ok {
+		return v.(*bluesteinState)
+	}
+	s := &bluesteinState{n: n, m: NextPow2(2*n - 1)}
+	s.plan = PlanFor(s.m)
+	s.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Reduce k² modulo 2n before converting to an angle: k²π/n is
+		// periodic in k with period 2n, and the reduction keeps the
+		// argument small for large k, avoiding precision loss.
+		q := (int64(k) * int64(k)) % int64(2*n)
+		ang := -math.Pi * float64(q) / float64(n)
+		s.chirp[k] = cmplx.Exp(complex(0, ang))
+	}
+	b := make([]complex128, s.m)
+	for k := 0; k < n; k++ {
+		c := cmplx.Conj(s.chirp[k]) // e^{+iπk²/n}
+		b[k] = c
+		if k > 0 {
+			b[s.m-k] = c // circular wrap: b[-k] = b[k]
+		}
+	}
+	s.plan.Forward(b, b)
+	s.bspec = b
+	actual, _ := bluesteinCache.LoadOrStore(n, s)
+	return actual.(*bluesteinState)
+}
+
+// bluestein computes the length-n DFT (or inverse DFT) of x via the chirp-z
+// identity jk = (j² + k² − (k−j)²)/2, which turns the DFT into one circular
+// convolution of power-of-two length.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	s := bluesteinFor(n)
+	a := make([]complex128, s.m)
+	for k := 0; k < n; k++ {
+		v := x[k]
+		if inverse {
+			// IDFT(x)[k] = conj(DFT(conj(x))[k]) / n
+			v = cmplx.Conj(v)
+		}
+		a[k] = v * s.chirp[k]
+	}
+	s.plan.Forward(a, a)
+	for i := range a {
+		a[i] *= s.bspec[i]
+	}
+	s.plan.Inverse(a, a)
+	out := make([]complex128, n)
+	if inverse {
+		inv := 1 / float64(n)
+		for k := 0; k < n; k++ {
+			v := a[k] * s.chirp[k]
+			out[k] = complex(real(v)*inv, -imag(v)*inv)
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			out[k] = a[k] * s.chirp[k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// DFT computes the discrete Fourier transform of x by the defining O(n²)
+// summation. It exists as the correctness oracle for the fast transforms and
+// as the "direct" baseline in complexity benchmarks; production code should
+// use FFT.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// IDFT computes the inverse discrete Fourier transform (with 1/n
+// normalisation) by direct summation. Reference implementation only.
+func IDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	inv := 1 / float64(n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = complex(real(sum)*inv, imag(sum)*inv)
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package fft_test
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+)
+
+// ExampleFFT transforms a real impulse: its spectrum is flat.
+func ExampleFFT() {
+	spec := fft.FFTReal([]float64{1, 0, 0, 0})
+	for _, c := range spec {
+		fmt.Printf("%.0f%+.0fi ", real(c), imag(c))
+	}
+	fmt.Println()
+	// Output: 1+0i 1+0i 1+0i 1+0i
+}
+
+// ExampleCircularConvolve convolves with a one-step circular shift.
+func ExampleCircularConvolve() {
+	shift := []float64{0, 1, 0, 0} // delta at index 1 rotates by one
+	y := fft.CircularConvolve(shift, []float64{10, 20, 30, 40})
+	fmt.Printf("%.0f %.0f %.0f %.0f\n", y[0], y[1], y[2], y[3])
+	// Output: 40 10 20 30
+}
+
+// ExampleRFFT shows the half-spectrum length used for O(n) weight storage.
+func ExampleRFFT() {
+	spec := fft.RFFT(make([]float64, 128))
+	fmt.Printf("n=128 half-spectrum bins: %d\n", len(spec))
+	// Output: n=128 half-spectrum bins: 65
+}

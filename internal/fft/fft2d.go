@@ -1,0 +1,68 @@
+package fft
+
+// FFT2 computes the 2-D DFT of a rows×cols matrix stored row-major in x,
+// by transforming rows then columns. Any positive dimensions are accepted
+// (non power-of-two sizes use Bluestein). The input is not modified.
+func FFT2(x []complex128, rows, cols int) []complex128 {
+	return transform2(x, rows, cols, false)
+}
+
+// IFFT2 computes the inverse 2-D DFT (with 1/(rows·cols) normalisation).
+func IFFT2(x []complex128, rows, cols int) []complex128 {
+	return transform2(x, rows, cols, true)
+}
+
+func transform2(x []complex128, rows, cols int, inverse bool) []complex128 {
+	if rows*cols != len(x) {
+		panic("fft: FFT2 dimensions do not match data length")
+	}
+	out := make([]complex128, len(x))
+	copy(out, x)
+	if rows == 0 || cols == 0 {
+		return out
+	}
+	do := func(v []complex128) []complex128 {
+		if inverse {
+			return IFFT(v)
+		}
+		return FFT(v)
+	}
+	// Rows.
+	for r := 0; r < rows; r++ {
+		copy(out[r*cols:(r+1)*cols], do(out[r*cols:(r+1)*cols]))
+	}
+	// Columns.
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = out[r*cols+c]
+		}
+		tc := do(col)
+		for r := 0; r < rows; r++ {
+			out[r*cols+c] = tc[r]
+		}
+	}
+	return out
+}
+
+// CircularConvolve2D returns the rows×cols circular 2-D convolution of two
+// equally-shaped real matrices, via the 2-D convolution theorem. It is used
+// to validate the FFT execution path of CONV layers against direct spatial
+// convolution.
+func CircularConvolve2D(a, b []float64, rows, cols int) []float64 {
+	if len(a) != rows*cols || len(b) != rows*cols {
+		panic("fft: CircularConvolve2D shape mismatch")
+	}
+	ca := make([]complex128, len(a))
+	cb := make([]complex128, len(b))
+	for i := range a {
+		ca[i] = complex(a[i], 0)
+		cb[i] = complex(b[i], 0)
+	}
+	fa := FFT2(ca, rows, cols)
+	fb := FFT2(cb, rows, cols)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	return realParts(IFFT2(fa, rows, cols), rows*cols)
+}

@@ -1,0 +1,62 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Stockham computes the DFT of a power-of-two-length sequence with the
+// Stockham autosort algorithm: instead of a bit-reversal permutation pass it
+// ping-pongs between two buffers, keeping every butterfly stage's reads and
+// writes unit-stride. That access pattern is why Stockham is the structure
+// of choice for hardware and SIMD FFT pipelines; it is provided here as the
+// ablation counterpart to the bit-reversal Cooley–Tukey Plan (Fig. 1) —
+// same O(n log n) arithmetic, different memory behaviour.
+//
+// The input is not modified.
+func Stockham(x []complex128) []complex128 { return stockham(x, false) }
+
+// StockhamInverse computes the inverse DFT (with 1/n normalisation) via the
+// autosort structure.
+func StockhamInverse(x []complex128) []complex128 { return stockham(x, true) }
+
+func stockham(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if !IsPow2(n) {
+		panic("fft: Stockham requires a power-of-two length")
+	}
+	a := append([]complex128(nil), x...)
+	b := make([]complex128, n)
+	sign := -2.0
+	if inverse {
+		sign = 2.0
+	}
+	// Decimation-in-frequency autosort: the transform length nn halves each
+	// stage while the inter-transform stride s doubles; the output
+	// reordering is folded into the 2p/2p+1 write pattern, so both reads
+	// and writes stay unit-stride in q.
+	for nn, s := n, 1; nn > 1; nn, s = nn/2, s*2 {
+		m := nn / 2
+		theta := sign * math.Pi / float64(nn)
+		for p := 0; p < m; p++ {
+			w := cmplx.Exp(complex(0, theta*float64(p)))
+			for q := 0; q < s; q++ {
+				u := a[q+s*p]
+				v := a[q+s*(p+m)]
+				b[q+s*2*p] = u + v
+				b[q+s*(2*p+1)] = (u - v) * w
+			}
+		}
+		a, b = b, a
+	}
+	if inverse {
+		inv := 1 / float64(n)
+		for i := range a {
+			a[i] = complex(real(a[i])*inv, imag(a[i])*inv)
+		}
+	}
+	return a
+}

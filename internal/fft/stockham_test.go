@@ -1,0 +1,77 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStockhamMatchesPlanFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256, 1024} {
+		x := randComplex(rng, n)
+		if d := maxDiff(Stockham(x), FFT(x)); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: Stockham differs from Cooley–Tukey by %g", n, d)
+		}
+	}
+}
+
+func TestStockhamInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 16, 128} {
+		x := randComplex(rng, n)
+		if d := maxDiff(StockhamInverse(Stockham(x)), x); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: Stockham round trip differs by %g", n, d)
+		}
+	}
+}
+
+func TestStockhamRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non power-of-two length")
+		}
+	}()
+	Stockham(make([]complex128, 3))
+}
+
+func TestStockhamDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randComplex(rng, 64)
+	orig := append([]complex128(nil), x...)
+	Stockham(x)
+	if maxDiff(x, orig) != 0 {
+		t.Error("Stockham modified its input")
+	}
+}
+
+func TestStockhamProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 << uint(1+r.Intn(9))
+		x := randComplex(r, n)
+		return maxDiff(Stockham(x), DFT(x)) <= 1e-8*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStockhamVsCooleyTukey(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{256, 4096} {
+		x := randComplex(rng, n)
+		buf := make([]complex128, n)
+		p := PlanFor(n)
+		b.Run("cooleyTukey/"+sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Forward(buf, x)
+			}
+		})
+		b.Run("stockham/"+sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Stockham(x)
+			}
+		})
+	}
+}

@@ -1,0 +1,197 @@
+package neuromorph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// This file maps small trained FC networks onto the core grid: weights are
+// ternarised to {−1, 0, +1} by a per-layer magnitude threshold (the offline
+// "corelet" training step of the TrueNorth flow, vastly simplified), each
+// layer becomes one core whose axon types encode sign, and inference is
+// rate-coded over a configurable tick window.
+
+// CompiledNet is an FC network lowered onto a neurosynaptic chip.
+type CompiledNet struct {
+	Chip    *Chip
+	Inputs  int
+	Classes int
+	Window  int // ticks per classification
+
+	// inputRefs, when set (tiled compilation), lists the chip axons each
+	// logical input drives; nil means the single-core layout where input i
+	// drives core 0's axons 2i and 2i+1.
+	inputRefs [][]Target
+}
+
+// layerWeights extracts the dense weight matrix (in×out) of a Dense or
+// CircDense layer.
+func layerWeights(l nn.Layer) (*tensor.Tensor, bool) {
+	switch v := l.(type) {
+	case *nn.Dense:
+		return v.Params()[0].Value.Clone(), true
+	case *nn.CircDense:
+		return v.W.Dense(), true
+	}
+	return nil, false
+}
+
+// Compile lowers a stack of FC layers (Dense/CircDense, activations ignored
+// beyond their implicit rectification) onto one core per layer. Each core
+// uses two axons per logical input — one excitatory (type 0, weight +1) and
+// one inhibitory (type 1, weight −1) — and ternarises weights at
+// quantile·max|w|.
+func Compile(net *nn.Network, window int, quantile float64) (*CompiledNet, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("neuromorph: window %d < 1", window)
+	}
+	var mats []*tensor.Tensor
+	for _, l := range net.Layers {
+		if m, ok := layerWeights(l); ok {
+			mats = append(mats, m)
+		}
+	}
+	if len(mats) == 0 {
+		return nil, fmt.Errorf("neuromorph: network has no FC layers to compile")
+	}
+	inputs := mats[0].Dim(0)
+	classes := mats[len(mats)-1].Dim(1)
+
+	cores := make([]*Core, len(mats))
+	for li, m := range mats {
+		in, out := m.Dim(0), m.Dim(1)
+		// Ternarisation threshold.
+		maxAbs := 0.0
+		for _, v := range m.Data {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		th := maxAbs * quantile
+		c := NewCore(2*in, out)
+		for n := 0; n < out; n++ {
+			c.Neurons[n] = Neuron{
+				Weights:   [NumAxonTypes]int32{+1, -1, 0, 0},
+				Threshold: int32(math.Max(1, float64(in)/16)),
+				Leak:      0,
+				Reset:     0,
+			}
+		}
+		for a := 0; a < in; a++ {
+			c.SetAxonType(2*a, 0)   // excitatory copy of input a
+			c.SetAxonType(2*a+1, 1) // inhibitory copy of input a
+			for n := 0; n < out; n++ {
+				w := m.At(a, n)
+				switch {
+				case w > th:
+					c.SetSynapse(2*a, n, true)
+				case w < -th:
+					c.SetSynapse(2*a+1, n, true)
+				}
+			}
+		}
+		cores[li] = c
+	}
+	// Routing: layer l neuron n fans out (splitter-style) to the next
+	// core's excitatory axon 2n and inhibitory axon 2n+1, so negative
+	// next-layer weights see the spike train too; the last layer drives the
+	// output lines.
+	for li, c := range cores {
+		for n := range c.Neurons {
+			if li == len(cores)-1 {
+				c.Route(n, OutputTarget(n))
+			} else {
+				c.Route(n, Target{Core: li + 1, Axon: 2 * n})
+				c.AddRoute(n, Target{Core: li + 1, Axon: 2*n + 1})
+			}
+		}
+	}
+	return &CompiledNet{
+		Chip:    NewChip(classes, cores...),
+		Inputs:  inputs,
+		Classes: classes,
+		Window:  window,
+	}, nil
+}
+
+// Classify rate-codes one [0,1] input vector over the tick window and
+// returns the output line with the most spikes. Extra ticks equal to the
+// core depth are run to flush in-flight spikes.
+func (cn *CompiledNet) Classify(x []float64, rng *rand.Rand) int {
+	if len(x) != cn.Inputs {
+		panic(fmt.Sprintf("neuromorph: input length %d, want %d", len(x), cn.Inputs))
+	}
+	cn.Chip.ResetState()
+	for t := 0; t < cn.Window; t++ {
+		for i, v := range x {
+			if rng.Float64() < v {
+				if cn.inputRefs != nil {
+					for _, ref := range cn.inputRefs[i] {
+						cn.Chip.InjectSpike(ref.Core, ref.Axon)
+					}
+				} else {
+					// Drive both polarity axons so negative weights
+					// contribute.
+					cn.Chip.InjectSpike(0, 2*i)
+					cn.Chip.InjectSpike(0, 2*i+1)
+				}
+			}
+		}
+		cn.Chip.Tick()
+	}
+	for t := 0; t < len(cn.Chip.Cores)+1; t++ {
+		cn.Chip.Tick() // drain pipeline
+	}
+	out := cn.Chip.Outputs()
+	best, bi := int64(-1), 0
+	for i, v := range out {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Accuracy classifies every sample of a flat dataset and returns the
+// fraction predicted correctly.
+func (cn *CompiledNet) Accuracy(x *tensor.Tensor, labels []int, rng *rand.Rand) float64 {
+	n := x.Dim(0)
+	correct := 0
+	for i := 0; i < n; i++ {
+		if cn.Classify(x.Row(i), rng) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// Reference holds one published TrueNorth evaluation point used in Fig. 5.
+type Reference struct {
+	System   string
+	Dataset  string
+	Accuracy float64 // percent
+	USPerImg float64 // µs per image
+	Cores    int
+	Citation string
+}
+
+// PublishedReferences returns the two TrueNorth points the paper plots in
+// Fig. 5, verbatim from §V-D.
+func PublishedReferences() []Reference {
+	return []Reference{
+		{
+			System: "IBM TrueNorth", Dataset: "MNIST",
+			Accuracy: 95.0, USPerImg: 1000, Cores: 4096,
+			Citation: "Esser et al., NIPS 2015 [32]",
+		},
+		{
+			System: "IBM TrueNorth", Dataset: "CIFAR-10",
+			Accuracy: 83.41, USPerImg: 800, Cores: 4096,
+			Citation: "Esser et al., PNAS 2016 [31]",
+		},
+	}
+}

@@ -1,0 +1,212 @@
+// Package neuromorph is a small tick-based neurosynaptic core-grid
+// simulator in the style of IBM TrueNorth, the baseline system of the
+// paper's Fig. 5. The physical 4096-core ASIC is unobtainable, so this
+// executable stand-in reproduces its computation style — binary synapse
+// crossbars, per-axon-type signed weights, leaky integrate-and-fire neurons,
+// rate-coded spiking inference — at configurable core sizes, together with
+// the paper's published accuracy/latency reference points.
+//
+// The simulator is used by the Fig. 5 harness and examples to contrast the
+// event-driven neuromorphic execution model against the FFT-based one; it is
+// not a performance model of the ASIC (Fig. 5 uses the published TrueNorth
+// numbers verbatim for that).
+package neuromorph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NumAxonTypes is the number of distinct axon types per core; each neuron
+// holds one signed weight per type (TrueNorth uses 4).
+const NumAxonTypes = 4
+
+// Neuron is one leaky integrate-and-fire unit.
+type Neuron struct {
+	Weights   [NumAxonTypes]int32 // signed weight per axon type
+	Threshold int32               // spike when potential ≥ threshold
+	Leak      int32               // subtracted every tick
+	Reset     int32               // potential after a spike
+}
+
+// Target routes a neuron's spike to an axon of some core; a negative Core
+// index designates a chip output line.
+type Target struct {
+	Core int
+	Axon int
+}
+
+// OutputTarget marks a neuron as driving chip output line Axon.
+func OutputTarget(line int) Target { return Target{Core: -1, Axon: line} }
+
+// Core is one neurosynaptic core: a binary crossbar of Axons×Neurons
+// synapses, axon type labels, and a neuron array.
+type Core struct {
+	Axons    int
+	Neurons  []Neuron
+	axonType []uint8
+	synapse  []uint64   // bitset, row-major [axon][neuron], padded per axon
+	words    int        // ⌈len(Neurons)/64⌉
+	routes   [][]Target // per neuron; multiple targets model splitter corelets
+
+	potential []int32
+	pending   []bool // axon spikes accumulated for the next tick
+}
+
+// NewCore creates a core with the given crossbar dimensions. All synapses
+// start disconnected and neurons unrouted (output line −1).
+func NewCore(axons, neurons int) *Core {
+	if axons < 1 || neurons < 1 {
+		panic(fmt.Sprintf("neuromorph: bad core size %dx%d", axons, neurons))
+	}
+	words := (neurons + 63) / 64
+	c := &Core{
+		Axons:     axons,
+		Neurons:   make([]Neuron, neurons),
+		axonType:  make([]uint8, axons),
+		synapse:   make([]uint64, axons*words),
+		words:     words,
+		routes:    make([][]Target, neurons),
+		potential: make([]int32, neurons),
+		pending:   make([]bool, axons),
+	}
+	return c
+}
+
+// SetSynapse connects (or disconnects) axon a to neuron n.
+func (c *Core) SetSynapse(a, n int, on bool) {
+	idx := a*c.words + n/64
+	bit := uint64(1) << uint(n%64)
+	if on {
+		c.synapse[idx] |= bit
+	} else {
+		c.synapse[idx] &^= bit
+	}
+}
+
+// Synapse reports whether axon a connects to neuron n.
+func (c *Core) Synapse(a, n int) bool {
+	return c.synapse[a*c.words+n/64]&(uint64(1)<<uint(n%64)) != 0
+}
+
+// SetAxonType labels axon a with type t.
+func (c *Core) SetAxonType(a int, t uint8) {
+	if t >= NumAxonTypes {
+		panic(fmt.Sprintf("neuromorph: axon type %d out of range", t))
+	}
+	c.axonType[a] = t
+}
+
+// Route sends neuron n's spikes to target t, replacing earlier routing.
+func (c *Core) Route(n int, t Target) { c.routes[n] = []Target{t} }
+
+// AddRoute adds an additional spike target for neuron n. The physical chip
+// has fan-out 1 and achieves multi-casting with splitter corelets; the
+// simulator folds the splitter in.
+func (c *Core) AddRoute(n int, t Target) { c.routes[n] = append(c.routes[n], t) }
+
+// Chip is a grid of cores plus chip-level output spike counters.
+type Chip struct {
+	Cores   []*Core
+	outputs []int64
+	ticks   int64
+	spikes  int64 // total spikes routed (activity metric)
+}
+
+// NewChip assembles cores into a chip with the given number of output lines.
+func NewChip(outLines int, cores ...*Core) *Chip {
+	return &Chip{Cores: cores, outputs: make([]int64, outLines)}
+}
+
+// InjectSpike drives an input spike into a core axon for the next tick.
+func (ch *Chip) InjectSpike(core, axon int) {
+	ch.Cores[core].pending[axon] = true
+}
+
+// Tick advances the chip one time step: every core integrates its pending
+// axon spikes, applies leak, fires neurons at threshold, and spikes are
+// routed to their targets for the next tick (or counted on output lines).
+func (ch *Chip) Tick() {
+	ch.ticks++
+	// Latch pending spikes so deliveries route into the *next* tick.
+	latched := make([][]bool, len(ch.Cores))
+	for i, c := range ch.Cores {
+		latched[i] = append([]bool(nil), c.pending...)
+		for a := range c.pending {
+			c.pending[a] = false
+		}
+	}
+	for ci, c := range ch.Cores {
+		for a, fired := range latched[ci] {
+			if !fired {
+				continue
+			}
+			w := int32(0)
+			_ = w
+			t := c.axonType[a]
+			row := c.synapse[a*c.words : (a+1)*c.words]
+			for n := range c.Neurons {
+				if row[n/64]&(uint64(1)<<uint(n%64)) != 0 {
+					c.potential[n] += c.Neurons[n].Weights[t]
+				}
+			}
+		}
+		for n := range c.Neurons {
+			nr := &c.Neurons[n]
+			c.potential[n] -= nr.Leak
+			if c.potential[n] < 0 && nr.Leak > 0 {
+				c.potential[n] = 0 // saturating leak (TrueNorth-style floor)
+			}
+			if c.potential[n] >= nr.Threshold {
+				c.potential[n] = nr.Reset
+				for _, t := range c.routes[n] {
+					ch.deliver(t)
+				}
+			}
+		}
+	}
+}
+
+func (ch *Chip) deliver(t Target) {
+	ch.spikes++
+	if t.Core < 0 {
+		if t.Axon >= 0 && t.Axon < len(ch.outputs) {
+			ch.outputs[t.Axon]++
+		}
+		return
+	}
+	ch.Cores[t.Core].pending[t.Axon] = true
+}
+
+// Outputs returns the accumulated output-line spike counts.
+func (ch *Chip) Outputs() []int64 { return append([]int64(nil), ch.outputs...) }
+
+// ResetState clears potentials, pending spikes and output counters (weights
+// and routing are preserved).
+func (ch *Chip) ResetState() {
+	for _, c := range ch.Cores {
+		for i := range c.potential {
+			c.potential[i] = 0
+		}
+		for i := range c.pending {
+			c.pending[i] = false
+		}
+	}
+	for i := range ch.outputs {
+		ch.outputs[i] = 0
+	}
+	ch.ticks, ch.spikes = 0, 0
+}
+
+// Stats returns ticks executed and total spikes routed since the last reset.
+func (ch *Chip) Stats() (ticks, spikes int64) { return ch.ticks, ch.spikes }
+
+// RateEncode injects Bernoulli spike trains for a [0,1] intensity vector
+// into core 0's axons over one tick: axon i fires with probability x[i].
+func (ch *Chip) RateEncode(x []float64, rng *rand.Rand) {
+	for i, v := range x {
+		if rng.Float64() < v {
+			ch.InjectSpike(0, i)
+		}
+	}
+}

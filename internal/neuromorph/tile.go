@@ -1,0 +1,203 @@
+package neuromorph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Tiled compilation: the physical TrueNorth core is a 256-axon × 256-neuron
+// crossbar, so a layer whose (dual-polarity) fan-in exceeds 256 axons cannot
+// live on one core. CompileTiled splits each layer's input range across
+// tiles and merges the partial sums in an *accumulator core*, the way real
+// corelet libraries decompose large matrices:
+//
+//	tile t of layer l: axons for inputs [t·F, (t+1)·F), neurons fire partial
+//	  sums as spikes (low threshold ⇒ roughly linear rate coding);
+//	accumulator core of layer l: one axon per (tile, output) partial-sum
+//	  line, type-0 weight +1, neuron j sums the tile spikes for output j and
+//	  applies the layer threshold.
+//
+// This keeps every core within the axon/neuron budget at the price of extra
+// cores and one extra tick of pipeline depth per layer — the resource/
+// latency trade the paper's Fig. 5 comparison alludes to with TrueNorth's
+// 4096 cores.
+
+// CoreBudget is the physical crossbar size of one neurosynaptic core.
+const CoreBudget = 256
+
+// TiledStats reports the resources a tiled compilation used.
+type TiledStats struct {
+	Cores     int
+	MaxAxons  int
+	MaxNeuron int
+}
+
+// CompileTiled lowers FC layers onto cores no larger than CoreBudget axons ×
+// CoreBudget neurons, inserting accumulator cores where a layer needs more
+// than one tile. window and quantile behave as in Compile.
+func CompileTiled(net *nn.Network, window int, quantile float64) (*CompiledNet, TiledStats, error) {
+	var stats TiledStats
+	if window < 1 {
+		return nil, stats, fmt.Errorf("neuromorph: window %d < 1", window)
+	}
+	var mats []*tensor.Tensor
+	for _, l := range net.Layers {
+		if m, ok := layerWeights(l); ok {
+			mats = append(mats, m)
+		}
+	}
+	if len(mats) == 0 {
+		return nil, stats, fmt.Errorf("neuromorph: network has no FC layers to compile")
+	}
+	inputs := mats[0].Dim(0)
+	classes := mats[len(mats)-1].Dim(1)
+
+	var cores []*Core
+	addCore := func(c *Core) int {
+		cores = append(cores, c)
+		if c.Axons > stats.MaxAxons {
+			stats.MaxAxons = c.Axons
+		}
+		if len(c.Neurons) > stats.MaxNeuron {
+			stats.MaxNeuron = len(c.Neurons)
+		}
+		return len(cores) - 1
+	}
+
+	// First pass: create tile cores and accumulator cores per layer,
+	// remembering each layer's "input interface": for every logical layer
+	// input i, the list of (core, axon) pairs that spike i must reach.
+	type axonRef struct{ core, axon int }
+	iface := make([][][]axonRef, len(mats)+1) // iface[l][i] = fan-in targets of layer l's input i
+	outOwner := make([][]axonRef, len(mats))  // where layer l's outputs originate (core, neuron)
+
+	for li, ms := range mats {
+		in, out := ms.Dim(0), ms.Dim(1)
+		if out > CoreBudget {
+			return nil, stats, fmt.Errorf("neuromorph: layer %d has %d outputs > core budget %d (output tiling unsupported)", li, out, CoreBudget)
+		}
+		perTile := CoreBudget / 2 // dual-polarity axons per input
+		tiles := (in + perTile - 1) / perTile
+		maxAbs := 0.0
+		for _, v := range ms.Data {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		th := maxAbs * quantile
+
+		iface[li] = make([][]axonRef, in)
+		tileCoreIDs := make([]int, tiles)
+		for t := 0; t < tiles; t++ {
+			lo := t * perTile
+			hi := lo + perTile
+			if hi > in {
+				hi = in
+			}
+			// Single-tile layers behave exactly like Compile's cores (same
+			// threshold rule); multi-tile cores use a low threshold so the
+			// partial sums they emit stay roughly linear in their input
+			// rates, and the accumulator applies the layer threshold.
+			thr := int32(2)
+			if tiles == 1 {
+				thr = int32(math.Max(1, float64(in)/16))
+			}
+			c := NewCore(2*(hi-lo), out)
+			for n := 0; n < out; n++ {
+				c.Neurons[n] = Neuron{
+					Weights:   [NumAxonTypes]int32{+1, -1, 0, 0},
+					Threshold: thr,
+				}
+			}
+			for a := lo; a < hi; a++ {
+				ax := 2 * (a - lo)
+				c.SetAxonType(ax, 0)
+				c.SetAxonType(ax+1, 1)
+				for n := 0; n < out; n++ {
+					w := ms.At(a, n)
+					switch {
+					case w > th:
+						c.SetSynapse(ax, n, true)
+					case w < -th:
+						c.SetSynapse(ax+1, n, true)
+					}
+				}
+				iface[li][a] = []axonRef{{core: -1, axon: ax}} // core id patched below
+			}
+			id := addCore(c)
+			tileCoreIDs[t] = id
+			for a := lo; a < hi; a++ {
+				iface[li][a][0].core = id
+			}
+		}
+
+		if tiles == 1 {
+			// No accumulator needed; the tile core's neurons are the layer
+			// outputs.
+			outOwner[li] = make([]axonRef, out)
+			for n := 0; n < out; n++ {
+				outOwner[li][n] = axonRef{core: tileCoreIDs[0], axon: n}
+			}
+			continue
+		}
+		// Accumulator core: tiles×out axons, out neurons.
+		if tiles*out > CoreBudget {
+			return nil, stats, fmt.Errorf("neuromorph: layer %d accumulator needs %d axons > %d", li, tiles*out, CoreBudget)
+		}
+		acc := NewCore(tiles*out, out)
+		for n := 0; n < out; n++ {
+			acc.Neurons[n] = Neuron{
+				Weights:   [NumAxonTypes]int32{+1, -1, 0, 0},
+				Threshold: int32(math.Max(1, float64(tiles))),
+			}
+			for t := 0; t < tiles; t++ {
+				acc.SetAxonType(t*out+n, 0)
+				acc.SetSynapse(t*out+n, n, true)
+			}
+		}
+		accID := addCore(acc)
+		// Route tile partial sums into the accumulator.
+		for t, id := range tileCoreIDs {
+			for n := 0; n < out; n++ {
+				cores[id].Route(n, Target{Core: accID, Axon: t*out + n})
+			}
+		}
+		outOwner[li] = make([]axonRef, out)
+		for n := 0; n < out; n++ {
+			outOwner[li][n] = axonRef{core: accID, axon: n}
+		}
+	}
+
+	// Second pass: wire each layer's outputs to the next layer's input
+	// interface (both polarities), and the last layer to the output lines.
+	for li := range mats {
+		for n, owner := range outOwner[li] {
+			src := cores[owner.core]
+			if li == len(mats)-1 {
+				src.Route(owner.axon, OutputTarget(n))
+				continue
+			}
+			src.routes[owner.axon] = nil
+			for _, ref := range iface[li+1][n] {
+				src.AddRoute(owner.axon, Target{Core: ref.core, Axon: ref.axon})
+				src.AddRoute(owner.axon, Target{Core: ref.core, Axon: ref.axon + 1})
+			}
+		}
+	}
+	stats.Cores = len(cores)
+
+	chip := NewChip(classes, cores...)
+	cn := &CompiledNet{Chip: chip, Inputs: inputs, Classes: classes, Window: window}
+	cn.inputRefs = make([][]Target, inputs)
+	for i := 0; i < inputs; i++ {
+		for _, ref := range iface[0][i] {
+			cn.inputRefs[i] = append(cn.inputRefs[i],
+				Target{Core: ref.core, Axon: ref.axon},
+				Target{Core: ref.core, Axon: ref.axon + 1})
+		}
+	}
+	return cn, stats, nil
+}

@@ -1,0 +1,110 @@
+package neuromorph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+func TestCompileTiledRespectsCoreBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// 256-input layer: dual-polarity fan-in of 512 axons forces tiling.
+	net := nn.NewNetwork(
+		nn.NewDense(256, 64, rng),
+		nn.NewReLU(),
+		nn.NewDense(64, 10, rng),
+	)
+	cn, stats, err := CompileTiled(net, 32, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxAxons > CoreBudget || stats.MaxNeuron > CoreBudget {
+		t.Errorf("core budget violated: %d axons, %d neurons", stats.MaxAxons, stats.MaxNeuron)
+	}
+	// Layer 1 needs ⌈256/128⌉ = 2 tiles + 1 accumulator; layer 2 fits in one
+	// core: 4 cores total.
+	if stats.Cores != 4 {
+		t.Errorf("%d cores, want 4 (2 tiles + accumulator + output layer)", stats.Cores)
+	}
+	if cn.Inputs != 256 || cn.Classes != 10 {
+		t.Errorf("interface %d→%d", cn.Inputs, cn.Classes)
+	}
+}
+
+func TestCompileTiledSingleTileMatchesUntiled(t *testing.T) {
+	// A network small enough for one core per layer must produce the same
+	// chip behaviour under both compilers.
+	rng := rand.New(rand.NewSource(2))
+	net := nn.NewNetwork(nn.NewDense(20, 12, rng), nn.NewReLU(), nn.NewDense(12, 4, rng))
+	plain, err := Compile(net, 48, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, stats, err := CompileTiled(net, 48, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cores != 2 {
+		t.Fatalf("%d cores for a two-layer single-tile network", stats.Cores)
+	}
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	for trial := 0; trial < 5; trial++ {
+		a := plain.Classify(x, rand.New(rand.NewSource(int64(trial))))
+		b := tiled.Classify(x, rand.New(rand.NewSource(int64(trial))))
+		if a != b {
+			t.Fatalf("trial %d: untiled predicts %d, tiled predicts %d", trial, a, b)
+		}
+	}
+}
+
+func TestCompileTiledArch1SizedNetworkBeatsChance(t *testing.T) {
+	// The paper's Arch-1 input width (256, i.e. 512 dual axons) only fits
+	// the physical core budget via tiling; the tiled chip must still
+	// classify far above chance after float pre-training.
+	rng := rand.New(rand.NewSource(3))
+	train := dataset.Resize(dataset.SyntheticMNIST(600, 4), 16, 16).Flatten()
+	test := dataset.Resize(dataset.SyntheticMNIST(100, 5), 16, 16).Flatten()
+	net := nn.NewNetwork(
+		nn.NewDense(256, 48, rng),
+		nn.NewReLU(),
+		nn.NewDense(48, 10, rng),
+	)
+	opt := nn.NewSGD(0.05, 0.9)
+	for epoch := 0; epoch < 25; epoch++ {
+		for lo := 0; lo < train.Len(); lo += 50 {
+			x, y := train.Batch(lo, 50)
+			net.TrainBatch(x, y, nn.SoftmaxCrossEntropy{}, opt)
+		}
+	}
+	cn, stats, err := CompileTiled(net, 64, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxAxons > CoreBudget {
+		t.Fatalf("budget violated: %d axons", stats.MaxAxons)
+	}
+	acc := cn.Accuracy(test.X, test.Labels, rand.New(rand.NewSource(6)))
+	if acc < 0.3 {
+		t.Errorf("tiled spiking accuracy %.2f not above chance", acc)
+	}
+}
+
+func TestCompileTiledErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, _, err := CompileTiled(nn.NewNetwork(nn.NewReLU()), 8, 0.3); err == nil {
+		t.Error("expected error for no FC layers")
+	}
+	if _, _, err := CompileTiled(nn.Arch2(rng), 0, 0.3); err == nil {
+		t.Error("expected error for zero window")
+	}
+	// Output width beyond one core is not supported.
+	wide := nn.NewNetwork(nn.NewDense(8, 300, rng))
+	if _, _, err := CompileTiled(wide, 8, 0.3); err == nil {
+		t.Error("expected error for 300 outputs")
+	}
+}

@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation ψ(x) = max(0, x), the activation
+// the paper singles out as "the most widely utilized" (§III-A).
+type ReLU struct {
+	mask  []bool
+	lastN int
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.lastN = sampleLen(x)
+	out := tensor.New(x.Shape()...)
+	if train {
+		if len(r.mask) != x.Len() {
+			r.mask = make([]bool, x.Len())
+		}
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+				r.mask[i] = true
+			} else {
+				r.mask[i] = false
+			}
+		}
+	} else {
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	for i, v := range grad.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// CountOps implements Layer: one comparison per element.
+func (r *ReLU) CountOps(c *ops.Counts) {
+	n := int64(r.lastN)
+	c.Add(ops.Counts{Compare: n, MemRead: 8 * n, MemWrite: 8 * n})
+	c.APICalls++
+}
+
+// Sigmoid is the logistic activation 1/(1+e^{−x}).
+type Sigmoid struct {
+	lastY *tensor.Tensor
+	lastN int
+}
+
+// NewSigmoid creates a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s.lastN = sampleLen(x)
+	out := x.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	if train {
+		s.lastY = out
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	for i, g := range grad.Data {
+		y := s.lastY.Data[i]
+		out.Data[i] = g * y * (1 - y)
+	}
+	return out
+}
+
+// CountOps implements Layer.
+func (s *Sigmoid) CountOps(c *ops.Counts) {
+	n := int64(s.lastN)
+	c.Add(ops.Counts{Special: n, RealAdd: n, RealMul: n, MemRead: 8 * n, MemWrite: 8 * n})
+	c.APICalls++
+}
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	lastY *tensor.Tensor
+	lastN int
+}
+
+// NewTanh creates a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	t.lastN = sampleLen(x)
+	out := x.Apply(math.Tanh)
+	if train {
+		t.lastY = out
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	for i, g := range grad.Data {
+		y := t.lastY.Data[i]
+		out.Data[i] = g * (1 - y*y)
+	}
+	return out
+}
+
+// CountOps implements Layer.
+func (t *Tanh) CountOps(c *ops.Counts) {
+	n := int64(t.lastN)
+	c.Add(ops.Counts{Special: n, MemRead: 8 * n, MemWrite: 8 * n})
+	c.APICalls++
+}
+
+// Softmax normalises each sample row to a probability distribution. During
+// training the cross-entropy loss fuses its own softmax, so this layer is
+// inference-only glue (the paper's final "softmax layer"); Backward assumes
+// it is the identity pass-through used only under a fused loss.
+type Softmax struct {
+	lastN int
+}
+
+// NewSoftmax creates a Softmax layer.
+func NewSoftmax() *Softmax { return &Softmax{} }
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return "softmax" }
+
+// Params implements Layer.
+func (s *Softmax) Params() []*Param { return nil }
+
+// Forward implements Layer. x is [B, n].
+func (s *Softmax) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s.lastN = sampleLen(x)
+	out := tensor.New(x.Shape()...)
+	batch := batchOf(x)
+	n := x.Dim(1)
+	for i := 0; i < batch; i++ {
+		src := x.Row(i)
+		dst := out.Row(i)
+		softmaxRow(src, dst, n)
+	}
+	return out
+}
+
+func softmaxRow(src, dst []float64, n int) {
+	m := math.Inf(-1)
+	for _, v := range src {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for j := 0; j < n; j++ {
+		dst[j] = math.Exp(src[j] - m)
+		sum += dst[j]
+	}
+	for j := 0; j < n; j++ {
+		dst[j] /= sum
+	}
+}
+
+// Backward implements Layer (identity pass-through; see type comment).
+func (s *Softmax) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// CountOps implements Layer.
+func (s *Softmax) CountOps(c *ops.Counts) {
+	n := int64(s.lastN)
+	c.Add(ops.Counts{Special: n, RealAdd: 2 * n, RealMul: n, Compare: n, MemRead: 8 * n, MemWrite: 8 * n})
+	c.APICalls++
+}

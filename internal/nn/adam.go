@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Adam is the adaptive-moment optimiser (Kingma & Ba), provided as the
+// modern alternative to the paper's SGD-with-momentum for the extension
+// experiments. It applies the standard bias-corrected first/second moment
+// update and fires the circulant layers' spectra-refresh hooks.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int
+	m map[*Param]*tensor.Tensor
+	v map[*Param]*tensor.Tensor
+}
+
+// NewAdam creates an Adam optimiser with the canonical defaults
+// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: make(map[*Param]*tensor.Tensor),
+		v: make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape()...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Value.Shape()...)
+		}
+		v := a.v[p]
+		for i, g := range p.Grad.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mh := m.Data[i] / c1
+			vh := v.Data[i] / c2
+			p.Value.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Epsilon)
+		}
+		if p.OnUpdate != nil {
+			p.OnUpdate()
+		}
+		p.ZeroGrad()
+	}
+}

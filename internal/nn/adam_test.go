@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimise (w − 3)² with Adam: w must approach 3.
+	p := &Param{Value: tensor.FromSlice([]float64{0}, 1), Grad: tensor.New(1)}
+	a := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		p.Grad.Data[0] = 2 * (p.Value.Data[0] - 3)
+		a.Step([]*Param{p})
+	}
+	if math.Abs(p.Value.Data[0]-3) > 0.05 {
+		t.Errorf("Adam converged to %g, want 3", p.Value.Data[0])
+	}
+}
+
+func TestAdamFiresOnUpdateAndClearsGrad(t *testing.T) {
+	fired := false
+	p := &Param{
+		Value:    tensor.FromSlice([]float64{1}, 1),
+		Grad:     tensor.FromSlice([]float64{1}, 1),
+		OnUpdate: func() { fired = true },
+	}
+	NewAdam(0.01).Step([]*Param{p})
+	if !fired {
+		t.Error("OnUpdate hook not fired")
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Error("gradient not cleared")
+	}
+}
+
+func TestAdamTrainsCirculantNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := [][]float64{{2, 0, 0, 0}, {0, 2, 0, 0}, {0, 0, 2, 0}}
+	n := 120
+	x := tensor.New(n, 4)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		labels[i] = c
+		for j := 0; j < 4; j++ {
+			x.Set(centers[c][j]+rng.NormFloat64()*0.4, i, j)
+		}
+	}
+	net := NewNetwork(NewCircDense(4, 8, 4, rng), NewReLU(), NewDense(8, 3, rng))
+	opt := NewAdam(0.02)
+	for epoch := 0; epoch < 60; epoch++ {
+		net.TrainBatch(x, labels, SoftmaxCrossEntropy{}, opt)
+	}
+	if acc := net.Accuracy(x, labels); acc < 0.95 {
+		t.Errorf("Adam-trained circulant net accuracy %.2f", acc)
+	}
+}
+
+func TestBatchNormNormalisesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bn := NewBatchNorm(4)
+	x := tensor.New(64, 4).Randn(rng, 3)
+	// Shift feature 2 far away to verify per-feature normalisation.
+	for i := 0; i < 64; i++ {
+		x.Data[i*4+2] += 100
+	}
+	out := bn.Forward(x, true)
+	for f := 0; f < 4; f++ {
+		mean, sq := 0.0, 0.0
+		for i := 0; i < 64; i++ {
+			v := out.Data[i*4+f]
+			mean += v
+			sq += v * v
+		}
+		mean /= 64
+		variance := sq/64 - mean*mean
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("feature %d mean %g after normalisation", f, mean)
+		}
+		if math.Abs(variance-1) > 0.01 {
+			t.Errorf("feature %d variance %g after normalisation", f, variance)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bn := NewBatchNorm(2)
+	// Train on shifted data so running stats move away from (0,1).
+	for i := 0; i < 50; i++ {
+		x := tensor.New(32, 2).Randn(rng, 1)
+		for j := range x.Data {
+			x.Data[j] += 5
+		}
+		bn.Forward(x, true)
+	}
+	probe := tensor.New(1, 2)
+	probe.Data[0], probe.Data[1] = 5, 5
+	out := bn.Forward(probe, false)
+	// A value at the running mean must normalise near zero.
+	if math.Abs(out.Data[0]) > 0.2 || math.Abs(out.Data[1]) > 0.2 {
+		t.Errorf("running-stat inference produced %v for the mean input", out.Data)
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewNetwork(NewDense(4, 6, rng), NewBatchNorm(6), NewReLU(), NewDense(6, 3, rng))
+	x := tensor.New(8, 4).Randn(rng, 1)
+	labels := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	checkGradients(t, net, x, labels, SoftmaxCrossEntropy{}, 1e-6, 1e-3)
+}
+
+func TestBatchNormOnImageActivations(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bn := NewBatchNorm(3)
+	x := tensor.New(2, 4, 4, 3).Randn(rng, 2)
+	out := bn.Forward(x, true)
+	if !out.SameShape(x) {
+		t.Fatalf("shape changed: %v", out.Shape())
+	}
+	// Channel statistics over batch×spatial must be normalised.
+	groups := 2 * 4 * 4
+	for f := 0; f < 3; f++ {
+		mean := 0.0
+		for i := 0; i < groups; i++ {
+			mean += out.Data[i*3+f]
+		}
+		if math.Abs(mean/float64(groups)) > 1e-9 {
+			t.Errorf("channel %d mean %g", f, mean/float64(groups))
+		}
+	}
+}

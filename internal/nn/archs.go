@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// This file provides ready-made constructors for the paper's three
+// evaluation architectures (§V-B, §V-C). Block sizes are not stated in the
+// paper; the choices here give power-of-two FFT lengths and the multi-×
+// compression regime the paper targets, and are swept in the ablation
+// benches.
+
+// Arch1 builds the paper's first MNIST network: 256 input neurons (16×16
+// bilinearly-resized images), two block-circulant FC layers of 128 neurons,
+// and a 10-way softmax output (the softmax itself lives in the loss /
+// engine).
+func Arch1(rng *rand.Rand) *Network {
+	return NewNetwork(
+		NewCircDense(256, 128, 64, rng),
+		NewReLU(),
+		NewCircDense(128, 128, 64, rng),
+		NewReLU(),
+		NewDense(128, 10, rng),
+	)
+}
+
+// Arch2 builds the paper's second MNIST network: 121 input neurons (11×11
+// resized images), two block-circulant FC layers of 64 neurons, and a 10-way
+// softmax output. The non-power-of-two 121 exercises the zero-padding path.
+func Arch2(rng *rand.Rand) *Network {
+	return NewNetwork(
+		NewCircDense(121, 64, 32, rng),
+		NewReLU(),
+		NewCircDense(64, 64, 32, rng),
+		NewReLU(),
+		NewDense(64, 10, rng),
+	)
+}
+
+// Arch3 builds the paper's CIFAR-10 network
+// 128x3x32x32-64Conv3-64Conv3-128Conv3-128Conv3-512F-1024F-1024F-10F:
+// the first two CONV layers are traditional (non-circulant, "treated as
+// preprocessing" per §V-C), the remaining CONV and FC layers are
+// block-circulant. 2×2 max-pooling after each CONV pair keeps the FC
+// transition at 5·5·128 = 3200 features (the paper omits pooling from the
+// architecture string; see EXPERIMENTS.md for this inference).
+func Arch3(rng *rand.Rand) *Network {
+	return NewNetwork(
+		NewConv2D(tensor.Conv2DGeom{H: 32, W: 32, C: 3, R: 3, P: 64, Stride: 1}, rng),
+		NewReLU(),
+		NewConv2D(tensor.Conv2DGeom{H: 30, W: 30, C: 64, R: 3, P: 64, Stride: 1}, rng),
+		NewReLU(),
+		NewMaxPool(2),
+		NewCircConv2D(tensor.Conv2DGeom{H: 14, W: 14, C: 64, R: 3, P: 128, Stride: 1}, 64, rng),
+		NewReLU(),
+		NewCircConv2D(tensor.Conv2DGeom{H: 12, W: 12, C: 128, R: 3, P: 128, Stride: 1}, 64, rng),
+		NewReLU(),
+		NewMaxPool(2),
+		NewFlatten(),
+		NewCircDense(3200, 512, 128, rng),
+		NewReLU(),
+		NewCircDense(512, 1024, 128, rng),
+		NewReLU(),
+		NewCircDense(1024, 1024, 128, rng),
+		NewReLU(),
+		NewDense(1024, 10, rng),
+	)
+}
+
+// Arch1Dense builds the uncompressed baseline of Arch-1 (plain dense FC
+// layers of the same dimensions), used for storage and runtime comparisons.
+func Arch1Dense(rng *rand.Rand) *Network {
+	return NewNetwork(
+		NewDense(256, 128, rng),
+		NewReLU(),
+		NewDense(128, 128, rng),
+		NewReLU(),
+		NewDense(128, 10, rng),
+	)
+}
+
+// Arch2Dense builds the uncompressed baseline of Arch-2.
+func Arch2Dense(rng *rand.Rand) *Network {
+	return NewNetwork(
+		NewDense(121, 64, rng),
+		NewReLU(),
+		NewDense(64, 64, rng),
+		NewReLU(),
+		NewDense(64, 10, rng),
+	)
+}

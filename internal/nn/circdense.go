@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circulant"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// CircDense is the paper's block-circulant fully-connected layer (§IV-A):
+// y = Wᵀ·x + θ with W an in×out block-circulant matrix, evaluated by the
+// FFT → component-wise multiplication → IFFT procedure (Algorithm 1) and
+// trained by the spectral gradient rules (Algorithm 2).
+type CircDense struct {
+	In, Out, Block int
+	W              *circulant.BlockCirculant
+	wParam, bParam *Param
+	lastX          *tensor.Tensor
+}
+
+// NewCircDense creates a block-circulant FC layer with block size b.
+// General (non-multiple) in/out are handled by implicit zero padding as in
+// the paper.
+func NewCircDense(in, out, block int, rng *rand.Rand) *CircDense {
+	w, err := circulant.NewBlockCirculant(in, out, block)
+	if err != nil {
+		panic(fmt.Sprintf("nn: CircDense: %v", err))
+	}
+	w.InitRandom(rng)
+	l := &CircDense{In: in, Out: out, Block: block, W: w}
+	l.wParam = &Param{
+		Name:     "w",
+		Value:    w.Base,
+		Grad:     tensor.New(w.Base.Shape()...),
+		OnUpdate: w.Refresh,
+	}
+	l.bParam = &Param{
+		Name:  "theta",
+		Value: tensor.New(out),
+		Grad:  tensor.New(out),
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *CircDense) Name() string {
+	return fmt.Sprintf("circdense(%dx%d,b=%d)", l.In, l.Out, l.Block)
+}
+
+// Params implements Layer.
+func (l *CircDense) Params() []*Param { return []*Param{l.wParam, l.bParam} }
+
+// CompressionRatio returns dense/stored parameter counts for the weight.
+func (l *CircDense) CompressionRatio() float64 { return l.W.CompressionRatio() }
+
+// Forward implements Layer. x is [B, In]; the result is [B, Out].
+func (l *CircDense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: %s got input shape %v", l.Name(), x.Shape()))
+	}
+	if train {
+		l.lastX = x
+	}
+	batch := batchOf(x)
+	y := tensor.New(batch, l.Out)
+	for i := 0; i < batch; i++ {
+		out := l.W.TransMulVec(x.Row(i))
+		row := y.Row(i)
+		for j := 0; j < l.Out; j++ {
+			row[j] = out[j] + l.bParam.Value.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer, accumulating the spectral-domain weight
+// gradient of Algorithm 2 across the batch.
+func (l *CircDense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.lastX == nil {
+		panic("nn: CircDense.Backward before Forward(train=true)")
+	}
+	batch := batchOf(grad)
+	dx := tensor.New(batch, l.In)
+	for i := 0; i < batch; i++ {
+		g := grad.Row(i)
+		gradBase, gradX := l.W.TransMulVecGrad(l.lastX.Row(i), g)
+		l.wParam.Grad.AddInPlace(gradBase)
+		copy(dx.Row(i), gradX)
+		for j := 0; j < l.Out; j++ {
+			l.bParam.Grad.Data[j] += g[j]
+		}
+	}
+	return dx
+}
+
+// CountOps implements Layer: one FFT-based block-circulant transpose
+// mat-vec plus the bias add, per sample.
+func (l *CircDense) CountOps(c *ops.Counts) {
+	c.Add(l.W.MulVecOps())
+	c.Add(ops.Counts{RealAdd: int64(l.Out), MemRead: 8 * int64(l.Out), MemWrite: 8 * int64(l.Out)})
+	c.APICalls++
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a conventional convolutional layer executed through the im2col
+// reformulation of Fig. 3: Y = X·F with X the patch matrix and
+// F ∈ R^{Cr²×P} the reshaped filter. It is both the "traditional
+// convolutional layer" used for the first two CONV stages of Arch-3 and the
+// dense baseline for the block-circulant CONV layer.
+type Conv2D struct {
+	Geom     tensor.Conv2DGeom
+	f, b     *Param
+	lastX    *tensor.Tensor   // input batch
+	lastCols []*tensor.Tensor // cached per-sample patch matrices
+}
+
+// NewConv2D creates a CONV layer with Xavier-initialised filters.
+func NewConv2D(g tensor.Conv2DGeom, rng *rand.Rand) *Conv2D {
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("nn: Conv2D: %v", err))
+	}
+	fanIn := g.C * g.R * g.R
+	l := &Conv2D{Geom: g}
+	l.f = &Param{
+		Name:  "F",
+		Value: tensor.New(g.R, g.R, g.C, g.P).XavierInit(rng, fanIn, g.P),
+		Grad:  tensor.New(g.R, g.R, g.C, g.P),
+	}
+	l.b = &Param{Name: "theta", Value: tensor.New(g.P), Grad: tensor.New(g.P)}
+	return l
+}
+
+// Name implements Layer.
+func (l *Conv2D) Name() string {
+	return fmt.Sprintf("conv(%dx%dx%d,r=%d,p=%d)", l.Geom.H, l.Geom.W, l.Geom.C, l.Geom.R, l.Geom.P)
+}
+
+// Params implements Layer.
+func (l *Conv2D) Params() []*Param { return []*Param{l.f, l.b} }
+
+// Forward implements Layer. x is [B, H, W, C]; the result is
+// [B, OutH, OutW, P].
+func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := l.Geom
+	if x.Rank() != 4 || x.Dim(1) != g.H || x.Dim(2) != g.W || x.Dim(3) != g.C {
+		panic(fmt.Sprintf("nn: %s got input shape %v", l.Name(), x.Shape()))
+	}
+	batch := batchOf(x)
+	oh, ow := g.OutH(), g.OutW()
+	out := tensor.New(batch, oh, ow, g.P)
+	fm := tensor.FilterToMatrix(l.f.Value, g)
+	if train {
+		l.lastX = x
+		l.lastCols = make([]*tensor.Tensor, batch)
+	}
+	sl := g.H * g.W * g.C
+	ol := oh * ow * g.P
+	for i := 0; i < batch; i++ {
+		img := tensor.FromSlice(x.Data[i*sl:(i+1)*sl], g.H, g.W, g.C)
+		cols := tensor.Im2Col(img, g)
+		if train {
+			l.lastCols[i] = cols
+		}
+		y := tensor.MatMul(cols, fm)
+		dst := out.Data[i*ol : (i+1)*ol]
+		for r := 0; r < oh*ow; r++ {
+			row := y.Row(r)
+			for p := 0; p < g.P; p++ {
+				dst[r*g.P+p] = row[p] + l.b.Value.Data[p]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.lastCols == nil {
+		panic("nn: Conv2D.Backward before Forward(train=true)")
+	}
+	g := l.Geom
+	batch := batchOf(grad)
+	oh, ow := g.OutH(), g.OutW()
+	ol := oh * ow * g.P
+	sl := g.H * g.W * g.C
+	dx := tensor.New(batch, g.H, g.W, g.C)
+	fm := tensor.FilterToMatrix(l.f.Value, g)
+	fmT := tensor.Transpose2D(fm)
+	dfm := tensor.New(g.C*g.R*g.R, g.P)
+	for i := 0; i < batch; i++ {
+		gm := tensor.FromSlice(grad.Data[i*ol:(i+1)*ol], oh*ow, g.P)
+		// dF += colsᵀ·g ;  dX = Col2Im(g·Fᵀ) ;  dθ += column sums.
+		dfm.AddInPlace(tensor.MatMul(tensor.Transpose2D(l.lastCols[i]), gm))
+		dimg := tensor.Col2Im(tensor.MatMul(gm, fmT), g)
+		copy(dx.Data[i*sl:(i+1)*sl], dimg.Data)
+		for r := 0; r < oh*ow; r++ {
+			row := gm.Row(r)
+			for p := 0; p < g.P; p++ {
+				l.b.Grad.Data[p] += row[p]
+			}
+		}
+	}
+	l.f.Grad.AddInPlace(tensor.MatrixToFilter(dfm, g))
+	return dx
+}
+
+// CountOps implements Layer: im2col gather plus the (OutH·OutW × Cr²)·(Cr²×P)
+// matrix product — O(WHr²CP), the dense-CONV complexity of the paper.
+func (l *Conv2D) CountOps(c *ops.Counts) {
+	g := l.Geom
+	rows := int64(g.OutH()) * int64(g.OutW())
+	kc := int64(g.C) * int64(g.R) * int64(g.R)
+	p := int64(g.P)
+	c.Add(ops.Counts{
+		RealMul:  rows * kc * p,
+		RealAdd:  rows*kc*p + rows*p, // accumulate + bias
+		MemRead:  8 * (rows*kc + kc*p),
+		MemWrite: 8 * rows * (kc + p), // im2col write + output write
+	})
+	c.APICalls++
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Dense is a conventional (uncompressed) fully-connected layer
+// y = x·W + θ with W ∈ R^{in×out}. It is the O(n²) baseline the paper's
+// block-circulant FC layer replaces.
+type Dense struct {
+	In, Out int
+	w, b    *Param
+	lastX   *tensor.Tensor
+}
+
+// NewDense creates a Dense layer with Xavier-initialised weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	if in < 1 || out < 1 {
+		panic(fmt.Sprintf("nn: Dense dimensions %dx%d", in, out))
+	}
+	d := &Dense{In: in, Out: out}
+	d.w = &Param{
+		Name:  "W",
+		Value: tensor.New(in, out).XavierInit(rng, in, out),
+		Grad:  tensor.New(in, out),
+	}
+	d.b = &Param{
+		Name:  "theta",
+		Value: tensor.New(out),
+		Grad:  tensor.New(out),
+	}
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%dx%d)", d.In, d.Out) }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Forward implements Layer. x is [B, In]; the result is [B, Out].
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		panic(fmt.Sprintf("nn: %s got input shape %v", d.Name(), x.Shape()))
+	}
+	if train {
+		d.lastX = x
+	}
+	y := tensor.MatMul(x, d.w.Value)
+	batch := batchOf(x)
+	for i := 0; i < batch; i++ {
+		row := y.Row(i)
+		for j := 0; j < d.Out; j++ {
+			row[j] += d.b.Value.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastX == nil {
+		panic("nn: Dense.Backward before Forward(train=true)")
+	}
+	// dW += xᵀ·g, dθ += column sums of g, dX = g·Wᵀ.
+	d.w.Grad.AddInPlace(tensor.MatMul(tensor.Transpose2D(d.lastX), grad))
+	batch := batchOf(grad)
+	for i := 0; i < batch; i++ {
+		row := grad.Row(i)
+		for j := 0; j < d.Out; j++ {
+			d.b.Grad.Data[j] += row[j]
+		}
+	}
+	return tensor.MatMul(grad, tensor.Transpose2D(d.w.Value))
+}
+
+// CountOps implements Layer: one dense mat-vec plus the bias add, per sample.
+func (d *Dense) CountOps(c *ops.Counts) {
+	c.Add(ops.DenseMatVec(d.Out, d.In))
+	c.Add(ops.Counts{RealAdd: int64(d.Out), MemRead: 8 * int64(d.Out), MemWrite: 8 * int64(d.Out)})
+	c.APICalls++
+}

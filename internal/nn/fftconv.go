@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/fft"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// FFTConv2D is the Mathieu/Henaff/LeCun baseline the paper distinguishes
+// itself from (reference [11], §I): the CONV layer is executed in the
+// frequency domain — one padded 2-D FFT per input channel, per-(c,p)
+// spectral products accumulated per output channel, one inverse 2-D FFT per
+// output channel. This accelerates large-kernel convolution but, unlike the
+// paper's block-circulant method, provides *no* weight compression: the
+// filter tensor is dense and its spectra are strictly larger than the
+// spatial weights.
+//
+// The FFT execution path supports stride 1 without padding (the regime [11]
+// targets); construction rejects other geometries. Backward delegates to the
+// standard im2col adjoint (training acceleration is outside this baseline's
+// role here — it exists to benchmark inference against CircConv2D).
+type FFTConv2D struct {
+	Geom tensor.Conv2DGeom
+	f, b *Param
+
+	ph, pw   int            // padded FFT dimensions (powers of two)
+	fspec    [][]complex128 // cached filter spectra, [c*P+p] → ph·pw
+	specOK   bool
+	lastCols []*tensor.Tensor // im2col cache for Backward
+	lastX    *tensor.Tensor
+}
+
+// NewFFTConv2D creates a frequency-domain CONV layer with Xavier-initialised
+// filters. Geometry must have Stride == 1 and Pad == 0.
+func NewFFTConv2D(g tensor.Conv2DGeom, rng *rand.Rand) (*FFTConv2D, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("nn: FFTConv2D: %w", err)
+	}
+	if g.Stride != 1 || g.Pad != 0 {
+		return nil, fmt.Errorf("nn: FFTConv2D supports stride 1 / pad 0, got stride %d pad %d", g.Stride, g.Pad)
+	}
+	fanIn := g.C * g.R * g.R
+	l := &FFTConv2D{
+		Geom: g,
+		ph:   fft.NextPow2(g.H),
+		pw:   fft.NextPow2(g.W),
+	}
+	l.f = &Param{
+		Name:  "F",
+		Value: tensor.New(g.R, g.R, g.C, g.P).XavierInit(rng, fanIn, g.P),
+		Grad:  tensor.New(g.R, g.R, g.C, g.P),
+	}
+	l.f.OnUpdate = func() { l.specOK = false }
+	l.b = &Param{Name: "theta", Value: tensor.New(g.P), Grad: tensor.New(g.P)}
+	return l, nil
+}
+
+// Name implements Layer.
+func (l *FFTConv2D) Name() string {
+	return fmt.Sprintf("fftconv(%dx%dx%d,r=%d,p=%d)", l.Geom.H, l.Geom.W, l.Geom.C, l.Geom.R, l.Geom.P)
+}
+
+// Params implements Layer.
+func (l *FFTConv2D) Params() []*Param { return []*Param{l.f, l.b} }
+
+// refreshSpectra recomputes the cached padded filter spectra.
+func (l *FFTConv2D) refreshSpectra() {
+	g := l.Geom
+	n := l.ph * l.pw
+	if l.fspec == nil {
+		l.fspec = make([][]complex128, g.C*g.P)
+	}
+	buf := make([]complex128, n)
+	for c := 0; c < g.C; c++ {
+		for p := 0; p < g.P; p++ {
+			for i := range buf {
+				buf[i] = 0
+			}
+			for ki := 0; ki < g.R; ki++ {
+				for kj := 0; kj < g.R; kj++ {
+					buf[ki*l.pw+kj] = complex(l.f.Value.At(ki, kj, c, p), 0)
+				}
+			}
+			spec := fft.FFT2(buf, l.ph, l.pw)
+			// Conjugate once here: the forward pass needs conj(F)∘X for the
+			// cross-correlation the CONV layer computes.
+			for i := range spec {
+				spec[i] = cmplx.Conj(spec[i])
+			}
+			l.fspec[c*g.P+p] = spec
+		}
+	}
+	l.specOK = true
+}
+
+// Forward implements Layer via the frequency-domain path.
+func (l *FFTConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := l.Geom
+	if x.Rank() != 4 || x.Dim(1) != g.H || x.Dim(2) != g.W || x.Dim(3) != g.C {
+		panic(fmt.Sprintf("nn: %s got input shape %v", l.Name(), x.Shape()))
+	}
+	if !l.specOK {
+		l.refreshSpectra()
+	}
+	batch := batchOf(x)
+	oh, ow := g.OutH(), g.OutW()
+	out := tensor.New(batch, oh, ow, g.P)
+	if train {
+		l.lastX = x
+		l.lastCols = make([]*tensor.Tensor, batch)
+	}
+	n := l.ph * l.pw
+	sl := g.H * g.W * g.C
+	ol := oh * ow * g.P
+	chSpec := make([][]complex128, g.C)
+	acc := make([][]complex128, g.P)
+	for p := range acc {
+		acc[p] = make([]complex128, n)
+	}
+	buf := make([]complex128, n)
+	for i := 0; i < batch; i++ {
+		// FFT each input channel once.
+		for c := 0; c < g.C; c++ {
+			for t := range buf {
+				buf[t] = 0
+			}
+			for y := 0; y < g.H; y++ {
+				for xx := 0; xx < g.W; xx++ {
+					buf[y*l.pw+xx] = complex(x.Data[i*sl+(y*g.W+xx)*g.C+c], 0)
+				}
+			}
+			chSpec[c] = fft.FFT2(buf, l.ph, l.pw)
+		}
+		// Accumulate spectral products per output channel.
+		for p := 0; p < g.P; p++ {
+			a := acc[p]
+			for t := range a {
+				a[t] = 0
+			}
+			for c := 0; c < g.C; c++ {
+				fs := l.fspec[c*g.P+p]
+				xs := chSpec[c]
+				for t := 0; t < n; t++ {
+					a[t] += fs[t] * xs[t]
+				}
+			}
+			y := fft.IFFT2(a, l.ph, l.pw)
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					out.Data[i*ol+(oy*ow+ox)*g.P+p] = real(y[oy*l.pw+ox]) + l.b.Value.Data[p]
+				}
+			}
+		}
+		if train {
+			img := tensor.FromSlice(x.Data[i*sl:(i+1)*sl], g.H, g.W, g.C)
+			l.lastCols[i] = tensor.Im2Col(img, g)
+		}
+	}
+	return out
+}
+
+// Backward implements Layer through the standard im2col adjoint.
+func (l *FFTConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.lastCols == nil {
+		panic("nn: FFTConv2D.Backward before Forward(train=true)")
+	}
+	g := l.Geom
+	batch := batchOf(grad)
+	oh, ow := g.OutH(), g.OutW()
+	ol := oh * ow * g.P
+	sl := g.H * g.W * g.C
+	dx := tensor.New(batch, g.H, g.W, g.C)
+	fm := tensor.FilterToMatrix(l.f.Value, g)
+	fmT := tensor.Transpose2D(fm)
+	dfm := tensor.New(g.C*g.R*g.R, g.P)
+	for i := 0; i < batch; i++ {
+		gm := tensor.FromSlice(grad.Data[i*ol:(i+1)*ol], oh*ow, g.P)
+		dfm.AddInPlace(tensor.MatMul(tensor.Transpose2D(l.lastCols[i]), gm))
+		dimg := tensor.Col2Im(tensor.MatMul(gm, fmT), g)
+		copy(dx.Data[i*sl:(i+1)*sl], dimg.Data)
+		for r := 0; r < oh*ow; r++ {
+			row := gm.Row(r)
+			for p := 0; p < g.P; p++ {
+				l.b.Grad.Data[p] += row[p]
+			}
+		}
+	}
+	l.f.Grad.AddInPlace(tensor.MatrixToFilter(dfm, g))
+	l.specOK = false // spectra go stale when gradients will update weights
+	return dx
+}
+
+// CountOps implements Layer: C forward 2-D FFTs, C·P spectral products of
+// the padded plane, P inverse 2-D FFTs — O(CP·N log N) with N the padded
+// plane, the [11] cost model.
+func (l *FFTConv2D) CountOps(c *ops.Counts) {
+	g := l.Geom
+	plane := fft2Cost(l.ph, l.pw)
+	for i := 0; i < g.C+g.P; i++ {
+		c.Add(plane)
+	}
+	n := int64(l.ph) * int64(l.pw)
+	for i := 0; i < g.C*g.P; i++ {
+		c.Add(ops.Counts{CplxMul: n, CplxAdd: n, MemRead: 32 * n, MemWrite: 16 * n})
+	}
+	c.Add(ops.Counts{RealAdd: int64(g.OutH() * g.OutW() * g.P)})
+	c.APICalls++
+}
+
+// fft2Cost returns the cost of one h×w 2-D FFT (row transforms + column
+// transforms).
+func fft2Cost(h, w int) ops.Counts {
+	var c ops.Counts
+	for i := 0; i < h; i++ {
+		c.Add(ops.FFT(w))
+	}
+	for i := 0; i < w; i++ {
+		c.Add(ops.FFT(h))
+	}
+	return c
+}

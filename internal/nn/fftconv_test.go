@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// opsCounter wraps ops.Counts for the CountOps helper calls below.
+type opsCounter struct{ c ops.Counts }
+
+func TestFFTConvForwardMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range []tensor.Conv2DGeom{
+		{H: 8, W: 8, C: 3, R: 3, P: 4, Stride: 1},
+		{H: 7, W: 9, C: 2, R: 5, P: 3, Stride: 1},
+		{H: 5, W: 5, C: 1, R: 1, P: 2, Stride: 1},
+		{H: 12, W: 10, C: 4, R: 3, P: 4, Stride: 1},
+	} {
+		l, err := NewFFTConv2D(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.New(2, g.H, g.W, g.C).Randn(rng, 1)
+		got := l.Forward(x, false)
+		sl := g.H * g.W * g.C
+		ol := g.OutH() * g.OutW() * g.P
+		for i := 0; i < 2; i++ {
+			img := tensor.FromSlice(x.Data[i*sl:(i+1)*sl], g.H, g.W, g.C)
+			want := tensor.Conv2DDirect(img, l.f.Value, g)
+			sample := tensor.FromSlice(got.Data[i*ol:(i+1)*ol], g.OutH(), g.OutW(), g.P)
+			if !sample.AllClose(want, 1e-8) {
+				t.Errorf("geometry %+v sample %d: FFT conv differs from direct conv", g, i)
+			}
+		}
+	}
+}
+
+func TestFFTConvMatchesConv2DLayer(t *testing.T) {
+	// With identical filters, FFTConv2D and the im2col Conv2D are the same
+	// operator.
+	rng := rand.New(rand.NewSource(2))
+	g := tensor.Conv2DGeom{H: 10, W: 10, C: 3, R: 3, P: 5, Stride: 1}
+	fl, err := NewFFTConv2D(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewConv2D(g, rng)
+	copy(cl.f.Value.Data, fl.f.Value.Data)
+	copy(cl.b.Value.Data, fl.b.Value.Data)
+	x := tensor.New(1, g.H, g.W, g.C).Randn(rng, 1)
+	if !fl.Forward(x, false).AllClose(cl.Forward(x, false), 1e-8) {
+		t.Error("FFTConv2D and Conv2D disagree on identical weights")
+	}
+}
+
+func TestFFTConvRejectsUnsupportedGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := NewFFTConv2D(tensor.Conv2DGeom{H: 8, W: 8, C: 1, R: 3, P: 1, Stride: 2}, rng); err == nil {
+		t.Error("expected error for stride 2")
+	}
+	if _, err := NewFFTConv2D(tensor.Conv2DGeom{H: 8, W: 8, C: 1, R: 3, P: 1, Stride: 1, Pad: 1}, rng); err == nil {
+		t.Error("expected error for padding")
+	}
+	if _, err := NewFFTConv2D(tensor.Conv2DGeom{H: 0, W: 8, C: 1, R: 3, P: 1, Stride: 1}, rng); err == nil {
+		t.Error("expected error for bad geometry")
+	}
+}
+
+func TestFFTConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := tensor.Conv2DGeom{H: 5, W: 5, C: 2, R: 3, P: 2, Stride: 1}
+	l, err := NewFFTConv2D(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(l, NewFlatten(), NewDense(3*3*2, 2, rng))
+	x := tensor.New(2, 5, 5, 2).Randn(rng, 1)
+	checkGradients(t, net, x, []int{0, 1}, SoftmaxCrossEntropy{}, 1e-6, 1e-4)
+}
+
+func TestFFTConvSpectraRefreshAfterUpdate(t *testing.T) {
+	// After an optimiser step the cached filter spectra must be rebuilt.
+	rng := rand.New(rand.NewSource(5))
+	g := tensor.Conv2DGeom{H: 6, W: 6, C: 1, R: 3, P: 1, Stride: 1}
+	l, err := NewFFTConv2D(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 6, 6, 1).Randn(rng, 1)
+	before := l.Forward(x, true)
+	// Simulate a training step.
+	grad := tensor.New(before.Shape()...)
+	grad.Fill(1)
+	l.Backward(grad)
+	NewSGD(0.1, 0).Step(l.Params())
+	after := l.Forward(x, false)
+	if after.AllClose(before, 1e-12) {
+		t.Fatal("outputs unchanged after weight update — stale spectra")
+	}
+	// And the refreshed path must still equal the direct computation (plus
+	// the updated bias, which Conv2DDirect does not apply).
+	img := tensor.FromSlice(x.Data, 6, 6, 1)
+	want := tensor.Conv2DDirect(img, l.f.Value, g)
+	for i := range want.Data {
+		want.Data[i] += l.b.Value.Data[i%g.P]
+	}
+	got := after.Reshape(g.OutH(), g.OutW(), g.P)
+	if !got.AllClose(want, 1e-8) {
+		t.Error("post-update FFT conv differs from direct conv")
+	}
+}
+
+func TestFFTConvOpsModelFavoursLargeKernels(t *testing.T) {
+	// The [11] trade-off: the FFT path's modelled cost is kernel-size
+	// independent, so its advantage over im2col grows with r.
+	rng := rand.New(rand.NewSource(6))
+	ratioAt := func(r int) float64 {
+		g := tensor.Conv2DGeom{H: 32, W: 32, C: 8, R: r, P: 8, Stride: 1}
+		fl, err := NewFFTConv2D(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := NewConv2D(g, rng)
+		x := tensor.New(1, g.H, g.W, g.C)
+		fl.Forward(x, false)
+		cl.Forward(x, false)
+		var fc, cc opsCounter
+		fl.CountOps(&fc.c)
+		cl.CountOps(&cc.c)
+		return cc.c.Flops() / fc.c.Flops()
+	}
+	if r3, r7 := ratioAt(3), ratioAt(7); r7 <= r3 {
+		t.Errorf("FFT-conv advantage should grow with kernel size: r=3 %.2f, r=7 %.2f", r3, r7)
+	}
+}

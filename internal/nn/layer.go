@@ -1,0 +1,58 @@
+// Package nn is the deep-neural-network framework of the reproduction: the
+// layer types, losses, optimiser and training loop needed to express the
+// paper's three evaluation architectures (Arch-1/Arch-2 block-circulant FC
+// networks for MNIST, Arch-3 CONV+FC network for CIFAR-10), with both
+// conventional dense layers and the FFT-based block-circulant layers of the
+// paper's §IV.
+//
+// Data layout: batched activations are tensors whose first dimension is the
+// batch — [B, features] for FC stages and [B, H, W, C] for CONV stages.
+// All layers are deterministic given their construction RNG, and every layer
+// reports analytical per-sample operation counts (internal/ops) that the
+// embedded-platform model (internal/platform) converts to device latencies.
+package nn
+
+import (
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Param is one trainable parameter tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+
+	// OnUpdate, if non-nil, is invoked by the optimiser after it mutates
+	// Value in place. Block-circulant layers use it to re-derive cached
+	// weight spectra.
+	OnUpdate func()
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one differentiable stage of a network.
+//
+// Forward consumes a batched activation tensor and returns the batched
+// output; with train=true the layer caches whatever it needs for Backward
+// and enables stochastic behaviour (dropout).
+//
+// Backward consumes ∂L/∂output (same shape as the last Forward's output) and
+// returns ∂L/∂input, accumulating parameter gradients into Params.
+//
+// CountOps adds the analytical per-sample operation cost of one forward pass
+// to c; it reflects the shapes seen by the most recent Forward call.
+type Layer interface {
+	Name() string
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+	CountOps(c *ops.Counts)
+}
+
+// batchOf returns the batch size (first dimension) of a batched activation.
+func batchOf(x *tensor.Tensor) int { return x.Dim(0) }
+
+// sampleLen returns the per-sample element count of a batched activation.
+func sampleLen(x *tensor.Tensor) int { return x.Len() / x.Dim(0) }

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Loss maps network outputs and integer class labels to a scalar loss and
+// the gradient ∂L/∂output (averaged over the batch).
+type Loss interface {
+	Name() string
+	Forward(output *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor)
+}
+
+// SoftmaxCrossEntropy fuses a numerically-stable softmax with the
+// cross-entropy loss; its gradient with respect to the pre-softmax logits is
+// the familiar (softmax − onehot)/B. This is the training loss for all three
+// paper architectures ("the last layer is a softmax layer").
+type SoftmaxCrossEntropy struct{}
+
+// Name implements Loss.
+func (SoftmaxCrossEntropy) Name() string { return "softmax-cross-entropy" }
+
+// Forward implements Loss. output is [B, classes] of logits.
+func (SoftmaxCrossEntropy) Forward(output *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	batch := output.Dim(0)
+	classes := output.Dim(1)
+	if len(labels) != batch {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), batch))
+	}
+	grad := tensor.New(batch, classes)
+	var loss float64
+	probs := make([]float64, classes)
+	for i := 0; i < batch; i++ {
+		row := output.Row(i)
+		softmaxRow(row, probs, classes)
+		y := labels[i]
+		if y < 0 || y >= classes {
+			panic(fmt.Sprintf("nn: label %d outside [0,%d)", y, classes))
+		}
+		loss += -math.Log(math.Max(probs[y], 1e-300))
+		g := grad.Row(i)
+		for j := 0; j < classes; j++ {
+			g[j] = probs[j] / float64(batch)
+		}
+		g[y] -= 1 / float64(batch)
+	}
+	return loss / float64(batch), grad
+}
+
+// MSE is the mean-squared-error loss against one-hot targets, provided as a
+// secondary objective for regression-style experiments and gradient checks.
+type MSE struct{}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Forward implements Loss.
+func (MSE) Forward(output *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	batch := output.Dim(0)
+	classes := output.Dim(1)
+	if len(labels) != batch {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), batch))
+	}
+	grad := tensor.New(batch, classes)
+	var loss float64
+	for i := 0; i < batch; i++ {
+		row := output.Row(i)
+		g := grad.Row(i)
+		for j := 0; j < classes; j++ {
+			target := 0.0
+			if j == labels[i] {
+				target = 1
+			}
+			d := row[j] - target
+			loss += d * d
+			g[j] = 2 * d / float64(batch*classes)
+		}
+	}
+	return loss / float64(batch*classes), grad
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// ConfusionMatrix counts prediction outcomes per (true, predicted) class
+// pair — the per-class evaluation the paper's aggregate accuracy numbers
+// summarise.
+type ConfusionMatrix struct {
+	Classes int
+	Counts  []int64 // row-major [true][predicted]
+}
+
+// NewConfusionMatrix creates an empty classes×classes matrix.
+func NewConfusionMatrix(classes int) *ConfusionMatrix {
+	if classes < 1 {
+		panic(fmt.Sprintf("nn: confusion matrix classes %d", classes))
+	}
+	return &ConfusionMatrix{Classes: classes, Counts: make([]int64, classes*classes)}
+}
+
+// Observe records one (true, predicted) outcome.
+func (c *ConfusionMatrix) Observe(truth, pred int) {
+	if truth < 0 || truth >= c.Classes || pred < 0 || pred >= c.Classes {
+		panic(fmt.Sprintf("nn: confusion observation (%d,%d) outside %d classes", truth, pred, c.Classes))
+	}
+	c.Counts[truth*c.Classes+pred]++
+}
+
+// At returns the count of samples of class truth predicted as pred.
+func (c *ConfusionMatrix) At(truth, pred int) int64 { return c.Counts[truth*c.Classes+pred] }
+
+// Total returns the number of observations.
+func (c *ConfusionMatrix) Total() int64 {
+	var t int64
+	for _, v := range c.Counts {
+		t += v
+	}
+	return t
+}
+
+// Accuracy returns the trace fraction.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	var diag int64
+	for i := 0; i < c.Classes; i++ {
+		diag += c.At(i, i)
+	}
+	return float64(diag) / float64(total)
+}
+
+// PerClassRecall returns recall (diagonal / row sum) per class; classes with
+// no samples report NaN-free 0.
+func (c *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, c.Classes)
+	for i := 0; i < c.Classes; i++ {
+		var row int64
+		for j := 0; j < c.Classes; j++ {
+			row += c.At(i, j)
+		}
+		if row > 0 {
+			out[i] = float64(c.At(i, i)) / float64(row)
+		}
+	}
+	return out
+}
+
+// String renders the matrix with true classes as rows.
+func (c *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s", "t\\p")
+	for j := 0; j < c.Classes; j++ {
+		fmt.Fprintf(&b, "%6d", j)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < c.Classes; i++ {
+		fmt.Fprintf(&b, "%6d", i)
+		for j := 0; j < c.Classes; j++ {
+			fmt.Fprintf(&b, "%6d", c.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Evaluate runs the network over a batched input and fills a confusion
+// matrix against the labels.
+func (n *Network) Evaluate(x *tensor.Tensor, labels []int, classes int) *ConfusionMatrix {
+	preds := n.Predict(x)
+	cm := NewConfusionMatrix(classes)
+	for i, p := range preds {
+		cm.Observe(labels[i], p)
+	}
+	return cm
+}

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	cm.Observe(0, 0)
+	cm.Observe(0, 0)
+	cm.Observe(0, 1)
+	cm.Observe(1, 1)
+	cm.Observe(2, 0)
+	if cm.Total() != 5 {
+		t.Errorf("Total = %d", cm.Total())
+	}
+	if cm.At(0, 0) != 2 || cm.At(0, 1) != 1 || cm.At(2, 0) != 1 {
+		t.Error("cell counts wrong")
+	}
+	if math.Abs(cm.Accuracy()-3.0/5) > 1e-12 {
+		t.Errorf("Accuracy = %g", cm.Accuracy())
+	}
+	rec := cm.PerClassRecall()
+	if math.Abs(rec[0]-2.0/3) > 1e-12 || rec[1] != 1 || rec[2] != 0 {
+		t.Errorf("recall = %v", rec)
+	}
+	if !strings.Contains(cm.String(), "t\\p") {
+		t.Error("String rendering broken")
+	}
+}
+
+func TestConfusionMatrixValidation(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range class")
+		}
+	}()
+	cm.Observe(0, 5)
+}
+
+func TestNetworkEvaluateMatchesAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewNetwork(NewDense(4, 3, rng))
+	x := tensor.New(30, 4).Randn(rng, 1)
+	labels := make([]int, 30)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	cm := net.Evaluate(x, labels, 3)
+	if math.Abs(cm.Accuracy()-net.Accuracy(x, labels)) > 1e-12 {
+		t.Error("confusion-matrix accuracy disagrees with Network.Accuracy")
+	}
+	if cm.Total() != 30 {
+		t.Errorf("Total = %d", cm.Total())
+	}
+}
+
+func TestStepDecaySchedule(t *testing.T) {
+	s := StepDecay{Base: 0.1, Factor: 0.5, Every: 10}
+	if s.LR(0) != 0.1 || s.LR(9) != 0.1 {
+		t.Error("no decay expected within the first period")
+	}
+	if math.Abs(s.LR(10)-0.05) > 1e-15 || math.Abs(s.LR(25)-0.025) > 1e-15 {
+		t.Errorf("decayed rates wrong: %g %g", s.LR(10), s.LR(25))
+	}
+	if ConstantLR(0.3).LR(100) != 0.3 {
+		t.Error("ConstantLR must be constant")
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	// With zero loss gradient, weight decay alone must shrink the weight
+	// towards zero geometrically.
+	p := &Param{Value: tensor.FromSlice([]float64{10}, 1), Grad: tensor.New(1)}
+	opt := NewWeightDecaySGD(0.1, 0, 0.5)
+	prev := 10.0
+	for i := 0; i < 5; i++ {
+		p.Grad.Zero()
+		opt.Step([]*Param{p})
+		if v := p.Value.Data[0]; v >= prev || v < 0 {
+			t.Fatalf("step %d: weight %g did not shrink from %g", i, v, prev)
+		} else {
+			prev = v
+		}
+	}
+}
+
+func TestWeightDecayTrainingStillConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(60, 4)
+	labels := make([]int, 60)
+	for i := 0; i < 60; i++ {
+		c := i % 2
+		labels[i] = c
+		for j := 0; j < 4; j++ {
+			v := rng.NormFloat64() * 0.3
+			if j == c {
+				v += 2
+			}
+			x.Set(v, i, j)
+		}
+	}
+	net := NewNetwork(NewCircDense(4, 8, 4, rng), NewReLU(), NewDense(8, 2, rng))
+	opt := NewWeightDecaySGD(0.05, 0.9, 1e-4)
+	for epoch := 0; epoch < 50; epoch++ {
+		net.TrainBatch(x, labels, SoftmaxCrossEntropy{}, opt)
+	}
+	if acc := net.Accuracy(x, labels); acc < 0.95 {
+		t.Errorf("weight-decay training accuracy %.2f", acc)
+	}
+}

@@ -1,0 +1,45 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Optimizer updates parameters in place from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with classical momentum:
+//
+//	v ← µ·v − ε·∂L/∂w ;  w ← w + v
+//
+// The defaults match the paper's training setup for Arch-3: learning rate
+// 0.001, momentum 0.9 (§V-C).
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param]*tensor.Tensor
+}
+
+// NewSGD creates an SGD optimiser with the paper's hyper-parameters.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step implements Optimizer. It applies the momentum update to every
+// parameter, fires OnUpdate hooks (spectra refresh for circulant layers) and
+// clears the gradient accumulators.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v, ok := s.vel[p]
+		if !ok {
+			v = tensor.New(p.Value.Shape()...)
+			s.vel[p] = v
+		}
+		v.ScaleInPlace(s.Momentum)
+		v.AxpyInPlace(-s.LR, p.Grad)
+		p.Value.AddInPlace(v)
+		if p.OnUpdate != nil {
+			p.OnUpdate()
+		}
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Clone deep-copies the network (architecture, parameters, BatchNorm
+// running statistics) through the serialisation round trip. Clones share no
+// mutable state, which makes them the unit of parallel inference.
+func (n *Network) Clone() (*Network, error) {
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		return nil, fmt.Errorf("nn: cloning network: %w", err)
+	}
+	// Stochastic layers are reseeded deterministically; inference does not
+	// consume randomness.
+	return Load(&buf, rand.New(rand.NewSource(0)))
+}
+
+// PredictParallel shards a batch across workers, each with its own network
+// clone (layers keep per-call scratch state, so a single instance must not
+// run concurrently), and returns per-sample argmax predictions identical to
+// Predict. workers ≤ 0 selects GOMAXPROCS.
+func (n *Network) PredictParallel(x *tensor.Tensor, workers int) ([]int, error) {
+	batch := x.Dim(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > batch {
+		workers = batch
+	}
+	if workers <= 1 {
+		return n.Predict(x), nil
+	}
+	clones := make([]*Network, workers)
+	for i := range clones {
+		c, err := n.Clone()
+		if err != nil {
+			return nil, err
+		}
+		clones[i] = c
+	}
+	preds := make([]int, batch)
+	per := x.Len() / batch
+	shape := x.Shape()
+	var wg sync.WaitGroup
+	chunk := (batch + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > batch {
+			hi = batch
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(net *Network, lo, hi int) {
+			defer wg.Done()
+			ss := append([]int(nil), shape...)
+			ss[0] = hi - lo
+			sub := tensor.FromSlice(x.Data[lo*per:hi*per], ss...)
+			copy(preds[lo:hi], net.Predict(sub))
+		}(clones[w], lo, hi)
+	}
+	wg.Wait()
+	return preds, nil
+}

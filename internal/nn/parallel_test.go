@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestCloneIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := Arch2(rng)
+	clone, err := net.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(3, 121).Randn(rng, 1)
+	want := net.Forward(x, false)
+	got := clone.Forward(x, false)
+	if !got.AllClose(want, 1e-12) {
+		t.Fatal("clone computes different outputs")
+	}
+	// Mutating the clone must not touch the original.
+	clone.Params()[0].Value.Data[0] += 1
+	for _, p := range clone.Params() {
+		if p.OnUpdate != nil {
+			p.OnUpdate()
+		}
+	}
+	after := net.Forward(x, false)
+	if !after.AllClose(want, 0) {
+		t.Error("mutating the clone changed the original network")
+	}
+}
+
+func TestPredictParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := Arch1(rng)
+	x := tensor.New(37, 256).Randn(rng, 1) // odd batch: uneven shards
+	want := net.Predict(x)
+	for _, workers := range []int{1, 2, 4, 8, 64} {
+		got, err := net.PredictParallel(x, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d predictions", workers, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d sample %d: parallel %d, serial %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPredictParallelDefaultWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := Arch2(rng)
+	x := tensor.New(16, 121).Randn(rng, 1)
+	got, err := net.PredictParallel(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := net.Predict(x)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("default-worker parallel predictions differ")
+		}
+	}
+}

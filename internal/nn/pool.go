@@ -1,0 +1,266 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// MaxPool is a non-overlapping Size×Size max-pooling layer over [B,H,W,C]
+// activations. H and W must be divisible by Size.
+type MaxPool struct {
+	Size    int
+	argmax  []int32 // flat input index of each output's winner
+	inShape []int
+	lastN   int
+}
+
+// NewMaxPool creates a max-pooling layer with the given window size.
+func NewMaxPool(size int) *MaxPool {
+	if size < 1 {
+		panic(fmt.Sprintf("nn: MaxPool size %d", size))
+	}
+	return &MaxPool{Size: size}
+}
+
+// Name implements Layer.
+func (m *MaxPool) Name() string { return fmt.Sprintf("maxpool(%d)", m.Size) }
+
+// Params implements Layer.
+func (m *MaxPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (m *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s got input shape %v", m.Name(), x.Shape()))
+	}
+	b, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h%m.Size != 0 || w%m.Size != 0 {
+		panic(fmt.Sprintf("nn: %s input %dx%d not divisible by window", m.Name(), h, w))
+	}
+	oh, ow := h/m.Size, w/m.Size
+	out := tensor.New(b, oh, ow, c)
+	m.inShape = x.Shape()
+	m.lastN = sampleLen(x)
+	m.argmax = make([]int32, out.Len())
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for ch := 0; ch < c; ch++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for dy := 0; dy < m.Size; dy++ {
+						for dx := 0; dx < m.Size; dx++ {
+							idx := ((bi*h+oy*m.Size+dy)*w+ox*m.Size+dx)*c + ch
+							if v := x.Data[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					m.argmax[oi] = int32(bestIdx)
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: gradients route to the argmax positions.
+func (m *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.inShape...)
+	for i, g := range grad.Data {
+		dx.Data[m.argmax[i]] += g
+	}
+	return dx
+}
+
+// CountOps implements Layer: one comparison per input element.
+func (m *MaxPool) CountOps(c *ops.Counts) {
+	n := int64(m.lastN)
+	c.Add(ops.Counts{Compare: n, MemRead: 8 * n, MemWrite: 8 * n / int64(m.Size*m.Size)})
+	c.APICalls++
+}
+
+// AvgPool is a non-overlapping Size×Size average-pooling layer.
+type AvgPool struct {
+	Size    int
+	inShape []int
+	lastN   int
+}
+
+// NewAvgPool creates an average-pooling layer with the given window size.
+func NewAvgPool(size int) *AvgPool {
+	if size < 1 {
+		panic(fmt.Sprintf("nn: AvgPool size %d", size))
+	}
+	return &AvgPool{Size: size}
+}
+
+// Name implements Layer.
+func (a *AvgPool) Name() string { return fmt.Sprintf("avgpool(%d)", a.Size) }
+
+// Params implements Layer.
+func (a *AvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (a *AvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s got input shape %v", a.Name(), x.Shape()))
+	}
+	b, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h%a.Size != 0 || w%a.Size != 0 {
+		panic(fmt.Sprintf("nn: %s input %dx%d not divisible by window", a.Name(), h, w))
+	}
+	oh, ow := h/a.Size, w/a.Size
+	out := tensor.New(b, oh, ow, c)
+	a.inShape = x.Shape()
+	a.lastN = sampleLen(x)
+	inv := 1 / float64(a.Size*a.Size)
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for ch := 0; ch < c; ch++ {
+					var s float64
+					for dy := 0; dy < a.Size; dy++ {
+						for dx := 0; dx < a.Size; dx++ {
+							s += x.Data[((bi*h+oy*a.Size+dy)*w+ox*a.Size+dx)*c+ch]
+						}
+					}
+					out.Data[oi] = s * inv
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: gradients spread uniformly over each window.
+func (a *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(a.inShape...)
+	b, h, w, c := a.inShape[0], a.inShape[1], a.inShape[2], a.inShape[3]
+	oh, ow := h/a.Size, w/a.Size
+	inv := 1 / float64(a.Size*a.Size)
+	gi := 0
+	for bi := 0; bi < b; bi++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for ch := 0; ch < c; ch++ {
+					g := grad.Data[gi] * inv
+					gi++
+					for wy := 0; wy < a.Size; wy++ {
+						for wx := 0; wx < a.Size; wx++ {
+							idx := ((bi*h+oy*a.Size+wy)*w+ox*a.Size+wx)*c + ch
+							dx.Data[idx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// CountOps implements Layer.
+func (a *AvgPool) CountOps(c *ops.Counts) {
+	n := int64(a.lastN)
+	c.Add(ops.Counts{RealAdd: n, RealMul: n / int64(a.Size*a.Size), MemRead: 8 * n, MemWrite: 8 * n / int64(a.Size*a.Size)})
+	c.APICalls++
+}
+
+// Flatten reshapes [B, H, W, C] activations to [B, H·W·C], the CONV→FC
+// transition of Arch-3.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten creates a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = x.Shape()
+	return x.Reshape(x.Dim(0), sampleLen(x))
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// CountOps implements Layer: free (a view).
+func (f *Flatten) CountOps(c *ops.Counts) {}
+
+// Dropout zeroes a fraction Rate of activations during training and scales
+// survivors by 1/(1−Rate) (inverted dropout); it is the identity at
+// inference.
+type Dropout struct {
+	Rate  float64
+	rng   func() float64
+	mask  []bool
+	lastN int
+}
+
+// NewDropout creates a dropout layer; rnd must yield uniform [0,1) samples
+// (pass rng.Float64 from a seeded *rand.Rand for determinism).
+func NewDropout(rate float64, rnd func() float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: Dropout rate %g outside [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rnd}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%.2f)", d.Rate) }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.lastN = sampleLen(x)
+	if !train || d.Rate == 0 {
+		return x
+	}
+	out := tensor.New(x.Shape()...)
+	if len(d.mask) != x.Len() {
+		d.mask = make([]bool, x.Len())
+	}
+	scale := 1 / (1 - d.Rate)
+	for i, v := range x.Data {
+		if d.rng() >= d.Rate {
+			out.Data[i] = v * scale
+			d.mask[i] = true
+		} else {
+			d.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	scale := 1 / (1 - d.Rate)
+	for i, g := range grad.Data {
+		if d.mask[i] {
+			out.Data[i] = g * scale
+		}
+	}
+	return out
+}
+
+// CountOps implements Layer: identity at inference time.
+func (d *Dropout) CountOps(c *ops.Counts) {}

@@ -1,0 +1,56 @@
+package nn
+
+import "fmt"
+
+// LRSchedule maps an epoch index to a learning rate.
+type LRSchedule interface {
+	LR(epoch int) float64
+}
+
+// ConstantLR returns the same rate every epoch.
+type ConstantLR float64
+
+// LR implements LRSchedule.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+// StepDecay multiplies the base rate by Factor every Every epochs — the
+// schedule conventionally paired with SGD+momentum training runs like the
+// paper's.
+type StepDecay struct {
+	Base   float64
+	Factor float64
+	Every  int
+}
+
+// LR implements LRSchedule.
+func (s StepDecay) LR(epoch int) float64 {
+	if s.Every < 1 {
+		panic(fmt.Sprintf("nn: StepDecay.Every %d", s.Every))
+	}
+	lr := s.Base
+	for k := 0; k < epoch/s.Every; k++ {
+		lr *= s.Factor
+	}
+	return lr
+}
+
+// WeightDecaySGD wraps SGD with L2 regularisation (the paper's related-work
+// reference [9], "biased weight decay", is the ancestral form): the gradient
+// of λ/2·‖w‖² is folded in before the momentum update.
+type WeightDecaySGD struct {
+	*SGD
+	Lambda float64
+}
+
+// NewWeightDecaySGD creates SGD with momentum plus L2 weight decay λ.
+func NewWeightDecaySGD(lr, momentum, lambda float64) *WeightDecaySGD {
+	return &WeightDecaySGD{SGD: NewSGD(lr, momentum), Lambda: lambda}
+}
+
+// Step implements Optimizer.
+func (w *WeightDecaySGD) Step(params []*Param) {
+	for _, p := range params {
+		p.Grad.AxpyInPlace(w.Lambda, p.Value)
+	}
+	w.SGD.Step(params)
+}

@@ -1,0 +1,174 @@
+// Package ops provides primitive-operation accounting for the FFT-based
+// inference stack.
+//
+// Every layer in internal/nn and every fast-multiply routine in
+// internal/circulant can report, analytically, how many primitive arithmetic
+// operations and how much memory traffic one forward pass costs. These counts
+// form the contract between the (host-executed) numerical code and the
+// embedded-platform cost model in internal/platform, which converts them into
+// per-image latencies for the devices of Table I of the paper.
+//
+// Counting is analytical rather than instrumented: formulas, not per-iteration
+// increments, so the accounting itself adds no measurable overhead to the
+// numeric kernels.
+package ops
+
+import "fmt"
+
+// Counts accumulates primitive-operation and memory-traffic totals for a unit
+// of work (conventionally: one forward pass over one input sample).
+type Counts struct {
+	RealMul int64 // real multiplications
+	RealAdd int64 // real additions/subtractions
+	CplxMul int64 // complex multiplications
+	CplxAdd int64 // complex additions/subtractions
+	Special int64 // transcendental/special-function evaluations (exp, tanh, ...)
+	Compare int64 // comparisons (ReLU, max-pooling, argmax)
+
+	MemRead  int64 // bytes read from operand memory
+	MemWrite int64 // bytes written to operand memory
+
+	// APICalls counts crossings of the host-language/library boundary
+	// (one per coarse-grained library call, e.g. one layer apply). The Java
+	// runtime model charges a JNI marshalling cost per crossing; the C++
+	// model charges a plain call overhead.
+	APICalls int64
+}
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	c.RealMul += o.RealMul
+	c.RealAdd += o.RealAdd
+	c.CplxMul += o.CplxMul
+	c.CplxAdd += o.CplxAdd
+	c.Special += o.Special
+	c.Compare += o.Compare
+	c.MemRead += o.MemRead
+	c.MemWrite += o.MemWrite
+	c.APICalls += o.APICalls
+}
+
+// Scale returns c with every field multiplied by k (e.g. per-sample counts
+// scaled to a batch).
+func (c Counts) Scale(k int64) Counts {
+	return Counts{
+		RealMul:  c.RealMul * k,
+		RealAdd:  c.RealAdd * k,
+		CplxMul:  c.CplxMul * k,
+		CplxAdd:  c.CplxAdd * k,
+		Special:  c.Special * k,
+		Compare:  c.Compare * k,
+		MemRead:  c.MemRead * k,
+		MemWrite: c.MemWrite * k,
+		APICalls: c.APICalls * k,
+	}
+}
+
+// Flop weights for complex arithmetic lowered to real arithmetic:
+// a complex multiply is 4 real multiplies + 2 real adds (6 flops); a complex
+// add is 2 real adds.
+const (
+	flopsPerCplxMul = 6
+	flopsPerCplxAdd = 2
+	flopsPerSpecial = 20 // amortised cost of one exp/tanh in flop-equivalents
+)
+
+// Flops returns the total floating-point operation count with complex and
+// special operations lowered to real-flop equivalents. Comparisons count as
+// one flop each (they occupy an ALU slot on the modelled in-order cores).
+func (c Counts) Flops() float64 {
+	return float64(c.RealMul) + float64(c.RealAdd) +
+		flopsPerCplxMul*float64(c.CplxMul) + flopsPerCplxAdd*float64(c.CplxAdd) +
+		flopsPerSpecial*float64(c.Special) + float64(c.Compare)
+}
+
+// Bytes returns total memory traffic in bytes.
+func (c Counts) Bytes() int64 { return c.MemRead + c.MemWrite }
+
+// String renders a compact human-readable summary.
+func (c Counts) String() string {
+	return fmt.Sprintf(
+		"ops{rmul=%d radd=%d cmul=%d cadd=%d special=%d cmp=%d read=%dB write=%dB api=%d flops=%.0f}",
+		c.RealMul, c.RealAdd, c.CplxMul, c.CplxAdd, c.Special, c.Compare,
+		c.MemRead, c.MemWrite, c.APICalls, c.Flops())
+}
+
+// log2 returns ceil(log2(n)) for n >= 1.
+func log2(n int) int {
+	k := 0
+	for v := 1; v < n; v <<= 1 {
+		k++
+	}
+	return k
+}
+
+// FFT returns the cost of one radix-2 complex FFT (or IFFT) of size n
+// (n a power of two): (n/2)·log2 n complex multiplies and n·log2 n complex
+// adds, plus streaming memory traffic of log2 n passes over the data.
+func FFT(n int) Counts {
+	if n <= 1 {
+		return Counts{}
+	}
+	l := int64(log2(n))
+	nn := int64(n)
+	return Counts{
+		CplxMul:  nn / 2 * l,
+		CplxAdd:  nn * l,
+		MemRead:  16 * nn * l, // complex128 = 16 bytes, one read per butterfly leg
+		MemWrite: 16 * nn * l,
+	}
+}
+
+// ElementwiseCplxMul returns the cost of an n-point component-wise complex
+// multiplication (the "∘" of the paper's FFT→∘→IFFT procedure).
+func ElementwiseCplxMul(n int) Counts {
+	nn := int64(n)
+	return Counts{
+		CplxMul:  nn,
+		MemRead:  32 * nn,
+		MemWrite: 16 * nn,
+	}
+}
+
+// DenseMatVec returns the cost of a direct (uncompressed) m×n matrix–vector
+// product — the O(n²) baseline the paper's FFT method replaces.
+func DenseMatVec(m, n int) Counts {
+	t := int64(m) * int64(n)
+	return Counts{
+		RealMul:  t,
+		RealAdd:  t,
+		MemRead:  8 * (t + int64(n)), // matrix streamed once + vector
+		MemWrite: 8 * int64(m),
+	}
+}
+
+// CirculantMatVec returns the cost of one n-point circulant (or circulant-
+// transpose) matrix–vector product using the FFT→∘→IFFT procedure with the
+// weight spectrum pre-computed (paper §IV-A): one forward FFT of the input,
+// one element-wise spectral product, one inverse FFT.
+func CirculantMatVec(n int) Counts {
+	var c Counts
+	c.Add(FFT(n))                // FFT(x)
+	c.Add(ElementwiseCplxMul(n)) // FFT(w) ∘ FFT(x)
+	c.Add(FFT(n))                // IFFT
+	return c
+}
+
+// BlockCirculantMatVec returns the cost of an FFT-based block-circulant
+// matrix–vector product with k row blocks, l column blocks and block size n,
+// using per-input-block FFTs, k·l spectral products with spectral-domain
+// accumulation, and one IFFT per output block.
+func BlockCirculantMatVec(k, l, n int) Counts {
+	var c Counts
+	for j := 0; j < l; j++ {
+		c.Add(FFT(n)) // FFT of each input block
+	}
+	for i := 0; i < k*l; i++ {
+		c.Add(ElementwiseCplxMul(n))
+		c.Add(Counts{CplxAdd: int64(n)}) // spectral accumulation
+	}
+	for i := 0; i < k; i++ {
+		c.Add(FFT(n)) // one IFFT per output block
+	}
+	return c
+}

@@ -1,0 +1,139 @@
+package ops
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAccumulatesEveryField(t *testing.T) {
+	a := Counts{RealMul: 1, RealAdd: 2, CplxMul: 3, CplxAdd: 4, Special: 5,
+		Compare: 6, MemRead: 7, MemWrite: 8, APICalls: 9}
+	b := a
+	b.Add(a)
+	if b.RealMul != 2 || b.RealAdd != 4 || b.CplxMul != 6 || b.CplxAdd != 8 ||
+		b.Special != 10 || b.Compare != 12 || b.MemRead != 14 || b.MemWrite != 16 || b.APICalls != 18 {
+		t.Errorf("Add missed a field: %+v", b)
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := Counts{RealMul: 3, MemRead: 5, APICalls: 1}
+	s := a.Scale(4)
+	if s.RealMul != 12 || s.MemRead != 20 || s.APICalls != 4 {
+		t.Errorf("Scale wrong: %+v", s)
+	}
+	if z := a.Scale(0); z.Flops() != 0 || z.Bytes() != 0 {
+		t.Error("Scale(0) must zero everything")
+	}
+}
+
+func TestFlopsWeights(t *testing.T) {
+	// One complex multiply = 6 flops, one complex add = 2, per the lowering.
+	if got := (Counts{CplxMul: 1}).Flops(); got != 6 {
+		t.Errorf("CplxMul flops = %g, want 6", got)
+	}
+	if got := (Counts{CplxAdd: 1}).Flops(); got != 2 {
+		t.Errorf("CplxAdd flops = %g, want 2", got)
+	}
+	if got := (Counts{RealMul: 1, RealAdd: 1, Compare: 1}).Flops(); got != 3 {
+		t.Errorf("real flops = %g, want 3", got)
+	}
+}
+
+func TestFFTCostFormula(t *testing.T) {
+	// Radix-2: (n/2)·log2 n complex multiplies, n·log2 n complex adds.
+	c := FFT(8)
+	if c.CplxMul != 12 || c.CplxAdd != 24 {
+		t.Errorf("FFT(8) = %+v, want 12 cmul / 24 cadd", c)
+	}
+	if got := FFT(1); got != (Counts{}) {
+		t.Errorf("FFT(1) should be free, got %+v", got)
+	}
+	if got := FFT(0); got != (Counts{}) {
+		t.Errorf("FFT(0) should be free, got %+v", got)
+	}
+}
+
+func TestFFTCostMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%10+10)%10 + 1 // 1..10 regardless of sign
+		small := FFT(1 << uint(n))
+		big := FFT(1 << uint(n+1))
+		return big.Flops() > small.Flops()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCirculantBeatsDenseAsymptotically(t *testing.T) {
+	// The core complexity claim: for square n×n, the FFT path's flops grow
+	// like n log n versus n² — the ratio must widen with n.
+	prev := 0.0
+	for _, n := range []int{64, 256, 1024, 4096} {
+		ratio := DenseMatVec(n, n).Flops() / CirculantMatVec(n).Flops()
+		if ratio <= prev {
+			t.Errorf("n=%d: dense/FFT flop ratio %.1f did not grow (prev %.1f)", n, ratio, prev)
+		}
+		prev = ratio
+	}
+	if prev < 20 {
+		t.Errorf("at n=4096 the FFT advantage is only %.1fx", prev)
+	}
+}
+
+func TestBlockCirculantCostStructure(t *testing.T) {
+	// k×l grid of b-blocks: l input FFTs + k·l spectral products (+ adds) +
+	// k output IFFTs.
+	k, l, b := 2, 4, 8
+	c := BlockCirculantMatVec(k, l, b)
+	var want Counts
+	for i := 0; i < l+k; i++ {
+		want.Add(FFT(b))
+	}
+	for i := 0; i < k*l; i++ {
+		want.Add(ElementwiseCplxMul(b))
+		want.Add(Counts{CplxAdd: int64(b)})
+	}
+	if c != want {
+		t.Errorf("BlockCirculantMatVec structure mismatch:\n got %+v\nwant %+v", c, want)
+	}
+}
+
+func TestBlockCirculantReducesToCirculant(t *testing.T) {
+	// k = l = 1 must cost exactly one circulant product plus the spectral
+	// accumulation adds (n complex adds).
+	want := CirculantMatVec(64)
+	want.Add(Counts{CplxAdd: 64})
+	if got := BlockCirculantMatVec(1, 1, 64); got != want {
+		t.Errorf("1×1 block-circulant cost %+v, want %+v", got, want)
+	}
+}
+
+func TestDenseMatVecCost(t *testing.T) {
+	c := DenseMatVec(3, 5)
+	if c.RealMul != 15 || c.RealAdd != 15 {
+		t.Errorf("DenseMatVec(3,5) = %+v", c)
+	}
+	if c.Bytes() <= 0 {
+		t.Error("dense product must move memory")
+	}
+}
+
+func TestStringContainsTotals(t *testing.T) {
+	s := (Counts{RealMul: 42, APICalls: 7}).String()
+	for _, want := range []string{"rmul=42", "api=7", "flops="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestSpecialFlopWeight(t *testing.T) {
+	// One transcendental = 20 flop-equivalents (amortised exp/tanh cost).
+	if got := (Counts{Special: 2}).Flops(); math.Abs(got-40) > 1e-12 {
+		t.Errorf("Special flops = %g, want 40", got)
+	}
+}

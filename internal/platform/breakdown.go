@@ -1,0 +1,103 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ops"
+)
+
+// LayerCost is one stage's contribution to a network's modelled latency.
+type LayerCost struct {
+	Name   string
+	Counts ops.Counts
+	US     float64
+}
+
+// Breakdown attributes a configuration's modelled latency to individual
+// pipeline stages. Because the roofline max and the fixed base cost are
+// whole-inference properties, per-stage times are computed proportionally:
+// each stage gets the whole-model latency scaled by its share of the
+// dominant resource (compute-bound models attribute by flops, bandwidth-
+// bound models by bytes), with per-call and base overheads folded in by
+// API-call share.
+func (c Config) Breakdown(stages []LayerCost) []LayerCost {
+	var total ops.Counts
+	for _, s := range stages {
+		total.Add(s.Counts)
+	}
+	whole := c.EstimateUS(total)
+	s := c.Spec
+	// Which resource dominates the roofline for the whole model?
+	comp := total.Flops() / (s.NativeGFLOPS * 1e3)
+	mem := float64(total.Bytes()) / (s.MemBWGBs * 1e3)
+	byFlops := comp >= mem
+	out := make([]LayerCost, len(stages))
+	raw := make([]float64, len(stages))
+	var rawSum float64
+	overheadTotal := float64(total.APICalls)*callUS(c) + baseUS(c)
+	roofline := max(0, whole-overheadTotal)
+	for i, st := range stages {
+		share := 0.0
+		if byFlops {
+			if f := total.Flops(); f > 0 {
+				share = st.Counts.Flops() / f
+			}
+		} else {
+			if bts := total.Bytes(); bts > 0 {
+				share = float64(st.Counts.Bytes()) / float64(bts)
+			}
+		}
+		callShare := 0.0
+		if total.APICalls > 0 {
+			callShare = float64(st.Counts.APICalls) / float64(total.APICalls)
+		}
+		raw[i] = share*roofline + callShare*overheadTotal
+		rawSum += raw[i]
+	}
+	// Normalise so the attribution sums exactly to the whole-model latency
+	// (covers the battery multiplier and roofline slack).
+	scale := 1.0
+	if rawSum > 0 {
+		scale = whole / rawSum
+	}
+	for i, st := range stages {
+		out[i] = LayerCost{Name: st.Name, Counts: st.Counts, US: raw[i] * scale}
+	}
+	return out
+}
+
+func callUS(c Config) float64 {
+	if c.Env == EnvJava {
+		return c.Spec.JNICallUS
+	}
+	return c.Spec.CallUS
+}
+
+func baseUS(c Config) float64 {
+	if c.Env == EnvJava {
+		return c.Spec.JavaBaseUS
+	}
+	return c.Spec.BaseUS
+}
+
+// BreakdownReport renders the per-stage attribution as a table, largest
+// contributor first kept in pipeline order for readability.
+func (c Config) BreakdownReport(stages []LayerCost) string {
+	rows := c.Breakdown(stages)
+	var total float64
+	for _, r := range rows {
+		total += r.US
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency attribution on %s (total %.1f µs/image):\n", c, total)
+	fmt.Fprintf(&b, "%-40s %12s %7s\n", "stage", "µs", "share")
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = r.US / total * 100
+		}
+		fmt.Fprintf(&b, "%-40s %12.1f %6.1f%%\n", r.Name, r.US, share)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package platform
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ops"
+)
+
+func fcStage(name string, flops int64) LayerCost {
+	return LayerCost{Name: name, Counts: ops.Counts{
+		RealMul: flops / 2, RealAdd: flops / 2,
+		MemRead: flops, MemWrite: flops / 4, APICalls: 1,
+	}}
+}
+
+func TestBreakdownSumsToWholeModelLatency(t *testing.T) {
+	stages := []LayerCost{
+		fcStage("conv1", 3_000_000),
+		fcStage("conv2", 57_000_000),
+		fcStage("fc", 500_000),
+	}
+	for _, spec := range Platforms() {
+		for _, env := range []Env{EnvJava, EnvCPP} {
+			for _, battery := range []bool{false, true} {
+				cfg := Config{Spec: spec, Env: env, Battery: battery}
+				var total ops.Counts
+				for _, s := range stages {
+					total.Add(s.Counts)
+				}
+				whole := cfg.EstimateUS(total)
+				rows := cfg.Breakdown(stages)
+				var sum float64
+				for _, r := range rows {
+					if r.US < 0 {
+						t.Fatalf("%s: negative attribution %g", cfg, r.US)
+					}
+					sum += r.US
+				}
+				if math.Abs(sum-whole) > 1e-6*whole {
+					t.Errorf("%s: attribution sums to %.2f, whole model %.2f", cfg, sum, whole)
+				}
+			}
+		}
+	}
+}
+
+func TestBreakdownIdentifiesDominantStage(t *testing.T) {
+	stages := []LayerCost{
+		fcStage("small", 1_000_000),
+		fcStage("huge", 80_000_000),
+	}
+	cfg := Config{Spec: Platforms()[1], Env: EnvCPP}
+	rows := cfg.Breakdown(stages)
+	if rows[1].US <= rows[0].US {
+		t.Errorf("dominant stage not identified: small=%.1f huge=%.1f", rows[0].US, rows[1].US)
+	}
+	if rows[1].US < 10*rows[0].US {
+		t.Errorf("80x flop ratio should dominate attribution: small=%.1f huge=%.1f", rows[0].US, rows[1].US)
+	}
+}
+
+func TestBreakdownOverheadBoundModel(t *testing.T) {
+	// Tiny per-stage work: attribution follows API-call counts, not flops.
+	stages := []LayerCost{
+		{Name: "a", Counts: ops.Counts{RealMul: 10, APICalls: 1}},
+		{Name: "b", Counts: ops.Counts{RealMul: 20, APICalls: 3}},
+	}
+	cfg := Config{Spec: Platforms()[0], Env: EnvJava}
+	rows := cfg.Breakdown(stages)
+	if rows[1].US <= rows[0].US {
+		t.Error("call-heavy stage must dominate an overhead-bound model")
+	}
+}
+
+func TestBreakdownReportRendering(t *testing.T) {
+	stages := []LayerCost{fcStage("conv", 1e6), fcStage("fc", 1e5)}
+	cfg := Config{Spec: Platforms()[2], Env: EnvCPP}
+	r := cfg.BreakdownReport(stages)
+	for _, want := range []string{"conv", "fc", "share", "µs/image"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestBreakdownEmptyStages(t *testing.T) {
+	cfg := Config{Spec: Platforms()[0], Env: EnvCPP}
+	if rows := cfg.Breakdown(nil); len(rows) != 0 {
+		t.Error("empty input must give empty attribution")
+	}
+}

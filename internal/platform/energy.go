@@ -1,0 +1,85 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/ops"
+)
+
+// Energy and model-transport models for the paper's two stated embedded
+// challenges (§I): (ii) compute/energy budgets — per-image energy follows
+// from the latency model and a per-device active-power figure — and
+// (i) communication bandwidth — downloading a large model to a mobile
+// terminal, which the O(n) weight storage addresses.
+
+// Active-power figures (watts) for the primary CPU cluster under sustained
+// NEON load, from public SoC measurements of the respective generations
+// (Krait 400 ≈ 3.5 W, Exynos 5422 A15 cluster ≈ 4.5 W, Kirin 655 A53
+// cluster ≈ 2.2 W). Java adds managed-runtime overhead activity.
+var activePowerW = map[string]float64{
+	"LG Nexus 5":      3.5,
+	"Odroid XU3":      4.5,
+	"Huawei Honor 6X": 2.2,
+}
+
+// javaPowerFactor inflates active power under the Java runtime (JIT, GC and
+// marshalling activity keep more of the SoC busy).
+const javaPowerFactor = 1.15
+
+// EnergyUJ returns the modelled energy of one inference in microjoules:
+// active power × modelled latency.
+func (c Config) EnergyUJ(counts ops.Counts) float64 {
+	p, ok := activePowerW[c.Spec.Name]
+	if !ok {
+		p = 3.0
+	}
+	if c.Env == EnvJava {
+		p *= javaPowerFactor
+	}
+	return p * c.EstimateUS(counts) // W × µs = µJ
+}
+
+// TrueNorthEnergyUJ returns the published per-image energy of the IBM
+// TrueNorth baseline on its MNIST network (≈ 4 µJ/image at 1000 µs/image,
+// Esser et al. 2015) — the energy-efficiency context for Fig. 5.
+const TrueNorthEnergyUJ = 4.0
+
+// LinkSpeed describes one mobile downlink for the model-download challenge.
+type LinkSpeed struct {
+	Name string
+	Mbps float64
+}
+
+// MobileLinks returns representative 2017-era mobile downlinks.
+func MobileLinks() []LinkSpeed {
+	return []LinkSpeed{
+		{Name: "3G HSPA", Mbps: 4},
+		{Name: "LTE cat4", Mbps: 25},
+		{Name: "Wi-Fi 802.11n", Mbps: 72},
+	}
+}
+
+// DownloadSeconds returns the time to transfer a model of the given size
+// over the link.
+func (l LinkSpeed) DownloadSeconds(modelBytes int64) float64 {
+	return float64(modelBytes) * 8 / (l.Mbps * 1e6)
+}
+
+// ModelBytes estimates the on-disk size of a parameter count at the given
+// bytes-per-weight precision.
+func ModelBytes(params int, bytesPerWeight int) int64 {
+	return int64(params) * int64(bytesPerWeight)
+}
+
+// EnergyReport renders a per-device energy comparison for one workload.
+func EnergyReport(counts ops.Counts) string {
+	out := fmt.Sprintf("%-16s %-5s %12s %12s\n", "Device", "Impl", "µs/image", "µJ/image")
+	for _, s := range Platforms() {
+		for _, env := range []Env{EnvJava, EnvCPP} {
+			cfg := Config{Spec: s, Env: env}
+			out += fmt.Sprintf("%-16s %-5s %12.1f %12.1f\n",
+				s.Name, env, cfg.EstimateUS(counts), cfg.EnergyUJ(counts))
+		}
+	}
+	return out
+}

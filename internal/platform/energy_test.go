@@ -1,0 +1,99 @@
+package platform
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ops"
+)
+
+func smallWorkload() ops.Counts {
+	return ops.Counts{RealMul: 1e6, RealAdd: 1e6, MemRead: 1e6, MemWrite: 1e6, APICalls: 5}
+}
+
+func TestEnergyFollowsLatencyAndPower(t *testing.T) {
+	c := smallWorkload()
+	for _, s := range Platforms() {
+		cpp := Config{Spec: s, Env: EnvCPP}
+		j := Config{Spec: s, Env: EnvJava}
+		eCPP := cpp.EnergyUJ(c)
+		eJava := j.EnergyUJ(c)
+		if eCPP <= 0 || eJava <= eCPP {
+			t.Errorf("%s: energy ordering broken: cpp=%.1f java=%.1f", s.Name, eCPP, eJava)
+		}
+		// Energy = power × time exactly.
+		wantCPP := activePowerW[s.Name] * cpp.EstimateUS(c)
+		if math.Abs(eCPP-wantCPP) > 1e-9 {
+			t.Errorf("%s: energy %.3f, want power×time %.3f", s.Name, eCPP, wantCPP)
+		}
+	}
+}
+
+func TestHonorIsMostEfficient(t *testing.T) {
+	// The A53 cluster draws the least power and finishes fastest: it must
+	// win the µJ/image comparison (the embedded-efficiency story of §I).
+	c := smallWorkload()
+	ps := Platforms()
+	h := Config{Spec: ps[2], Env: EnvCPP}.EnergyUJ(c)
+	for _, s := range ps[:2] {
+		if e := (Config{Spec: s, Env: EnvCPP}).EnergyUJ(c); e <= h {
+			t.Errorf("%s energy %.1fµJ not above Honor 6X %.1fµJ", s.Name, e, h)
+		}
+	}
+}
+
+func TestDownloadSeconds(t *testing.T) {
+	l := LinkSpeed{Name: "test", Mbps: 8}
+	// 1 MB over 8 Mbps = 1 second.
+	if got := l.DownloadSeconds(1e6); math.Abs(got-1) > 1e-12 {
+		t.Errorf("DownloadSeconds = %g, want 1", got)
+	}
+}
+
+func TestCompressionShrinksDownloadTime(t *testing.T) {
+	// The §I challenge (i): an uncompressed Arch-1-dense model versus its
+	// block-circulant form over a 3G link.
+	link := MobileLinks()[0]
+	dense := ModelBytes(50698, 8) // Arch-1 dense float64
+	circ := ModelBytes(2314, 8)   // Arch-1 block-circulant
+	td := link.DownloadSeconds(dense)
+	tc := link.DownloadSeconds(circ)
+	if tc >= td {
+		t.Errorf("compressed download %.2fs not below dense %.2fs", tc, td)
+	}
+	if ratio := td / tc; math.Abs(ratio-float64(50698)/2314) > 1e-9 {
+		t.Errorf("download ratio %.1f should equal parameter ratio", ratio)
+	}
+}
+
+func TestMobileLinksOrdering(t *testing.T) {
+	links := MobileLinks()
+	if len(links) != 3 {
+		t.Fatalf("%d links", len(links))
+	}
+	for i := 1; i < len(links); i++ {
+		if links[i].Mbps <= links[i-1].Mbps {
+			t.Error("links must be ordered slowest to fastest")
+		}
+	}
+}
+
+func TestEnergyReportRendering(t *testing.T) {
+	r := EnergyReport(smallWorkload())
+	for _, want := range []string{"µJ/image", "LG Nexus 5", "Java", "C++"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestTrueNorthEnergyContext(t *testing.T) {
+	// The neuromorphic baseline's published energy is orders of magnitude
+	// below the phones' — the Fig. 5 energy context must hold in the model.
+	c := smallWorkload()
+	phone := Config{Spec: Platforms()[2], Env: EnvCPP}.EnergyUJ(c)
+	if phone < 10*TrueNorthEnergyUJ {
+		t.Errorf("phone energy %.1fµJ implausibly close to TrueNorth %.1fµJ", phone, TrueNorthEnergyUJ)
+	}
+}

@@ -1,0 +1,217 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// archCounts runs one forward pass of each paper architecture — including
+// the softmax output stage the deployed pipeline executes — and returns its
+// per-sample op counts.
+func archCounts(t *testing.T) (a1, a2, a3 ops.Counts) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	n1 := nn.Arch1(rng).Add(nn.NewSoftmax())
+	n1.Forward(tensor.New(1, 256), false)
+	n2 := nn.Arch2(rng).Add(nn.NewSoftmax())
+	n2.Forward(tensor.New(1, 121), false)
+	n3 := nn.Arch3(rng).Add(nn.NewSoftmax())
+	n3.Forward(tensor.New(1, 32, 32, 3), false)
+	return n1.CountOps(), n2.CountOps(), n3.CountOps()
+}
+
+// paper Table II / III reference cells, µs per image.
+var paperTableII = map[string]map[Env][3]float64{ // device order N5, XU3, H6X
+	"arch1": {EnvJava: {359.6, 294.1, 256.7}, EnvCPP: {140.0, 122.0, 101.0}},
+	"arch2": {EnvJava: {350.9, 278.2, 221.7}, EnvCPP: {128.5, 119.1, 98.5}},
+}
+
+var paperTableIII = map[Env][2]float64{ // device order XU3, H6X
+	EnvJava: {21032, 19785},
+	EnvCPP:  {8912, 8244},
+}
+
+func TestTableIRegistry(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 3 {
+		t.Fatalf("%d platforms, want 3", len(ps))
+	}
+	if ps[0].Name != "LG Nexus 5" || ps[1].Name != "Odroid XU3" || ps[2].Name != "Huawei Honor 6X" {
+		t.Errorf("platform order/name mismatch: %v %v %v", ps[0].Name, ps[1].Name, ps[2].Name)
+	}
+	if ps[2].RAMGB != 3 || ps[0].RAMGB != 2 {
+		t.Error("RAM fields do not match Table I")
+	}
+	if ps[2].Arch != "ARMv8-A" {
+		t.Error("Honor 6X must be the ARMv8-A device")
+	}
+	if _, err := ByName("LG Nexus 5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("iPhone"); err == nil {
+		t.Error("expected error for unknown device")
+	}
+	tbl := TableI()
+	for _, want := range []string{"Krait 400", "Cortex-A15", "Mali T830", "Marshmallow"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table I rendering missing %q", want)
+		}
+	}
+}
+
+// TestModelReproducesTableII asserts every modelled MNIST cell is within 15%
+// of the paper's published value (most are within 4%; see EXPERIMENTS.md).
+func TestModelReproducesTableII(t *testing.T) {
+	a1, a2, _ := archCounts(t)
+	counts := map[string]ops.Counts{"arch1": a1, "arch2": a2}
+	for arch, envs := range paperTableII {
+		for env, want := range envs {
+			for di, spec := range Platforms() {
+				got := Config{Spec: spec, Env: env}.EstimateUS(counts[arch])
+				rel := math.Abs(got-want[di]) / want[di]
+				if rel > 0.15 {
+					t.Errorf("%s %s %s: modelled %.1fµs vs paper %.1fµs (%.0f%% off)",
+						arch, env, spec.Name, got, want[di], rel*100)
+				}
+			}
+		}
+	}
+}
+
+// TestModelReproducesTableIII does the same for the CIFAR-10 cells.
+func TestModelReproducesTableIII(t *testing.T) {
+	_, _, a3 := archCounts(t)
+	devices := Platforms()[1:] // XU3, Honor 6X
+	for env, want := range paperTableIII {
+		for di, spec := range devices {
+			got := Config{Spec: spec, Env: env}.EstimateUS(a3)
+			rel := math.Abs(got-want[di]) / want[di]
+			if rel > 0.15 {
+				t.Errorf("arch3 %s %s: modelled %.0fµs vs paper %.0fµs (%.0f%% off)",
+					env, spec.Name, got, want[di], rel*100)
+			}
+		}
+	}
+}
+
+func TestJavaAlwaysSlowerThanCPP(t *testing.T) {
+	a1, a2, a3 := archCounts(t)
+	for _, c := range []ops.Counts{a1, a2, a3} {
+		for _, spec := range Platforms() {
+			j := Config{Spec: spec, Env: EnvJava}.EstimateUS(c)
+			n := Config{Spec: spec, Env: EnvCPP}.EstimateUS(c)
+			if j <= n {
+				t.Errorf("%s: Java %.1fµs not slower than C++ %.1fµs", spec.Name, j, n)
+			}
+			// The paper's measured gap is 2.3–2.6×; allow a generous band.
+			if r := j / n; r < 1.5 || r > 3.5 {
+				t.Errorf("%s: Java/C++ ratio %.2f outside [1.5,3.5]", spec.Name, r)
+			}
+		}
+	}
+}
+
+func TestDeviceOrderingMatchesPaper(t *testing.T) {
+	// On every workload and runtime: Nexus 5 slowest, Honor 6X fastest.
+	a1, a2, a3 := archCounts(t)
+	for _, c := range []ops.Counts{a1, a2, a3} {
+		for _, env := range []Env{EnvJava, EnvCPP} {
+			ps := Platforms()
+			t5 := Config{Spec: ps[0], Env: env}.EstimateUS(c)
+			tx := Config{Spec: ps[1], Env: env}.EstimateUS(c)
+			th := Config{Spec: ps[2], Env: env}.EstimateUS(c)
+			if !(t5 > tx && tx > th) {
+				t.Errorf("%s: device ordering violated: N5=%.1f XU3=%.1f H6X=%.1f", env, t5, tx, th)
+			}
+		}
+	}
+}
+
+func TestBatteryModePenalisesOnlyJava(t *testing.T) {
+	a1, _, _ := archCounts(t)
+	spec := Platforms()[0]
+	jPlug := Config{Spec: spec, Env: EnvJava}.EstimateUS(a1)
+	jBatt := Config{Spec: spec, Env: EnvJava, Battery: true}.EstimateUS(a1)
+	if r := jBatt / jPlug; math.Abs(r-1.14) > 1e-9 {
+		t.Errorf("Java battery penalty %.3f, want 1.14 (paper §V-B)", r)
+	}
+	cPlug := Config{Spec: spec, Env: EnvCPP}.EstimateUS(a1)
+	cBatt := Config{Spec: spec, Env: EnvCPP, Battery: true}.EstimateUS(a1)
+	if cPlug != cBatt {
+		t.Error("C++ runtime must be unchanged on battery (paper §V-B)")
+	}
+}
+
+func TestArch1SlowerThanArch2ButOnlySlightly(t *testing.T) {
+	// Paper: going Arch-2 → Arch-1 raises runtime by only a few percent
+	// despite ~2× parameters — the small-network overhead-domination effect.
+	a1, a2, _ := archCounts(t)
+	for _, spec := range Platforms() {
+		for _, env := range []Env{EnvJava, EnvCPP} {
+			t1 := Config{Spec: spec, Env: env}.EstimateUS(a1)
+			t2 := Config{Spec: spec, Env: env}.EstimateUS(a2)
+			if t1 <= t2 {
+				t.Errorf("%s/%s: Arch-1 %.1fµs not slower than Arch-2 %.1fµs", spec.Name, env, t1, t2)
+			}
+			if d := (t1 - t2) / t2; d > 0.15 {
+				t.Errorf("%s/%s: Arch-1/Arch-2 delta %.0f%% too large for overhead-bound regime", spec.Name, env, d*100)
+			}
+		}
+	}
+}
+
+func TestCIFARJavaGapSmallerThanCompute(t *testing.T) {
+	// CIFAR-10 is compute-bound, so its Java/C++ ratio tracks the compute
+	// derating (~1/0.42 ≈ 2.4), while the overhead-bound MNIST ratio
+	// reflects JNI costs; both land in the paper's 2.3–2.6 band.
+	a1, _, a3 := archCounts(t)
+	spec := Platforms()[1]
+	rm := Config{Spec: spec, Env: EnvJava}.EstimateUS(a1) / Config{Spec: spec, Env: EnvCPP}.EstimateUS(a1)
+	rc := Config{Spec: spec, Env: EnvJava}.EstimateUS(a3) / Config{Spec: spec, Env: EnvCPP}.EstimateUS(a3)
+	if rm < 2.0 || rm > 3.0 || rc < 2.0 || rc > 3.0 {
+		t.Errorf("Java/C++ ratios MNIST=%.2f CIFAR=%.2f outside paper band", rm, rc)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	a1, _, _ := archCounts(t)
+	rows := Sweep(a1)
+	if len(rows) != 6 {
+		t.Fatalf("%d sweep rows, want 6", len(rows))
+	}
+	if rows[0].Env != EnvJava || rows[3].Env != EnvCPP {
+		t.Error("sweep row order must be Java then C++")
+	}
+}
+
+func TestMonotoneInCounts(t *testing.T) {
+	// More work must never be modelled as faster.
+	a1, _, _ := archCounts(t)
+	bigger := a1
+	bigger.RealMul *= 2
+	bigger.MemRead *= 2
+	for _, spec := range Platforms() {
+		for _, env := range []Env{EnvJava, EnvCPP} {
+			cfg := Config{Spec: spec, Env: env}
+			if cfg.EstimateUS(bigger) < cfg.EstimateUS(a1) {
+				t.Errorf("%s/%s: model not monotone in op counts", spec.Name, env)
+			}
+		}
+	}
+}
+
+func TestEnvString(t *testing.T) {
+	if EnvCPP.String() != "C++" || EnvJava.String() != "Java" {
+		t.Error("Env string rendering mismatch")
+	}
+	cfg := Config{Spec: Platforms()[0], Env: EnvJava, Battery: true}
+	if got := cfg.String(); !strings.Contains(got, "battery") || !strings.Contains(got, "Java") {
+		t.Errorf("Config.String() = %q", got)
+	}
+}

@@ -1,0 +1,42 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ops"
+)
+
+// TableI renders the platform registry in the layout of the paper's Table I.
+func TableI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-16s %-24s %-24s %-9s %-11s %s\n",
+		"Platform", "Android", "Primary CPU", "Companion CPU", "CPU Arch", "GPU", "RAM (GB)")
+	for _, s := range Platforms() {
+		fmt.Fprintf(&b, "%-16s %-16s %-24s %-24s %-9s %-11s %d\n",
+			s.Name, s.Android, s.PrimaryCPU, s.CompanionCPU, s.Arch, s.GPU, s.RAMGB)
+	}
+	return b.String()
+}
+
+// Row is one modelled (device, runtime) latency cell.
+type Row struct {
+	Device  string
+	Env     Env
+	Battery bool
+	US      float64
+}
+
+// Sweep evaluates the counts of one inference across every device/runtime
+// combination (plugged in), returning cells in Table-II column order
+// (Java row then C++ row, devices left to right).
+func Sweep(counts ops.Counts) []Row {
+	var rows []Row
+	for _, env := range []Env{EnvJava, EnvCPP} {
+		for _, s := range Platforms() {
+			cfg := Config{Spec: s, Env: env}
+			rows = append(rows, Row{Device: s.Name, Env: env, US: cfg.EstimateUS(counts)})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,172 @@
+// Package prune implements the weight-pruning compression baseline of the
+// paper's related work (Han et al., "Deep Compression" [6]): magnitude-based
+// pruning of trained weights, compressed sparse row (CSR) storage, and a
+// sparse inference path.
+//
+// It exists to make the paper's §I argument executable: pruning reaches
+// similar storage compression, but produces an *irregular* network whose
+// sparse mat-vec has data-dependent access patterns, whereas the
+// block-circulant method keeps a regular FFT dataflow. The root benchmark
+// BenchmarkBaselinePruning measures exactly that trade at equal compression.
+package prune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// CSR is a compressed-sparse-row matrix (the storage format Deep
+// Compression deploys after pruning).
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Val        []float64
+}
+
+// FromDense converts a dense matrix to CSR, keeping entries with
+// |v| > threshold.
+func FromDense(m *tensor.Tensor, threshold float64) *CSR {
+	if m.Rank() != 2 {
+		panic("prune: FromDense needs a rank-2 tensor")
+	}
+	rows, cols := m.Dim(0), m.Dim(1)
+	c := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if math.Abs(v) > threshold {
+				c.ColIdx = append(c.ColIdx, int32(j))
+				c.Val = append(c.Val, v)
+			}
+		}
+		c.RowPtr[i+1] = int32(len(c.Val))
+	}
+	return c
+}
+
+// NNZ returns the number of stored non-zeros.
+func (c *CSR) NNZ() int { return len(c.Val) }
+
+// Density returns NNZ / (rows·cols).
+func (c *CSR) Density() float64 {
+	return float64(c.NNZ()) / (float64(c.Rows) * float64(c.Cols))
+}
+
+// StorageBytes returns the deployed size: 8 bytes per value plus 4 per
+// column index plus the row pointers.
+func (c *CSR) StorageBytes() int {
+	return 8*len(c.Val) + 4*len(c.ColIdx) + 4*len(c.RowPtr)
+}
+
+// MulVec returns M·x with the irregular gather the paper's §I criticises.
+func (c *CSR) MulVec(x []float64) []float64 {
+	if len(x) != c.Cols {
+		panic(fmt.Sprintf("prune: MulVec length %d, want %d", len(x), c.Cols))
+	}
+	out := make([]float64, c.Rows)
+	for i := 0; i < c.Rows; i++ {
+		var s float64
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			s += c.Val[k] * x[c.ColIdx[k]]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TransMulVec returns Mᵀ·x (scatter order — even more irregular).
+func (c *CSR) TransMulVec(x []float64) []float64 {
+	if len(x) != c.Rows {
+		panic(fmt.Sprintf("prune: TransMulVec length %d, want %d", len(x), c.Rows))
+	}
+	out := make([]float64, c.Cols)
+	for i := 0; i < c.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			out[c.ColIdx[k]] += c.Val[k] * xi
+		}
+	}
+	return out
+}
+
+// Dense expands the CSR matrix back to a tensor.
+func (c *CSR) Dense() *tensor.Tensor {
+	d := tensor.New(c.Rows, c.Cols)
+	for i := 0; i < c.Rows; i++ {
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			d.Set(c.Val[k], i, int(c.ColIdx[k]))
+		}
+	}
+	return d
+}
+
+// MulVecOps returns the analytical cost of one CSR mat-vec, including the
+// index-gather traffic that makes the pruned path memory-irregular.
+func (c *CSR) MulVecOps() ops.Counts {
+	nnz := int64(c.NNZ())
+	return ops.Counts{
+		RealMul:  nnz,
+		RealAdd:  nnz,
+		MemRead:  12*nnz + 4*int64(c.Rows+1) + 8*nnz, // val+idx stream + gathered x
+		MemWrite: 8 * int64(c.Rows),
+	}
+}
+
+// ThresholdForSparsity returns the magnitude threshold that prunes the given
+// fraction of entries (0 ≤ sparsity < 1) from the matrix.
+func ThresholdForSparsity(m *tensor.Tensor, sparsity float64) float64 {
+	if sparsity <= 0 {
+		return 0
+	}
+	if sparsity >= 1 {
+		panic("prune: sparsity must be below 1")
+	}
+	mags := make([]float64, len(m.Data))
+	for i, v := range m.Data {
+		mags[i] = math.Abs(v)
+	}
+	sort.Float64s(mags)
+	idx := int(sparsity * float64(len(mags)))
+	if idx >= len(mags) {
+		idx = len(mags) - 1
+	}
+	return mags[idx]
+}
+
+// PruneNetwork zeroes the smallest-magnitude fraction of every Dense layer's
+// weights in place (biases untouched) and returns the per-layer CSR forms.
+// The network keeps working (with pruned accuracy) and the CSR matrices are
+// what a deployment would ship.
+func PruneNetwork(net *nn.Network, sparsity float64) ([]*CSR, error) {
+	if sparsity < 0 || sparsity >= 1 {
+		return nil, fmt.Errorf("prune: sparsity %g outside [0,1)", sparsity)
+	}
+	var out []*CSR
+	for _, l := range net.Layers {
+		d, ok := l.(*nn.Dense)
+		if !ok {
+			continue
+		}
+		w := d.Params()[0].Value
+		th := ThresholdForSparsity(w, sparsity)
+		for i, v := range w.Data {
+			if math.Abs(v) <= th {
+				w.Data[i] = 0
+			}
+		}
+		out = append(out, FromDense(w, 0))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("prune: network has no Dense layers")
+	}
+	return out, nil
+}

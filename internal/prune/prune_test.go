@@ -1,0 +1,170 @@
+package prune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.New(7, 9).Randn(rng, 1)
+	// Zero a few entries so the CSR form is genuinely sparse.
+	for i := 0; i < 20; i++ {
+		m.Data[rng.Intn(m.Len())] = 0
+	}
+	c := FromDense(m, 0)
+	if !c.Dense().AllClose(m, 0) {
+		t.Error("CSR round trip lost values")
+	}
+	if c.NNZ() >= m.Len() {
+		t.Error("no sparsity recorded")
+	}
+}
+
+func TestCSRMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := tensor.New(16, 12).Randn(rng, 1)
+	c := FromDense(m, 0.5) // prune hard
+	pruned := c.Dense()
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := c.MulVec(x)
+	want := tensor.MatVec(pruned, x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	y := make([]float64, 16)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	gotT := c.TransMulVec(y)
+	wantT := tensor.MatVec(tensor.Transpose2D(pruned), y)
+	for i := range wantT {
+		if math.Abs(gotT[i]-wantT[i]) > 1e-12 {
+			t.Fatalf("TransMulVec[%d] = %g, want %g", i, gotT[i], wantT[i])
+		}
+	}
+}
+
+func TestCSRProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(20), 1+r.Intn(20)
+		m := tensor.New(rows, cols).Randn(r, 1)
+		c := FromDense(m, r.Float64())
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		got := c.MulVec(x)
+		want := tensor.MatVec(c.Dense(), x)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdForSparsity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := tensor.New(100, 10).Randn(rng, 1)
+	for _, s := range []float64{0.5, 0.9, 0.95} {
+		th := ThresholdForSparsity(m, s)
+		kept := 0
+		for _, v := range m.Data {
+			if math.Abs(v) > th {
+				kept++
+			}
+		}
+		got := 1 - float64(kept)/float64(m.Len())
+		if math.Abs(got-s) > 0.02 {
+			t.Errorf("sparsity %g: achieved %g", s, got)
+		}
+	}
+	if th := ThresholdForSparsity(m, 0); th != 0 {
+		t.Errorf("zero sparsity threshold %g", th)
+	}
+}
+
+func TestPruneNetworkKeepsAccuracy(t *testing.T) {
+	// The Deep-Compression observation the paper builds on: a trained,
+	// over-parameterised FC net tolerates heavy magnitude pruning.
+	rng := rand.New(rand.NewSource(4))
+	train := dataset.Resize(dataset.SyntheticMNIST(800, 5), 11, 11).Flatten()
+	test := dataset.Resize(dataset.SyntheticMNIST(200, 6), 11, 11).Flatten()
+	net := nn.NewNetwork(
+		nn.NewDense(121, 64, rng),
+		nn.NewReLU(),
+		nn.NewDense(64, 10, rng),
+	)
+	opt := nn.NewSGD(0.02, 0.9)
+	for epoch := 0; epoch < 15; epoch++ {
+		for lo := 0; lo < train.Len(); lo += 50 {
+			x, y := train.Batch(lo, 50)
+			net.TrainBatch(x, y, nn.SoftmaxCrossEntropy{}, opt)
+		}
+	}
+	before := net.Accuracy(test.X, test.Labels)
+	if before < 0.85 {
+		t.Fatalf("pre-prune accuracy too low: %.2f", before)
+	}
+	csrs, err := PruneNetwork(net, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := net.Accuracy(test.X, test.Labels)
+	if before-after > 0.10 {
+		t.Errorf("80%% pruning dropped accuracy %.2f → %.2f", before, after)
+	}
+	for _, c := range csrs {
+		if d := c.Density(); d > 0.25 {
+			t.Errorf("CSR density %.2f after 80%% pruning", d)
+		}
+	}
+}
+
+func TestPruneNetworkValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := PruneNetwork(nn.NewNetwork(nn.NewReLU()), 0.5); err == nil {
+		t.Error("expected error for network without Dense layers")
+	}
+	net := nn.NewNetwork(nn.NewDense(4, 2, rng))
+	if _, err := PruneNetwork(net, 1.0); err == nil {
+		t.Error("expected error for sparsity 1")
+	}
+	if _, err := PruneNetwork(net, -0.1); err == nil {
+		t.Error("expected error for negative sparsity")
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := tensor.New(64, 64).Randn(rng, 1)
+	th := ThresholdForSparsity(m, 0.9)
+	c := FromDense(m, th)
+	dense := 8 * 64 * 64
+	if c.StorageBytes() >= dense {
+		t.Errorf("CSR storage %dB not below dense %dB at 90%% sparsity", c.StorageBytes(), dense)
+	}
+	// But the index overhead means CSR compression < raw sparsity would
+	// suggest — part of the paper's case for structure over sparsity.
+	rawValueBytes := 8 * c.NNZ()
+	if c.StorageBytes() <= rawValueBytes {
+		t.Error("CSR must pay index overhead above raw values")
+	}
+}

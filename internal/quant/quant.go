@@ -1,0 +1,164 @@
+// Package quant implements the fixed-point weight-precision extension the
+// paper's related-work section surveys ([14]–[16]): symmetric linear
+// quantisation of trained parameters to Q-format integers, a quantised
+// inference path for FC layers, and accuracy/storage accounting.
+//
+// Combined with the block-circulant compression this demonstrates the
+// stacked-compression design point (structure × precision) the paper leaves
+// as future work: the spectral weights stay FFT-friendly because
+// quantisation is applied to the time-domain defining vectors, which are
+// dequantised once at load time.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// QTensor is a symmetric linearly-quantised tensor: value ≈ Scale·int.
+type QTensor struct {
+	Shape []int
+	Data  []int16
+	Scale float64
+	Bits  int // effective precision (≤ 15 magnitude bits)
+}
+
+// Quantize converts a float tensor to a symmetric fixed-point representation
+// with the given number of bits (2..16, sign included): values are scaled so
+// max|v| maps to 2^(bits−1)−1 and rounded to nearest.
+func Quantize(t *tensor.Tensor, bits int) (*QTensor, error) {
+	if bits < 2 || bits > 16 {
+		return nil, fmt.Errorf("quant: bits %d outside [2,16]", bits)
+	}
+	maxAbs := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	q := &QTensor{Shape: t.Shape(), Data: make([]int16, t.Len()), Bits: bits}
+	levels := float64(int(1)<<(bits-1)) - 1
+	if maxAbs == 0 {
+		q.Scale = 1
+		return q, nil
+	}
+	q.Scale = maxAbs / levels
+	for i, v := range t.Data {
+		r := math.RoundToEven(v / q.Scale)
+		if r > levels {
+			r = levels
+		} else if r < -levels {
+			r = -levels
+		}
+		q.Data[i] = int16(r)
+	}
+	return q, nil
+}
+
+// Dequantize reconstructs the float tensor.
+func (q *QTensor) Dequantize() *tensor.Tensor {
+	t := tensor.New(q.Shape...)
+	for i, v := range q.Data {
+		t.Data[i] = float64(v) * q.Scale
+	}
+	return t
+}
+
+// StorageBytes returns the storage footprint of the quantised tensor
+// (2 bytes per weight for the int16 container).
+func (q *QTensor) StorageBytes() int { return 2 * len(q.Data) }
+
+// MaxError returns the worst-case absolute quantisation error bound,
+// Scale/2.
+func (q *QTensor) MaxError() float64 { return q.Scale / 2 }
+
+// QuantizeNetwork quantises every parameter of a trained network in place
+// (values are replaced by their dequantised fixed-point approximations, and
+// circulant spectra refreshed) and returns the aggregate storage footprint
+// in bytes at the given precision versus float64.
+func QuantizeNetwork(net *nn.Network, bits int) (quantBytes, floatBytes int, err error) {
+	for _, p := range net.Params() {
+		q, err := Quantize(p.Value, bits)
+		if err != nil {
+			return 0, 0, err
+		}
+		d := q.Dequantize()
+		copy(p.Value.Data, d.Data)
+		if p.OnUpdate != nil {
+			p.OnUpdate()
+		}
+		quantBytes += q.StorageBytes()
+		floatBytes += 8 * p.Value.Len()
+	}
+	return quantBytes, floatBytes, nil
+}
+
+// FixedPointDense is an integer-arithmetic inference path for one dense
+// layer: int16 weights × int16 activations accumulated in int64, then
+// rescaled — the deployment style of the paper's reference [14].
+type FixedPointDense struct {
+	In, Out int
+	w       *QTensor
+	b       *QTensor
+	actBits int
+}
+
+// NewFixedPointDense quantises a trained Dense layer for integer inference;
+// actBits controls the activation precision.
+func NewFixedPointDense(d *nn.Dense, weightBits, actBits int) (*FixedPointDense, error) {
+	params := d.Params()
+	w, err := Quantize(params[0].Value, weightBits)
+	if err != nil {
+		return nil, err
+	}
+	b, err := Quantize(params[1].Value, weightBits)
+	if err != nil {
+		return nil, err
+	}
+	if actBits < 2 || actBits > 16 {
+		return nil, fmt.Errorf("quant: activation bits %d outside [2,16]", actBits)
+	}
+	return &FixedPointDense{In: d.In, Out: d.Out, w: w, b: b, actBits: actBits}, nil
+}
+
+// Forward computes y = x·W + θ entirely in integer arithmetic (apart from
+// the per-layer activation quantisation), returning float outputs.
+func (f *FixedPointDense) Forward(x []float64) []float64 {
+	if len(x) != f.In {
+		panic(fmt.Sprintf("quant: input length %d, want %d", len(x), f.In))
+	}
+	// Quantise activations on the fly.
+	maxAbs := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	levels := float64(int(1)<<(f.actBits-1)) - 1
+	xs := 1.0
+	if maxAbs > 0 {
+		xs = maxAbs / levels
+	}
+	qx := make([]int64, f.In)
+	for i, v := range x {
+		r := math.RoundToEven(v / xs)
+		if r > levels {
+			r = levels
+		} else if r < -levels {
+			r = -levels
+		}
+		qx[i] = int64(r)
+	}
+	out := make([]float64, f.Out)
+	for j := 0; j < f.Out; j++ {
+		var acc int64
+		for i := 0; i < f.In; i++ {
+			acc += qx[i] * int64(f.w.Data[i*f.Out+j])
+		}
+		out[j] = float64(acc)*xs*f.w.Scale + float64(f.b.Data[j])*f.b.Scale
+	}
+	return out
+}

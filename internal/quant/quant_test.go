@@ -1,0 +1,142 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(64).Randn(rng, 2)
+	for _, bits := range []int{4, 8, 12, 16} {
+		q, err := Quantize(x, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := q.Dequantize()
+		bound := q.MaxError() + 1e-12
+		for i := range x.Data {
+			if e := math.Abs(back.Data[i] - x.Data[i]); e > bound {
+				t.Errorf("bits=%d: element %d error %g exceeds bound %g", bits, i, e, bound)
+			}
+		}
+	}
+}
+
+func TestQuantizeErrorShrinksWithBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(256).Randn(rng, 1)
+	var prev float64 = math.Inf(1)
+	for _, bits := range []int{4, 8, 12} {
+		q, _ := Quantize(x, bits)
+		err := q.Dequantize().Sub(x).Norm2()
+		if err >= prev {
+			t.Errorf("bits=%d: error %g did not shrink from %g", bits, err, prev)
+		}
+		prev = err
+	}
+}
+
+func TestQuantizeValidation(t *testing.T) {
+	x := tensor.New(4)
+	if _, err := Quantize(x, 1); err == nil {
+		t.Error("expected error for 1 bit")
+	}
+	if _, err := Quantize(x, 17); err == nil {
+		t.Error("expected error for 17 bits")
+	}
+	// All-zero tensor must not divide by zero.
+	q, err := Quantize(x, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range q.Dequantize().Data {
+		if v != 0 {
+			t.Error("zero tensor must stay zero")
+		}
+	}
+}
+
+func TestQuantizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := tensor.New(1+r.Intn(100)).Randn(r, 1+r.Float64()*10)
+		q, err := Quantize(x, 2+r.Intn(15))
+		if err != nil {
+			return false
+		}
+		back := q.Dequantize()
+		for i := range x.Data {
+			if math.Abs(back.Data[i]-x.Data[i]) > q.MaxError()+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedPointDenseMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := nn.NewDense(32, 16, rng)
+	fp, err := NewFixedPointDense(d, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 32).Randn(rng, 1)
+	want := d.Forward(x, false)
+	got := fp.Forward(x.Row(0))
+	for j := 0; j < 16; j++ {
+		if e := math.Abs(got[j] - want.Row(0)[j]); e > 0.02 {
+			t.Errorf("output %d: fixed-point %g vs float %g", j, got[j], want.Row(0)[j])
+		}
+	}
+}
+
+func TestQuantizedNetworkKeepsAccuracy(t *testing.T) {
+	// Train Arch-2 briefly on synthetic digits, quantise to 10 bits, and
+	// require the accuracy drop to be small — the paper's premise that
+	// precision reduction composes with circulant compression.
+	rng := rand.New(rand.NewSource(4))
+	train := dataset.Resize(dataset.SyntheticMNIST(600, 5), 11, 11).Flatten()
+	test := dataset.Resize(dataset.SyntheticMNIST(150, 6), 11, 11).Flatten()
+	net := nn.Arch2(rng)
+	opt := nn.NewSGD(0.05, 0.9)
+	for epoch := 0; epoch < 25; epoch++ {
+		for lo := 0; lo < train.Len(); lo += 50 {
+			x, y := train.Batch(lo, 50)
+			net.TrainBatch(x, y, nn.SoftmaxCrossEntropy{}, opt)
+		}
+	}
+	before := net.Accuracy(test.X, test.Labels)
+	if before < 0.75 {
+		t.Fatalf("float training too weak: %.2f", before)
+	}
+	qb, fb, err := QuantizeNetwork(net, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := net.Accuracy(test.X, test.Labels)
+	if before-after > 0.05 {
+		t.Errorf("accuracy dropped %.3f → %.3f after 10-bit quantisation", before, after)
+	}
+	if qb*4 != fb {
+		t.Errorf("storage: quantised %dB, float %dB — expected exactly 4x", qb, fb)
+	}
+}
+
+func TestFixedPointValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := nn.NewDense(4, 2, rng)
+	if _, err := NewFixedPointDense(d, 8, 1); err == nil {
+		t.Error("expected error for 1 activation bit")
+	}
+}

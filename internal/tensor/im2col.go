@@ -1,0 +1,187 @@
+package tensor
+
+import "fmt"
+
+// This file implements the tensor→matrix reformulation of Fig. 3 of the
+// paper: a CONV layer's tensor computation Y(x,y,p) = Σᵢⱼ꜀ F(i,j,c,p)·
+// X(x+i−1, y+j−1, c) is rewritten as the matrix multiplication Y = X·F with
+// X ∈ R^{(H−r+1)(W−r+1) × Cr²} and F ∈ R^{Cr² × P}.
+//
+// Image tensors are laid out [H][W][C] row-major (channel fastest), so the
+// im2col column index of kernel offset (ki,kj) and channel c is
+// c + C·ki + C·r·kj — exactly the row ordering of Eqn. (6) of the paper,
+// which is what makes the reshaped filter matrix block-circulant when the
+// filter tensor has the circulant channel structure.
+
+// Conv2DGeom describes the geometry of one 2-D convolution.
+type Conv2DGeom struct {
+	H, W, C int // input height, width, channels
+	R       int // square kernel size r
+	P       int // output channels
+	Stride  int // spatial stride (≥1)
+	Pad     int // symmetric zero padding (≥0)
+}
+
+// OutH returns the output feature-map height.
+func (g Conv2DGeom) OutH() int { return (g.H+2*g.Pad-g.R)/g.Stride + 1 }
+
+// OutW returns the output feature-map width.
+func (g Conv2DGeom) OutW() int { return (g.W+2*g.Pad-g.R)/g.Stride + 1 }
+
+// Validate checks the geometry for consistency.
+func (g Conv2DGeom) Validate() error {
+	switch {
+	case g.H < 1 || g.W < 1 || g.C < 1 || g.P < 1:
+		return fmt.Errorf("tensor: conv geometry has non-positive dimension: %+v", g)
+	case g.R < 1:
+		return fmt.Errorf("tensor: kernel size %d < 1", g.R)
+	case g.Stride < 1:
+		return fmt.Errorf("tensor: stride %d < 1", g.Stride)
+	case g.Pad < 0:
+		return fmt.Errorf("tensor: negative padding %d", g.Pad)
+	case g.OutH() < 1 || g.OutW() < 1:
+		return fmt.Errorf("tensor: kernel %d larger than padded input %dx%d", g.R, g.H+2*g.Pad, g.W+2*g.Pad)
+	}
+	return nil
+}
+
+// Im2Col lowers an [H][W][C] image tensor to the (OutH·OutW)×(C·R·R) patch
+// matrix of Fig. 3. Out-of-bounds (padded) positions contribute zeros.
+func Im2Col(img *Tensor, g Conv2DGeom) *Tensor {
+	if img.Rank() != 3 || img.Dim(0) != g.H || img.Dim(1) != g.W || img.Dim(2) != g.C {
+		panic(fmt.Sprintf("tensor: Im2Col image shape %v does not match geometry %+v", img.Shape(), g))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	cols := g.C * g.R * g.R
+	out := New(oh*ow, cols)
+	row := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			dst := out.Data[row*cols : (row+1)*cols]
+			iy0 := oy*g.Stride - g.Pad
+			ix0 := ox*g.Stride - g.Pad
+			for kj := 0; kj < g.R; kj++ {
+				ix := ix0 + kj
+				for ki := 0; ki < g.R; ki++ {
+					iy := iy0 + ki
+					base := g.C * (ki + g.R*kj)
+					if iy < 0 || iy >= g.H || ix < 0 || ix >= g.W {
+						continue // zero padding
+					}
+					src := img.Data[(iy*g.W+ix)*g.C : (iy*g.W+ix)*g.C+g.C]
+					copy(dst[base:base+g.C], src)
+				}
+			}
+			row++
+		}
+	}
+	return out
+}
+
+// Col2Im scatter-adds a patch-matrix gradient back to image space: it is the
+// adjoint of Im2Col, used in CONV-layer backpropagation.
+func Col2Im(cols *Tensor, g Conv2DGeom) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	nc := g.C * g.R * g.R
+	if cols.Rank() != 2 || cols.Dim(0) != oh*ow || cols.Dim(1) != nc {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match geometry %+v", cols.Shape(), g))
+	}
+	img := New(g.H, g.W, g.C)
+	row := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			src := cols.Data[row*nc : (row+1)*nc]
+			iy0 := oy*g.Stride - g.Pad
+			ix0 := ox*g.Stride - g.Pad
+			for kj := 0; kj < g.R; kj++ {
+				ix := ix0 + kj
+				for ki := 0; ki < g.R; ki++ {
+					iy := iy0 + ki
+					if iy < 0 || iy >= g.H || ix < 0 || ix >= g.W {
+						continue
+					}
+					base := g.C * (ki + g.R*kj)
+					dst := img.Data[(iy*g.W+ix)*g.C : (iy*g.W+ix)*g.C+g.C]
+					for c := 0; c < g.C; c++ {
+						dst[c] += src[base+c]
+					}
+				}
+			}
+			row++
+		}
+	}
+	return img
+}
+
+// FilterToMatrix reshapes an [R][R][C][P] filter tensor into the Cr²×P matrix
+// F of Fig. 3, with row index c + C·ki + C·r·kj matching Im2Col's column
+// ordering.
+func FilterToMatrix(f *Tensor, g Conv2DGeom) *Tensor {
+	if f.Rank() != 4 || f.Dim(0) != g.R || f.Dim(1) != g.R || f.Dim(2) != g.C || f.Dim(3) != g.P {
+		panic(fmt.Sprintf("tensor: filter shape %v does not match geometry %+v", f.Shape(), g))
+	}
+	out := New(g.C*g.R*g.R, g.P)
+	for ki := 0; ki < g.R; ki++ {
+		for kj := 0; kj < g.R; kj++ {
+			for c := 0; c < g.C; c++ {
+				row := c + g.C*ki + g.C*g.R*kj
+				for p := 0; p < g.P; p++ {
+					out.Data[row*g.P+p] = f.At(ki, kj, c, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MatrixToFilter is the inverse of FilterToMatrix (used to fold filter-matrix
+// gradients back to tensor form).
+func MatrixToFilter(m *Tensor, g Conv2DGeom) *Tensor {
+	if m.Rank() != 2 || m.Dim(0) != g.C*g.R*g.R || m.Dim(1) != g.P {
+		panic(fmt.Sprintf("tensor: matrix shape %v does not match geometry %+v", m.Shape(), g))
+	}
+	f := New(g.R, g.R, g.C, g.P)
+	for ki := 0; ki < g.R; ki++ {
+		for kj := 0; kj < g.R; kj++ {
+			for c := 0; c < g.C; c++ {
+				row := c + g.C*ki + g.C*g.R*kj
+				for p := 0; p < g.P; p++ {
+					f.Set(m.Data[row*g.P+p], ki, kj, c, p)
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Conv2DDirect evaluates the CONV layer by the defining quadruple loop of
+// Eqn. (5) — the reference implementation im2col-based execution is tested
+// against.
+func Conv2DDirect(img, filter *Tensor, g Conv2DGeom) *Tensor {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	oh, ow := g.OutH(), g.OutW()
+	out := New(oh, ow, g.P)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for p := 0; p < g.P; p++ {
+				var s float64
+				for ki := 0; ki < g.R; ki++ {
+					for kj := 0; kj < g.R; kj++ {
+						iy := oy*g.Stride - g.Pad + ki
+						ix := ox*g.Stride - g.Pad + kj
+						if iy < 0 || iy >= g.H || ix < 0 || ix >= g.W {
+							continue
+						}
+						for c := 0; c < g.C; c++ {
+							s += filter.At(ki, kj, c, p) * img.At(iy, ix, c)
+						}
+					}
+				}
+				out.Set(s, oy, ox, p)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Randomised-geometry property tests: the im2col reformulation must equal
+// the direct convolution for arbitrary valid strides, paddings, kernel and
+// channel configurations, not just the hand-picked table in tensor_test.go.
+
+func randomGeom(r *rand.Rand) Conv2DGeom {
+	for {
+		g := Conv2DGeom{
+			H:      3 + r.Intn(10),
+			W:      3 + r.Intn(10),
+			C:      1 + r.Intn(4),
+			R:      1 + r.Intn(4),
+			P:      1 + r.Intn(4),
+			Stride: 1 + r.Intn(2),
+			Pad:    r.Intn(2),
+		}
+		if g.Validate() == nil {
+			return g
+		}
+	}
+}
+
+func TestIm2ColConvProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGeom(r)
+		img := New(g.H, g.W, g.C).Randn(r, 1)
+		filt := New(g.R, g.R, g.C, g.P).Randn(r, 1)
+		want := Conv2DDirect(img, filt, g)
+		got := MatMul(Im2Col(img, g), FilterToMatrix(filt, g)).Reshape(g.OutH(), g.OutW(), g.P)
+		return got.AllClose(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCol2ImAdjointProperty(t *testing.T) {
+	// <Im2Col(x), y> == <x, Col2Im(y)> for random geometries.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGeom(r)
+		x := New(g.H, g.W, g.C).Randn(r, 1)
+		y := New(g.OutH()*g.OutW(), g.C*g.R*g.R).Randn(r, 1)
+		lhs := Im2Col(x, g).Mul(y).Sum()
+		rhs := x.Mul(Col2Im(y, g)).Sum()
+		return abs(lhs-rhs) <= 1e-8*(1+abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := New(1+r.Intn(6), 1+r.Intn(6)).Randn(r, 1)
+		b := New(a.Dim(1), 1+r.Intn(6)).Randn(r, 1)
+		c := New(b.Dim(1), 1+r.Intn(6)).Randn(r, 1)
+		lhs := MatMul(MatMul(a, b), c)
+		rhs := MatMul(a, MatMul(b, c))
+		return lhs.AllClose(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

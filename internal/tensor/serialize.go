@@ -1,0 +1,81 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary tensor format (little-endian):
+//
+//	magic   uint32  0x544E5352 ("RSNT")
+//	rank    uint32
+//	shape   rank × uint32
+//	data    Π shape × float64 bits
+//
+// This is the on-disk representation used inside the engine's parameter
+// files (internal/engine) — the role of the trained-weights file the paper's
+// second software module reads.
+
+const tensorMagic = 0x544E5352
+
+// WriteTo serialises the tensor to w in the binary format above.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	hdr := make([]byte, 8+4*len(t.shape))
+	binary.LittleEndian.PutUint32(hdr[0:], tensorMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(t.shape)))
+	for i, d := range t.shape {
+		binary.LittleEndian.PutUint32(hdr[8+4*i:], uint32(d))
+	}
+	k, err := w.Write(hdr)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	buf := make([]byte, 8*len(t.Data))
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	k, err = w.Write(buf)
+	n += int64(k)
+	return n, err
+}
+
+// ReadFrom deserialises a tensor written by WriteTo.
+func ReadFrom(r io.Reader) (*Tensor, error) {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, fmt.Errorf("tensor: reading header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(head[0:]); m != tensorMagic {
+		return nil, fmt.Errorf("tensor: bad magic %#x", m)
+	}
+	rank := int(binary.LittleEndian.Uint32(head[4:]))
+	if rank < 0 || rank > 8 {
+		return nil, fmt.Errorf("tensor: implausible rank %d", rank)
+	}
+	shapeBuf := make([]byte, 4*rank)
+	if _, err := io.ReadFull(r, shapeBuf); err != nil {
+		return nil, fmt.Errorf("tensor: reading shape: %w", err)
+	}
+	shape := make([]int, rank)
+	n := 1
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(shapeBuf[4*i:]))
+		if shape[i] <= 0 || shape[i] > 1<<24 {
+			return nil, fmt.Errorf("tensor: implausible dimension %d", shape[i])
+		}
+		n *= shape[i]
+	}
+	dataBuf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, dataBuf); err != nil {
+		return nil, fmt.Errorf("tensor: reading %d elements: %w", n, err)
+	}
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(dataBuf[8*i:]))
+	}
+	return t, nil
+}

@@ -1,0 +1,137 @@
+// Package repro is a pure-Go reproduction of "FFT-Based Deep Learning
+// Deployment in Embedded Systems" (Lin, Liu, Nazemi, Li, Ding, Wang, Pedram —
+// DATE 2018): block-circulant DNN weight matrices whose products are computed
+// with the FFT → component-wise multiplication → IFFT procedure, reducing FC
+// computation from O(n²) to O(n log n) and weight storage from O(n²) to O(n),
+// deployed against a calibrated cost model of the paper's three ARM Android
+// platforms.
+//
+// This file is the high-level facade: it re-exports the pieces of the
+// internal packages that make up the public API, so a downstream user
+// imports only "repro". The subsystems are:
+//
+//   - FFT kernel (plans, real transforms, circular convolution)  — Fig. 1/2
+//   - block-circulant matrices with spectral training gradients   — §IV
+//   - DNN framework with dense and block-circulant FC/CONV layers — §IV
+//   - synthetic MNIST/CIFAR-10 datasets with bilinear resizing    — §V-B/C
+//   - embedded-platform latency model (Nexus 5, XU3, Honor 6X)    — Table I
+//   - the four-module deployment engine of Fig. 4 plus CLI tools
+//   - a TrueNorth-style neuromorphic simulator for Fig. 5 context
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package repro
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/circulant"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/fft"
+	"repro/internal/nn"
+	"repro/internal/ops"
+	"repro/internal/platform"
+	"repro/internal/tensor"
+)
+
+// Re-exported core types.
+type (
+	// Tensor is a dense row-major float64 array.
+	Tensor = tensor.Tensor
+	// Conv2DGeom describes one 2-D convolution's geometry.
+	Conv2DGeom = tensor.Conv2DGeom
+	// Circulant is a single circulant matrix.
+	Circulant = circulant.Circulant
+	// BlockCirculant is the paper's block-circulant weight matrix.
+	BlockCirculant = circulant.BlockCirculant
+	// Network is an ordered stack of DNN layers.
+	Network = nn.Network
+	// Layer is one differentiable network stage.
+	Layer = nn.Layer
+	// Dataset is a labelled image batch.
+	Dataset = dataset.Dataset
+	// PlatformSpec describes one Table-I device.
+	PlatformSpec = platform.Spec
+	// PlatformConfig selects device, runtime and power state.
+	PlatformConfig = platform.Config
+	// OpCounts accumulates primitive-operation totals.
+	OpCounts = ops.Counts
+	// Engine is the Fig. 4 deployment pipeline.
+	Engine = engine.Engine
+	// Loss maps outputs and labels to a scalar loss and its gradient.
+	Loss = nn.Loss
+	// SoftmaxCrossEntropy is the fused softmax + cross-entropy training loss.
+	SoftmaxCrossEntropy = nn.SoftmaxCrossEntropy
+	// Optimizer updates parameters from accumulated gradients.
+	Optimizer = nn.Optimizer
+)
+
+// Runtime environments of the deployment study.
+const (
+	EnvCPP  = platform.EnvCPP
+	EnvJava = platform.EnvJava
+)
+
+// FFT returns the discrete Fourier transform of x (any length).
+func FFT(x []complex128) []complex128 { return fft.FFT(x) }
+
+// IFFT returns the inverse DFT (with 1/n normalisation) of x.
+func IFFT(x []complex128) []complex128 { return fft.IFFT(x) }
+
+// RFFT returns the non-redundant half spectrum of a real sequence.
+func RFFT(x []float64) []complex128 { return fft.RFFT(x) }
+
+// CircularConvolve computes IFFT(FFT(w) ∘ FFT(x)) — the paper's Fig. 2
+// procedure.
+func CircularConvolve(w, x []float64) []float64 { return fft.CircularConvolve(w, x) }
+
+// NewCirculant builds a circulant matrix from its defining vector.
+func NewCirculant(w []float64) *Circulant { return circulant.NewCirculant(w) }
+
+// NewBlockCirculant builds an m×n block-circulant matrix with block size b.
+func NewBlockCirculant(rows, cols, block int) (*BlockCirculant, error) {
+	return circulant.NewBlockCirculant(rows, cols, block)
+}
+
+// Layer constructors.
+var (
+	NewDense      = nn.NewDense
+	NewCircDense  = nn.NewCircDense
+	NewConv2D     = nn.NewConv2D
+	NewCircConv2D = nn.NewCircConv2D
+	NewReLU       = nn.NewReLU
+	NewSoftmax    = nn.NewSoftmax
+	NewMaxPool    = nn.NewMaxPool
+	NewFlatten    = nn.NewFlatten
+	NewNetwork    = nn.NewNetwork
+	NewSGD        = nn.NewSGD
+)
+
+// The paper's evaluation architectures (§V-B, §V-C).
+var (
+	Arch1 = nn.Arch1
+	Arch2 = nn.Arch2
+	Arch3 = nn.Arch3
+)
+
+// Dataset generators and transforms.
+var (
+	SyntheticMNIST = dataset.SyntheticMNIST
+	SyntheticCIFAR = dataset.SyntheticCIFAR
+	ResizeDataset  = dataset.Resize
+)
+
+// Platforms returns the Table-I device registry.
+func Platforms() []PlatformSpec { return platform.Platforms() }
+
+// ParseArchitecture builds an inference engine from a textual architecture
+// description (module 1 of Fig. 4).
+func ParseArchitecture(r io.Reader, rng *rand.Rand) (*Engine, error) {
+	return engine.ParseArchitecture(r, rng)
+}
+
+// SaveParameters writes a network's trained parameters in the engine's
+// binary format (module 2 of Fig. 4).
+func SaveParameters(w io.Writer, net *Network) error { return engine.SaveParameters(w, net) }

@@ -1,0 +1,130 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// These tests exercise the public facade end to end — the API surface a
+// downstream user of the library sees.
+
+func TestFacadeFFTRoundTrip(t *testing.T) {
+	x := []complex128{1, 2, 3, 4, 5}
+	back := IFFT(FFT(x))
+	for i := range x {
+		if d := real(back[i]) - real(x[i]); math.Abs(d) > 1e-12 {
+			t.Fatalf("round trip error %g at %d", d, i)
+		}
+	}
+	if got := len(RFFT([]float64{1, 2, 3, 4})); got != 3 {
+		t.Errorf("RFFT half spectrum length %d, want 3", got)
+	}
+}
+
+func TestFacadeCircularConvolve(t *testing.T) {
+	got := CircularConvolve([]float64{1, 0, 0}, []float64{1, 2, 3})
+	want := []float64{1, 2, 3} // identity kernel
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("conv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFacadeBlockCirculant(t *testing.T) {
+	m, err := NewBlockCirculant(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CompressionRatio() != 4 {
+		t.Errorf("compression %g, want 4", m.CompressionRatio())
+	}
+	if _, err := NewBlockCirculant(0, 8, 4); err == nil {
+		t.Error("expected constructor error")
+	}
+	c := NewCirculant([]float64{1, 2})
+	if c.Size() != 2 {
+		t.Error("circulant size")
+	}
+}
+
+func TestFacadeTrainAndDeploy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	// Train a small circulant network on the public API.
+	net := NewNetwork(
+		NewCircDense(121, 32, 16, rng),
+		NewReLU(),
+		NewDense(32, 10, rng),
+	)
+	data := ResizeDataset(SyntheticMNIST(300, 7), 11, 11).Flatten()
+	opt := NewSGD(0.01, 0.9)
+	for epoch := 0; epoch < 10; epoch++ {
+		for lo := 0; lo < data.Len(); lo += 50 {
+			x, y := data.Batch(lo, 50)
+			net.TrainBatch(x, y, SoftmaxCrossEntropy{}, opt)
+		}
+	}
+	if acc := net.Accuracy(data.X, data.Labels); acc < 0.7 {
+		t.Fatalf("facade training accuracy %.2f", acc)
+	}
+
+	// Deploy through the engine: matching architecture text.
+	arch := `
+input 121
+circfc 32 block=16 act=relu
+fc 10
+softmax
+`
+	eng, err := ParseArchitecture(strings.NewReader(arch), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveParameters(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadParameters(&buf); err != nil {
+		t.Fatal(err)
+	}
+	preds := eng.Net.Predict(data.X)
+	want := net.Predict(data.X)
+	for i := range preds {
+		if preds[i] != want[i] {
+			t.Fatalf("deployed prediction %d differs at sample %d", preds[i], i)
+		}
+	}
+}
+
+func TestFacadePlatforms(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 3 {
+		t.Fatalf("%d platforms", len(ps))
+	}
+	var c OpCounts
+	c.RealMul = 1e6
+	c.RealAdd = 1e6
+	cfg := PlatformConfig{Spec: ps[0], Env: EnvJava}
+	if us := cfg.EstimateUS(c); us <= 0 {
+		t.Errorf("latency %g", us)
+	}
+}
+
+func TestFacadeArchConstructors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if n := Arch1(rng); len(n.Layers) != 5 {
+		t.Errorf("Arch1 layers %d", len(n.Layers))
+	}
+	if n := Arch2(rng); n.NumParams() == 0 {
+		t.Error("Arch2 has no params")
+	}
+	if n := Arch3(rng); len(n.Layers) < 10 {
+		t.Errorf("Arch3 layers %d", len(n.Layers))
+	}
+	if d := SyntheticCIFAR(5, 1); d.Len() != 5 {
+		t.Error("SyntheticCIFAR length")
+	}
+}
