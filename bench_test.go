@@ -14,10 +14,13 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/circulant"
 	"repro/internal/dataset"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/prune"
 	"repro/internal/quant"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 )
 
@@ -533,6 +537,78 @@ func BenchmarkTraining(b *testing.B) {
 			net.TrainBatch(x, labels, loss, opt)
 		}
 	})
+}
+
+// BenchmarkServingThroughput is the serving subsystem's acceptance
+// benchmark: batched serving against sequential single-request inference
+// on the same Arch-1 model.
+//
+//   - sequential: the pre-serve deployment — one request per forward pass,
+//     one at a time, the cmd/infer code path.
+//   - serverUnbatched: the serving stack with batching disabled
+//     (MaxBatch=1) under the same concurrent load as serverBatched, so the
+//     scheduler's own overhead is visible.
+//   - serverBatched: concurrent requests coalesced into shared forward
+//     passes across the replica pool.
+//
+// The result cache is disabled throughout so the comparison measures
+// batching, not memoisation. The "batch" metric reports the mean
+// dispatched batch size, "p95us" the windowed P95 request latency.
+func BenchmarkServingThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	net := nn.Arch1(rng)
+	const features = 256
+	inputs := make([][]float64, 64)
+	for i := range inputs {
+		inputs[i] = make([]float64, features)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.NormFloat64()
+		}
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		x := tensor.New(1, features)
+		for i := 0; i < b.N; i++ {
+			copy(x.Data, inputs[i%len(inputs)])
+			net.Forward(x, false)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+
+	served := func(b *testing.B, maxBatch int) {
+		srv, err := serve.New(serve.Config{
+			Model:    net,
+			InShape:  []int{features},
+			MaxBatch: maxBatch,
+			MaxDelay: 500 * time.Microsecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		// Many closed-loop clients per core, so the scheduler has real
+		// concurrency to coalesce even on small hosts.
+		b.SetParallelism(32)
+		b.ResetTimer()
+		var n atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			ctx := context.Background()
+			for pb.Next() {
+				k := int(n.Add(1)) % len(inputs)
+				if _, err := srv.Infer(ctx, inputs[k]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		st := srv.Stats()
+		b.ReportMetric(st.MeanBatch, "batch")
+		b.ReportMetric(st.P95LatencyUS, "p95us")
+	}
+	b.Run("serverUnbatched", func(b *testing.B) { served(b, 1) })
+	b.Run("serverBatched", func(b *testing.B) { served(b, 32) })
 }
 
 func report(b *testing.B, l nn.Layer) {

@@ -1,0 +1,242 @@
+// Command serve exposes the batched inference serving subsystem
+// (internal/serve) over HTTP/JSON: the production-facing half the paper's
+// deployment story implies once the Fig. 4 engine has produced a trained
+// bundle.
+//
+// Usage:
+//
+//	serve -bundle dir [-addr :8080] [-workers N] [-batch 16] [-deadline 2ms] [-cache 1024]
+//	serve -arch a.txt -params p.bin [flags]
+//	serve -demo arch1 [flags]        # randomly-initialised model, for load testing
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness: {"status":"ok","uptime_s":...}
+//	POST /infer     {"input":[...]} or {"inputs":[[...],...]} → result(s)
+//	GET  /stats     serving counters (requests, batches, cache, latency)
+//
+// The server batches concurrent /infer requests into single forward passes
+// across a pool of model replicas; see internal/serve for the scheduler's
+// contract.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	bundle := flag.String("bundle", "", "bundle directory from cmd/train (sets -arch and -params)")
+	archPath := flag.String("arch", "", "architecture file (Fig. 4 module 1)")
+	paramsPath := flag.String("params", "", "parameters file (module 2)")
+	demo := flag.String("demo", "", "serve a randomly-initialised built-in architecture: arch1, arch2 or arch3")
+	workers := flag.Int("workers", 0, "model replicas (default: GOMAXPROCS)")
+	batch := flag.Int("batch", 16, "max requests coalesced into one forward pass")
+	deadline := flag.Duration("deadline", 2*time.Millisecond, "max time to hold an open batch")
+	cache := flag.Int("cache", 1024, "LRU result-cache entries (0 disables)")
+	flag.Parse()
+
+	model, inShape, desc, err := loadModel(*bundle, *archPath, *paramsPath, *demo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Model:     model,
+		InShape:   inShape,
+		Workers:   *workers,
+		MaxBatch:  *batch,
+		MaxDelay:  *deadline,
+		CacheSize: *cache,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"model":    desc,
+			"uptime_s": time.Since(start).Seconds(),
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
+		handleInfer(w, r, srv)
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		log.Printf("serving %s on %s (workers=%d batch=%d deadline=%v cache=%d)",
+			desc, *addr, srv.Stats().Workers, *batch, *deadline, *cache)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	// Graceful shutdown: stop accepting HTTP, drain in-flight batches.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	srv.Close()
+}
+
+// loadModel resolves the model sources in priority order: bundle/file
+// flags load a trained network through the engine; -demo builds a fresh
+// built-in architecture.
+func loadModel(bundle, archPath, paramsPath, demo string) (*nn.Network, []int, string, error) {
+	if bundle != "" {
+		archPath = filepath.Join(bundle, "arch.txt")
+		paramsPath = filepath.Join(bundle, "params.bin")
+	}
+	switch {
+	case archPath != "" && paramsPath != "":
+		af, err := os.Open(archPath)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		e, err := engine.ParseArchitecture(af, rand.New(rand.NewSource(0)))
+		af.Close()
+		if err != nil {
+			return nil, nil, "", err
+		}
+		pf, err := os.Open(paramsPath)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		err = e.LoadParameters(pf)
+		pf.Close()
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return e.Net, e.InShape, filepath.Base(archPath), nil
+	case demo != "":
+		rng := rand.New(rand.NewSource(1))
+		switch strings.ToLower(demo) {
+		case "arch1":
+			return nn.Arch1(rng), []int{256}, "arch1 (demo weights)", nil
+		case "arch2":
+			return nn.Arch2(rng), []int{121}, "arch2 (demo weights)", nil
+		case "arch3":
+			return nn.Arch3(rng), []int{32, 32, 3}, "arch3 (demo weights)", nil
+		}
+		return nil, nil, "", fmt.Errorf("unknown -demo architecture %q (want arch1, arch2 or arch3)", demo)
+	}
+	return nil, nil, "", errors.New("need -bundle, -arch/-params, or -demo")
+}
+
+// inferRequest is the /infer request body: either a single input vector or
+// a list of them.
+type inferRequest struct {
+	Input  []float64   `json:"input,omitempty"`
+	Inputs [][]float64 `json:"inputs,omitempty"`
+}
+
+// Abuse bounds for one /infer call: a request fans out one goroutine per
+// input, so both the count and the decoded body size must be capped or a
+// single client post could exhaust the process.
+const (
+	maxInputsPerRequest = 256
+	maxBodyBytes        = 64 << 20
+)
+
+// handleInfer answers single- and multi-input inference posts. Multiple
+// inputs are submitted concurrently so the batching scheduler can coalesce
+// them into shared forward passes.
+func handleInfer(w http.ResponseWriter, r *http.Request, srv *serve.Server) {
+	var req inferRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	if len(req.Inputs) > maxInputsPerRequest {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("%d inputs in one request, limit %d", len(req.Inputs), maxInputsPerRequest),
+		})
+		return
+	}
+	if req.Input != nil && len(req.Inputs) > 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": `body sets both "input" and "inputs"; use one`})
+		return
+	}
+	switch {
+	case req.Input != nil:
+		res, err := srv.Infer(r.Context(), req.Input)
+		if err != nil {
+			writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case len(req.Inputs) > 0:
+		results := make([]serve.Result, len(req.Inputs))
+		errs := make([]error, len(req.Inputs))
+		done := make(chan int, len(req.Inputs))
+		for i, in := range req.Inputs {
+			go func(i int, in []float64) {
+				results[i], errs[i] = srv.Infer(r.Context(), in)
+				done <- i
+			}(i, in)
+		}
+		for range req.Inputs {
+			<-done
+		}
+		for _, err := range errs {
+			if err != nil {
+				writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": `need "input" or "inputs"`})
+	}
+}
+
+// statusFor maps serving errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}

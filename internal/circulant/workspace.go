@@ -1,57 +1,85 @@
 package circulant
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/fft"
 )
 
-// Workspace-pooled fast paths for power-of-two block sizes. The generic
+// Workspace-reusing fast paths for power-of-two block sizes. The generic
 // MulVec/TransMulVec allocate per call (padBlocks + per-block IFFTs); the
-// paths below reuse pooled complex buffers and drive the cached fft.Plan
+// paths below reuse complex scratch buffers and drive the cached fft.Plan
 // directly, which matters because CircConv2D issues one transpose product
 // per kernel position per output pixel. Non power-of-two blocks keep the
 // generic path.
 //
-// Workspaces are pooled per matrix, so concurrent products on the same
-// matrix are safe: each call takes its own workspace.
+// Two reuse schemes coexist:
+//
+//   - MulVec/TransMulVec draw a Workspace from a per-matrix sync.Pool, so
+//     ad-hoc concurrent products on the same matrix stay safe and mostly
+//     allocation-free.
+//   - MulVecInto/TransMulVecInto accept a caller-owned Workspace (and
+//     destination slice), eliminating the pool round trip and the output
+//     allocation entirely. Long-lived inference workers — the serving
+//     subsystem's replicas in particular — hold one Workspace each and pass
+//     it through every forward pass.
 
-type workspace struct {
+// Workspace is caller-owned scratch memory for block-circulant products.
+// It grows on demand to fit the largest matrix it has served, so one
+// Workspace can be threaded through every layer of a network's forward
+// pass. The zero value is ready to use.
+//
+// A Workspace must not be used by two goroutines at once; give each worker
+// its own.
+type Workspace struct {
 	in   []complex128   // one block of input, complex-promoted
 	spec [][]complex128 // per-block input spectra, max(k,l) entries
 	acc  []complex128   // spectral accumulator
 }
 
-func (m *BlockCirculant) newWorkspace() *workspace {
-	nblk := m.k
-	if m.l > nblk {
-		nblk = m.l
+// NewWorkspace returns an empty Workspace ready for reuse across products.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ensure sizes the buffers for one product with the given block length and
+// block count, retaining capacity across calls.
+func (w *Workspace) ensure(block, nblk int) {
+	if cap(w.in) < block {
+		w.in = make([]complex128, block)
+		w.acc = make([]complex128, block)
+	} else {
+		w.in = w.in[:block]
+		w.acc = w.acc[:block]
 	}
-	w := &workspace{
-		in:   make([]complex128, m.block),
-		spec: make([][]complex128, nblk),
-		acc:  make([]complex128, m.block),
+	if len(w.spec) < nblk {
+		spec := make([][]complex128, nblk)
+		copy(spec, w.spec)
+		w.spec = spec
 	}
-	for i := range w.spec {
-		w.spec[i] = make([]complex128, m.block)
+	for i := 0; i < nblk; i++ {
+		if cap(w.spec[i]) < block {
+			w.spec[i] = make([]complex128, block)
+		} else {
+			w.spec[i] = w.spec[i][:block]
+		}
 	}
-	return w
 }
 
-func (m *BlockCirculant) getWorkspace() *workspace {
-	if m.pool == nil {
-		m.poolOnce.Do(func() {
-			m.pool = &sync.Pool{New: func() any { return m.newWorkspace() }}
-		})
-	}
-	return m.pool.Get().(*workspace)
+func (m *BlockCirculant) getWorkspace() *Workspace {
+	// Always go through the Once (its fast path is a single atomic load):
+	// a bare m.pool == nil pre-check would be an unsynchronized read
+	// racing the initialising store.
+	m.poolOnce.Do(func() {
+		m.pool = &sync.Pool{New: func() any { return NewWorkspace() }}
+	})
+	return m.pool.Get().(*Workspace)
 }
 
-func (m *BlockCirculant) putWorkspace(w *workspace) { m.pool.Put(w) }
+func (m *BlockCirculant) putWorkspace(w *Workspace) { m.pool.Put(w) }
 
 // blockSpectraInto fills ws.spec[0..nblk) with the FFTs of the zero-padded
 // blocks of v using the cached plan.
-func (m *BlockCirculant) blockSpectraInto(ws *workspace, v []float64, nblk int, p *fft.Plan) {
+func (m *BlockCirculant) blockSpectraInto(ws *Workspace, v []float64, nblk int, p *fft.Plan) {
 	b := m.block
 	for j := 0; j < nblk; j++ {
 		for t := 0; t < b; t++ {
@@ -66,13 +94,66 @@ func (m *BlockCirculant) blockSpectraInto(ws *workspace, v []float64, nblk int, 
 	}
 }
 
-// mulVecFast is MulVec for power-of-two blocks with pooled buffers.
-func (m *BlockCirculant) mulVecFast(x []float64) []float64 {
-	p := fft.PlanFor(m.block)
-	ws := m.getWorkspace()
-	defer m.putWorkspace(ws)
+// MulVecInto computes W·x into dst using caller-owned scratch, the
+// allocation-free form of MulVec. dst must have length Rows (a nil dst is
+// allocated) and is returned. A nil ws falls back to the per-matrix pool.
+// Non power-of-two block sizes take the generic (allocating) path; the
+// result is identical either way.
+func (m *BlockCirculant) MulVecInto(dst, x []float64, ws *Workspace) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("circulant: MulVecInto length %d, want %d", len(x), m.cols))
+	}
+	dst = m.ensureDst(dst, m.rows, "MulVecInto")
+	if !fft.IsPow2(m.block) {
+		copy(dst, m.MulVec(x))
+		return dst
+	}
+	if ws == nil {
+		ws = m.getWorkspace()
+		defer m.putWorkspace(ws)
+	}
+	ws.ensure(m.block, max(m.k, m.l))
+	m.mulVecCore(dst, x, ws, fft.PlanFor(m.block))
+	return dst
+}
+
+// TransMulVecInto computes Wᵀ·x into dst using caller-owned scratch, the
+// allocation-free form of TransMulVec. dst must have length Cols (a nil dst
+// is allocated) and is returned. A nil ws falls back to the per-matrix
+// pool; non power-of-two block sizes take the generic path.
+func (m *BlockCirculant) TransMulVecInto(dst, x []float64, ws *Workspace) []float64 {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("circulant: TransMulVecInto length %d, want %d", len(x), m.rows))
+	}
+	dst = m.ensureDst(dst, m.cols, "TransMulVecInto")
+	if !fft.IsPow2(m.block) {
+		copy(dst, m.TransMulVec(x))
+		return dst
+	}
+	if ws == nil {
+		ws = m.getWorkspace()
+		defer m.putWorkspace(ws)
+	}
+	ws.ensure(m.block, max(m.k, m.l))
+	m.transMulVecCore(dst, x, ws, fft.PlanFor(m.block))
+	return dst
+}
+
+// ensureDst validates or allocates an output slice of length n.
+func (m *BlockCirculant) ensureDst(dst []float64, n int, op string) []float64 {
+	if dst == nil {
+		return make([]float64, n)
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("circulant: %s dst length %d, want %d", op, len(dst), n))
+	}
+	return dst
+}
+
+// mulVecCore is the shared pow-of-two MulVec kernel: per-input-block FFTs,
+// spectral accumulation, one IFFT per output block, all in ws.
+func (m *BlockCirculant) mulVecCore(dst, x []float64, ws *Workspace, p *fft.Plan) {
 	m.blockSpectraInto(ws, x, m.l, p)
-	out := make([]float64, m.rows)
 	b := m.block
 	for i := 0; i < m.k; i++ {
 		for t := range ws.acc {
@@ -88,20 +169,15 @@ func (m *BlockCirculant) mulVecFast(x []float64) []float64 {
 		p.Inverse(ws.acc, ws.acc)
 		hi := min((i+1)*b, m.rows)
 		for t := i * b; t < hi; t++ {
-			out[t] = real(ws.acc[t-i*b])
+			dst[t] = real(ws.acc[t-i*b])
 		}
 	}
-	return out
 }
 
-// transMulVecFast is TransMulVec for power-of-two blocks with pooled
-// buffers.
-func (m *BlockCirculant) transMulVecFast(x []float64) []float64 {
-	p := fft.PlanFor(m.block)
-	ws := m.getWorkspace()
-	defer m.putWorkspace(ws)
+// transMulVecCore is the shared pow-of-two TransMulVec kernel (correlation
+// form: conjugated weight spectra).
+func (m *BlockCirculant) transMulVecCore(dst, x []float64, ws *Workspace, p *fft.Plan) {
 	m.blockSpectraInto(ws, x, m.k, p)
-	out := make([]float64, m.cols)
 	b := m.block
 	for j := 0; j < m.l; j++ {
 		for t := range ws.acc {
@@ -118,8 +194,20 @@ func (m *BlockCirculant) transMulVecFast(x []float64) []float64 {
 		p.Inverse(ws.acc, ws.acc)
 		hi := min((j+1)*b, m.cols)
 		for t := j * b; t < hi; t++ {
-			out[t] = real(ws.acc[t-j*b])
+			dst[t] = real(ws.acc[t-j*b])
 		}
 	}
-	return out
+}
+
+// mulVecFast is MulVec for power-of-two blocks with pooled buffers: the
+// nil-dst, nil-ws form of MulVecInto (which never falls back to MulVec on
+// the power-of-two path, so there is no recursion).
+func (m *BlockCirculant) mulVecFast(x []float64) []float64 {
+	return m.MulVecInto(nil, x, nil)
+}
+
+// transMulVecFast is TransMulVec for power-of-two blocks with pooled
+// buffers, via TransMulVecInto.
+func (m *BlockCirculant) transMulVecFast(x []float64) []float64 {
+	return m.TransMulVecInto(nil, x, nil)
 }

@@ -78,6 +78,43 @@ func TestWorkspaceReuseAcrossCalls(t *testing.T) {
 	}
 }
 
+func TestIntoMatchesAllocating(t *testing.T) {
+	// The caller-owned-workspace entry points must agree exactly with the
+	// allocating forms, across pow-2 and non-pow-2 blocks, with one shared
+	// Workspace threaded through differently-shaped matrices.
+	rng := rand.New(rand.NewSource(5))
+	ws := NewWorkspace()
+	for _, tc := range []struct{ rows, cols, block int }{
+		{8, 8, 4}, {64, 32, 16}, {100, 60, 32}, {256, 128, 64}, {3, 5, 8}, {48, 80, 12},
+	} {
+		m := MustNewBlockCirculant(tc.rows, tc.cols, tc.block).InitRandom(rng)
+		x := randVec(rng, tc.cols)
+		dst := make([]float64, tc.rows)
+		if d := maxAbsDiff(m.MulVecInto(dst, x, ws), m.MulVec(x)); d != 0 {
+			t.Errorf("%+v: MulVecInto differs by %g", tc, d)
+		}
+		y := randVec(rng, tc.rows)
+		if d := maxAbsDiff(m.TransMulVecInto(nil, y, ws), m.TransMulVec(y)); d != 0 {
+			t.Errorf("%+v: TransMulVecInto differs by %g", tc, d)
+		}
+		// nil workspace falls back to the pool and must agree too.
+		if d := maxAbsDiff(m.MulVecInto(nil, x, nil), m.MulVec(x)); d != 0 {
+			t.Errorf("%+v: MulVecInto(nil ws) differs by %g", tc, d)
+		}
+	}
+}
+
+func TestIntoRejectsBadDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := MustNewBlockCirculant(16, 8, 4).InitRandom(rng)
+	defer func() {
+		if recover() == nil {
+			t.Error("short dst accepted")
+		}
+	}()
+	m.MulVecInto(make([]float64, 3), randVec(rng, 8), NewWorkspace())
+}
+
 func BenchmarkFastVsGenericTransMulVec(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	// Power-of-two block: pooled fast path.

@@ -105,6 +105,18 @@ func (l *CircConv2D) DenseFilter() *tensor.Tensor {
 // [B, OutH, OutW, P]. Each output pixel is Σ_s pos[s]ᵀ·x_seg(s) + θ, every
 // term an FFT-based block-circulant product.
 func (l *CircConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return l.forward(nil, nil, x, train)
+}
+
+// ForwardWS implements WorkspaceForwarder: Forward with the FFT scratch and
+// the per-pixel product buffer drawn from the caller-owned workspace. This
+// layer issues r²·OutH·OutW block-circulant products per sample, so the
+// saved pool traffic is the largest of any layer.
+func (l *CircConv2D) ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
+	return l.forward(ws.circ, ws.vecBuf(l.Geom.P), x, train)
+}
+
+func (l *CircConv2D) forward(cws *circulant.Workspace, ybuf []float64, x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := l.Geom
 	if x.Rank() != 4 || x.Dim(1) != g.H || x.Dim(2) != g.W || x.Dim(3) != g.C {
 		panic(fmt.Sprintf("nn: %s got input shape %v", l.Name(), x.Shape()))
@@ -119,6 +131,9 @@ func (l *CircConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	sl := g.H * g.W * g.C
 	ol := oh * ow * g.P
 	nseg := g.R * g.R
+	if ybuf == nil {
+		ybuf = make([]float64, g.P)
+	}
 	for i := 0; i < batch; i++ {
 		img := tensor.FromSlice(x.Data[i*sl:(i+1)*sl], g.H, g.W, g.C)
 		cols := tensor.Im2Col(img, g)
@@ -132,9 +147,9 @@ func (l *CircConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			copy(acc, l.bParam.Value.Data)
 			for s := 0; s < nseg; s++ {
 				seg := row[s*g.C : (s+1)*g.C]
-				y := l.pos[s].TransMulVec(seg)
+				l.pos[s].TransMulVecInto(ybuf, seg, cws)
 				for p := 0; p < g.P; p++ {
-					acc[p] += y[p]
+					acc[p] += ybuf[p]
 				}
 			}
 		}

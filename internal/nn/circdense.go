@@ -57,6 +57,16 @@ func (l *CircDense) CompressionRatio() float64 { return l.W.CompressionRatio() }
 
 // Forward implements Layer. x is [B, In]; the result is [B, Out].
 func (l *CircDense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return l.forward(nil, x, train)
+}
+
+// ForwardWS implements WorkspaceForwarder: Forward with the FFT scratch
+// drawn from the caller-owned workspace instead of the per-matrix pool.
+func (l *CircDense) ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
+	return l.forward(ws.circ, x, train)
+}
+
+func (l *CircDense) forward(cws *circulant.Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != l.In {
 		panic(fmt.Sprintf("nn: %s got input shape %v", l.Name(), x.Shape()))
 	}
@@ -65,11 +75,12 @@ func (l *CircDense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	batch := batchOf(x)
 	y := tensor.New(batch, l.Out)
+	bias := l.bParam.Value.Data
 	for i := 0; i < batch; i++ {
-		out := l.W.TransMulVec(x.Row(i))
 		row := y.Row(i)
+		l.W.TransMulVecInto(row, x.Row(i), cws)
 		for j := 0; j < l.Out; j++ {
-			row[j] = out[j] + l.bParam.Value.Data[j]
+			row[j] += bias[j]
 		}
 	}
 	return y

@@ -71,21 +71,7 @@ func (n *Network) TrainBatch(x *tensor.Tensor, labels []int, loss Loss, opt Opti
 
 // Predict returns the argmax class for each sample in the batch.
 func (n *Network) Predict(x *tensor.Tensor) []int {
-	out := n.Forward(x, false)
-	batch := out.Dim(0)
-	classes := out.Dim(1)
-	preds := make([]int, batch)
-	for i := 0; i < batch; i++ {
-		row := out.Row(i)
-		best, bi := row[0], 0
-		for j := 1; j < classes; j++ {
-			if row[j] > best {
-				best, bi = row[j], j
-			}
-		}
-		preds[i] = bi
-	}
-	return preds
+	return argmaxRows(n.Forward(x, false))
 }
 
 // Accuracy returns the fraction of samples whose argmax prediction matches

@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"repro/internal/circulant"
+	"repro/internal/tensor"
+)
+
+// Caller-owned forward-pass scratch. The block-circulant layers' FFT
+// products are the inference bottleneck, and their generic entry points
+// draw scratch buffers from per-matrix sync.Pools. A long-lived inference
+// worker — one replica in the serving subsystem's pool — does better by
+// owning its scratch outright: one Workspace threaded through every layer
+// of every forward pass, so the steady state allocates nothing per request
+// beyond the activations themselves.
+
+// Workspace is reusable scratch for a network forward pass. It grows to
+// the largest layer it has served and is retained across calls. A
+// Workspace must not be shared by concurrent forward passes; give each
+// inference worker its own.
+type Workspace struct {
+	circ *circulant.Workspace
+	vec  []float64 // per-row product buffer for block-circulant layers
+}
+
+// NewWorkspace returns an empty Workspace ready for reuse.
+func NewWorkspace() *Workspace {
+	return &Workspace{circ: circulant.NewWorkspace()}
+}
+
+// vecBuf returns a scratch float64 slice of length n, reusing capacity.
+func (w *Workspace) vecBuf(n int) []float64 {
+	if cap(w.vec) < n {
+		w.vec = make([]float64, n)
+	}
+	return w.vec[:n]
+}
+
+// WorkspaceForwarder is implemented by layers whose forward pass can run
+// against a caller-owned Workspace instead of pooled or per-call scratch.
+// Layers without per-call scratch simply don't implement it and are run
+// through their plain Forward by Network.ForwardWS.
+type WorkspaceForwarder interface {
+	// ForwardWS is Forward with all scratch drawn from ws.
+	ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor
+}
+
+// ForwardWS runs the full stack like Forward, passing the caller-owned
+// workspace to every layer that can use one. A nil ws is equivalent to
+// Forward.
+func (n *Network) ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
+	if ws == nil {
+		return n.Forward(x, train)
+	}
+	for _, l := range n.Layers {
+		if wf, ok := l.(WorkspaceForwarder); ok {
+			x = wf.ForwardWS(ws, x, train)
+		} else {
+			x = l.Forward(x, train)
+		}
+	}
+	return x
+}
+
+// PredictWS is Predict running through ForwardWS: argmax class per sample
+// with all layer scratch drawn from ws.
+func (n *Network) PredictWS(ws *Workspace, x *tensor.Tensor) []int {
+	out := n.ForwardWS(ws, x, false)
+	return argmaxRows(out)
+}
+
+// Argmax returns the index of the largest value in scores — the predicted
+// class of one output row. It panics on an empty slice.
+func Argmax(scores []float64) int {
+	best, bi := scores[0], 0
+	for j := 1; j < len(scores); j++ {
+		if scores[j] > best {
+			best, bi = scores[j], j
+		}
+	}
+	return bi
+}
+
+// argmaxRows returns the index of the maximum of each row of a [B, C]
+// tensor.
+func argmaxRows(out *tensor.Tensor) []int {
+	batch := out.Dim(0)
+	preds := make([]int, batch)
+	for i := 0; i < batch; i++ {
+		preds[i] = Argmax(out.Row(i))
+	}
+	return preds
+}

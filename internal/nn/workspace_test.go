@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// ForwardWS must be numerically identical to Forward: workspace reuse is a
+// pure allocation optimisation.
+func TestForwardWSMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewNetwork(
+		NewCircConv2D(tensor.Conv2DGeom{H: 8, W: 8, C: 4, R: 3, P: 8, Stride: 1}, 4, rng),
+		NewReLU(),
+		NewFlatten(),
+		NewCircDense(6*6*8, 32, 16, rng),
+		NewReLU(),
+		NewDense(32, 10, rng),
+	)
+	x := tensor.New(3, 8, 8, 4).Randn(rng, 1)
+	want := net.Forward(x, false)
+	ws := NewWorkspace()
+	for trial := 0; trial < 3; trial++ { // reuse the same workspace
+		got := net.ForwardWS(ws, x, false)
+		if !got.SameShape(want) {
+			t.Fatalf("shape %v, want %v", got.Shape(), want.Shape())
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d: element %d: %g != %g", trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+	// nil workspace degrades to plain Forward.
+	got := net.ForwardWS(nil, x, false)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("nil-ws element %d: %g != %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// PredictWS must agree with Predict.
+func TestPredictWSMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := Arch1(rng)
+	x := tensor.New(5, 256).Randn(rng, 1)
+	want := net.Predict(x)
+	got := net.PredictWS(NewWorkspace(), x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: PredictWS %d, Predict %d", i, got[i], want[i])
+		}
+	}
+}
+
+// Once warm, the workspace path must allocate nothing beyond the
+// activation tensors themselves: no FFT scratch, no per-product output
+// slices, and never more than the pooled path.
+func TestForwardWSSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewNetwork(
+		NewCircDense(256, 128, 64, rng),
+		NewReLU(),
+		NewCircDense(128, 128, 64, rng),
+	)
+	x := tensor.New(1, 256).Randn(rng, 1)
+	ws := NewWorkspace()
+	net.ForwardWS(ws, x, false) // warm the workspace
+	withWS := testing.AllocsPerRun(50, func() { net.ForwardWS(ws, x, false) })
+	without := testing.AllocsPerRun(50, func() { net.Forward(x, false) })
+	if withWS > without {
+		t.Errorf("workspace path allocates %.0f/op, pooled path %.0f/op; want no more", withWS, without)
+	}
+	// 3 layers × (output tensor + header overhead) — anything well beyond
+	// that means per-product scratch is leaking back in.
+	if withWS > 20 {
+		t.Errorf("workspace path allocates %.0f/op; want only activation tensors (≤20)", withWS)
+	}
+}

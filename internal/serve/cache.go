@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// resultCache is a fixed-capacity LRU of inference results keyed by the
+// exact input vector. Embedded-vision traffic is heavily repetitive (the
+// same preprocessed frame, the same probe image), and a cache hit skips
+// the queue, the batch and the FFTs entirely.
+//
+// Keys are the raw little-endian bytes of the input, so equality is exact:
+// a hit can never return the result of a different input.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recently used
+	items map[string]*list.Element // key → element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	res Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// cacheKey encodes an input vector as an exact byte-string key.
+func cacheKey(input []float64) string {
+	b := make([]byte, 8*len(input))
+	for i, v := range input {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return string(b)
+}
+
+// get returns the cached result for key and whether it was present,
+// promoting the entry to most recently used.
+func (c *resultCache) get(key string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// add inserts or refreshes an entry, evicting the least recently used
+// entry when over capacity.
+func (c *resultCache) add(key string, res Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

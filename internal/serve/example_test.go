@@ -1,0 +1,51 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+// Example shows the serving subsystem end to end: build (or load) a
+// trained network, stand up a batched server with a result cache, and
+// answer requests. In production the model comes from a cmd/train bundle
+// via the engine package; here a fresh Arch-1 keeps the example
+// self-contained.
+func Example() {
+	model := nn.Arch1(rand.New(rand.NewSource(1)))
+
+	srv, err := serve.New(serve.Config{
+		Model:     model,
+		InShape:   []int{256}, // Arch-1: 16×16 grey images, flattened
+		Workers:   2,
+		MaxBatch:  8,
+		CacheSize: 128,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	input := make([]float64, 256)
+	for i := range input {
+		input[i] = 0.5
+	}
+	res, err := srv.Infer(context.Background(), input)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("classes: %d, cached: %v\n", len(res.Scores), res.Cached)
+
+	// A repeated query is answered from the LRU cache.
+	res, err = srv.Infer(context.Background(), input)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("repeat cached: %v\n", res.Cached)
+	// Output:
+	// classes: 10, cached: false
+	// repeat cached: true
+}

@@ -1,0 +1,414 @@
+// Package serve is the batched, concurrent inference serving subsystem: it
+// turns a trained network — the artefact the paper's Fig. 4 deployment
+// engine produces — into a server that answers heavy concurrent traffic.
+//
+// Three mechanisms carry the load:
+//
+//   - A batching scheduler coalesces individual requests into batches of at
+//     most Config.MaxBatch, waiting at most Config.MaxDelay after the first
+//     request of a batch, so one FFT-based forward pass amortises its weight
+//     spectra and instruction stream across many requests.
+//   - A pool of Config.Workers model replicas (deep copies via
+//     nn.Network.Clone, so no mutable state is shared) executes batches
+//     concurrently. Each worker owns one nn.Workspace and threads it through
+//     every forward pass, so the steady state performs no FFT scratch
+//     allocation per request.
+//   - An optional LRU result cache keyed by the exact input bytes answers
+//     repeated queries without touching the queue at all.
+//
+// The cmd/serve binary wraps a Server in an HTTP/JSON interface; see the
+// package example for direct library use.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ErrClosed is returned by Infer after Close has been called.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config parameterises a Server. Model and InShape are required; zero
+// values elsewhere select the documented defaults.
+type Config struct {
+	// Model is the trained network to serve. The server deep-copies it
+	// once per worker, so the caller keeps ownership of the original.
+	Model *nn.Network
+	// InShape is the per-sample input shape the model expects, e.g.
+	// [256] for Arch-1 or [32 32 3] for Arch-3.
+	InShape []int
+	// Workers is the number of model replicas executing batches
+	// concurrently. Default: GOMAXPROCS.
+	Workers int
+	// MaxBatch is the largest batch the scheduler will assemble.
+	// Default: 16.
+	MaxBatch int
+	// MaxDelay bounds how long the scheduler holds the first request of
+	// a batch while waiting for more. Default: 2ms.
+	MaxDelay time.Duration
+	// QueueDepth is the request-queue capacity; submissions beyond it
+	// block in Infer. Default: Workers × MaxBatch.
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries; 0 disables
+	// caching.
+	CacheSize int
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = cfg.Workers * cfg.MaxBatch
+	}
+	return cfg
+}
+
+// Result is one answered inference request.
+type Result struct {
+	// Class is the argmax class index.
+	Class int `json:"class"`
+	// Scores are the raw network outputs (unnormalised logits), one per
+	// class.
+	Scores []float64 `json:"scores"`
+	// BatchSize is the size of the batch this request was served in
+	// (1 for a batch of its own, 0 for a cache hit).
+	BatchSize int `json:"batch_size"`
+	// Cached reports whether the result came from the LRU cache.
+	Cached bool `json:"cached"`
+}
+
+// request is one in-flight inference job. Requests are pooled: the
+// submitting Infer call owns the request again once it has received the
+// response, and returns it for reuse. Requests abandoned by context
+// cancellation are simply dropped (the worker may still touch them).
+type request struct {
+	input []float64
+	key   string // cache key, "" when caching is disabled
+	enq   time.Time
+	resp  chan Result
+}
+
+var requestPool = sync.Pool{
+	New: func() any { return &request{resp: make(chan Result, 1)} },
+}
+
+// Server is a batched concurrent inference server. Create one with New;
+// it is safe for use by any number of goroutines.
+type Server struct {
+	cfg      Config
+	features int // product of InShape
+
+	reqCh   chan *request
+	batchCh chan []*request
+
+	cache *resultCache
+	stats collector
+
+	// queued counts requests submitted but not yet taken by the
+	// scheduler (it is incremented before the queue send and decremented
+	// as the dispatcher pulls each request into a batch). The scheduler
+	// dispatches a batch immediately once no undispatched request
+	// remains, instead of idling out MaxDelay; requests already
+	// executing on workers must not hold a new batch back, so they are
+	// deliberately not counted.
+	queued atomic.Int64
+
+	mu     sync.RWMutex // guards closed against concurrent Infer sends
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New validates the configuration, probes the model with a zero input to
+// verify InShape, replicates the model once per worker, and starts the
+// scheduler and worker pool. The returned server must be released with
+// Close.
+func New(cfg Config) (srv *Server, err error) {
+	cfg = cfg.withDefaults()
+	if cfg.Model == nil {
+		return nil, errors.New("serve: Config.Model is required")
+	}
+	if len(cfg.InShape) == 0 {
+		return nil, errors.New("serve: Config.InShape is required")
+	}
+	features := 1
+	for _, d := range cfg.InShape {
+		if d < 1 {
+			return nil, fmt.Errorf("serve: non-positive input dimension in %v", cfg.InShape)
+		}
+		features *= d
+	}
+
+	// Probe: layers panic on shape mismatch; surface that as an error
+	// here rather than in a worker. The recover is scoped to the probe
+	// alone so unrelated panics keep their real cause.
+	probe, err := func() (t *tensor.Tensor, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				t, err = nil, fmt.Errorf("serve: model rejects input shape %v: %v", cfg.InShape, p)
+			}
+		}()
+		return cfg.Model.Forward(tensor.New(append([]int{1}, cfg.InShape...)...), false), nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	if probe.Rank() != 2 {
+		return nil, fmt.Errorf("serve: model output rank %d, want 2 ([batch, classes])", probe.Rank())
+	}
+
+	replicas := make([]*nn.Network, cfg.Workers)
+	for i := range replicas {
+		r, err := cfg.Model.Clone()
+		if err != nil {
+			return nil, fmt.Errorf("serve: replicating model for worker %d: %w", i, err)
+		}
+		replicas[i] = r
+	}
+
+	s := &Server{
+		cfg:      cfg,
+		features: features,
+		reqCh:    make(chan *request, cfg.QueueDepth),
+		batchCh:  make(chan []*request, cfg.Workers),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newResultCache(cfg.CacheSize)
+	}
+	s.wg.Add(1 + cfg.Workers)
+	go s.dispatch()
+	for _, r := range replicas {
+		go s.worker(r)
+	}
+	return s, nil
+}
+
+// Infer submits one input vector (features in row-major InShape order,
+// length = the product of InShape) and blocks until the result is
+// available, the context is cancelled, or the server is closed. It is safe
+// to call from any number of goroutines; concurrent calls are what the
+// batching scheduler feeds on.
+func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
+	if len(input) != s.features {
+		return Result{}, fmt.Errorf("serve: input has %d features, model needs %d", len(input), s.features)
+	}
+
+	// Reject before touching the cache, so a closed server honours the
+	// ErrClosed contract even for inputs it could answer from the LRU.
+	// Stats.Requests counts only accepted calls, so it is bumped on the
+	// cache-hit return and after queue admission — never on a rejection.
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return Result{}, ErrClosed
+	}
+
+	var key string
+	if s.cache != nil {
+		key = cacheKey(input)
+		if res, ok := s.cache.get(key); ok {
+			s.stats.cacheHit()
+			res.Cached = true
+			res.BatchSize = 0
+			res.Scores = append([]float64(nil), res.Scores...)
+			return res, nil
+		}
+		// The miss is recorded only after queue admission below, so the
+		// cache counters stay consistent with Requests when a submission
+		// is cancelled or rejected.
+	}
+
+	r := requestPool.Get().(*request)
+	r.input = append(r.input[:0], input...) // detach from caller
+	r.key = key
+	r.enq = time.Now()
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		requestPool.Put(r)
+		return Result{}, ErrClosed
+	}
+	// Count the request (and the cache miss) before the send: once the
+	// scheduler can see the request, Stats must already include it, so
+	// Requests ≥ Completed + CacheHits holds at every instant. A
+	// submission cancelled before admission is uncounted again.
+	s.queued.Add(1)
+	s.stats.admit(s.cache != nil)
+	select {
+	case s.reqCh <- r:
+		s.mu.RUnlock()
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		s.stats.unadmit(s.cache != nil)
+		s.mu.RUnlock()
+		requestPool.Put(r)
+		return Result{}, ctx.Err()
+	}
+
+	select {
+	case res := <-r.resp:
+		requestPool.Put(r)
+		return res, nil
+	case <-ctx.Done():
+		// The worker still holds the request; let the GC reclaim it.
+		return Result{}, ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	st := s.stats.snapshot()
+	st.Workers = s.cfg.Workers
+	if s.cache != nil {
+		st.CacheEntries = s.cache.len()
+	}
+	return st
+}
+
+// Close stops accepting requests, waits for all in-flight requests to be
+// answered, and shuts down the worker pool. Infer calls made after Close
+// return ErrClosed. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.reqCh)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// dispatch is the batching scheduler: it assembles batches of up to
+// MaxBatch requests, holding an open batch no longer than MaxDelay past
+// its first request, and hands them to the worker pool.
+//
+// Two refinements keep tail latency down without sacrificing batch size:
+// already-queued requests are drained greedily before any waiting, and a
+// batch is dispatched early once no undispatched request remains — at
+// that point further waiting could only serve requests that do not exist
+// yet, which is exactly the closed-loop case where deadline idling would
+// otherwise dominate latency.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	defer close(s.batchCh)
+	for {
+		first, ok := <-s.reqCh
+		if !ok {
+			return
+		}
+		s.queued.Add(-1)
+		batch := make([]*request, 1, s.cfg.MaxBatch)
+		batch[0] = first
+		draining := false
+		if s.cfg.MaxBatch > 1 {
+			timer := time.NewTimer(s.cfg.MaxDelay)
+			yielded := false
+		fill:
+			for len(batch) < s.cfg.MaxBatch {
+				// Greedy phase: take whatever is already queued.
+				select {
+				case r, ok := <-s.reqCh:
+					if !ok {
+						draining = true
+						break fill
+					}
+					s.queued.Add(-1)
+					batch = append(batch, r)
+					yielded = false
+					continue
+				default:
+				}
+				// Queue empty. Yield once so runnable submitters (clients
+				// that have entered Infer but not yet reached the channel
+				// send) can land their requests — without this, a
+				// single-CPU host dispatches everything in batches of one.
+				if !yielded {
+					yielded = true
+					runtime.Gosched()
+					continue
+				}
+				// If no undispatched request remains, dispatch now:
+				// waiting longer could only serve requests that do not
+				// exist yet. Otherwise wait for the stragglers, bounded
+				// by the deadline.
+				if s.queued.Load() == 0 {
+					break fill
+				}
+				select {
+				case r, ok := <-s.reqCh:
+					if !ok {
+						draining = true
+						break fill
+					}
+					s.queued.Add(-1)
+					batch = append(batch, r)
+					yielded = false
+				case <-timer.C:
+					break fill
+				}
+			}
+			timer.Stop()
+		}
+		s.batchCh <- batch
+		if draining {
+			return
+		}
+	}
+}
+
+// worker executes batches on its own model replica with its own reusable
+// workspace and input buffer, then fans results back out to the
+// per-request channels.
+func (s *Server) worker(net *nn.Network) {
+	defer s.wg.Done()
+	ws := nn.NewWorkspace()
+	buf := make([]float64, s.cfg.MaxBatch*s.features)
+	lats := make([]time.Duration, 0, s.cfg.MaxBatch)
+	for batch := range s.batchCh {
+		n := len(batch)
+		for i, r := range batch {
+			copy(buf[i*s.features:(i+1)*s.features], r.input)
+		}
+		x := tensor.FromSlice(buf[:n*s.features], append([]int{n}, s.cfg.InShape...)...)
+		out := net.ForwardWS(ws, x, false)
+		// Record stats before fanning responses out: the moment the last
+		// response lands, a caller may read Stats and must see this batch.
+		now := time.Now()
+		lats = lats[:0]
+		for _, r := range batch {
+			lats = append(lats, now.Sub(r.enq))
+		}
+		s.stats.batchDone(n, lats)
+		for i, r := range batch {
+			scores := append([]float64(nil), out.Row(i)...)
+			res := Result{Class: nn.Argmax(scores), Scores: scores, BatchSize: n}
+			if s.cache != nil {
+				// Cache a private copy of the scores: the requester owns
+				// the slice in res and may mutate it.
+				cres := res
+				cres.Scores = append([]float64(nil), scores...)
+				s.cache.add(r.key, cres)
+			}
+			r.resp <- res
+		}
+	}
+}

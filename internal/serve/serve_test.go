@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// testModel builds a small block-circulant network in the shape of the
+// paper's Arch-1 (scaled down so the race-instrumented load test stays
+// fast).
+func testModel(seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.NewNetwork(
+		nn.NewCircDense(64, 32, 16, rng),
+		nn.NewReLU(),
+		nn.NewDense(32, 10, rng),
+	)
+}
+
+// testInputs returns n distinct deterministic input vectors plus the
+// reference prediction for each, computed on the unshared original model.
+func testInputs(net *nn.Network, n, features int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(99))
+	inputs := make([][]float64, n)
+	want := make([]int, n)
+	for i := range inputs {
+		inputs[i] = make([]float64, features)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.NormFloat64()
+		}
+		x := tensor.FromSlice(inputs[i], 1, features)
+		want[i] = net.Predict(x)[0]
+	}
+	return inputs, want
+}
+
+// TestConcurrentLoad is the scheduler's contract test: N goroutines hammer
+// the server, and every request must be answered exactly once, correctly,
+// in a batch no larger than configured. Run under -race this also proves
+// replicas and workspaces share no state.
+func TestConcurrentLoad(t *testing.T) {
+	net := testModel(1)
+	const (
+		goroutines = 8
+		perG       = 40
+		maxBatch   = 4
+	)
+	srv, err := New(Config{
+		Model:    net,
+		InShape:  []int{64},
+		Workers:  4,
+		MaxBatch: maxBatch,
+		MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	inputs, want := testInputs(net, 16, 64)
+	var answered atomic.Uint64
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := (g*perG + i) % len(inputs)
+				res, err := srv.Infer(context.Background(), inputs[k])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if res.Class != want[k] {
+					t.Errorf("input %d: served class %d, reference %d", k, res.Class, want[k])
+				}
+				if res.BatchSize < 1 || res.BatchSize > maxBatch {
+					t.Errorf("batch size %d outside [1, %d]", res.BatchSize, maxBatch)
+				}
+				answered.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	const total = goroutines * perG
+	if got := answered.Load(); got != total {
+		t.Fatalf("answered %d of %d requests", got, total)
+	}
+	st := srv.Stats()
+	if st.Requests != total || st.Completed != total {
+		t.Errorf("stats: requests=%d completed=%d, want %d each", st.Requests, st.Completed, total)
+	}
+	if st.MaxBatch > maxBatch {
+		t.Errorf("stats: max batch %d exceeds configured %d", st.MaxBatch, maxBatch)
+	}
+	if st.Batches == 0 || st.MeanBatch < 1 {
+		t.Errorf("stats: batches=%d meanBatch=%f", st.Batches, st.MeanBatch)
+	}
+}
+
+// TestBatchDeadline checks that a lone request is not held hostage by a
+// large MaxBatch: the deadline must flush it.
+func TestBatchDeadline(t *testing.T) {
+	srv, err := New(Config{
+		Model:    testModel(2),
+		InShape:  []int{64},
+		Workers:  1,
+		MaxBatch: 1024,
+		MaxDelay: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	input := make([]float64, 64)
+	start := time.Now()
+	res, err := srv.Infer(context.Background(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("lone request took %v; deadline flush did not fire", elapsed)
+	}
+	if res.BatchSize != 1 {
+		t.Errorf("lone request served in batch of %d, want 1", res.BatchSize)
+	}
+}
+
+// TestResultCache checks the LRU: repeats hit, distinct inputs miss, and
+// capacity is enforced.
+func TestResultCache(t *testing.T) {
+	net := testModel(3)
+	srv, err := New(Config{
+		Model:     net,
+		InShape:   []int{64},
+		Workers:   1,
+		MaxBatch:  4,
+		MaxDelay:  time.Millisecond,
+		CacheSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	inputs, want := testInputs(net, 3, 64)
+	first, err := srv.Infer(context.Background(), inputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first request reported Cached")
+	}
+	again, err := srv.Infer(context.Background(), inputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("repeat request not served from cache")
+	}
+	if again.Class != want[0] {
+		t.Errorf("cached class %d, want %d", again.Class, want[0])
+	}
+	// Mutating the caller's copy must not corrupt the cache.
+	again.Scores[again.Class] = -1e9
+	third, err := srv.Infer(context.Background(), inputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Class != want[0] {
+		t.Errorf("cache corrupted by caller mutation: class %d, want %d", third.Class, want[0])
+	}
+
+	// Overflow the 2-entry capacity; the oldest entry must be evicted.
+	for _, in := range inputs[1:] {
+		if _, err := srv.Infer(context.Background(), in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := srv.cache.len(); n > 2 {
+		t.Errorf("cache holds %d entries, capacity 2", n)
+	}
+	st := srv.Stats()
+	if st.CacheHits == 0 || st.CacheMisses == 0 {
+		t.Errorf("stats: hits=%d misses=%d, want both nonzero", st.CacheHits, st.CacheMisses)
+	}
+}
+
+// TestCloseSemantics checks Close idempotence and post-Close rejection —
+// including for inputs the result cache could still answer.
+func TestCloseSemantics(t *testing.T) {
+	srv, err := New(Config{Model: testModel(4), InShape: []int{64}, Workers: 2, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Infer(context.Background(), make([]float64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	// The zero input is cached now, but a closed server must still refuse.
+	if _, err := srv.Infer(context.Background(), make([]float64, 64)); err != ErrClosed {
+		t.Errorf("Infer after Close: err=%v, want ErrClosed", err)
+	}
+}
+
+// TestInputValidation checks shape errors and config errors are reported,
+// not paniced.
+func TestInputValidation(t *testing.T) {
+	srv, err := New(Config{Model: testModel(5), InShape: []int{64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Infer(context.Background(), make([]float64, 63)); err == nil {
+		t.Error("short input accepted")
+	}
+
+	if _, err := New(Config{InShape: []int{64}}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := New(Config{Model: testModel(6)}); err == nil {
+		t.Error("missing input shape accepted")
+	}
+	// A shape the model rejects must surface as an error from the probe.
+	if _, err := New(Config{Model: testModel(7), InShape: []int{63}}); err == nil {
+		t.Error("mismatched input shape accepted")
+	}
+}
+
+// TestContextCancellation checks that a cancelled context unblocks Infer.
+func TestContextCancellation(t *testing.T) {
+	srv, err := New(Config{Model: testModel(8), InShape: []int{64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Infer(ctx, make([]float64, 64)); err != context.Canceled {
+		// The request may also have been served before the cancellation
+		// was observed; only a hang is a failure, and a hang fails the
+		// test by timeout. Accept either outcome.
+		if err != nil {
+			t.Errorf("unexpected error %v", err)
+		}
+	}
+}
+
+// TestServedMatchesReference runs every test input through the server and
+// the original network and requires identical scores — batching and
+// workspace reuse must not change the numerics.
+func TestServedMatchesReference(t *testing.T) {
+	net := testModel(9)
+	srv, err := New(Config{
+		Model:    net,
+		InShape:  []int{64},
+		Workers:  3,
+		MaxBatch: 5,
+		MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	inputs, _ := testInputs(net, 8, 64)
+	for k, in := range inputs {
+		res, err := srv.Infer(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := net.Forward(tensor.FromSlice(in, 1, 64), false).Row(0)
+		for j := range ref {
+			if res.Scores[j] != ref[j] {
+				t.Fatalf("input %d class %d: served score %g, reference %g", k, j, res.Scores[j], ref[j])
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@
 //   - embedded-platform latency model (Nexus 5, XU3, Honor 6X)    — Table I
 //   - the four-module deployment engine of Fig. 4 plus CLI tools
 //   - a TrueNorth-style neuromorphic simulator for Fig. 5 context
+//   - a batched concurrent inference server (internal/serve, cmd/serve)
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure.
@@ -33,6 +34,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/ops"
 	"repro/internal/platform"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 )
 
@@ -135,3 +137,31 @@ func ParseArchitecture(r io.Reader, rng *rand.Rand) (*Engine, error) {
 // SaveParameters writes a network's trained parameters in the engine's
 // binary format (module 2 of Fig. 4).
 func SaveParameters(w io.Writer, net *Network) error { return engine.SaveParameters(w, net) }
+
+// Batched inference serving (internal/serve): a request-coalescing
+// scheduler over a pool of model replicas with per-worker FFT workspace
+// reuse and an LRU result cache. cmd/serve wraps this in HTTP/JSON.
+type (
+	// Server is the batched concurrent inference server.
+	Server = serve.Server
+	// ServeConfig parameterises a Server (model, batch size, deadline,
+	// workers, cache).
+	ServeConfig = serve.Config
+	// ServeStats is a snapshot of a Server's counters.
+	ServeStats = serve.Stats
+	// InferResult is one answered inference request.
+	InferResult = serve.Result
+	// Workspace is caller-owned forward-pass scratch for allocation-free
+	// repeated inference (see Network.ForwardWS).
+	Workspace = nn.Workspace
+)
+
+// ErrServerClosed is returned by Server.Infer after Close.
+var ErrServerClosed = serve.ErrClosed
+
+// NewServer starts a batched inference server for a trained model.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// NewWorkspace returns reusable forward-pass scratch for a long-lived
+// inference loop.
+func NewWorkspace() *Workspace { return nn.NewWorkspace() }
