@@ -1,0 +1,42 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml), and `make bench` emits the same BENCH_<date>.json
+# schema the CI perf job uploads, so local and CI perf numbers accumulate in
+# one comparable format.
+
+GO ?= go
+
+.PHONY: all build test race lint bench bench-compare
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
+
+# Run the full benchmark suite (root package) and write BENCH_<YYYYMMDD>.json.
+# Override the selection or budget, e.g.:
+#   make bench BENCH=BenchmarkBatchedSpectralForward COUNT=3
+BENCH ?= .
+BENCHTIME ?= 3x
+COUNT ?= 5
+
+bench:
+	$(GO) run ./tools/benchjson run -bench '$(BENCH)' -benchtime $(BENCHTIME) -count $(COUNT)
+
+# Compare two benchmark artifacts with the CI gate (>15% median ns/op
+# regression on hot-path benchmarks fails):
+#   make bench-compare BASE=BENCH_20260701.json HEAD=BENCH_20260728.json
+GATE ?= BenchmarkBatchedSpectralForward|BenchmarkFig2_CirculantMatvec|BenchmarkAblationSpectralCache|BenchmarkAblationAccumulateSpectral
+
+bench-compare:
+	$(GO) run ./tools/benchjson compare -threshold 1.15 -gate '$(GATE)' $(BASE) $(HEAD)

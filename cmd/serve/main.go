@@ -72,23 +72,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	start := time.Now()
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":   "ok",
-			"model":    desc,
-			"uptime_s": time.Since(start).Seconds(),
-		})
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, srv.Stats())
-	})
-	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
-		handleInfer(w, r, srv)
-	})
-
-	hs := &http.Server{Addr: *addr, Handler: mux}
+	hs := &http.Server{Addr: *addr, Handler: newMux(srv, desc, time.Now())}
 	go func() {
 		log.Printf("serving %s on %s (workers=%d batch=%d deadline=%v cache=%d)",
 			desc, *addr, srv.Stats().Workers, *batch, *deadline, *cache)
@@ -108,6 +92,27 @@ func main() {
 		log.Printf("http shutdown: %v", err)
 	}
 	srv.Close()
+}
+
+// newMux builds the HTTP surface over a serving instance. Factored out of
+// main so the handler wiring is testable (the /stats-vs-/infer consistency
+// regression test drives it through httptest).
+func newMux(srv *serve.Server, desc string, start time.Time) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"model":    desc,
+			"uptime_s": time.Since(start).Seconds(),
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
+		handleInfer(w, r, srv)
+	})
+	return mux
 }
 
 // loadModel resolves the model sources in priority order: bundle/file

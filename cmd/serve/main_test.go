@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+// newTestServer starts a small serving instance behind the real HTTP mux.
+func newTestServer(t *testing.T, cacheSize int) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	model := nn.NewNetwork(
+		nn.NewCircDense(64, 32, 16, rng),
+		nn.NewReLU(),
+		nn.NewDense(32, 10, rng),
+	)
+	srv, err := serve.New(serve.Config{
+		Model:     model,
+		InShape:   []int{64},
+		Workers:   2,
+		MaxBatch:  4,
+		MaxDelay:  100 * time.Microsecond,
+		CacheSize: cacheSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(newMux(srv, "test model", time.Now()))
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return srv, hs
+}
+
+func postInfer(t *testing.T, url string, input []float64) serve.Result {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"input": input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/infer status %d", resp.StatusCode)
+	}
+	var res serve.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func getStats(url string) (serve.Stats, error) {
+	var st serve.Stats
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("/stats status %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// TestStatsEndpointConsistentUnderInferLoad is the HTTP-level regression
+// test for the /stats race: hit /stats continuously while concurrent
+// /infer traffic exercises the LRU cache, and require every response to be
+// internally consistent (the cache figures are now snapshotted under one
+// cache-lock acquisition). CI runs this under -race, which also proves the
+// handlers share no unsynchronised state.
+func TestStatsEndpointConsistentUnderInferLoad(t *testing.T) {
+	const clients, iters, distinct = 4, 60, 5
+	_, hs := newTestServer(t, distinct)
+
+	rng := rand.New(rand.NewSource(7))
+	inputs := make([][]float64, distinct)
+	for i := range inputs {
+		inputs[i] = make([]float64, 64)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.NormFloat64()
+		}
+	}
+
+	done := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			st, err := getStats(hs.URL)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if st.Completed > st.Requests {
+				t.Errorf("/stats: completed %d > requests %d", st.Completed, st.Requests)
+			}
+			if st.CacheHits+st.CacheMisses > st.Requests {
+				t.Errorf("/stats: hits %d + misses %d > requests %d", st.CacheHits, st.CacheMisses, st.Requests)
+			}
+			if st.CacheEntries > distinct {
+				t.Errorf("/stats: %d entries, capacity %d", st.CacheEntries, distinct)
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				postInfer(t, hs.URL, inputs[(c+i)%distinct])
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(done)
+	readerWG.Wait()
+
+	st, err := getStats(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != clients*iters {
+		t.Errorf("requests %d, want %d", st.Requests, clients*iters)
+	}
+	if st.CacheHits+st.CacheMisses != st.Requests {
+		t.Errorf("hits %d + misses %d != requests %d", st.CacheHits, st.CacheMisses, st.Requests)
+	}
+}
+
+// TestInferEndpointRoundTrip pins the single- and multi-input /infer
+// contract end to end: correct classes, cache flag on repeats, input
+// validation errors.
+func TestInferEndpointRoundTrip(t *testing.T) {
+	srv, hs := newTestServer(t, 8)
+
+	input := make([]float64, 64)
+	for i := range input {
+		input[i] = float64(i) / 64
+	}
+	first := postInfer(t, hs.URL, input)
+	if first.Cached {
+		t.Error("first request reported Cached")
+	}
+	if len(first.Scores) != 10 {
+		t.Fatalf("got %d scores, want 10", len(first.Scores))
+	}
+	again := postInfer(t, hs.URL, input)
+	if !again.Cached {
+		t.Error("repeat request not served from cache")
+	}
+	if again.Class != first.Class {
+		t.Errorf("cached class %d, first class %d", again.Class, first.Class)
+	}
+
+	// Multi-input body.
+	body, _ := json.Marshal(map[string]any{"inputs": [][]float64{input, input}})
+	resp, err := http.Post(hs.URL+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var multi struct {
+		Results []serve.Result `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&multi); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(multi.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(multi.Results))
+	}
+
+	// Wrong feature count is a 400, and is not counted as a request.
+	before := srv.Stats().Requests
+	bad, _ := json.Marshal(map[string]any{"input": []float64{1, 2, 3}})
+	resp, err = http.Post(hs.URL+"/infer", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("short input: status %d, want 400", resp.StatusCode)
+	}
+	if after := srv.Stats().Requests; after != before {
+		t.Errorf("rejected input counted as a request: %d → %d", before, after)
+	}
+}

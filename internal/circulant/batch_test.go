@@ -1,0 +1,179 @@
+package circulant
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// batchTol is the agreement bound between the batched half-spectrum engine
+// and the per-vector full-complex path. The two round differently (half-size
+// packed transforms versus full transforms), so they are not bit-identical;
+// observed disagreement is ~1e-15 per element.
+const batchTol = 1e-12
+
+// TestBatchMatchesPerVector sweeps matrix shapes (square, tall, wide,
+// padded tails, tiny and non power-of-two blocks) and batch sizes, and
+// requires MulBatchInto/TransMulBatchInto to agree with the per-vector
+// paths within batchTol on every element.
+func TestBatchMatchesPerVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	shapes := []struct{ rows, cols, block int }{
+		{64, 64, 16},   // square, exact tiling
+		{128, 64, 32},  // tall
+		{64, 128, 32},  // wide
+		{100, 60, 16},  // padded tail blocks on both sides
+		{512, 512, 64}, // the benchmark shape
+		{16, 16, 2},    // smallest real-plan block
+		{12, 20, 4},    // padding with tiny blocks
+		{30, 42, 6},    // non power-of-two block: generic fallback
+		{9, 7, 1},      // block 1: per-vector fallback
+	}
+	for _, sh := range shapes {
+		m := MustNewBlockCirculant(sh.rows, sh.cols, sh.block).InitRandom(rng)
+		for _, batch := range []int{1, 2, 5, 16, 33} {
+			name := fmt.Sprintf("%dx%d/b=%d/batch=%d", sh.rows, sh.cols, sh.block, batch)
+			t.Run(name, func(t *testing.T) {
+				ws := NewBatchWorkspace()
+
+				xT := randVec(rng, batch*sh.rows)
+				gotT := m.TransMulBatchInto(nil, xT, batch, ws)
+				for v := 0; v < batch; v++ {
+					want := m.TransMulVecInto(nil, xT[v*sh.rows:(v+1)*sh.rows], nil)
+					for j := range want {
+						if d := math.Abs(gotT[v*sh.cols+j] - want[j]); d > batchTol {
+							t.Fatalf("TransMul vec %d elem %d: batch %g, per-vector %g (|Δ|=%g)",
+								v, j, gotT[v*sh.cols+j], want[j], d)
+						}
+					}
+				}
+
+				xM := randVec(rng, batch*sh.cols)
+				gotM := m.MulBatchInto(nil, xM, batch, ws)
+				for v := 0; v < batch; v++ {
+					want := m.MulVecInto(nil, xM[v*sh.cols:(v+1)*sh.cols], nil)
+					for j := range want {
+						if d := math.Abs(gotM[v*sh.rows+j] - want[j]); d > batchTol {
+							t.Fatalf("Mul vec %d elem %d: batch %g, per-vector %g (|Δ|=%g)",
+								v, j, gotM[v*sh.rows+j], want[j], d)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchAgainstDense validates the batched engine against the O(n²)
+// dense expansion directly, independent of the per-vector FFT path.
+func TestBatchAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	const rows, cols, block, batch = 48, 80, 16, 7
+	m := MustNewBlockCirculant(rows, cols, block).InitRandom(rng)
+	d := m.Dense()
+
+	x := randVec(rng, batch*rows)
+	got := m.TransMulBatchInto(nil, x, batch, nil) // nil workspace allowed
+	for v := 0; v < batch; v++ {
+		for j := 0; j < cols; j++ {
+			var want float64
+			for i := 0; i < rows; i++ {
+				want += d.At(i, j) * x[v*rows+i]
+			}
+			if dd := math.Abs(got[v*cols+j] - want); dd > 1e-9 {
+				t.Fatalf("vec %d col %d: %g, dense %g", v, j, got[v*cols+j], want)
+			}
+		}
+	}
+}
+
+// TestBatchWorkspaceReuse checks a workspace reused across products of
+// different shapes and batch sizes yields the same results as fresh
+// scratch, and that reuse stops allocating once warm.
+func TestBatchWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := MustNewBlockCirculant(128, 96, 32).InitRandom(rng)
+	b := MustNewBlockCirculant(64, 200, 16).InitRandom(rng)
+	ws := NewBatchWorkspace()
+	for trial := 0; trial < 3; trial++ {
+		for _, tc := range []struct {
+			m     *BlockCirculant
+			batch int
+		}{{a, 8}, {b, 3}, {a, 1}, {b, 17}} {
+			x := randVec(rng, tc.batch*tc.m.Rows())
+			got := tc.m.TransMulBatchInto(nil, x, tc.batch, ws)
+			want := tc.m.TransMulBatchInto(nil, x, tc.batch, NewBatchWorkspace())
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: reused workspace diverged at %d: %g != %g", trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	const batch = 16
+	x := randVec(rng, batch*a.Rows())
+	dst := make([]float64, batch*a.Cols())
+	a.TransMulBatchInto(dst, x, batch, ws) // warm for this shape
+	allocs := testing.AllocsPerRun(20, func() { a.TransMulBatchInto(dst, x, batch, ws) })
+	if allocs > 0 {
+		t.Errorf("warm batched product allocates %.0f/op; want 0", allocs)
+	}
+}
+
+// TestBatchConcurrentMatrices runs batched products on the same matrix from
+// several goroutines (each with its own workspace), exercising the bounded
+// worker pool under -race.
+func TestBatchConcurrentMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	const rows, cols, block, batch = 256, 192, 64, 16
+	m := MustNewBlockCirculant(rows, cols, block).InitRandom(rng)
+	x := randVec(rng, batch*rows)
+	want := m.TransMulBatchInto(nil, x, batch, nil)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := NewBatchWorkspace()
+			for it := 0; it < 10; it++ {
+				got := m.TransMulBatchInto(nil, x, batch, ws)
+				for i := range want {
+					if got[i] != want[i] {
+						errs <- fmt.Errorf("iteration %d elem %d: %g != %g", it, i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestBatchInputValidation pins the panic contract for malformed calls.
+func TestBatchInputValidation(t *testing.T) {
+	m := MustNewBlockCirculant(8, 8, 4)
+	for name, fn := range map[string]func(){
+		"zero batch":      func() { m.TransMulBatchInto(nil, nil, 0, nil) },
+		"short input":     func() { m.TransMulBatchInto(nil, make([]float64, 15), 2, nil) },
+		"wrong dst":       func() { m.TransMulBatchInto(make([]float64, 9), make([]float64, 16), 2, nil) },
+		"mul short input": func() { m.MulBatchInto(nil, make([]float64, 7), 1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

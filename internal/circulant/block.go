@@ -29,6 +29,14 @@ type BlockCirculant struct {
 
 	spec []complex128 // k·l·block cached spectra, laid out like Base
 
+	// plan and rplan are the precomputed transform plans for the block
+	// size, resolved once at construction so no product ever goes back
+	// through the plan cache. plan is nil for non power-of-two blocks
+	// (generic path); rplan additionally requires block ≥ 2 and drives the
+	// half-spectrum batched engine (batch.go).
+	plan  *fft.Plan
+	rplan *fft.RealPlan
+
 	poolOnce sync.Once
 	pool     *sync.Pool // *workspace, power-of-two fast paths
 }
@@ -52,6 +60,12 @@ func NewBlockCirculant(rows, cols, block int) (*BlockCirculant, error) {
 	}
 	m.Base = tensor.New(m.k, m.l, block)
 	m.spec = make([]complex128, m.k*m.l*block)
+	if fft.IsPow2(block) {
+		m.plan = fft.PlanFor(block)
+		if block >= 2 {
+			m.rplan = fft.RealPlanFor(block)
+		}
+	}
 	return m, nil
 }
 

@@ -113,7 +113,7 @@ func (m *BlockCirculant) MulVecInto(dst, x []float64, ws *Workspace) []float64 {
 		defer m.putWorkspace(ws)
 	}
 	ws.ensure(m.block, max(m.k, m.l))
-	m.mulVecCore(dst, x, ws, fft.PlanFor(m.block))
+	m.mulVecCore(dst, x, ws, m.plan)
 	return dst
 }
 
@@ -135,7 +135,7 @@ func (m *BlockCirculant) TransMulVecInto(dst, x []float64, ws *Workspace) []floa
 		defer m.putWorkspace(ws)
 	}
 	ws.ensure(m.block, max(m.k, m.l))
-	m.transMulVecCore(dst, x, ws, fft.PlanFor(m.block))
+	m.transMulVecCore(dst, x, ws, m.plan)
 	return dst
 }
 

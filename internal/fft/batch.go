@@ -1,0 +1,31 @@
+package fft
+
+import "fmt"
+
+// Batched transforms: one plan pushed over a whole coalesced batch of
+// vectors stored contiguously (vector v occupies src[v·n : (v+1)·n]). The
+// per-vector kernel is exactly (*Plan).Forward / (*Plan).Inverse, so batched
+// results are bit-identical to transforming each vector individually; the
+// batch entry points exist so hot loops (the block-circulant batch matvec,
+// the serving subsystem's coalesced forward passes) make one call per batch
+// with cache-friendly unit strides instead of one call per vector.
+
+// BatchForward computes the DFT of every length-n chunk of src into the
+// corresponding chunk of dst. len(src) must be a multiple of p.Size(); dst
+// must have the same length and may alias src for an in-place transform.
+func (p *Plan) BatchForward(dst, src []complex128) { p.batchTransform(dst, src, false) }
+
+// BatchInverse computes the inverse DFT (with the 1/n factor) of every
+// length-n chunk of src into the corresponding chunk of dst. dst may alias
+// src.
+func (p *Plan) BatchInverse(dst, src []complex128) { p.batchTransform(dst, src, true) }
+
+func (p *Plan) batchTransform(dst, src []complex128, inverse bool) {
+	n := p.n
+	if len(dst) != len(src) || len(src)%n != 0 {
+		panic(fmt.Sprintf("fft: batch transform of plan size %d: dst %d, src %d", n, len(dst), len(src)))
+	}
+	for off := 0; off < len(src); off += n {
+		p.transform(dst[off:off+n], src[off:off+n], inverse)
+	}
+}

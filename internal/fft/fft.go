@@ -29,10 +29,11 @@ import (
 // permutation) for transforms of one fixed power-of-two size. A Plan is
 // immutable after creation and safe for concurrent use.
 type Plan struct {
-	n    int
-	logn uint
-	perm []int32      // bit-reversal permutation
-	tw   []complex128 // tw[k] = e^{-2πi·k/n}, k ∈ [0, n/2)
+	n     int
+	logn  uint
+	perm  []int32      // bit-reversal permutation
+	tw    []complex128 // tw[k] = e^{-2πi·k/n}, k ∈ [0, n/2)
+	twInv []complex128 // conj(tw), so the butterfly loop never branches
 }
 
 // NewPlan creates a transform plan for size n, which must be a power of two
@@ -50,9 +51,11 @@ func NewPlan(n int) (*Plan, error) {
 		p.perm[i] = int32(reverseBits(uint32(i), p.logn))
 	}
 	p.tw = make([]complex128, n/2)
+	p.twInv = make([]complex128, n/2)
 	for k := range p.tw {
 		ang := -2 * math.Pi * float64(k) / float64(n)
 		p.tw[k] = cmplx.Exp(complex(0, ang))
+		p.twInv[k] = cmplx.Conj(p.tw[k])
 	}
 	return p, nil
 }
@@ -95,18 +98,20 @@ func (p *Plan) transform(dst, src []complex128, inverse bool) {
 		}
 	}
 	// Iterative decimation-in-time butterflies (the structure of Fig. 1).
+	// The direction is folded into the twiddle table choice so the
+	// innermost loop carries no branch.
+	tw := p.tw
+	if inverse {
+		tw = p.twInv
+	}
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
 		step := n / size
 		for start := 0; start < n; start += size {
 			tk := 0
 			for k := start; k < start+half; k++ {
-				w := p.tw[tk]
-				if inverse {
-					w = complex(real(w), -imag(w))
-				}
 				a := dst[k]
-				b := dst[k+half] * w
+				b := dst[k+half] * tw[tk]
 				dst[k] = a + b
 				dst[k+half] = a - b
 				tk += step

@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Numerics contract of the batched spectral engine at the network level:
+// pushing a coalesced batch through ForwardWS (one spectral pass per layer)
+// must agree with per-sample plain Forwards within wsTol on every logit.
+func TestBatchedForwardMatchesPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := Arch1(rng)
+	for _, batch := range []int{1, 2, 16, 33} {
+		x := tensor.New(batch, 256).Randn(rng, 1)
+		ws := NewWorkspace()
+		got := net.ForwardWS(ws, x, false)
+		for i := 0; i < batch; i++ {
+			want := net.Forward(tensor.FromSlice(x.Row(i), 1, 256), false)
+			for j, w := range want.Row(0) {
+				if d := got.At(i, j) - w; d > wsTol || d < -wsTol {
+					t.Fatalf("batch %d sample %d logit %d: batched %g, per-sample %g",
+						batch, i, j, got.At(i, j), w)
+				}
+			}
+		}
+	}
+}
+
+// The batched workspace path must stay allocation-free in the steady state
+// beyond the activation tensors, just like the per-row workspace path: the
+// BatchWorkspace grows once and is retained.
+func TestBatchedForwardSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := NewNetwork(
+		NewCircDense(256, 128, 64, rng),
+		NewReLU(),
+		NewCircDense(128, 128, 64, rng),
+	)
+	x := tensor.New(16, 256).Randn(rng, 1)
+	ws := NewWorkspace()
+	net.ForwardWS(ws, x, false) // warm
+	allocs := testing.AllocsPerRun(30, func() { net.ForwardWS(ws, x, false) })
+	// 3 layers × (activation tensor + headers); anything well beyond that
+	// means batched scratch is being reallocated per pass.
+	if allocs > 20 {
+		t.Errorf("batched workspace path allocates %.0f/op; want only activations (≤20)", allocs)
+	}
+}

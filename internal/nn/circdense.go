@@ -62,11 +62,14 @@ func (l *CircDense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // ForwardWS implements WorkspaceForwarder: Forward with the FFT scratch
 // drawn from the caller-owned workspace instead of the per-matrix pool.
+// Multi-row inputs take the batched spectral engine — one planned pass over
+// the whole batch instead of one product per row — which agrees with the
+// per-row path within 1e-12 (see circulant.TransMulBatchInto).
 func (l *CircDense) ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
-	return l.forward(ws.circ, x, train)
+	return l.forward(ws, x, train)
 }
 
-func (l *CircDense) forward(cws *circulant.Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
+func (l *CircDense) forward(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != l.In {
 		panic(fmt.Sprintf("nn: %s got input shape %v", l.Name(), x.Shape()))
 	}
@@ -76,6 +79,20 @@ func (l *CircDense) forward(cws *circulant.Workspace, x *tensor.Tensor, train bo
 	batch := batchOf(x)
 	y := tensor.New(batch, l.Out)
 	bias := l.bParam.Value.Data
+	if ws != nil && batch > 1 {
+		l.W.TransMulBatchInto(y.Data, x.Data, batch, ws.batch)
+		for i := 0; i < batch; i++ {
+			row := y.Row(i)
+			for j := 0; j < l.Out; j++ {
+				row[j] += bias[j]
+			}
+		}
+		return y
+	}
+	var cws *circulant.Workspace
+	if ws != nil {
+		cws = ws.circ
+	}
 	for i := 0; i < batch; i++ {
 		row := y.Row(i)
 		l.W.TransMulVecInto(row, x.Row(i), cws)

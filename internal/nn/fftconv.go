@@ -28,10 +28,20 @@ type FFTConv2D struct {
 	f, b *Param
 
 	ph, pw   int            // padded FFT dimensions (powers of two)
+	plan     *fft.Plan2D    // planned transforms of the padded plane
 	fspec    [][]complex128 // cached filter spectra, [c*P+p] → ph·pw
 	specOK   bool
 	lastCols []*tensor.Tensor // im2col cache for Backward
 	lastX    *tensor.Tensor
+
+	// Forward-pass scratch, grown once and retained: channel spectra,
+	// per-output-channel spectral accumulators, the padded plane buffer and
+	// the plan's column buffer. A layer instance never runs concurrently
+	// (replicas are clones), so layer-owned scratch is safe.
+	chSpec [][]complex128
+	acc    [][]complex128
+	buf    []complex128
+	col    []complex128
 }
 
 // NewFFTConv2D creates a frequency-domain CONV layer with Xavier-initialised
@@ -49,6 +59,11 @@ func NewFFTConv2D(g tensor.Conv2DGeom, rng *rand.Rand) (*FFTConv2D, error) {
 		ph:   fft.NextPow2(g.H),
 		pw:   fft.NextPow2(g.W),
 	}
+	plan, err := fft.NewPlan2D(l.ph, l.pw)
+	if err != nil {
+		return nil, fmt.Errorf("nn: FFTConv2D: %w", err)
+	}
+	l.plan = plan
 	l.f = &Param{
 		Name:  "F",
 		Value: tensor.New(g.R, g.R, g.C, g.P).XavierInit(rng, fanIn, g.P),
@@ -67,14 +82,35 @@ func (l *FFTConv2D) Name() string {
 // Params implements Layer.
 func (l *FFTConv2D) Params() []*Param { return []*Param{l.f, l.b} }
 
-// refreshSpectra recomputes the cached padded filter spectra.
+// ensureScratch sizes the retained forward-pass buffers.
+func (l *FFTConv2D) ensureScratch() {
+	g := l.Geom
+	n := l.ph * l.pw
+	if l.buf != nil {
+		return
+	}
+	l.buf = make([]complex128, n)
+	l.col = make([]complex128, l.ph)
+	l.chSpec = make([][]complex128, g.C)
+	for c := range l.chSpec {
+		l.chSpec[c] = make([]complex128, n)
+	}
+	l.acc = make([][]complex128, g.P)
+	for p := range l.acc {
+		l.acc[p] = make([]complex128, n)
+	}
+}
+
+// refreshSpectra recomputes the cached padded filter spectra through the
+// layer's 2-D plan.
 func (l *FFTConv2D) refreshSpectra() {
 	g := l.Geom
 	n := l.ph * l.pw
+	l.ensureScratch()
 	if l.fspec == nil {
 		l.fspec = make([][]complex128, g.C*g.P)
 	}
-	buf := make([]complex128, n)
+	buf := l.buf
 	for c := 0; c < g.C; c++ {
 		for p := 0; p < g.P; p++ {
 			for i := range buf {
@@ -85,7 +121,8 @@ func (l *FFTConv2D) refreshSpectra() {
 					buf[ki*l.pw+kj] = complex(l.f.Value.At(ki, kj, c, p), 0)
 				}
 			}
-			spec := fft.FFT2(buf, l.ph, l.pw)
+			spec := make([]complex128, n)
+			l.plan.Forward(spec, buf, l.col)
 			// Conjugate once here: the forward pass needs conj(F)∘X for the
 			// cross-correlation the CONV layer computes.
 			for i := range spec {
@@ -116,14 +153,10 @@ func (l *FFTConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := l.ph * l.pw
 	sl := g.H * g.W * g.C
 	ol := oh * ow * g.P
-	chSpec := make([][]complex128, g.C)
-	acc := make([][]complex128, g.P)
-	for p := range acc {
-		acc[p] = make([]complex128, n)
-	}
-	buf := make([]complex128, n)
+	l.ensureScratch()
+	chSpec, acc, buf := l.chSpec, l.acc, l.buf
 	for i := 0; i < batch; i++ {
-		// FFT each input channel once.
+		// FFT each input channel once, through the layer's plan.
 		for c := 0; c < g.C; c++ {
 			for t := range buf {
 				buf[t] = 0
@@ -133,7 +166,7 @@ func (l *FFTConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 					buf[y*l.pw+xx] = complex(x.Data[i*sl+(y*g.W+xx)*g.C+c], 0)
 				}
 			}
-			chSpec[c] = fft.FFT2(buf, l.ph, l.pw)
+			l.plan.Forward(chSpec[c], buf, l.col)
 		}
 		// Accumulate spectral products per output channel.
 		for p := 0; p < g.P; p++ {
@@ -148,10 +181,10 @@ func (l *FFTConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 					a[t] += fs[t] * xs[t]
 				}
 			}
-			y := fft.IFFT2(a, l.ph, l.pw)
+			l.plan.Inverse(a, a, l.col)
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
-					out.Data[i*ol+(oy*ow+ox)*g.P+p] = real(y[oy*l.pw+ox]) + l.b.Value.Data[p]
+					out.Data[i*ol+(oy*ow+ox)*g.P+p] = real(a[oy*l.pw+ox]) + l.b.Value.Data[p]
 				}
 			}
 		}

@@ -17,22 +17,31 @@ import (
 // the largest layer it has served and is retained across calls. A
 // Workspace must not be shared by concurrent forward passes; give each
 // inference worker its own.
+//
+// Beyond per-vector FFT scratch, a Workspace carries a
+// circulant.BatchWorkspace: layers that see more than one row at a time
+// (a coalesced serving batch through CircDense, the output pixels of
+// CircConv2D) run one batched spectral pass per layer instead of one
+// product per row. See DESIGN.md §3 for the plan/workspace lifecycle.
 type Workspace struct {
-	circ *circulant.Workspace
-	vec  []float64 // per-row product buffer for block-circulant layers
+	circ  *circulant.Workspace      // per-vector FFT scratch (fallbacks, batch of 1)
+	batch *circulant.BatchWorkspace // batched spectral-pass scratch
+	seg   []float64                 // gathered im2col segments for pixel-batched CircConv2D
+	prod  []float64                 // batched product output for pixel-batched CircConv2D
 }
 
 // NewWorkspace returns an empty Workspace ready for reuse.
 func NewWorkspace() *Workspace {
-	return &Workspace{circ: circulant.NewWorkspace()}
+	bw := circulant.NewBatchWorkspace()
+	return &Workspace{circ: bw.Vec(), batch: bw}
 }
 
-// vecBuf returns a scratch float64 slice of length n, reusing capacity.
-func (w *Workspace) vecBuf(n int) []float64 {
-	if cap(w.vec) < n {
-		w.vec = make([]float64, n)
+// growFloats resizes s to length n, retaining capacity across calls.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	return w.vec[:n]
+	return s[:n]
 }
 
 // WorkspaceForwarder is implemented by layers whose forward pass can run

@@ -7,8 +7,16 @@ import (
 	"repro/internal/tensor"
 )
 
-// ForwardWS must be numerically identical to Forward: workspace reuse is a
-// pure allocation optimisation.
+// wsTol bounds the disagreement between the workspace (batched spectral)
+// path and plain Forward. The batched engine runs half-spectrum transforms
+// that round differently from the per-row full-complex path, so the two are
+// no longer bit-identical; they must agree within 1e-12 per element
+// (observed ~1e-15), and the workspace path must be deterministic.
+const wsTol = 1e-12
+
+// TestForwardWSMatchesForward: the workspace path runs the batched spectral
+// engine, so it must match Forward within wsTol, reproduce itself exactly
+// across workspace reuse, and degrade to plain Forward on a nil workspace.
 func TestForwardWSMatchesForward(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	net := NewNetwork(
@@ -22,18 +30,24 @@ func TestForwardWSMatchesForward(t *testing.T) {
 	x := tensor.New(3, 8, 8, 4).Randn(rng, 1)
 	want := net.Forward(x, false)
 	ws := NewWorkspace()
-	for trial := 0; trial < 3; trial++ { // reuse the same workspace
-		got := net.ForwardWS(ws, x, false)
-		if !got.SameShape(want) {
-			t.Fatalf("shape %v, want %v", got.Shape(), want.Shape())
+	first := net.ForwardWS(ws, x, false)
+	if !first.SameShape(want) {
+		t.Fatalf("shape %v, want %v", first.Shape(), want.Shape())
+	}
+	for i := range want.Data {
+		if d := first.Data[i] - want.Data[i]; d > wsTol || d < -wsTol {
+			t.Fatalf("element %d: workspace %g, plain %g", i, first.Data[i], want.Data[i])
 		}
+	}
+	for trial := 0; trial < 3; trial++ { // reuse must be exactly reproducible
+		got := net.ForwardWS(ws, x, false)
 		for i := range want.Data {
-			if got.Data[i] != want.Data[i] {
-				t.Fatalf("trial %d: element %d: %g != %g", trial, i, got.Data[i], want.Data[i])
+			if got.Data[i] != first.Data[i] {
+				t.Fatalf("trial %d: element %d: %g != first pass %g", trial, i, got.Data[i], first.Data[i])
 			}
 		}
 	}
-	// nil workspace degrades to plain Forward.
+	// nil workspace degrades to plain Forward, bit-identically.
 	got := net.ForwardWS(nil, x, false)
 	for i := range want.Data {
 		if got.Data[i] != want.Data[i] {

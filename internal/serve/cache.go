@@ -19,6 +19,16 @@ type resultCache struct {
 	cap   int
 	order *list.List               // front = most recently used
 	items map[string]*list.Element // key → element whose Value is *cacheEntry
+
+	// hits and misses live here, under the same mutex as the entries, so a
+	// Stats snapshot reads all three cache figures in one consistent view
+	// (one lock acquisition) instead of racing /infer between two reads.
+	// A hit is counted by get (after the request was counted); a miss only
+	// once the request is admitted to the batch queue (miss/unmiss), so
+	// the counters reconcile exactly with Stats.Requests at quiescence —
+	// see Server.Stats for the snapshot-ordering guarantee and its
+	// cancellation caveat.
+	hits, misses uint64
 }
 
 type cacheEntry struct {
@@ -44,7 +54,7 @@ func cacheKey(input []float64) string {
 }
 
 // get returns the cached result for key and whether it was present,
-// promoting the entry to most recently used.
+// promoting the entry to most recently used and counting the hit.
 func (c *resultCache) get(key string) (Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -52,8 +62,23 @@ func (c *resultCache) get(key string) (Result, bool) {
 	if !ok {
 		return Result{}, false
 	}
+	c.hits++
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).res, true
+}
+
+// miss counts one lookup miss whose request was admitted to the queue;
+// unmiss reverses it for a submission cancelled before admission.
+func (c *resultCache) miss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+func (c *resultCache) unmiss() {
+	c.mu.Lock()
+	c.misses--
+	c.mu.Unlock()
 }
 
 // add inserts or refreshes an entry, evicting the least recently used
@@ -74,9 +99,13 @@ func (c *resultCache) add(key string, res Result) {
 	}
 }
 
-// len returns the current entry count.
-func (c *resultCache) len() int {
+// counters returns the hit/miss totals and current entry count as one
+// consistent snapshot under a single lock acquisition — the /stats fix:
+// reading these through separate locked calls let a concurrent /infer move
+// the cache between reads, so entries could disagree with the hit/miss
+// totals they were reported next to.
+func (c *resultCache) counters() (hits, misses uint64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.order.Len()
+	return c.hits, c.misses, c.order.Len()
 }

@@ -6,13 +6,16 @@
 //
 //   - A batching scheduler coalesces individual requests into batches of at
 //     most Config.MaxBatch, waiting at most Config.MaxDelay after the first
-//     request of a batch, so one FFT-based forward pass amortises its weight
-//     spectra and instruction stream across many requests.
+//     request of a batch. A dispatched batch is executed as one planned
+//     spectral pass per layer (the batched engine behind
+//     nn.Network.ForwardWS), not as N independent forwards: every
+//     block-circulant layer transforms the whole batch through one FFT plan
+//     and streams each cached weight spectrum across all requests at once.
 //   - A pool of Config.Workers model replicas (deep copies via
 //     nn.Network.Clone, so no mutable state is shared) executes batches
-//     concurrently. Each worker owns one nn.Workspace and threads it through
-//     every forward pass, so the steady state performs no FFT scratch
-//     allocation per request.
+//     concurrently. Each worker owns one nn.Workspace — per-vector and
+//     batched FFT scratch both — and threads it through every forward pass,
+//     so the steady state performs no FFT scratch allocation per request.
 //   - An optional LRU result cache keyed by the exact input bytes answers
 //     repeated queries without touching the queue at all.
 //
@@ -221,9 +224,16 @@ func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 
 	var key string
 	if s.cache != nil {
+		// Count the request before the lookup: the hit is recorded inside
+		// get under the cache lock, and a cache counter must never outrun
+		// the request it belongs to (Stats reads the cache before the
+		// collector, so CacheHits+CacheMisses ≤ Requests holds in every
+		// snapshot). The pre-count is reversed on the closed-server and
+		// cancelled-before-admission paths below, keeping the "only
+		// accepted calls are counted" contract.
+		s.stats.request()
 		key = cacheKey(input)
 		if res, ok := s.cache.get(key); ok {
-			s.stats.cacheHit()
 			res.Cached = true
 			res.BatchSize = 0
 			res.Scores = append([]float64(nil), res.Scores...)
@@ -243,20 +253,32 @@ func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 	if s.closed {
 		s.mu.RUnlock()
 		requestPool.Put(r)
+		if s.cache != nil {
+			s.stats.unadmit() // reverse the pre-lookup request count
+		}
 		return Result{}, ErrClosed
 	}
-	// Count the request (and the cache miss) before the send: once the
-	// scheduler can see the request, Stats must already include it, so
-	// Requests ≥ Completed + CacheHits holds at every instant. A
-	// submission cancelled before admission is uncounted again.
+	// Count the request (pre-counted above when a cache lookup ran) and
+	// then the cache miss before the send: once the scheduler can see the
+	// request, Stats must already include it, so Requests ≥ Completed
+	// holds at every instant, and a miss is never counted before its
+	// request. A submission cancelled before admission is uncounted
+	// again, in reverse order.
 	s.queued.Add(1)
-	s.stats.admit(s.cache != nil)
+	if s.cache == nil {
+		s.stats.admit()
+	} else {
+		s.cache.miss()
+	}
 	select {
 	case s.reqCh <- r:
 		s.mu.RUnlock()
 	case <-ctx.Done():
 		s.queued.Add(-1)
-		s.stats.unadmit(s.cache != nil)
+		if s.cache != nil {
+			s.cache.unmiss()
+		}
+		s.stats.unadmit()
 		s.mu.RUnlock()
 		requestPool.Put(r)
 		return Result{}, ctx.Err()
@@ -272,13 +294,25 @@ func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 	}
 }
 
-// Stats returns a snapshot of the server's counters.
+// Stats returns a snapshot of the server's counters. The three cache
+// figures (hits, misses, entries) are read under a single cache-lock
+// acquisition so they are mutually consistent even while /infer traffic is
+// moving the cache; they are read before the collector so neither a hit
+// nor a miss can appear in the snapshot ahead of the request it belongs to
+// (requests are always counted first on the Infer path). With no
+// cancellations in flight this keeps CacheHits + CacheMisses ≤ Requests in
+// every snapshot; a submission cancelled between the two reads can
+// transiently overshoot by the number of such cancellations, since its
+// unmiss/unadmit pair lands across the snapshot boundary.
 func (s *Server) Stats() Stats {
-	st := s.stats.snapshot()
-	st.Workers = s.cfg.Workers
+	var hits, misses uint64
+	var entries int
 	if s.cache != nil {
-		st.CacheEntries = s.cache.len()
+		hits, misses, entries = s.cache.counters()
 	}
+	st := s.stats.snapshot()
+	st.CacheHits, st.CacheMisses, st.CacheEntries = hits, misses, entries
+	st.Workers = s.cfg.Workers
 	return st
 }
 
@@ -377,7 +411,9 @@ func (s *Server) dispatch() {
 
 // worker executes batches on its own model replica with its own reusable
 // workspace and input buffer, then fans results back out to the
-// per-request channels.
+// per-request channels. The ForwardWS call below is where batching pays:
+// the coalesced batch tensor takes one batched spectral pass per
+// block-circulant layer instead of one product per request.
 func (s *Server) worker(net *nn.Network) {
 	defer s.wg.Done()
 	ws := nn.NewWorkspace()
@@ -398,8 +434,18 @@ func (s *Server) worker(net *nn.Network) {
 			lats = append(lats, now.Sub(r.enq))
 		}
 		s.stats.batchDone(n, lats)
+		// Scores are copied out of the output tensor into one fresh slab
+		// per batch: the output may be a view of the worker's reused input
+		// buffer (a pass-through model) or of layer-retained scratch, so
+		// rows must never be handed out by reference. One slab instead of
+		// one allocation per request keeps the fan-out cheap; each
+		// requester gets a capped (three-index) subslice, so appending to
+		// its Scores cannot bleed into a neighbour's row.
+		classes := out.Dim(1)
+		slab := make([]float64, n*classes)
+		copy(slab, out.Data[:n*classes])
 		for i, r := range batch {
-			scores := append([]float64(nil), out.Row(i)...)
+			scores := slab[i*classes : (i+1)*classes : (i+1)*classes]
 			res := Result{Class: nn.Argmax(scores), Scores: scores, BatchSize: n}
 			if s.cache != nil {
 				// Cache a private copy of the scores: the requester owns

@@ -191,12 +191,136 @@ func TestResultCache(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if n := srv.cache.len(); n > 2 {
+	if _, _, n := srv.cache.counters(); n > 2 {
 		t.Errorf("cache holds %d entries, capacity 2", n)
 	}
 	st := srv.Stats()
 	if st.CacheHits == 0 || st.CacheMisses == 0 {
 		t.Errorf("stats: hits=%d misses=%d, want both nonzero", st.CacheHits, st.CacheMisses)
+	}
+}
+
+// TestStatsConsistentUnderLoad is the regression test for the /stats race:
+// Stats used to assemble its cache figures from two separate lock
+// acquisitions, so a snapshot taken while /infer traffic was moving the
+// LRU could pair entry counts with hit/miss totals from different moments.
+// Here several clients hammer Infer through a cache that sees both hits
+// and misses while a reader polls Stats, and every snapshot must be
+// internally consistent. CI runs this under -race.
+func TestStatsConsistentUnderLoad(t *testing.T) {
+	const clients, iters, distinct = 4, 150, 6
+	net := testModel(11)
+	srv, err := New(Config{
+		Model:     net,
+		InShape:   []int{64},
+		Workers:   2,
+		MaxBatch:  4,
+		MaxDelay:  100 * time.Microsecond,
+		CacheSize: distinct,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	inputs, _ := testInputs(net, distinct, 64)
+
+	done := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			st := srv.Stats()
+			// Invariants that hold at every instant with no cancelled
+			// submissions: requests are counted before their cache
+			// lookup or admission, and Stats reads the cache before the
+			// collector, so no cache counter can ever outrun Requests
+			// in one snapshot.
+			if st.Completed > st.Requests {
+				t.Errorf("snapshot: completed %d > requests %d", st.Completed, st.Requests)
+			}
+			if st.CacheHits+st.CacheMisses > st.Requests {
+				t.Errorf("snapshot: hits %d + misses %d > requests %d",
+					st.CacheHits, st.CacheMisses, st.Requests)
+			}
+			if st.CacheEntries > distinct {
+				t.Errorf("snapshot: %d cache entries, capacity %d", st.CacheEntries, distinct)
+			}
+			if st.MaxBatch > 4 {
+				t.Errorf("snapshot: max batch %d > configured 4", st.MaxBatch)
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := srv.Infer(context.Background(), inputs[(c+i)%distinct]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(done)
+	readerWG.Wait()
+
+	// At quiescence the books must balance exactly.
+	st := srv.Stats()
+	if st.Requests != clients*iters {
+		t.Errorf("requests %d, want %d", st.Requests, clients*iters)
+	}
+	if st.CacheHits+st.CacheMisses != st.Requests {
+		t.Errorf("hits %d + misses %d != requests %d", st.CacheHits, st.CacheMisses, st.Requests)
+	}
+	if st.Completed != st.CacheMisses {
+		t.Errorf("completed %d != misses %d (every miss runs the model exactly once)", st.Completed, st.CacheMisses)
+	}
+	if st.CacheHits == 0 {
+		t.Error("no cache hits despite repeated inputs")
+	}
+}
+
+// TestPassthroughModelScoresNotClobbered: a model of pure pass-through
+// layers returns a view of the worker's reused input buffer from its
+// forward pass; the zero-copy score fan-out must detect that aliasing and
+// copy, or the next batch's input would rewrite scores the previous
+// requester still holds.
+func TestPassthroughModelScoresNotClobbered(t *testing.T) {
+	srv, err := New(Config{
+		Model:    nn.NewNetwork(nn.NewFlatten()),
+		InShape:  []int{8},
+		Workers:  1,
+		MaxBatch: 2,
+		MaxDelay: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	in1 := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	in2 := []float64{9, 10, 11, 12, 13, 14, 15, 16}
+	res1, err := srv.Infer(context.Background(), in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Infer(context.Background(), in2); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range in1 {
+		if res1.Scores[i] != v {
+			t.Fatalf("first result clobbered by second batch: scores %v, want %v", res1.Scores, in1)
+		}
 	}
 }
 

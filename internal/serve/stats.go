@@ -45,13 +45,13 @@ type Stats struct {
 	Workers int `json:"workers"`
 }
 
-// collector accumulates the mutable counters behind Stats.
+// collector accumulates the mutable counters behind Stats. The cache
+// counters live in resultCache (under the cache lock) so /stats reads them
+// in one consistent view; see Server.Stats.
 type collector struct {
 	mu           sync.Mutex
 	requests     uint64
 	completed    uint64
-	cacheHits    uint64
-	cacheMisses  uint64
 	batches      uint64
 	batchSizeSum uint64
 	maxBatch     int
@@ -60,34 +60,25 @@ type collector struct {
 	latCount     int
 }
 
-// cacheHit counts one accepted call answered from the cache — the
-// server's hottest path, so both counters move under one lock
-// acquisition.
-func (c *collector) cacheHit() {
+// request counts one accepted call before its cache lookup runs, so cache
+// counters can never outrun Requests.
+func (c *collector) request() {
 	c.mu.Lock()
 	c.requests++
-	c.cacheHits++
 	c.mu.Unlock()
 }
 
-// admit counts one request entering the batch queue, with its cache miss
-// when a cache lookup preceded it; unadmit reverses admit for a
-// submission cancelled before the scheduler accepted it.
-func (c *collector) admit(miss bool) {
+// admit counts one request entering the batch queue; unadmit reverses it
+// for a submission cancelled before the scheduler accepted it.
+func (c *collector) admit() {
 	c.mu.Lock()
 	c.requests++
-	if miss {
-		c.cacheMisses++
-	}
 	c.mu.Unlock()
 }
 
-func (c *collector) unadmit(miss bool) {
+func (c *collector) unadmit() {
 	c.mu.Lock()
 	c.requests--
-	if miss {
-		c.cacheMisses--
-	}
 	c.mu.Unlock()
 }
 
@@ -117,12 +108,10 @@ func (c *collector) snapshot() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := Stats{
-		Requests:    c.requests,
-		Completed:   c.completed,
-		CacheHits:   c.cacheHits,
-		CacheMisses: c.cacheMisses,
-		Batches:     c.batches,
-		MaxBatch:    c.maxBatch,
+		Requests:  c.requests,
+		Completed: c.completed,
+		Batches:   c.batches,
+		MaxBatch:  c.maxBatch,
 	}
 	if c.batches > 0 {
 		s.MeanBatch = float64(c.batchSizeSum) / float64(c.batches)

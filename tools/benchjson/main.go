@@ -1,0 +1,338 @@
+// Command benchjson runs, records and compares Go benchmark results in the
+// repository's BENCH_<date>.json schema — the same artifact the CI perf job
+// uploads, so local runs (`make bench`) and CI produce directly comparable
+// files and the perf trajectory of the repo accumulates in one format.
+//
+// Subcommands:
+//
+//	benchjson run [-bench re] [-benchtime 3x] [-count 5] [-pkg .] [-out file]
+//	    Execute `go test -run ^$ -bench ...` and write the parsed results
+//	    as JSON. The default output name is BENCH_<YYYYMMDD>.json.
+//
+//	benchjson parse [-out file] [-command desc] < bench.txt
+//	    Parse `go test -bench` output from stdin (for CI, which wants to
+//	    tee the raw log separately).
+//
+//	benchjson compare [-threshold 1.15] [-gate re] base.json head.json
+//	    Compare two result files by per-benchmark median ns/op. Benchmarks
+//	    matching -gate fail the run (exit 1) when head is slower than
+//	    base by more than the threshold ratio; everything else is
+//	    informational.
+//
+// Schema (repro-bench/v1):
+//
+//	{
+//	  "schema": "repro-bench/v1",
+//	  "date": "2026-07-28T12:00:00Z",
+//	  "go": "go1.24.0", "goos": "linux", "goarch": "amd64", "cpus": 1,
+//	  "command": "go test -run ^$ -bench . -benchtime 3x -count 5 .",
+//	  "benchmarks": [
+//	    {"name": "BenchmarkX/sub", "runs": 5,
+//	     "ns_per_op": [1.0, ...], "metrics": {"req/s": [2.0, ...]}}
+//	  ]
+//	}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// File is the top-level BENCH_<date>.json document.
+type File struct {
+	Schema     string  `json:"schema"`
+	Date       string  `json:"date"`
+	Go         string  `json:"go"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPUs       int     `json:"cpus"`
+	Command    string  `json:"command"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark's runs: repeated -count measurements of ns/op plus
+// any b.ReportMetric series, keyed by unit.
+type Bench struct {
+	Name    string               `json:"name"`
+	Runs    int                  `json:"runs"`
+	NsPerOp []float64            `json:"ns_per_op"`
+	Metrics map[string][]float64 `json:"metrics,omitempty"`
+}
+
+const schemaV1 = "repro-bench/v1"
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson {run|parse|compare} [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "parse":
+		err = cmdParse(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q (want run, parse or compare)", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultOut names the artifact after the current date, the convention the
+// repo's perf-trajectory files follow.
+func defaultOut(now time.Time) string { return "BENCH_" + now.Format("20060102") + ".json" }
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	bench := fs.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := fs.String("benchtime", "3x", "go test -benchtime value")
+	count := fs.Int("count", 5, "go test -count value")
+	pkg := fs.String("pkg", ".", "package to benchmark")
+	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
+	fs.Parse(args)
+
+	cmdline := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
+	cmd := exec.Command("go", cmdline...)
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	// Tee the raw benchmark log to stderr so `make bench` stays watchable.
+	benches, perr := ParseBenchOutput(io.TeeReader(pipe, os.Stderr))
+	werr := cmd.Wait()
+	if perr != nil {
+		return perr
+	}
+	if werr != nil {
+		return fmt.Errorf("go test: %w", werr)
+	}
+	path := *out
+	if path == "" {
+		path = defaultOut(time.Now())
+	}
+	return writeFile(path, benches, "go "+strings.Join(cmdline, " "))
+}
+
+func cmdParse(args []string) error {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	out := fs.String("out", "", "output file (default BENCH_<date>.json, \"-\" for stdout)")
+	command := fs.String("command", "", "command line recorded in the artifact")
+	fs.Parse(args)
+	benches, err := ParseBenchOutput(os.Stdin)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = defaultOut(time.Now())
+	}
+	return writeFile(path, benches, *command)
+}
+
+func writeFile(path string, benches []Bench, command string) error {
+	f := File{
+		Schema:     schemaV1,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Command:    command,
+		Benchmarks: benches,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), path)
+	return nil
+}
+
+// benchLine matches one `go test -bench` result line:
+// BenchmarkName[-procs] <iterations> <value> <unit> [<value> <unit>]...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// ParseBenchOutput collects benchmark result lines from r, merging repeated
+// -count runs of the same benchmark into one entry with multiple samples.
+// The -procs suffix is stripped so artifacts from hosts with different core
+// counts stay comparable by name.
+func ParseBenchOutput(r io.Reader) ([]Bench, error) {
+	index := map[string]int{}
+	var out []Bench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		fields := strings.Fields(m[2])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd value/unit fields in line %q", sc.Text())
+		}
+		i, ok := index[name]
+		if !ok {
+			i = len(out)
+			index[name] = i
+			out = append(out, Bench{Name: name})
+		}
+		b := &out[i]
+		b.Runs++
+		for f := 0; f < len(fields); f += 2 {
+			v, err := strconv.ParseFloat(fields[f], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[f], sc.Text())
+			}
+			unit := fields[f+1]
+			if unit == "ns/op" {
+				b.NsPerOp = append(b.NsPerOp, v)
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string][]float64{}
+			}
+			b.Metrics[unit] = append(b.Metrics[unit], v)
+		}
+	}
+	return out, sc.Err()
+}
+
+// Median returns the median of a non-empty sample set.
+func Median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Delta is one benchmark's base-versus-head comparison.
+type Delta struct {
+	Name       string
+	Base, Head float64 // median ns/op
+	Ratio      float64 // head/base; >1 is a slowdown
+	Gated      bool
+}
+
+// Compare pairs the benchmarks of two files by name and returns per-name
+// median-ns/op deltas, in head order. Benchmarks present in only one file
+// are skipped (new benchmarks cannot regress; deleted ones cannot be
+// measured).
+func Compare(base, head File, gate *regexp.Regexp) []Delta {
+	ref := map[string][]float64{}
+	for _, b := range base.Benchmarks {
+		if len(b.NsPerOp) > 0 {
+			ref[b.Name] = b.NsPerOp
+		}
+	}
+	var out []Delta
+	for _, b := range head.Benchmarks {
+		baseNs, ok := ref[b.Name]
+		if !ok || len(b.NsPerOp) == 0 {
+			continue
+		}
+		d := Delta{
+			Name:  b.Name,
+			Base:  Median(baseNs),
+			Head:  Median(b.NsPerOp),
+			Gated: gate != nil && gate.MatchString(b.Name),
+		}
+		d.Ratio = d.Head / d.Base
+		out = append(out, d)
+	}
+	return out
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 1.15, "max allowed head/base median ns/op ratio for gated benchmarks")
+	gateRe := fs.String("gate", ".", "regexp of benchmark names whose regression fails the run")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare needs exactly two files: base.json head.json")
+	}
+	base, err := readFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	head, err := readFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	gate, err := regexp.Compile(*gateRe)
+	if err != nil {
+		return fmt.Errorf("bad -gate regexp: %w", err)
+	}
+
+	deltas := Compare(base, head, gate)
+	if len(deltas) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", fs.Arg(0), fs.Arg(1))
+	}
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "%-64s %14s %14s %8s\n", "benchmark (median ns/op)", "base", "head", "delta")
+	var failed []Delta
+	for _, d := range deltas {
+		mark := " "
+		if d.Gated && d.Ratio > *threshold {
+			failed = append(failed, d)
+			mark = "!"
+		}
+		fmt.Fprintf(w, "%s%-63s %14.0f %14.0f %+7.1f%%\n", mark, d.Name, d.Base, d.Head, (d.Ratio-1)*100)
+	}
+	w.Flush()
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d gated benchmark(s) regressed beyond %.0f%%:\n", len(failed), (*threshold-1)*100)
+		for _, d := range failed {
+			fmt.Fprintf(os.Stderr, "  %s: %.0f → %.0f ns/op (%+.1f%%)\n", d.Name, d.Base, d.Head, (d.Ratio-1)*100)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks compared, no gated regression beyond %.0f%%\n", len(deltas), (*threshold-1)*100)
+	return nil
+}
+
+func readFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != schemaV1 {
+		return f, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, schemaV1)
+	}
+	return f, nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig1_FFTScaling/n=64-8         	       3	      5200 ns/op	         2.100 ns/(nlogn)
+BenchmarkFig1_FFTScaling/n=64-8         	       3	      5400 ns/op	         2.200 ns/(nlogn)
+BenchmarkFig1_FFTScaling/n=64-8         	       3	      5000 ns/op	         2.000 ns/(nlogn)
+BenchmarkServingThroughput/serverBatched-8 	     100	      9000 ns/op	        31.50 batch	       300.0 p95us	    110000 req/s
+BenchmarkServingThroughput/serverBatched-8 	     100	      9100 ns/op	        31.40 batch	       310.0 p95us	    109000 req/s
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	benches, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	fft := benches[0]
+	if fft.Name != "BenchmarkFig1_FFTScaling/n=64" {
+		t.Errorf("name %q: -procs suffix not stripped", fft.Name)
+	}
+	if fft.Runs != 3 || len(fft.NsPerOp) != 3 {
+		t.Errorf("runs %d, ns/op samples %d, want 3 each", fft.Runs, len(fft.NsPerOp))
+	}
+	if got := Median(fft.NsPerOp); got != 5200 {
+		t.Errorf("median %g, want 5200", got)
+	}
+	srv := benches[1]
+	if len(srv.Metrics["req/s"]) != 2 || len(srv.Metrics["batch"]) != 2 || len(srv.Metrics["p95us"]) != 2 {
+		t.Errorf("metric series incomplete: %v", srv.Metrics)
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("median %g, want 2.5", got)
+	}
+}
+
+func file(benches ...Bench) File {
+	return File{Schema: schemaV1, Benchmarks: benches}
+}
+
+func TestCompareGatesRegressions(t *testing.T) {
+	base := file(
+		Bench{Name: "BenchmarkHot/path", NsPerOp: []float64{100, 100, 100}},
+		Bench{Name: "BenchmarkCold/path", NsPerOp: []float64{100}},
+		Bench{Name: "BenchmarkRemoved", NsPerOp: []float64{50}},
+	)
+	head := file(
+		Bench{Name: "BenchmarkHot/path", NsPerOp: []float64{130, 131, 129}},
+		Bench{Name: "BenchmarkCold/path", NsPerOp: []float64{200}},
+		Bench{Name: "BenchmarkNew", NsPerOp: []float64{10}},
+	)
+	gate := regexp.MustCompile(`^BenchmarkHot`)
+	deltas := Compare(base, head, gate)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2 (added/removed benchmarks skipped)", len(deltas))
+	}
+	hot := deltas[0]
+	if !hot.Gated || hot.Ratio < 1.29 || hot.Ratio > 1.31 {
+		t.Errorf("hot delta: gated=%v ratio=%g, want gated 1.3", hot.Gated, hot.Ratio)
+	}
+	cold := deltas[1]
+	if cold.Gated {
+		t.Error("cold benchmark must not be gated")
+	}
+	if cold.Ratio != 2 {
+		t.Errorf("cold ratio %g, want 2", cold.Ratio)
+	}
+}
+
+func TestParseRejectsMalformedLine(t *testing.T) {
+	_, err := ParseBenchOutput(strings.NewReader("BenchmarkX-4   10   123 ns/op trailing\n"))
+	if err == nil {
+		t.Fatal("odd value/unit field count not rejected")
+	}
+}
