@@ -27,6 +27,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/fft"
+	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/ops"
 	"repro/internal/platform"
@@ -576,9 +577,11 @@ func BenchmarkServingThroughput(b *testing.B) {
 	})
 
 	served := func(b *testing.B, maxBatch int) {
-		srv, err := serve.New(serve.Config{
-			Model:    net,
-			InShape:  []int{features},
+		m, err := model.FromNetwork("arch1", "v1", net, []int{features})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := serve.NewModel(m, serve.Options{
 			MaxBatch: maxBatch,
 			MaxDelay: 500 * time.Microsecond,
 		})
@@ -609,6 +612,87 @@ func BenchmarkServingThroughput(b *testing.B) {
 	}
 	b.Run("serverUnbatched", func(b *testing.B) { served(b, 1) })
 	b.Run("serverBatched", func(b *testing.B) { served(b, 32) })
+}
+
+// BenchmarkRegistryRoutedInfer is the multi-model API's acceptance
+// benchmark: the same Arch-1 model under the same concurrent load at
+// MaxBatch=16, served directly by one Server (the PR 2 single-model
+// batched path) versus addressed through a Registry holding two models —
+// name resolution, latest-alias routing and the per-model dispatch are
+// the only difference, so routed must stay within ~10% of direct. The
+// result cache is disabled so the comparison measures routing, not
+// memoisation; "batch" reports the mean dispatched batch size.
+func BenchmarkRegistryRoutedInfer(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	net := nn.Arch1(rng)
+	const features = 256
+	inputs := make([][]float64, 64)
+	for i := range inputs {
+		inputs[i] = make([]float64, features)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.NormFloat64()
+		}
+	}
+	opts := serve.Options{MaxBatch: 16, MaxDelay: 500 * time.Microsecond}
+	load := func(b *testing.B, infer func(context.Context, []float64) (serve.Result, error), stats func() serve.Stats) {
+		b.SetParallelism(32)
+		b.ResetTimer()
+		var n atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			ctx := context.Background()
+			for pb.Next() {
+				k := int(n.Add(1)) % len(inputs)
+				if _, err := infer(ctx, inputs[k]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		b.ReportMetric(stats().MeanBatch, "batch")
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		m, err := model.FromNetwork("arch1", "v1", net, []int{features})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := serve.NewModel(m, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		load(b, srv.Infer, srv.Stats)
+	})
+	b.Run("routed", func(b *testing.B) {
+		reg := serve.NewRegistry(opts)
+		defer reg.Close()
+		m, err := model.FromNetwork("arch1", "v1", net, []int{features})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.Register(m); err != nil {
+			b.Fatal(err)
+		}
+		// A second registered model makes the name lookup non-trivial.
+		other, err := model.FromNetwork("cifar", "v1", nn.Arch2(rand.New(rand.NewSource(19))), []int{121})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.Register(other); err != nil {
+			b.Fatal(err)
+		}
+		load(b, func(ctx context.Context, in []float64) (serve.Result, error) {
+			return reg.Infer(ctx, "arch1", "", in)
+		}, func() serve.Stats {
+			st, err := reg.Stats("arch1", "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			return st
+		})
+	})
 }
 
 // BenchmarkBatchedSpectralForward is the batched engine's acceptance

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"mime"
+	"net/http"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// newMux builds the HTTP surface over a model registry. Factored out of
+// main so the handler wiring is testable (the endpoint regression tests
+// drive it through httptest). defaultName is the model the deprecated
+// single-model endpoints (/infer, /stats) bind to.
+func newMux(reg *serve.Registry, defaultName string, start time.Time) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"models":   reg.Len(),
+			"uptime_s": time.Since(start).Seconds(),
+		})
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"models": reg.Models()})
+	})
+	mux.HandleFunc("POST /v1/models/{id}/infer", func(w http.ResponseWriter, r *http.Request) {
+		name, version := model.ParseID(r.PathValue("id"))
+		handleInfer(w, r, reg, name, version)
+	})
+	mux.HandleFunc("GET /v1/models/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
+		name, version := model.ParseID(r.PathValue("id"))
+		st, err := reg.Stats(name, version)
+		if err != nil {
+			writeJSON(w, statusFor(err), errorBody(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	// Deprecated single-model aliases, routed to defaultName@latest.
+	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
+		handleInfer(w, r, reg, defaultName, "")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		st, err := reg.Stats(defaultName, "")
+		if err != nil {
+			writeJSON(w, statusFor(err), errorBody(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	return mux
+}
+
+// inferRequest is the JSON /infer request body: either a single input
+// vector or a list of them.
+type inferRequest struct {
+	Input  []float64   `json:"input,omitempty"`
+	Inputs [][]float64 `json:"inputs,omitempty"`
+}
+
+// Abuse bounds for one /infer call: a request fans out one goroutine per
+// input, so both the count and the decoded body size must be capped or a
+// single client post could exhaust the process. Both caps reuse the wire
+// format's limits, so the two codecs admit the same load per post and a
+// wire request that passes the decoder's size check is never truncated by
+// MaxBytesReader.
+const (
+	maxInputsPerRequest = serve.MaxWireInputs
+	maxBodyBytes        = serve.MaxWireBytes
+)
+
+// handleInfer answers single- and multi-input inference posts in JSON or
+// wire-format v1 (selected by Content-Type). Multiple inputs are submitted
+// concurrently so the batching scheduler can coalesce them into shared
+// forward passes. Malformed payloads and wrong input dimensions are
+// structured 400 responses; unknown models are 404.
+func handleInfer(w http.ResponseWriter, r *http.Request, reg *serve.Registry, name, version string) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	// Compare the media type proper, ignoring parameters, so a client
+	// library that appends ";charset=..." still reaches the wire decoder.
+	mediaType, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if mediaType == serve.WireContentType {
+		inputs, err := serve.DecodeWireRequest(body)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody(err))
+			return
+		}
+		results, err := inferAll(r.Context(), reg, name, version, inputs)
+		if err != nil {
+			writeJSON(w, statusFor(err), errorBody(err))
+			return
+		}
+		w.Header().Set("Content-Type", serve.WireContentType)
+		if err := serve.EncodeWireResults(w, results); err != nil {
+			log.Printf("encoding wire response: %v", err)
+		}
+		return
+	}
+
+	var req inferRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	if len(req.Inputs) > maxInputsPerRequest {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("%d inputs in one request, limit %d", len(req.Inputs), maxInputsPerRequest),
+		})
+		return
+	}
+	if req.Input != nil && len(req.Inputs) > 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": `body sets both "input" and "inputs"; use one`})
+		return
+	}
+	switch {
+	case req.Input != nil:
+		res, err := reg.Infer(r.Context(), name, version, req.Input)
+		if err != nil {
+			writeJSON(w, statusFor(err), errorBody(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case len(req.Inputs) > 0:
+		results, err := inferAll(r.Context(), reg, name, version, req.Inputs)
+		if err != nil {
+			writeJSON(w, statusFor(err), errorBody(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": `need "input" or "inputs"`})
+	}
+}
+
+// inferAll submits every input concurrently and returns the results in
+// input order, or the first error.
+func inferAll(ctx context.Context, reg *serve.Registry, name, version string, inputs [][]float64) ([]serve.Result, error) {
+	results := make([]serve.Result, len(inputs))
+	errs := make([]error, len(inputs))
+	done := make(chan struct{}, len(inputs))
+	for i, in := range inputs {
+		go func(i int, in []float64) {
+			results[i], errs[i] = reg.Infer(ctx, name, version, in)
+			done <- struct{}{}
+		}(i, in)
+	}
+	for range inputs {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// statusFor maps serving errors to HTTP statuses. Everything not
+// recognised — including serve.InputSizeError — is a client-input 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func errorBody(err error) map[string]string {
+	return map[string]string{"error": err.Error()}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}

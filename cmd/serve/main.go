@@ -1,28 +1,37 @@
-// Command serve exposes the batched inference serving subsystem
-// (internal/serve) over HTTP/JSON: the production-facing half the paper's
-// deployment story implies once the Fig. 4 engine has produced a trained
-// bundle.
+// Command serve exposes the multi-model inference registry
+// (internal/serve) over HTTP: the production-facing half the paper's
+// deployment story implies once the Fig. 4 engine has produced trained
+// bundles — one process serving the FC-MNIST and CONV-CIFAR reproductions
+// (or a dense-versus-circulant A/B pair) side by side.
 //
 // Usage:
 //
-//	serve -bundle dir [-addr :8080] [-workers N] [-batch 16] [-deadline 2ms] [-cache 1024]
-//	serve -arch a.txt -params p.bin [flags]
-//	serve -demo arch1 [flags]        # randomly-initialised model, for load testing
+//	serve -model mnist=bundle1 -model cifar=bundle2 [flags]
+//	serve -model mnist=bundle1 -model mnist@v2=bundle3 -weights mnist=v1:0.9,v2:0.1 [flags]
+//	serve -demo fc=arch1 -demo conv=arch3 [flags]   # random weights, load testing
+//	serve -bundle dir [flags]                       # deprecated single-model form
 //
-// Endpoints:
+// Flags: [-addr :8080] [-workers N] [-batch 16] [-deadline 2ms] [-cache 1024]
 //
-//	GET  /healthz   liveness: {"status":"ok","uptime_s":...}
-//	POST /infer     {"input":[...]} or {"inputs":[[...],...]} → result(s)
-//	GET  /stats     serving counters (requests, batches, cache, latency)
+// Endpoints (wire-format v1; see internal/serve/wire.go for the binary
+// request codec selected by Content-Type):
+//
+//	GET  /healthz                       liveness: {"status":"ok",...}
+//	GET  /v1/models                     registered models, versions, stats
+//	POST /v1/models/{id}/infer          id = name (routed) or name@version
+//	GET  /v1/models/{id}/stats          per-version serving counters
+//	POST /infer, GET /stats             deprecated single-model aliases,
+//	                                    bound to the first loaded model
+//	                                    (deprecated -arch/-params and
+//	                                    -bundle load before -model/-demo)
 //
 // The server batches concurrent /infer requests into single forward passes
-// across a pool of model replicas; see internal/serve for the scheduler's
-// contract.
+// across a per-model pool of replicas; see internal/serve for the
+// scheduler's and registry's contracts.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,50 +41,76 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/serve"
 )
+
+// modelFlag collects repeated "-model name[@version]=value" occurrences.
+type modelFlag struct{ specs []string }
+
+func (f *modelFlag) String() string     { return strings.Join(f.specs, ",") }
+func (f *modelFlag) Set(s string) error { f.specs = append(f.specs, s); return nil }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
-	bundle := flag.String("bundle", "", "bundle directory from cmd/train (sets -arch and -params)")
-	archPath := flag.String("arch", "", "architecture file (Fig. 4 module 1)")
-	paramsPath := flag.String("params", "", "parameters file (module 2)")
-	demo := flag.String("demo", "", "serve a randomly-initialised built-in architecture: arch1, arch2 or arch3")
-	workers := flag.Int("workers", 0, "model replicas (default: GOMAXPROCS)")
+	var models, demos, weights modelFlag
+	flag.Var(&models, "model", "register a trained bundle: name[@version]=dir (repeatable)")
+	flag.Var(&demos, "demo", "register a randomly-initialised built-in architecture: name[@version]=arch1|arch2|arch3, or bare arch1|arch2|arch3 (repeatable)")
+	flag.Var(&weights, "weights", "A/B split for a name: name=v1:0.9,v2:0.1 (repeatable)")
+	bundle := flag.String("bundle", "", "deprecated: single bundle directory (same as -model default=dir)")
+	archPath := flag.String("arch", "", "deprecated: architecture file of a single model")
+	paramsPath := flag.String("params", "", "deprecated: parameters file of a single model")
+	workers := flag.Int("workers", 0, "model replicas per registered model (default: GOMAXPROCS)")
 	batch := flag.Int("batch", 16, "max requests coalesced into one forward pass")
 	deadline := flag.Duration("deadline", 2*time.Millisecond, "max time to hold an open batch")
-	cache := flag.Int("cache", 1024, "LRU result-cache entries (0 disables)")
+	cache := flag.Int("cache", 1024, "LRU result-cache entries per model (0 disables)")
 	flag.Parse()
 
-	model, inShape, desc, err := loadModel(*bundle, *archPath, *paramsPath, *demo)
+	loaded, err := loadModels(models.specs, demos.specs, *bundle, *archPath, *paramsPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	srv, err := serve.New(serve.Config{
-		Model:     model,
-		InShape:   inShape,
+	reg := serve.NewRegistry(serve.Options{
 		Workers:   *workers,
 		MaxBatch:  *batch,
 		MaxDelay:  *deadline,
 		CacheSize: *cache,
 	})
-	if err != nil {
-		log.Fatal(err)
+	var names []string
+	for _, m := range loaded {
+		if err := reg.Register(m); err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, serve.ModelID(m))
+	}
+	for _, spec := range weights.specs {
+		name, split, err := parseWeights(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.SetWeights(name, split); err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: newMux(srv, desc, time.Now())}
+	// The deprecated /infer and /stats endpoints bind to the first
+	// registered model's name, routed through its latest alias.
+	defaultName := loaded[0].Name()
+
+	hs := &http.Server{Addr: *addr, Handler: newMux(reg, defaultName, time.Now())}
 	go func() {
-		log.Printf("serving %s on %s (workers=%d batch=%d deadline=%v cache=%d)",
-			desc, *addr, srv.Stats().Workers, *batch, *deadline, *cache)
+		log.Printf("serving %s on %s (workers/model=%d batch=%d deadline=%v cache=%d)",
+			strings.Join(names, ", "), *addr, reg.Models()[0].Stats.Workers, *batch, *deadline, *cache)
 		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
@@ -91,157 +126,140 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	srv.Close()
+	reg.Close()
 }
 
-// newMux builds the HTTP surface over a serving instance. Factored out of
-// main so the handler wiring is testable (the /stats-vs-/infer consistency
-// regression test drives it through httptest).
-func newMux(srv *serve.Server, desc string, start time.Time) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":   "ok",
-			"model":    desc,
-			"uptime_s": time.Since(start).Seconds(),
-		})
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, srv.Stats())
-	})
-	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
-		handleInfer(w, r, srv)
-	})
-	return mux
-}
-
-// loadModel resolves the model sources in priority order: bundle/file
-// flags load a trained network through the engine; -demo builds a fresh
-// built-in architecture.
-func loadModel(bundle, archPath, paramsPath, demo string) (*nn.Network, []int, string, error) {
+// loadModels resolves every model flag into an adapter. The deprecated
+// single-model flags register under "default@v1" so pre-registry
+// invocations keep working; as before the redesign, -bundle takes
+// precedence over -arch/-params when both are given.
+func loadModels(modelSpecs, demoSpecs []string, bundle, archPath, paramsPath string) ([]model.Model, error) {
+	var out []model.Model
 	if bundle != "" {
-		archPath = filepath.Join(bundle, "arch.txt")
-		paramsPath = filepath.Join(bundle, "params.bin")
+		// Prepended so the deprecated single-model flags keep claiming the
+		// legacy /infer binding (the first loaded model) over -model specs.
+		modelSpecs = append([]string{"default=" + bundle}, modelSpecs...)
+		archPath, paramsPath = "", ""
 	}
-	switch {
-	case archPath != "" && paramsPath != "":
-		af, err := os.Open(archPath)
+	if archPath != "" || paramsPath != "" {
+		if archPath == "" || paramsPath == "" {
+			return nil, errors.New("-arch and -params must be given together")
+		}
+		m, err := loadBundleModel("default", "v1", archPath, paramsPath)
 		if err != nil {
-			return nil, nil, "", err
+			return nil, err
 		}
-		e, err := engine.ParseArchitecture(af, rand.New(rand.NewSource(0)))
-		af.Close()
-		if err != nil {
-			return nil, nil, "", err
-		}
-		pf, err := os.Open(paramsPath)
-		if err != nil {
-			return nil, nil, "", err
-		}
-		err = e.LoadParameters(pf)
-		pf.Close()
-		if err != nil {
-			return nil, nil, "", err
-		}
-		return e.Net, e.InShape, filepath.Base(archPath), nil
-	case demo != "":
-		rng := rand.New(rand.NewSource(1))
-		switch strings.ToLower(demo) {
-		case "arch1":
-			return nn.Arch1(rng), []int{256}, "arch1 (demo weights)", nil
-		case "arch2":
-			return nn.Arch2(rng), []int{121}, "arch2 (demo weights)", nil
-		case "arch3":
-			return nn.Arch3(rng), []int{32, 32, 3}, "arch3 (demo weights)", nil
-		}
-		return nil, nil, "", fmt.Errorf("unknown -demo architecture %q (want arch1, arch2 or arch3)", demo)
+		out = append(out, m)
 	}
-	return nil, nil, "", errors.New("need -bundle, -arch/-params, or -demo")
+	for _, spec := range modelSpecs {
+		name, version, dir, err := splitSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-model %q: %w", spec, err)
+		}
+		m, err := loadBundleModel(name, version, filepath.Join(dir, "arch.txt"), filepath.Join(dir, "params.bin"))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	for _, spec := range demoSpecs {
+		name, version, arch, err := splitSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-demo %q: %w", spec, err)
+		}
+		m, err := demoModel(name, version, arch)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("need at least one of -model, -demo, -bundle, or -arch/-params")
+	}
+	return out, nil
 }
 
-// inferRequest is the /infer request body: either a single input vector or
-// a list of them.
-type inferRequest struct {
-	Input  []float64   `json:"input,omitempty"`
-	Inputs [][]float64 `json:"inputs,omitempty"`
+// splitSpec parses "name[@version]=value". The bare legacy form "value"
+// (no '=') names the model after the value, so `-demo arch1` still works.
+func splitSpec(spec string) (name, version, value string, err error) {
+	id, value, ok := strings.Cut(spec, "=")
+	if !ok {
+		id, value = spec, spec
+	}
+	if id == "" || value == "" {
+		return "", "", "", errors.New(`want name[@version]=value`)
+	}
+	name, version = model.ParseID(id)
+	if version == "" {
+		version = "v1"
+	}
+	return name, version, value, nil
 }
 
-// Abuse bounds for one /infer call: a request fans out one goroutine per
-// input, so both the count and the decoded body size must be capped or a
-// single client post could exhaust the process.
-const (
-	maxInputsPerRequest = 256
-	maxBodyBytes        = 64 << 20
-)
-
-// handleInfer answers single- and multi-input inference posts. Multiple
-// inputs are submitted concurrently so the batching scheduler can coalesce
-// them into shared forward passes.
-func handleInfer(w http.ResponseWriter, r *http.Request, srv *serve.Server) {
-	var req inferRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
-		return
+// parseWeights parses "-weights name=v1:0.9,v2:0.1".
+func parseWeights(spec string) (string, map[string]float64, error) {
+	name, list, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", nil, fmt.Errorf("-weights %q: want name=version:weight,...", spec)
 	}
-	if len(req.Inputs) > maxInputsPerRequest {
-		writeJSON(w, http.StatusBadRequest, map[string]string{
-			"error": fmt.Sprintf("%d inputs in one request, limit %d", len(req.Inputs), maxInputsPerRequest),
-		})
-		return
-	}
-	if req.Input != nil && len(req.Inputs) > 0 {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": `body sets both "input" and "inputs"; use one`})
-		return
-	}
-	switch {
-	case req.Input != nil:
-		res, err := srv.Infer(r.Context(), req.Input)
+	split := make(map[string]float64)
+	for _, pair := range strings.Split(list, ",") {
+		version, ws, ok := strings.Cut(pair, ":")
+		if !ok || version == "" {
+			return "", nil, fmt.Errorf("-weights %q: bad pair %q", spec, pair)
+		}
+		w, err := strconv.ParseFloat(ws, 64)
 		if err != nil {
-			writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
-			return
+			return "", nil, fmt.Errorf("-weights %q: bad weight %q", spec, ws)
 		}
-		writeJSON(w, http.StatusOK, res)
-	case len(req.Inputs) > 0:
-		results := make([]serve.Result, len(req.Inputs))
-		errs := make([]error, len(req.Inputs))
-		done := make(chan int, len(req.Inputs))
-		for i, in := range req.Inputs {
-			go func(i int, in []float64) {
-				results[i], errs[i] = srv.Infer(r.Context(), in)
-				done <- i
-			}(i, in)
+		if _, dup := split[version]; dup {
+			// A typo like v1:0.9,v2:0.3,v1:0.1 would otherwise silently
+			// reshape the split (map last-wins).
+			return "", nil, fmt.Errorf("-weights %q: version %q given twice", spec, version)
 		}
-		for range req.Inputs {
-			<-done
-		}
-		for _, err := range errs {
-			if err != nil {
-				writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
-				return
-			}
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+		split[version] = w
+	}
+	return name, split, nil
+}
+
+// loadBundleModel loads a trained network through the engine (modules 1+2
+// of Fig. 4) and adapts it for serving.
+func loadBundleModel(name, version, archPath, paramsPath string) (model.Model, error) {
+	af, err := os.Open(archPath)
+	if err != nil {
+		return nil, err
+	}
+	e, err := engine.ParseArchitecture(af, rand.New(rand.NewSource(0)))
+	af.Close()
+	if err != nil {
+		return nil, err
+	}
+	pf, err := os.Open(paramsPath)
+	if err != nil {
+		return nil, err
+	}
+	err = e.LoadParameters(pf)
+	pf.Close()
+	if err != nil {
+		return nil, err
+	}
+	return e.Model(name, version)
+}
+
+// demoModel builds a randomly-initialised built-in architecture.
+func demoModel(name, version, arch string) (model.Model, error) {
+	rng := rand.New(rand.NewSource(1))
+	var net *nn.Network
+	var inShape []int
+	switch strings.ToLower(arch) {
+	case "arch1":
+		net, inShape = nn.Arch1(rng), []int{256}
+	case "arch2":
+		net, inShape = nn.Arch2(rng), []int{121}
+	case "arch3":
+		net, inShape = nn.Arch3(rng), []int{32, 32, 3}
 	default:
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": `need "input" or "inputs"`})
+		return nil, fmt.Errorf("unknown demo architecture %q (want arch1, arch2 or arch3)", arch)
 	}
-}
-
-// statusFor maps serving errors to HTTP statuses.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, serve.ErrClosed):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusRequestTimeout
-	default:
-		return http.StatusBadRequest
-	}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encoding response: %v", err)
-	}
+	return model.FromNetwork(name, version, net, inShape)
 }

@@ -1,0 +1,12 @@
+package engine
+
+import "repro/internal/model"
+
+// Model adapts a deployed engine — a parsed architecture with its loaded
+// parameter file, the artefact modules 1+2 of Fig. 4 produce — into the
+// serving stack's executor interface. The adapter runs the batched
+// spectral forward path and replicates by deep copy, so one engine-loaded
+// bundle can back a whole replica pool.
+func (e *Engine) Model(name, version string) (model.Model, error) {
+	return model.FromNetwork(name, version, e.Net, e.InShape)
+}

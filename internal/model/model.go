@@ -1,0 +1,163 @@
+// Package model defines the executor interface the serving stack programs
+// against. The paper deploys block-circulant networks per platform *and*
+// per model size (FC-MNIST and CONV-CIFAR variants on three devices), so a
+// server cannot be hard-wired to one *nn.Network: everything above this
+// package — the batcher, the replica pool, the registry, the HTTP facade —
+// addresses a Model by name and version and calls Forward on whole batches,
+// never a concrete network type.
+//
+// Three adapters cover the artefacts the repo produces:
+//
+//   - FromNetwork wraps a trained *nn.Network and runs the planned batched
+//     spectral path (Network.ForwardWS): one FFT plan per block-circulant
+//     layer across the whole batch.
+//   - Engine-exported artifacts (a parsed architecture plus its loaded
+//     parameter file) adapt through engine.Engine.Model, which lives in
+//     internal/engine to keep this package's dependencies at the framework
+//     layer.
+//   - DenseBaseline wraps a network through the plain per-call Forward —
+//     the uncompressed reference arm of a dense-versus-circulant A/B pair,
+//     deliberately bypassing the workspace path so the comparison measures
+//     the model, not the scratch strategy.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Model is one servable inference executor. Implementations must be safe
+// to call from a single goroutine at a time; the serving layer obtains one
+// Replicate per worker, so Forward itself never runs concurrently on the
+// same instance.
+type Model interface {
+	// Name identifies the model, e.g. "mnist". Names never contain '@'
+	// (the name@version separator) or '/' (the URL path separator).
+	Name() string
+	// Version identifies one registered build of the model, e.g. "v1".
+	// Same character restrictions as Name.
+	Version() string
+	// InShape is the per-sample input shape, e.g. [256] or [32 32 3].
+	// Callers must not mutate the returned slice.
+	InShape() []int
+	// InDim is the flattened per-sample input length (product of InShape).
+	InDim() int
+	// OutDim is the number of per-sample outputs (classes).
+	OutDim() int
+	// Forward runs inference on a [B, InShape...] batch and returns a
+	// [B, OutDim] tensor. The returned tensor may alias internal scratch
+	// or the input; callers copy what they keep. ws carries the FFT and
+	// layer scratch for implementations that use it; it may be nil.
+	Forward(ws *nn.Workspace, batch *tensor.Tensor) *tensor.Tensor
+	// Replicate returns an independent copy sharing no mutable state with
+	// the receiver — the unit of parallel serving.
+	Replicate() (Model, error)
+}
+
+// ID renders the canonical "name@version" identifier the registry, the
+// cache namespace and the wire format all key on.
+func ID(name, version string) string { return name + "@" + version }
+
+// ParseID splits "name@version" back into its parts; a bare "name" returns
+// an empty version (meaning: route to latest).
+func ParseID(id string) (name, version string) {
+	if i := strings.IndexByte(id, '@'); i >= 0 {
+		return id[:i], id[i+1:]
+	}
+	return id, ""
+}
+
+// ValidateName rejects names or versions that cannot travel through the
+// name@version identifier and the /v1/models/{id} URL space: '@' (the
+// identifier separator), '/' (the path separator), '?', '#' and '%'
+// (query, fragment and escape syntax — a name containing them would
+// register fine yet be unreachable over HTTP), and whitespace.
+func ValidateName(kind, s string) error {
+	if s == "" {
+		return fmt.Errorf("model: empty %s", kind)
+	}
+	if strings.ContainsAny(s, "@/?#% \t\n") {
+		return fmt.Errorf("model: %s %q contains '@', '/', '?', '#', '%%' or whitespace", kind, s)
+	}
+	return nil
+}
+
+// netModel adapts *nn.Network to Model. dense selects the plain Forward
+// path (the uncompressed baseline arm); otherwise the batched spectral
+// ForwardWS path is used.
+type netModel struct {
+	name    string
+	version string
+	net     *nn.Network
+	inShape []int
+	inDim   int
+	outDim  int
+	dense   bool
+}
+
+// FromNetwork wraps a trained network as a Model running the batched
+// spectral path. It probes the network with a one-sample zero input to
+// verify inShape and learn the output width, so a mis-shaped model is an
+// error here rather than a panic in a serving worker. The caller keeps
+// ownership of net; Replicate deep-copies it.
+func FromNetwork(name, version string, net *nn.Network, inShape []int) (Model, error) {
+	return fromNetwork(name, version, net, inShape, false)
+}
+
+// DenseBaseline wraps a network as a Model running the plain per-call
+// Forward path — the reference arm of a dense-versus-circulant A/B pair.
+func DenseBaseline(name, version string, net *nn.Network, inShape []int) (Model, error) {
+	return fromNetwork(name, version, net, inShape, true)
+}
+
+func fromNetwork(name, version string, net *nn.Network, inShape []int, dense bool) (Model, error) {
+	if err := ValidateName("name", name); err != nil {
+		return nil, err
+	}
+	if err := ValidateName("version", version); err != nil {
+		return nil, err
+	}
+	if net == nil {
+		return nil, errors.New("model: nil network")
+	}
+	inDim, outDim, err := nn.ProbeShape(net, inShape)
+	if err != nil {
+		return nil, fmt.Errorf("model: %s: %w", ID(name, version), err)
+	}
+	return &netModel{
+		name:    name,
+		version: version,
+		net:     net,
+		inShape: append([]int(nil), inShape...),
+		inDim:   inDim,
+		outDim:  outDim,
+		dense:   dense,
+	}, nil
+}
+
+func (m *netModel) Name() string    { return m.name }
+func (m *netModel) Version() string { return m.version }
+func (m *netModel) InShape() []int  { return m.inShape }
+func (m *netModel) InDim() int      { return m.inDim }
+func (m *netModel) OutDim() int     { return m.outDim }
+
+func (m *netModel) Forward(ws *nn.Workspace, batch *tensor.Tensor) *tensor.Tensor {
+	if m.dense {
+		return m.net.Forward(batch, false)
+	}
+	return m.net.ForwardWS(ws, batch, false)
+}
+
+func (m *netModel) Replicate() (Model, error) {
+	clone, err := m.net.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("model: replicating %s: %w", ID(m.name, m.version), err)
+	}
+	cp := *m
+	cp.net = clone
+	return &cp, nil
+}

@@ -1,0 +1,185 @@
+package model_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func testNet(seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.NewNetwork(
+		nn.NewCircDense(64, 32, 16, rng),
+		nn.NewReLU(),
+		nn.NewDense(32, 10, rng),
+	)
+}
+
+func TestFromNetworkProbesShape(t *testing.T) {
+	net := testNet(1)
+	m, err := model.FromNetwork("mnist", "v1", net, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "mnist" || m.Version() != "v1" {
+		t.Errorf("identity %s@%s, want mnist@v1", m.Name(), m.Version())
+	}
+	if m.InDim() != 64 || m.OutDim() != 10 {
+		t.Errorf("dims in=%d out=%d, want 64/10", m.InDim(), m.OutDim())
+	}
+	if got := m.InShape(); len(got) != 1 || got[0] != 64 {
+		t.Errorf("InShape %v, want [64]", got)
+	}
+
+	// A shape the network rejects must error at adapt time, not panic in a
+	// worker.
+	if _, err := model.FromNetwork("mnist", "v2", net, []int{63}); err == nil {
+		t.Error("mismatched input shape accepted")
+	}
+	if _, err := model.FromNetwork("mnist", "v3", nil, []int{64}); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	net := testNet(2)
+	for _, bad := range []struct{ name, version string }{
+		{"", "v1"}, {"m", ""}, {"a@b", "v1"}, {"m", "v@1"},
+		{"a/b", "v1"}, {"a b", "v1"},
+		// URL metacharacters would register fine yet be unreachable over
+		// /v1/models/{id}.
+		{"a?b", "v1"}, {"a#b", "v1"}, {"a%b", "v1"},
+	} {
+		if _, err := model.FromNetwork(bad.name, bad.version, net, []int{64}); err == nil {
+			t.Errorf("accepted invalid identity %q@%q", bad.name, bad.version)
+		}
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	if got := model.ID("mnist", "v2"); got != "mnist@v2" {
+		t.Errorf("ID = %q", got)
+	}
+	name, version := model.ParseID("mnist@v2")
+	if name != "mnist" || version != "v2" {
+		t.Errorf("ParseID = %q, %q", name, version)
+	}
+	name, version = model.ParseID("mnist")
+	if name != "mnist" || version != "" {
+		t.Errorf("ParseID bare = %q, %q", name, version)
+	}
+}
+
+// TestForwardMatchesNetwork pins the adapter contract: the batched
+// spectral path through the adapter, the dense-baseline path, and the raw
+// network must all agree on the same batch.
+func TestForwardMatchesNetwork(t *testing.T) {
+	net := testNet(3)
+	spectral, err := model.FromNetwork("m", "spectral", net, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := model.DenseBaseline("m", "dense", net, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	const batch = 5
+	x := tensor.New(batch, 64).Randn(rng, 1)
+	ref := net.Forward(x, false)
+	ws := nn.NewWorkspace()
+	for _, m := range []model.Model{spectral, dense} {
+		out := m.Forward(ws, x)
+		if out.Dim(0) != batch || out.Dim(1) != m.OutDim() {
+			t.Fatalf("%s: output shape %v", m.Version(), out.Shape())
+		}
+		for i := 0; i < batch*m.OutDim(); i++ {
+			diff := out.Data[i] - ref.Data[i]
+			if diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s: output[%d] = %g, reference %g", m.Version(), i, out.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+// TestReplicateIsIndependent checks that a replica shares no parameters
+// with the original: perturbing the original must not move the replica's
+// outputs.
+func TestReplicateIsIndependent(t *testing.T) {
+	net := testNet(5)
+	m, err := model.FromNetwork("m", "v1", net, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Replicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name() != m.Name() || rep.Version() != m.Version() || rep.OutDim() != m.OutDim() {
+		t.Error("replica identity or shape differs from original")
+	}
+
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.New(1, 64).Randn(rng, 1)
+	before := append([]float64(nil), rep.Forward(nil, x).Data...)
+
+	for _, p := range net.Params() {
+		for i := range p.Value.Data {
+			p.Value.Data[i] += 1
+		}
+		if p.OnUpdate != nil {
+			p.OnUpdate()
+		}
+	}
+	after := rep.Forward(nil, x).Data
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("replica output moved with original's parameters: %g → %g", before[i], after[i])
+		}
+	}
+}
+
+// TestEngineModelAdapter round-trips a network through the engine's
+// parameter format and adapts the loaded engine, checking the served
+// numbers match the original network.
+func TestEngineModelAdapter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	arch := "input 64\ncircfc 32 block=16 act=relu\nfc 10\n"
+	e, err := engine.ParseArchitecture(bytes.NewReader([]byte(arch)), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var params bytes.Buffer
+	if err := engine.SaveParameters(&params, e.Net); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := engine.ParseArchitecture(bytes.NewReader([]byte(arch)), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.LoadParameters(bytes.NewReader(params.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	m, err := e2.Model("bundle", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InDim() != 64 || m.OutDim() != 10 {
+		t.Fatalf("engine model dims in=%d out=%d, want 64/10", m.InDim(), m.OutDim())
+	}
+	x := tensor.New(2, 64).Randn(rand.New(rand.NewSource(9)), 1)
+	ref := e.Net.Forward(x, false)
+	got := m.Forward(nn.NewWorkspace(), x)
+	for i := range ref.Data[:2*10] {
+		diff := got.Data[i] - ref.Data[i]
+		if diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("engine-adapted output[%d] = %g, want %g", i, got.Data[i], ref.Data[i])
+		}
+	}
+}

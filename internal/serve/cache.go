@@ -12,8 +12,11 @@ import (
 // same preprocessed frame, the same probe image), and a cache hit skips
 // the queue, the batch and the FFTs entirely.
 //
-// Keys are the raw little-endian bytes of the input, so equality is exact:
-// a hit can never return the result of a different input.
+// Keys are the model's name@version identifier followed by the raw
+// little-endian bytes of the input, so equality is exact: a hit can never
+// return the result of a different input, and two registered models can
+// never alias each other's cached scores even if a cache were shared —
+// the namespace makes identical input bytes distinct keys per model.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -44,11 +47,17 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// cacheKey encodes an input vector as an exact byte-string key.
-func cacheKey(input []float64) string {
-	b := make([]byte, 8*len(input))
+// cacheKey encodes an input vector as an exact byte-string key, namespaced
+// by the serving model's name@version identifier. The namespace length is
+// prefixed so no (namespace, input) pair can collide with another by
+// shifting bytes across the boundary.
+func cacheKey(namespace string, input []float64) string {
+	b := make([]byte, 4+len(namespace)+8*len(input))
+	binary.LittleEndian.PutUint32(b, uint32(len(namespace)))
+	copy(b[4:], namespace)
+	off := 4 + len(namespace)
 	for i, v := range input {
-		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(b[off+8*i:], math.Float64bits(v))
 	}
 	return string(b)
 }

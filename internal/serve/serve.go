@@ -1,26 +1,24 @@
 // Package serve is the batched, concurrent inference serving subsystem: it
-// turns a trained network — the artefact the paper's Fig. 4 deployment
+// turns trained models — the artefacts the paper's Fig. 4 deployment
 // engine produces — into a server that answers heavy concurrent traffic.
 //
-// Three mechanisms carry the load:
+// The stack has two levels:
 //
-//   - A batching scheduler coalesces individual requests into batches of at
-//     most Config.MaxBatch, waiting at most Config.MaxDelay after the first
-//     request of a batch. A dispatched batch is executed as one planned
-//     spectral pass per layer (the batched engine behind
-//     nn.Network.ForwardWS), not as N independent forwards: every
-//     block-circulant layer transforms the whole batch through one FFT plan
-//     and streams each cached weight spectrum across all requests at once.
-//   - A pool of Config.Workers model replicas (deep copies via
-//     nn.Network.Clone, so no mutable state is shared) executes batches
-//     concurrently. Each worker owns one nn.Workspace — per-vector and
-//     batched FFT scratch both — and threads it through every forward pass,
-//     so the steady state performs no FFT scratch allocation per request.
-//   - An optional LRU result cache keyed by the exact input bytes answers
+//   - Server executes one model.Model: a batching scheduler coalesces
+//     individual requests into batches of at most Options.MaxBatch (waiting
+//     at most Options.MaxDelay after the first request of a batch), a pool
+//     of Options.Workers model replicas (model.Model.Replicate, so no
+//     mutable state is shared) runs each dispatched batch as one planned
+//     spectral pass per layer, and an optional LRU result cache — keyed by
+//     the model's name@version plus the exact input bytes — answers
 //     repeated queries without touching the queue at all.
+//   - Registry (registry.go) holds any number of versioned Servers behind
+//     "name@version" identifiers with a "latest" alias, weighted A/B
+//     routing between versions, and atomic hot-swap while serving.
 //
-// The cmd/serve binary wraps a Server in an HTTP/JSON interface; see the
-// package example for direct library use.
+// The cmd/serve binary wraps a Registry in an HTTP interface speaking JSON
+// and the compact binary wire format v1 (wire.go); see the package
+// examples for direct library use.
 package serve
 
 import (
@@ -32,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -39,15 +38,21 @@ import (
 // ErrClosed is returned by Infer after Close has been called.
 var ErrClosed = errors.New("serve: server closed")
 
-// Config parameterises a Server. Model and InShape are required; zero
-// values elsewhere select the documented defaults.
-type Config struct {
-	// Model is the trained network to serve. The server deep-copies it
-	// once per worker, so the caller keeps ownership of the original.
-	Model *nn.Network
-	// InShape is the per-sample input shape the model expects, e.g.
-	// [256] for Arch-1 or [32 32 3] for Arch-3.
-	InShape []int
+// InputSizeError reports an input vector whose length does not match the
+// model's flattened input dimension. The HTTP layer maps it to 400.
+type InputSizeError struct {
+	Model string // name@version
+	Got   int
+	Want  int
+}
+
+func (e *InputSizeError) Error() string {
+	return fmt.Sprintf("serve: input has %d features, model %s needs %d", e.Got, e.Model, e.Want)
+}
+
+// Options parameterises the batching and caching of one served model.
+// Zero values select the documented defaults.
+type Options struct {
 	// Workers is the number of model replicas executing batches
 	// concurrently. Default: GOMAXPROCS.
 	Workers int
@@ -65,21 +70,42 @@ type Config struct {
 	CacheSize int
 }
 
-// withDefaults returns cfg with zero fields replaced by defaults.
-func (cfg Config) withDefaults() Config {
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
+// withDefaults returns opts with zero fields replaced by defaults.
+func (opts Options) withDefaults() Options {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	if cfg.MaxBatch <= 0 {
-		cfg.MaxBatch = 16
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 16
 	}
-	if cfg.MaxDelay <= 0 {
-		cfg.MaxDelay = 2 * time.Millisecond
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 2 * time.Millisecond
 	}
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = cfg.Workers * cfg.MaxBatch
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = opts.Workers * opts.MaxBatch
 	}
-	return cfg
+	return opts
+}
+
+// Config parameterises the deprecated single-model constructor New. Model
+// and InShape are required.
+//
+// Deprecated: wrap the network with model.FromNetwork and use NewModel, or
+// serve several models behind a Registry. Config survives as a shim so
+// pre-registry callers keep compiling.
+type Config struct {
+	// Model is the trained network to serve. The server deep-copies it
+	// once per worker, so the caller keeps ownership of the original.
+	Model *nn.Network
+	// InShape is the per-sample input shape the model expects, e.g.
+	// [256] for Arch-1 or [32 32 3] for Arch-3.
+	InShape []int
+	// The remaining fields mirror Options; see there for defaults.
+	Workers    int
+	MaxBatch   int
+	MaxDelay   time.Duration
+	QueueDepth int
+	CacheSize  int
 }
 
 // Result is one answered inference request.
@@ -111,11 +137,15 @@ var requestPool = sync.Pool{
 	New: func() any { return &request{resp: make(chan Result, 1)} },
 }
 
-// Server is a batched concurrent inference server. Create one with New;
-// it is safe for use by any number of goroutines.
+// Server is a batched concurrent inference server for one model. Create
+// one with NewModel (or the deprecated New); it is safe for use by any
+// number of goroutines.
 type Server struct {
-	cfg      Config
-	features int // product of InShape
+	opts     Options
+	m        model.Model
+	id       string // name@version — the cache namespace
+	inShape  []int
+	features int
 
 	reqCh   chan *request
 	batchCh chan []*request
@@ -137,63 +167,63 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// New validates the configuration, probes the model with a zero input to
-// verify InShape, replicates the model once per worker, and starts the
-// scheduler and worker pool. The returned server must be released with
-// Close.
-func New(cfg Config) (srv *Server, err error) {
-	cfg = cfg.withDefaults()
+// New starts a server for a bare network under the fixed identity
+// "default@v1".
+//
+// Deprecated: use NewModel with a model.FromNetwork adapter (or a Registry
+// for more than one model). New remains as a thin shim over that path.
+func New(cfg Config) (*Server, error) {
 	if cfg.Model == nil {
 		return nil, errors.New("serve: Config.Model is required")
 	}
 	if len(cfg.InShape) == 0 {
 		return nil, errors.New("serve: Config.InShape is required")
 	}
-	features := 1
-	for _, d := range cfg.InShape {
-		if d < 1 {
-			return nil, fmt.Errorf("serve: non-positive input dimension in %v", cfg.InShape)
-		}
-		features *= d
-	}
-
-	// Probe: layers panic on shape mismatch; surface that as an error
-	// here rather than in a worker. The recover is scoped to the probe
-	// alone so unrelated panics keep their real cause.
-	probe, err := func() (t *tensor.Tensor, err error) {
-		defer func() {
-			if p := recover(); p != nil {
-				t, err = nil, fmt.Errorf("serve: model rejects input shape %v: %v", cfg.InShape, p)
-			}
-		}()
-		return cfg.Model.Forward(tensor.New(append([]int{1}, cfg.InShape...)...), false), nil
-	}()
+	m, err := model.FromNetwork("default", "v1", cfg.Model, cfg.InShape)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("serve: %w", err)
 	}
-	if probe.Rank() != 2 {
-		return nil, fmt.Errorf("serve: model output rank %d, want 2 ([batch, classes])", probe.Rank())
-	}
+	return NewModel(m, Options{
+		Workers:    cfg.Workers,
+		MaxBatch:   cfg.MaxBatch,
+		MaxDelay:   cfg.MaxDelay,
+		QueueDepth: cfg.QueueDepth,
+		CacheSize:  cfg.CacheSize,
+	})
+}
 
-	replicas := make([]*nn.Network, cfg.Workers)
+// NewModel validates the model, replicates it once per worker, and starts
+// the scheduler and worker pool. The returned server must be released with
+// Close. The model has already proven its shape contract in its adapter
+// (nn.ProbeShape), so a mis-shaped model never reaches a worker.
+func NewModel(m model.Model, opts Options) (*Server, error) {
+	if m == nil {
+		return nil, errors.New("serve: nil model")
+	}
+	opts = opts.withDefaults()
+
+	replicas := make([]model.Model, opts.Workers)
 	for i := range replicas {
-		r, err := cfg.Model.Clone()
+		r, err := m.Replicate()
 		if err != nil {
-			return nil, fmt.Errorf("serve: replicating model for worker %d: %w", i, err)
+			return nil, fmt.Errorf("serve: replicating %s for worker %d: %w", ModelID(m), i, err)
 		}
 		replicas[i] = r
 	}
 
 	s := &Server{
-		cfg:      cfg,
-		features: features,
-		reqCh:    make(chan *request, cfg.QueueDepth),
-		batchCh:  make(chan []*request, cfg.Workers),
+		opts:     opts,
+		m:        m,
+		id:       ModelID(m),
+		inShape:  m.InShape(),
+		features: m.InDim(),
+		reqCh:    make(chan *request, opts.QueueDepth),
+		batchCh:  make(chan []*request, opts.Workers),
 	}
-	if cfg.CacheSize > 0 {
-		s.cache = newResultCache(cfg.CacheSize)
+	if opts.CacheSize > 0 {
+		s.cache = newResultCache(opts.CacheSize)
 	}
-	s.wg.Add(1 + cfg.Workers)
+	s.wg.Add(1 + opts.Workers)
 	go s.dispatch()
 	for _, r := range replicas {
 		go s.worker(r)
@@ -201,14 +231,20 @@ func New(cfg Config) (srv *Server, err error) {
 	return s, nil
 }
 
+// ModelID renders a model's "name@version" identifier.
+func ModelID(m model.Model) string { return model.ID(m.Name(), m.Version()) }
+
+// Model returns the model this server executes.
+func (s *Server) Model() model.Model { return s.m }
+
 // Infer submits one input vector (features in row-major InShape order,
-// length = the product of InShape) and blocks until the result is
-// available, the context is cancelled, or the server is closed. It is safe
-// to call from any number of goroutines; concurrent calls are what the
-// batching scheduler feeds on.
+// length = the model's InDim) and blocks until the result is available,
+// the context is cancelled, or the server is closed. It is safe to call
+// from any number of goroutines; concurrent calls are what the batching
+// scheduler feeds on.
 func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 	if len(input) != s.features {
-		return Result{}, fmt.Errorf("serve: input has %d features, model needs %d", len(input), s.features)
+		return Result{}, &InputSizeError{Model: s.id, Got: len(input), Want: s.features}
 	}
 
 	// Reject before touching the cache, so a closed server honours the
@@ -232,7 +268,7 @@ func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 		// cancelled-before-admission paths below, keeping the "only
 		// accepted calls are counted" contract.
 		s.stats.request()
-		key = cacheKey(input)
+		key = cacheKey(s.id, input)
 		if res, ok := s.cache.get(key); ok {
 			res.Cached = true
 			res.BatchSize = 0
@@ -312,7 +348,7 @@ func (s *Server) Stats() Stats {
 	}
 	st := s.stats.snapshot()
 	st.CacheHits, st.CacheMisses, st.CacheEntries = hits, misses, entries
-	st.Workers = s.cfg.Workers
+	st.Workers = s.opts.Workers
 	return st
 }
 
@@ -350,14 +386,14 @@ func (s *Server) dispatch() {
 			return
 		}
 		s.queued.Add(-1)
-		batch := make([]*request, 1, s.cfg.MaxBatch)
+		batch := make([]*request, 1, s.opts.MaxBatch)
 		batch[0] = first
 		draining := false
-		if s.cfg.MaxBatch > 1 {
-			timer := time.NewTimer(s.cfg.MaxDelay)
+		if s.opts.MaxBatch > 1 {
+			timer := time.NewTimer(s.opts.MaxDelay)
 			yielded := false
 		fill:
-			for len(batch) < s.cfg.MaxBatch {
+			for len(batch) < s.opts.MaxBatch {
 				// Greedy phase: take whatever is already queued.
 				select {
 				case r, ok := <-s.reqCh:
@@ -411,21 +447,21 @@ func (s *Server) dispatch() {
 
 // worker executes batches on its own model replica with its own reusable
 // workspace and input buffer, then fans results back out to the
-// per-request channels. The ForwardWS call below is where batching pays:
+// per-request channels. The Forward call below is where batching pays:
 // the coalesced batch tensor takes one batched spectral pass per
 // block-circulant layer instead of one product per request.
-func (s *Server) worker(net *nn.Network) {
+func (s *Server) worker(m model.Model) {
 	defer s.wg.Done()
 	ws := nn.NewWorkspace()
-	buf := make([]float64, s.cfg.MaxBatch*s.features)
-	lats := make([]time.Duration, 0, s.cfg.MaxBatch)
+	buf := make([]float64, s.opts.MaxBatch*s.features)
+	lats := make([]time.Duration, 0, s.opts.MaxBatch)
 	for batch := range s.batchCh {
 		n := len(batch)
 		for i, r := range batch {
 			copy(buf[i*s.features:(i+1)*s.features], r.input)
 		}
-		x := tensor.FromSlice(buf[:n*s.features], append([]int{n}, s.cfg.InShape...)...)
-		out := net.ForwardWS(ws, x, false)
+		x := tensor.FromSlice(buf[:n*s.features], append([]int{n}, s.inShape...)...)
+		out := m.Forward(ws, x)
 		// Record stats before fanning responses out: the moment the last
 		// response lands, a caller may read Stats and must see this batch.
 		now := time.Now()

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format v1 — the compact binary request/response codec for high-QPS
+// clients, carried over the same /v1/models/{name}/infer endpoint as JSON
+// and selected by Content-Type (requests) / echoed back (responses). All
+// integers are little-endian; floats are IEEE-754 float64 bits.
+//
+// Request ("RPI1"):
+//
+//	magic   uint32  0x31495052 ("RPI1")
+//	count   uint32  number of input vectors (≥ 1)
+//	dim     uint32  features per vector
+//	data    count × dim × float64
+//
+// Response ("RPO1"):
+//
+//	magic   uint32  0x314F5052 ("RPO1")
+//	count   uint32  number of results
+//	classes uint32  scores per result
+//	per result:
+//	  class      uint32  argmax class index
+//	  batch_size uint32  dispatched batch size (0 = cache hit)
+//	  cached     uint8   1 when answered from the result cache
+//	  scores     classes × float64
+//
+// The fixed per-vector layout makes one encoded request exactly
+// 12 + 8·count·dim bytes — for a 256-feature input that is 2060 bytes
+// against ~4.9 KB of JSON, and decoding is a bounds check plus a
+// byte-order pass instead of a float parser per value.
+
+// WireContentType is the Content-Type identifying wire-format v1 bodies.
+const WireContentType = "application/x-repro-infer-v1"
+
+const (
+	wireReqMagic  = 0x31495052 // "RPI1"
+	wireRespMagic = 0x314F5052 // "RPO1"
+)
+
+// Wire-format decode bounds, mirroring the JSON limits: a single post may
+// not fan out more batch slots or decode more bytes than the server is
+// willing to hold for one client.
+const (
+	// MaxWireInputs is the largest number of input vectors one wire
+	// request may carry.
+	MaxWireInputs = 256
+	// MaxWireDim is the largest per-vector feature count accepted on
+	// decode (far above any architecture in the repo; it exists to bound
+	// the allocation a hostile header can demand).
+	MaxWireDim = 1 << 20
+	// MaxWireBytes bounds the total decoded request size: a 12-byte
+	// header whose count and dim each pass their range checks may still
+	// multiply to gigabytes, so the product is bounded too (in 64-bit
+	// arithmetic, which also keeps 8·count·dim from overflowing int on
+	// 32-bit platforms). Matches the HTTP layer's body cap.
+	MaxWireBytes = 64 << 20
+)
+
+// EncodeWireRequest writes inputs as one wire-format v1 request. All
+// vectors must have the same non-zero length; the decode-side bounds are
+// enforced here too, so a request that encodes is one every decoder
+// accepts rather than a remote 400.
+func EncodeWireRequest(w io.Writer, inputs [][]float64) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("serve: wire request needs at least one input")
+	}
+	if len(inputs) > MaxWireInputs {
+		return fmt.Errorf("serve: wire request count %d exceeds %d", len(inputs), MaxWireInputs)
+	}
+	dim := len(inputs[0])
+	if dim < 1 || dim > MaxWireDim {
+		return fmt.Errorf("serve: wire request dim %d outside [1, %d]", dim, MaxWireDim)
+	}
+	if need := 12 + 8*int64(len(inputs))*int64(dim); need > MaxWireBytes {
+		return fmt.Errorf("serve: wire request of %d bytes exceeds the %d-byte limit", need, MaxWireBytes)
+	}
+	buf := make([]byte, 12+8*len(inputs)*dim)
+	binary.LittleEndian.PutUint32(buf[0:], wireReqMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(inputs)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(dim))
+	off := 12
+	for i, in := range inputs {
+		if len(in) != dim {
+			return fmt.Errorf("serve: wire input %d has %d features, input 0 has %d", i, len(in), dim)
+		}
+		for _, v := range in {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// DecodeWireRequest reads one wire-format v1 request and returns its input
+// vectors. Malformed headers, oversize counts and truncated bodies are
+// reported as errors suitable for a 400 response.
+func DecodeWireRequest(r io.Reader) ([][]float64, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("serve: reading wire request header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != wireReqMagic {
+		return nil, fmt.Errorf("serve: bad wire request magic %#x (want \"RPI1\")", m)
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[4:]))
+	dim := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if count < 1 || count > MaxWireInputs {
+		return nil, fmt.Errorf("serve: wire request count %d outside [1, %d]", count, MaxWireInputs)
+	}
+	if dim < 1 || dim > MaxWireDim {
+		return nil, fmt.Errorf("serve: wire request dim %d outside [1, %d]", dim, MaxWireDim)
+	}
+	if need := 12 + 8*int64(count)*int64(dim); need > MaxWireBytes {
+		return nil, fmt.Errorf("serve: wire request of %d bytes exceeds the %d-byte limit", need, MaxWireBytes)
+	}
+	data := make([]byte, 8*count*dim)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("serve: wire request body truncated: %w", err)
+	}
+	flat := make([]float64, count*dim)
+	for i := range flat {
+		flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	inputs := make([][]float64, count)
+	for i := range inputs {
+		inputs[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return inputs, nil
+}
+
+// EncodeWireResults writes results as one wire-format v1 response. All
+// results must have the same non-zero score width; as with
+// EncodeWireRequest, the decode-side bounds are enforced here so an
+// encoded response is always decodable.
+func EncodeWireResults(w io.Writer, results []Result) error {
+	if len(results) == 0 {
+		return fmt.Errorf("serve: wire response needs at least one result")
+	}
+	if len(results) > MaxWireInputs {
+		return fmt.Errorf("serve: wire response count %d exceeds %d", len(results), MaxWireInputs)
+	}
+	classes := len(results[0].Scores)
+	if classes < 1 || classes > MaxWireDim {
+		return fmt.Errorf("serve: wire response classes %d outside [1, %d]", classes, MaxWireDim)
+	}
+	if need := 12 + int64(len(results))*(9+8*int64(classes)); need > MaxWireBytes {
+		return fmt.Errorf("serve: wire response of %d bytes exceeds the %d-byte limit", need, MaxWireBytes)
+	}
+	buf := make([]byte, 12+len(results)*(9+8*classes))
+	binary.LittleEndian.PutUint32(buf[0:], wireRespMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(results)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(classes))
+	off := 12
+	for i, res := range results {
+		if len(res.Scores) != classes {
+			return fmt.Errorf("serve: wire result %d has %d scores, result 0 has %d", i, len(res.Scores), classes)
+		}
+		binary.LittleEndian.PutUint32(buf[off:], uint32(res.Class))
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(res.BatchSize))
+		if res.Cached {
+			buf[off+8] = 1
+		}
+		off += 9
+		for _, v := range res.Scores {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// DecodeWireResults reads one wire-format v1 response.
+func DecodeWireResults(r io.Reader) ([]Result, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("serve: reading wire response header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != wireRespMagic {
+		return nil, fmt.Errorf("serve: bad wire response magic %#x (want \"RPO1\")", m)
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[4:]))
+	classes := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if count < 1 || count > MaxWireInputs {
+		return nil, fmt.Errorf("serve: wire response count %d outside [1, %d]", count, MaxWireInputs)
+	}
+	if classes < 1 || classes > MaxWireDim {
+		return nil, fmt.Errorf("serve: wire response classes %d outside [1, %d]", classes, MaxWireDim)
+	}
+	if need := 12 + int64(count)*(9+8*int64(classes)); need > MaxWireBytes {
+		return nil, fmt.Errorf("serve: wire response of %d bytes exceeds the %d-byte limit", need, MaxWireBytes)
+	}
+	results := make([]Result, count)
+	rec := make([]byte, 9+8*classes)
+	for i := range results {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			return nil, fmt.Errorf("serve: wire response body truncated: %w", err)
+		}
+		results[i].Class = int(binary.LittleEndian.Uint32(rec[0:]))
+		results[i].BatchSize = int(binary.LittleEndian.Uint32(rec[4:]))
+		results[i].Cached = rec[8] == 1
+		scores := make([]float64, classes)
+		for j := range scores {
+			scores[j] = math.Float64frombits(binary.LittleEndian.Uint64(rec[9+8*j:]))
+		}
+		results[i].Scores = scores
+	}
+	return results, nil
+}

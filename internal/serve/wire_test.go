@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWireRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([][]float64, 7)
+	for i := range inputs {
+		inputs[i] = make([]float64, 33)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.NormFloat64()
+		}
+	}
+	// Exact bit patterns must survive, including the edge values float
+	// text formats mangle.
+	inputs[0][0] = math.Inf(1)
+	inputs[0][1] = -0.0
+	inputs[0][2] = math.SmallestNonzeroFloat64
+
+	var buf bytes.Buffer
+	if err := EncodeWireRequest(&buf, inputs); err != nil {
+		t.Fatal(err)
+	}
+	if want := 12 + 8*7*33; buf.Len() != want {
+		t.Errorf("encoded size %d, want %d", buf.Len(), want)
+	}
+	got, err := DecodeWireRequest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(inputs) {
+		t.Fatalf("decoded %d inputs, want %d", len(got), len(inputs))
+	}
+	for i := range inputs {
+		for j := range inputs[i] {
+			if math.Float64bits(got[i][j]) != math.Float64bits(inputs[i][j]) {
+				t.Fatalf("input %d[%d]: %x, want %x", i, j,
+					math.Float64bits(got[i][j]), math.Float64bits(inputs[i][j]))
+			}
+		}
+	}
+}
+
+func TestWireResultsRoundTrip(t *testing.T) {
+	results := []Result{
+		{Class: 3, Scores: []float64{0.1, -2, 3.5}, BatchSize: 16},
+		{Class: 0, Scores: []float64{9, 8, 7}, BatchSize: 0, Cached: true},
+	}
+	var buf bytes.Buffer
+	if err := EncodeWireResults(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWireResults(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d results", len(got))
+	}
+	for i, res := range results {
+		if got[i].Class != res.Class || got[i].BatchSize != res.BatchSize || got[i].Cached != res.Cached {
+			t.Errorf("result %d header: %+v, want %+v", i, got[i], res)
+		}
+		for j := range res.Scores {
+			if got[i].Scores[j] != res.Scores[j] {
+				t.Errorf("result %d score %d: %g, want %g", i, j, got[i].Scores[j], res.Scores[j])
+			}
+		}
+	}
+}
+
+func TestWireEncodeValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeWireRequest(&buf, nil); err == nil {
+		t.Error("empty request encoded")
+	}
+	if err := EncodeWireRequest(&buf, [][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged request encoded")
+	}
+	// Encode enforces the decode-side bounds, so a request that encodes
+	// never bounces off a decoder.
+	if err := EncodeWireRequest(&buf, [][]float64{{}}); err == nil {
+		t.Error("zero-dim request encoded")
+	}
+	if err := EncodeWireRequest(&buf, make([][]float64, MaxWireInputs+1)); err == nil {
+		t.Error("oversize-count request encoded")
+	}
+	if err := EncodeWireResults(&buf, nil); err == nil {
+		t.Error("empty response encoded")
+	}
+	if err := EncodeWireResults(&buf, []Result{{Scores: []float64{1}}, {Scores: []float64{1, 2}}}); err == nil {
+		t.Error("ragged response encoded")
+	}
+}
+
+// TestWireDecodeRejectsMalformed drives the decoder through the abuse
+// cases the HTTP layer forwards to it: bad magic, hostile counts and dims,
+// and truncation at every boundary.
+func TestWireDecodeRejectsMalformed(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := EncodeWireRequest(&buf, [][]float64{{1, 2}, {3, 4}}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	cases := map[string][]byte{
+		"empty":           {},
+		"short header":    valid()[:8],
+		"truncated body":  valid()[:len(valid())-1],
+		"header only":     valid()[:12],
+		"bad magic":       append([]byte("XXXX"), valid()[4:]...),
+		"response as req": func() []byte { b := valid(); binary.LittleEndian.PutUint32(b, wireRespMagic); return b }(),
+	}
+	hostile := valid()
+	binary.LittleEndian.PutUint32(hostile[4:], 1<<30) // count
+	cases["hostile count"] = hostile
+	hostile2 := valid()
+	binary.LittleEndian.PutUint32(hostile2[8:], 1<<30) // dim
+	cases["hostile dim"] = hostile2
+	// count and dim individually in range, but multiplying to 2 GiB: the
+	// product bound must refuse before allocating anything.
+	hostile3 := valid()
+	binary.LittleEndian.PutUint32(hostile3[4:], MaxWireInputs)
+	binary.LittleEndian.PutUint32(hostile3[8:], MaxWireDim)
+	cases["hostile product"] = hostile3
+	zero := valid()
+	binary.LittleEndian.PutUint32(zero[4:], 0)
+	cases["zero count"] = zero
+
+	for name, body := range cases {
+		if _, err := DecodeWireRequest(bytes.NewReader(body)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		} else if !strings.HasPrefix(err.Error(), "serve:") {
+			t.Errorf("%s: error %q not from serve", name, err)
+		}
+	}
+}

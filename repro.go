@@ -17,7 +17,9 @@
 //   - embedded-platform latency model (Nexus 5, XU3, Honor 6X)    — Table I
 //   - the four-module deployment engine of Fig. 4 plus CLI tools
 //   - a TrueNorth-style neuromorphic simulator for Fig. 5 context
-//   - a batched concurrent inference server (internal/serve, cmd/serve)
+//   - a multi-model inference serving stack: versioned model registry with
+//     A/B routing over batched concurrent servers (internal/model,
+//     internal/serve, cmd/serve)
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure.
@@ -35,6 +37,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/fft"
+	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/ops"
 	"repro/internal/platform"
@@ -142,16 +145,30 @@ func ParseArchitecture(r io.Reader, rng *rand.Rand) (*Engine, error) {
 // binary format (module 2 of Fig. 4).
 func SaveParameters(w io.Writer, net *Network) error { return engine.SaveParameters(w, net) }
 
-// Batched inference serving (internal/serve): a request-coalescing
-// scheduler over a pool of model replicas with per-worker FFT workspace
-// reuse and an LRU result cache. cmd/serve wraps this in HTTP/JSON.
+// Multi-model inference serving (internal/model + internal/serve): models
+// implement the Model executor interface and register with a Registry
+// under "name@version" identities. Each registered version gets its own
+// batching scheduler, replica pool and namespaced LRU result cache;
+// routing supports a "latest" alias, weighted A/B splits and atomic
+// hot-swap under live traffic. cmd/serve wraps a Registry in HTTP
+// speaking JSON and the binary wire format v1.
 type (
-	// Server is the batched concurrent inference server.
+	// Model is the executor interface the serving stack programs against.
+	Model = model.Model
+	// Registry serves any number of versioned models concurrently.
+	Registry = serve.Registry
+	// RegistryModelInfo is one /v1/models listing entry.
+	RegistryModelInfo = serve.ModelInfo
+	// ServeOptions parameterises the batching, replica pool and cache of
+	// each served model (per-model instances).
+	ServeOptions = serve.Options
+	// Server is the batched concurrent inference server for one model.
 	Server = serve.Server
-	// ServeConfig parameterises a Server (model, batch size, deadline,
-	// workers, cache).
+	// ServeConfig parameterises the deprecated single-model NewServer.
+	//
+	// Deprecated: use ServeOptions with NewRegistry (or serve.NewModel).
 	ServeConfig = serve.Config
-	// ServeStats is a snapshot of a Server's counters.
+	// ServeStats is a snapshot of one served model's counters.
 	ServeStats = serve.Stats
 	// InferResult is one answered inference request.
 	InferResult = serve.Result
@@ -160,10 +177,42 @@ type (
 	Workspace = nn.Workspace
 )
 
-// ErrServerClosed is returned by Server.Infer after Close.
-var ErrServerClosed = serve.ErrClosed
+// Serving errors.
+var (
+	// ErrServerClosed is returned by Infer after Close.
+	ErrServerClosed = serve.ErrClosed
+	// ErrModelNotFound is returned when no registered model matches a
+	// requested name or name@version.
+	ErrModelNotFound = serve.ErrNotFound
+	// ErrModelExists is returned by Registry.Register for a duplicate
+	// name@version identity.
+	ErrModelExists = serve.ErrExists
+)
 
-// NewServer starts a batched inference server for a trained model.
+// NewRegistry returns an empty model registry; registered models are each
+// served with opts.
+func NewRegistry(opts ServeOptions) *Registry { return serve.NewRegistry(opts) }
+
+// ModelFromNetwork adapts a trained network as a registrable Model running
+// the batched spectral forward path.
+func ModelFromNetwork(name, version string, net *Network, inShape []int) (Model, error) {
+	return model.FromNetwork(name, version, net, inShape)
+}
+
+// ModelDenseBaseline adapts a network through the plain per-call forward —
+// the uncompressed reference arm of a dense-versus-circulant A/B pair.
+func ModelDenseBaseline(name, version string, net *Network, inShape []int) (Model, error) {
+	return model.DenseBaseline(name, version, net, inShape)
+}
+
+// NewModelServer starts a batched inference server for one Model.
+func NewModelServer(m Model, opts ServeOptions) (*Server, error) { return serve.NewModel(m, opts) }
+
+// NewServer starts a batched inference server for a bare trained network
+// under the fixed identity "default@v1".
+//
+// Deprecated: wrap the network with ModelFromNetwork and use
+// NewModelServer, or serve several models behind NewRegistry.
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
 // NewWorkspace returns reusable forward-pass scratch for a long-lived
