@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-compare
+.PHONY: all build test race lint bench bench-compare alloc-gate
 
 all: build test
 
@@ -33,10 +33,24 @@ COUNT ?= 5
 bench:
 	$(GO) run ./tools/benchjson run -bench '$(BENCH)' -benchtime $(BENCHTIME) -count $(COUNT)
 
-# Compare two benchmark artifacts with the CI gate (>15% median ns/op
-# regression on hot-path benchmarks fails):
+# Compare two benchmark artifacts with the CI gates: >15% median ns/op
+# regression on hot-path benchmarks fails, and ANY allocs/op increase on
+# the steady-state serving/spectral benchmarks fails:
 #   make bench-compare BASE=BENCH_20260701.json HEAD=BENCH_20260728.json
 GATE ?= BenchmarkBatchedSpectralForward|BenchmarkFig2_CirculantMatvec|BenchmarkAblationSpectralCache|BenchmarkAblationAccumulateSpectral
+# Alloc-gate only benchmarks whose hot path is deterministically serial
+# (above the spectral engine's parallel threshold the worker fan-out heap-
+# allocates its closures by design, and the closed-loop serving benches
+# spawn client goroutines); the hard `alloc-gate` test target below covers
+# the full set of steady-state paths exactly.
+ALLOCGATE ?= BenchmarkBatchedSpectralForward/arch1Batched
 
 bench-compare:
-	$(GO) run ./tools/benchjson compare -threshold 1.15 -gate '$(GATE)' $(BASE) $(HEAD)
+	$(GO) run ./tools/benchjson compare -threshold 1.15 -gate '$(GATE)' -allocgate '$(ALLOCGATE)' $(BASE) $(HEAD)
+
+# Hard zero-allocation gate on the steady-state hot paths (planned split
+# transforms, batched circulant multiply, workspace forward, registry-
+# routed infer). The same tests run in `make test`; this target runs just
+# them, without -race (the race runtime skews allocation accounting).
+alloc-gate:
+	$(GO) test -count=1 -run 'ZeroAlloc' ./...

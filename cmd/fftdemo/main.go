@@ -29,7 +29,9 @@ func main() {
 		stage := partialFFT(x, size)
 		fmt.Printf("after size-%d BFs: %v\n", size, fmtVec(stage))
 	}
-	fmt.Printf("naive DFT:        %v\n\n", fmtVec(fft.DFT(x)))
+	dft := make([]complex128, len(x))
+	fft.DFTInto(dft, x)
+	fmt.Printf("naive DFT:        %v\n\n", fmtVec(dft))
 
 	fmt.Println("== Fig. 2: Wᵀx by FFT → ∘ → IFFT ==")
 	w := []float64{0.5, -0.25, 0.125, 0.0625}

@@ -8,11 +8,26 @@ import (
 	"log"
 	"mime"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/model"
 	"repro/internal/serve"
 )
+
+// registerPprof mounts net/http/pprof's handlers under /debug/pprof/ on
+// the serving mux. Deliberate opt-in (the -pprof flag): the profiling
+// endpoints expose process internals and add handlers to a
+// production-facing surface, but with them a live server can be profiled
+// exactly as the perf work on the spectral kernels profiles benchmarks —
+// `go tool pprof http://host/debug/pprof/profile` against real traffic.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // newMux builds the HTTP surface over a model registry. Factored out of
 // main so the handler wiring is testable (the endpoint regression tests

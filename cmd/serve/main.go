@@ -12,6 +12,10 @@
 //	serve -bundle dir [flags]                       # deprecated single-model form
 //
 // Flags: [-addr :8080] [-workers N] [-batch 16] [-deadline 2ms] [-cache 1024]
+// [-pprof]
+//
+// With -pprof, net/http/pprof is mounted under /debug/pprof/ so a live
+// server can be CPU- and heap-profiled under real traffic.
 //
 // Endpoints (wire-format v1; see internal/serve/wire.go for the binary
 // request codec selected by Content-Type):
@@ -73,6 +77,7 @@ func main() {
 	batch := flag.Int("batch", 16, "max requests coalesced into one forward pass")
 	deadline := flag.Duration("deadline", 2*time.Millisecond, "max time to hold an open batch")
 	cache := flag.Int("cache", 1024, "LRU result-cache entries per model (0 disables)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ for live profiling")
 	flag.Parse()
 
 	loaded, err := loadModels(models.specs, demos.specs, *bundle, *archPath, *paramsPath)
@@ -107,7 +112,12 @@ func main() {
 	// registered model's name, routed through its latest alias.
 	defaultName := loaded[0].Name()
 
-	hs := &http.Server{Addr: *addr, Handler: newMux(reg, defaultName, time.Now())}
+	mux := newMux(reg, defaultName, time.Now())
+	if *pprofFlag {
+		registerPprof(mux)
+		log.Print("pprof enabled on /debug/pprof/")
+	}
+	hs := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
 		log.Printf("serving %s on %s (workers/model=%d batch=%d deadline=%v cache=%d)",
 			strings.Join(names, ", "), *addr, reg.Models()[0].Stats.Workers, *batch, *deadline, *cache)

@@ -494,3 +494,43 @@ func TestBundleFlagPrecedence(t *testing.T) {
 		t.Errorf("bundle model dims %d/%d, want 64/10", ms[0].InDim(), ms[0].OutDim())
 	}
 }
+
+// TestPprofRegistration: the -pprof surface is opt-in — absent by default,
+// live under /debug/pprof/ once registered.
+func TestPprofRegistration(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof reachable without -pprof: status %d", resp.StatusCode)
+	}
+
+	reg := serve.NewRegistry(serve.Options{Workers: 1, MaxBatch: 2})
+	defer reg.Close()
+	m, err := model.FromNetwork("test", "v1", testNet(3), []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	mux := newMux(reg, "test", time.Now())
+	registerPprof(mux)
+	ts2 := httptest.NewServer(mux)
+	defer ts2.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(ts2.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d, body %q", path, resp.StatusCode, body)
+		}
+	}
+}

@@ -5,17 +5,25 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fft"
 )
 
 // Batched spectral execution: one coalesced batch of vectors pushed through
 // a block-circulant matrix in a single planned spectral pass, instead of one
 // independent MulVec per vector.
 //
-// Three things make the batched pass faster than B per-vector products:
+// Four things make the batched pass faster than B per-vector products:
 //
 //   - Real-input half-spectrum transforms (fft.RealPlan): every block FFT
 //     and IFFT runs at half size by conjugate symmetry, and the spectral
 //     accumulation touches b/2+1 bins instead of b.
+//   - Split-complex (SoA) storage end to end: input spectra, weight spectra
+//     and accumulators live as parallel Re/Im float64 planes
+//     (fft.SplitSlice), so every butterfly and every multiply-accumulate is
+//     straight float64 arithmetic over unit-stride streams — no complex128
+//     interleave anywhere on the hot path. The weight spectra are split
+//     once at plan time (BlockCirculant.Refresh), never per product.
 //   - Weight-spectrum streaming: each cached block spectrum s_ij is loaded
 //     once per batch and applied to all B input spectra while it is hot,
 //     instead of being re-read B times.
@@ -28,6 +36,9 @@ import (
 // per-vector MulVecInto/TransMulVecInto path to within ~1e-15 per element
 // (asserted at 1e-12 by tests); it is not bit-identical because the
 // half-spectrum kernels round differently than the full complex transforms.
+// The split kernels themselves are bit-identical to their complex128
+// counterparts (same butterfly order, same twiddles; see fft/split.go), so
+// moving the engine to SoA changed no result bits.
 //
 // Non power-of-two block sizes and single-vector batches fall back to the
 // per-vector path.
@@ -97,16 +108,21 @@ func poolWidth(n int) int {
 }
 
 // BatchWorkspace is caller-owned scratch for batched block-circulant
-// products. Like Workspace it grows to the largest (matrix, batch) pair it
-// has served and is retained across calls; the zero value is ready to use.
-// A BatchWorkspace must not be used by two goroutines at once (the batched
-// product manages its own internal parallelism).
+// products, held entirely in split (SoA) form. The packed blocks and their
+// spectra live in the transposed bin-major layout of fft's SplitMany
+// kernels: bin t of transform m at index t·pitch+m, with one column per
+// (vector, input block) pair. Like Workspace it grows to the largest
+// (matrix, batch) pair it has served and is retained across calls; the
+// zero value is ready to use. A BatchWorkspace must not be used by two
+// goroutines at once (the batched product manages its own internal
+// parallelism).
 type BatchWorkspace struct {
-	vec   *Workspace     // per-vector fallback scratch
-	specs []complex128   // input half-spectra, block-major: (i·batch+v)·specLen
-	pack  [][]complex128 // per-worker packed-block buffer (stage 1), nblk·half
-	acc   [][]complex128 // per-worker spectral accumulators (stage 2), batch·specLen
-	z     [][]complex128 // per-worker packed inverse buffer (stage 2), batch·half
+	vec   *Workspace       // per-vector fallback scratch
+	zAll  fft.SplitSlice   // packed input blocks, bin-major: half rows × pitch
+	specs fft.SplitSlice   // input half-spectra, bin-major: specLen rows × pitch
+	wt    []fft.SplitSlice // per-worker weight-spectrum gather, nIn bins
+	acc   []fft.SplitSlice // per-worker accumulators, specLen rows × batch pitch
+	z     []fft.SplitSlice // per-worker packed inverse buffer, half rows × batch pitch
 }
 
 // NewBatchWorkspace returns an empty BatchWorkspace ready for reuse.
@@ -121,28 +137,31 @@ func (w *BatchWorkspace) Vec() *Workspace {
 	return w.vec
 }
 
+// rowPitch pads a bin-major row length so consecutive rows do not land on
+// the same L1 cache sets: power-of-two-ish row strides (the natural
+// batch × blocks counts are all powers of two) make every row alias the
+// same handful of sets and thrash an N-way cache during the strided
+// pack/store transposes.
+func rowPitch(count int) int {
+	if count%32 == 0 {
+		return count + 8
+	}
+	return count
+}
+
 // ensure sizes the batched buffers for one product.
-func (w *BatchWorkspace) ensure(specLen, half, nIn, batch, workers int) {
-	if need := nIn * batch * specLen; cap(w.specs) < need {
-		w.specs = make([]complex128, need)
-	} else {
-		w.specs = w.specs[:need]
-	}
-	if len(w.pack) < workers {
-		w.pack = append(w.pack, make([][]complex128, workers-len(w.pack))...)
-		w.acc = append(w.acc, make([][]complex128, workers-len(w.acc))...)
-		w.z = append(w.z, make([][]complex128, workers-len(w.z))...)
-	}
-	grow := func(s []complex128, need int) []complex128 {
-		if cap(s) < need {
-			return make([]complex128, need)
-		}
-		return s[:need]
+func (w *BatchWorkspace) ensure(specLen, half, nIn, pitch, bpitch, workers int) {
+	w.zAll = w.zAll.Resize(half * pitch)
+	w.specs = w.specs.Resize(specLen * pitch)
+	if len(w.wt) < workers {
+		w.wt = append(w.wt, make([]fft.SplitSlice, workers-len(w.wt))...)
+		w.acc = append(w.acc, make([]fft.SplitSlice, workers-len(w.acc))...)
+		w.z = append(w.z, make([]fft.SplitSlice, workers-len(w.z))...)
 	}
 	for i := 0; i < workers; i++ {
-		w.pack[i] = grow(w.pack[i], nIn*half)
-		w.acc[i] = grow(w.acc[i], batch*specLen)
-		w.z[i] = grow(w.z[i], batch*half)
+		w.wt[i] = w.wt[i].Resize(nIn)
+		w.acc[i] = w.acc[i].Resize(specLen * bpitch)
+		w.z[i] = w.z[i].Resize(half * bpitch)
 	}
 }
 
@@ -168,7 +187,7 @@ func (m *BlockCirculant) MulBatchInto(dst, x []float64, batch int, ws *BatchWork
 	if ws == nil {
 		ws = NewBatchWorkspace()
 	}
-	m.batchCore(dst, x, batch, ws, false)
+	m.batchCore(dst, x, batch, ws, false, nil, false)
 	return dst
 }
 
@@ -194,16 +213,71 @@ func (m *BlockCirculant) TransMulBatchInto(dst, x []float64, batch int, ws *Batc
 	if ws == nil {
 		ws = NewBatchWorkspace()
 	}
-	m.batchCore(dst, x, batch, ws, true)
+	m.batchCore(dst, x, batch, ws, true, nil, false)
+	return dst
+}
+
+// TransMulBatchFusedInto computes ψ(Wᵀ·xᵥ + θ) for a batch of vectors in
+// one spectral pass, fusing the epilogue into the inverse transform's
+// de-interleave so each output element is written exactly once: θ is the
+// bias (length Cols, required) and ψ is max(·, 0) when relu is set, the
+// identity otherwise. This is the serving form of the paper's FC layer
+// (y = ψ(Wᵀx + θ)): on the batched hot path it removes one full
+// read-modify-write sweep over the activations per layer.
+//
+// Fallback paths (non power-of-two blocks, single-vector batches) compute
+// the same values with a separate epilogue sweep; results are identical.
+func (m *BlockCirculant) TransMulBatchFusedInto(dst, x []float64, batch int, ws *BatchWorkspace, bias []float64, relu bool) []float64 {
+	if batch < 1 || len(x) != batch*m.rows {
+		panic(fmt.Sprintf("circulant: TransMulBatchFusedInto batch %d, input length %d, want %d", batch, len(x), batch*m.rows))
+	}
+	if len(bias) != m.cols {
+		panic(fmt.Sprintf("circulant: TransMulBatchFusedInto bias length %d, want %d", len(bias), m.cols))
+	}
+	dst = m.ensureDst(dst, batch*m.cols, "TransMulBatchFusedInto")
+	if m.rplan == nil || batch == 1 {
+		var vw *Workspace
+		if ws != nil {
+			vw = ws.Vec()
+		}
+		for v := 0; v < batch; v++ {
+			row := dst[v*m.cols : (v+1)*m.cols]
+			m.TransMulVecInto(row, x[v*m.rows:(v+1)*m.rows], vw)
+			if relu {
+				for j, b := range bias {
+					row[j] = max(row[j]+b, 0)
+				}
+			} else {
+				for j, b := range bias {
+					row[j] += b
+				}
+			}
+		}
+		return dst
+	}
+	if ws == nil {
+		ws = NewBatchWorkspace()
+	}
+	m.batchCore(dst, x, batch, ws, true, bias, relu)
 	return dst
 }
 
 // batchCore is the shared batched kernel. trans selects the correlation
 // form (Wᵀ·x, conjugated weight spectra); otherwise the convolution form
-// (W·x). Stage 1 computes every input-block half-spectrum (parallel over
-// vectors); stage 2 accumulates and inverse-transforms output blocks
-// (parallel over blocks, the independent unit).
-func (m *BlockCirculant) batchCore(dst, x []float64, batch int, ws *BatchWorkspace, trans bool) {
+// (W·x). bias (optional, length outLen) and relu are the fused epilogue
+// applied as output blocks are de-interleaved.
+//
+// Three stages, all on the transposed bin-major layout:
+//
+//  1. pack: every zero-padded input block of every vector becomes one
+//     column of ws.zAll (parallel over vectors);
+//  2. transform: one ForwardSplitMany + UnpackSplitMany over all columns
+//     (parallel over column ranges — columns are independent);
+//  3. output: per output block, the register-accumulator multiply-
+//     accumulate across input blocks, PreInverseSplitMany,
+//     InverseSplitMany and the fused-epilogue store (parallel over output
+//     blocks, the independent unit).
+func (m *BlockCirculant) batchCore(dst, x []float64, batch int, ws *BatchWorkspace, trans bool, bias []float64, relu bool) {
 	b := m.block
 	half := b / 2
 	specLen := half + 1
@@ -212,6 +286,9 @@ func (m *BlockCirculant) batchCore(dst, x []float64, batch int, ws *BatchWorkspa
 	if trans {
 		inBlks, outBlks, inLen, outLen = m.k, m.l, m.rows, m.cols
 	}
+	count := batch * inBlks
+	pitch := rowPitch(count)
+	bpitch := rowPitch(batch)
 
 	workers := 1
 	if batch*inBlks*b >= parallelThreshold {
@@ -222,97 +299,254 @@ func (m *BlockCirculant) batchCore(dst, x []float64, batch int, ws *BatchWorkspa
 			workers = w1
 		}
 	}
-	ws.ensure(specLen, half, inBlks, batch, workers)
+	ws.ensure(specLen, half, inBlks, pitch, bpitch, workers)
 
-	// Stage 1: half-spectra of every zero-padded input block, all vectors
-	// (parallel over vectors). Stage 2: per output block, stream each weight
-	// spectrum across the whole batch, then one batched half-size inverse
-	// transform (parallel over output blocks). The serial path calls the
-	// stage methods directly so the steady state allocates nothing (closures
-	// passed to pfor escape to the heap).
+	// The serial path calls the stage methods directly so the steady state
+	// allocates nothing (closures passed to pfor escape to the heap).
+	rp := m.rplan
 	if workers == 1 {
 		for v := 0; v < batch; v++ {
-			m.batchSpectra(ws, x, batch, inBlks, inLen, 0, v)
+			m.packColumns(ws, x, inBlks, inLen, pitch, v)
 		}
+		rp.Complex().ForwardSplitManyRev(ws.zAll, pitch, 0, count)
+		rp.UnpackSplitMany(ws.specs, ws.zAll, pitch, 0, count)
 		for j := 0; j < outBlks; j++ {
-			m.batchOutBlock(ws, dst, batch, inBlks, outLen, trans, 0, j)
+			m.batchOutBlock(ws, dst, batch, inBlks, outLen, pitch, bpitch, trans, bias, relu, 0, j)
 		}
 		return
 	}
 	pfor(batch, workers, func(worker, v int) {
-		m.batchSpectra(ws, x, batch, inBlks, inLen, worker, v)
+		m.packColumns(ws, x, inBlks, inLen, pitch, v)
+	})
+	pfor(workers, workers, func(worker, c int) {
+		c0 := c * count / workers
+		c1 := (c + 1) * count / workers
+		rp.Complex().ForwardSplitManyRev(ws.zAll, pitch, c0, c1)
+		rp.UnpackSplitMany(ws.specs, ws.zAll, pitch, c0, c1)
 	})
 	pfor(outBlks, workers, func(worker, j int) {
-		m.batchOutBlock(ws, dst, batch, inBlks, outLen, trans, worker, j)
+		m.batchOutBlock(ws, dst, batch, inBlks, outLen, pitch, bpitch, trans, bias, relu, worker, j)
 	})
 }
 
-// batchSpectra (stage 1) fills ws.specs with the half-spectra of every
-// zero-padded input block of vector v, via one packed batch transform.
-func (m *BlockCirculant) batchSpectra(ws *BatchWorkspace, x []float64, batch, inBlks, inLen, worker, v int) {
-	b, rp := m.block, m.rplan
+// packColumns (stage 1) folds every zero-padded input block of vector v
+// into its column of the transposed packed buffer: block i of vector v is
+// column v·inBlks+i, with packed bin j (x[2j] + i·x[2j+1]) stored at the
+// bit-reversed row perm[j] — the pack is a scatter anyway, so writing
+// through the permutation is free and lets the forward transform run as
+// ForwardSplitManyRev, skipping its permutation round trip.
+func (m *BlockCirculant) packColumns(ws *BatchWorkspace, x []float64, inBlks, inLen, pitch, v int) {
+	b := m.block
 	half := b / 2
-	specLen := half + 1
-	pk := ws.pack[worker]
+	perm := m.rplan.Complex().BitReversal()
+	zr, zi := ws.zAll.Re, ws.zAll.Im
 	xv := x[v*inLen : (v+1)*inLen]
-	for i := 0; i < inBlks; i++ {
-		lo := i * b
-		hi := lo + b
-		if hi > inLen {
-			hi = inLen
+	col0 := v * inBlks
+	if inBlks*b == inLen {
+		// Exact tiling (every serving architecture's FC layers): walk
+		// row-major so each packed row gets one inBlks-long sequential
+		// write run instead of a pitch-strided single-element scatter.
+		for j := 0; j < half; j++ {
+			r := int(perm[j])*pitch + col0
+			rowR := zr[r : r+inBlks]
+			rowI := zi[r : r+inBlks]
+			for i := 0; i < inBlks; i++ {
+				rowR[i] = xv[i*b+2*j]
+				rowI[i] = xv[i*b+2*j+1]
+			}
 		}
-		rp.Pack(pk[i*half:(i+1)*half], xv[lo:hi])
+		return
 	}
-	rp.Complex().BatchForward(pk, pk)
 	for i := 0; i < inBlks; i++ {
-		rp.Unpack(ws.specs[(i*batch+v)*specLen:(i*batch+v+1)*specLen], pk[i*half:(i+1)*half])
+		col := col0 + i
+		lo := i * b
+		n := inLen - lo
+		if n > b {
+			n = b
+		}
+		j := 0
+		for ; 2*j+1 < n; j++ {
+			r := int(perm[j]) * pitch
+			zr[r+col] = xv[lo+2*j]
+			zi[r+col] = xv[lo+2*j+1]
+		}
+		if 2*j < n {
+			r := int(perm[j]) * pitch
+			zr[r+col] = xv[lo+2*j]
+			zi[r+col] = 0
+			j++
+		}
+		for ; j < half; j++ {
+			r := int(perm[j]) * pitch
+			zr[r+col] = 0
+			zi[r+col] = 0
+		}
 	}
 }
 
 // batchOutBlock (stage 2) accumulates output block j for the whole batch in
-// the half-spectrum domain and inverse-transforms it into dst.
-func (m *BlockCirculant) batchOutBlock(ws *BatchWorkspace, dst []float64, batch, inBlks, outLen int, trans bool, worker, j int) {
+// the transposed split half-spectrum domain, inverse-transforms it, and
+// stores it into dst with the fused epilogue (bias, relu) applied as it
+// de-interleaves.
+func (m *BlockCirculant) batchOutBlock(ws *BatchWorkspace, dst []float64, batch, inBlks, outLen, pitch, bpitch int, trans bool, bias []float64, relu bool, worker, j int) {
 	b, rp := m.block, m.rplan
 	half := b / 2
 	specLen := half + 1
 	acc := ws.acc[worker]
-	for t := range acc {
-		acc[t] = 0
+	accRe, accIm := acc.Re, acc.Im
+	specsRe, specsIm := ws.specs.Re, ws.specs.Im
+	// Weight spectra for output block j, one per input block i: block (i,j)
+	// in the correlation (trans) form, (j,i) in the convolution form. Both
+	// live at offset wbase + i·wstride in the split plan-time tables; the
+	// bin-t values for all input blocks are gathered once per bin into
+	// ws.wt and then streamed across the whole batch while hot.
+	wRe, wIm := m.sspec.Re, m.sspec.Im
+	wbase, wstride := j*m.l*specLen, specLen
+	if trans {
+		wbase, wstride = j*specLen, m.l*specLen
 	}
-	for i := 0; i < inBlks; i++ {
-		var s []complex128
-		if trans {
-			s = m.blockSpec(i, j)
-		} else {
-			s = m.blockSpec(j, i)
+	wtr, wti := ws.wt[worker].Re, ws.wt[worker].Im
+	for t := 0; t < specLen; t++ {
+		wo := wbase + t
+		for i := 0; i < inBlks; i++ {
+			wtr[i] = wRe[wo]
+			wti[i] = wIm[wo]
+			wo += wstride
 		}
-		base := i * batch * specLen
-		for v := 0; v < batch; v++ {
-			sp := ws.specs[base+v*specLen : base+(v+1)*specLen]
-			av := acc[v*specLen : (v+1)*specLen]
-			if trans {
-				for t := 0; t < specLen; t++ {
-					sv := s[t]
-					av[t] += complex(real(sv), -imag(sv)) * sp[t]
+		if t == 0 || t == half {
+			// DC and Nyquist bins of a real signal's spectrum are purely
+			// real — in both the weights and the inputs — so these two rows
+			// reduce to a real dot product (the imaginary accumulator is
+			// exactly zero either way).
+			xr := specsRe[t*pitch : t*pitch+batch*inBlks]
+			ar := accRe[t*bpitch : t*bpitch+batch]
+			ai := accIm[t*bpitch : t*bpitch+batch]
+			wr := wtr[:inBlks]
+			for v, off := 0, 0; v < batch; v, off = v+1, off+inBlks {
+				var aR float64
+				x0r := xr[off : off+inBlks]
+				for i := 0; i < inBlks; i++ {
+					aR += wr[i] * x0r[i]
 				}
-			} else {
-				for t := 0; t < specLen; t++ {
-					av[t] += s[t] * sp[t]
+				ar[v], ai[v] = aR, 0
+			}
+			continue
+		}
+		// In the bin-major layout, bin t of every (vector, block) column is
+		// one contiguous row, so the accumulation below is a single sweep
+		// over it. Two vectors per pass: the i-loop is a loop-carried
+		// addition chain per accumulator, so pairing vectors interleaves
+		// four independent chains (and halves the weight reloads), keeping
+		// both FP pipes busy instead of serialising on add latency. The
+		// per-vector summation order over i is unchanged, so results are
+		// bit-identical to the one-vector form.
+		xr := specsRe[t*pitch : t*pitch+batch*inBlks]
+		xi := specsIm[t*pitch : t*pitch+batch*inBlks]
+		ar := accRe[t*bpitch : t*bpitch+batch]
+		ai := accIm[t*bpitch : t*bpitch+batch]
+		wr := wtr[:inBlks]
+		wi := wti[:inBlks]
+		v, off := 0, 0
+		if trans {
+			for ; v+1 < batch; v, off = v+2, off+2*inBlks {
+				var aR0, aI0, aR1, aI1 float64
+				x0r := xr[off : off+inBlks]
+				x0i := xi[off : off+inBlks]
+				x1r := xr[off+inBlks : off+2*inBlks]
+				x1i := xi[off+inBlks : off+2*inBlks]
+				for i := 0; i < inBlks; i++ {
+					sr, si := wr[i], wi[i]
+					aR0 += sr*x0r[i] + si*x0i[i]
+					aI0 += sr*x0i[i] - si*x0r[i]
+					aR1 += sr*x1r[i] + si*x1i[i]
+					aI1 += sr*x1i[i] - si*x1r[i]
+				}
+				ar[v], ai[v] = aR0, aI0
+				ar[v+1], ai[v+1] = aR1, aI1
+			}
+		} else {
+			for ; v+1 < batch; v, off = v+2, off+2*inBlks {
+				var aR0, aI0, aR1, aI1 float64
+				x0r := xr[off : off+inBlks]
+				x0i := xi[off : off+inBlks]
+				x1r := xr[off+inBlks : off+2*inBlks]
+				x1i := xi[off+inBlks : off+2*inBlks]
+				for i := 0; i < inBlks; i++ {
+					sr, si := wr[i], wi[i]
+					aR0 += sr*x0r[i] - si*x0i[i]
+					aI0 += sr*x0i[i] + si*x0r[i]
+					aR1 += sr*x1r[i] - si*x1i[i]
+					aI1 += sr*x1i[i] + si*x1r[i]
+				}
+				ar[v], ai[v] = aR0, aI0
+				ar[v+1], ai[v+1] = aR1, aI1
+			}
+		}
+		for ; v < batch; v, off = v+1, off+inBlks {
+			var aR, aI float64
+			x0r := xr[off : off+inBlks]
+			x0i := xi[off : off+inBlks]
+			for i := 0; i < inBlks; i++ {
+				sr, si := wr[i], wi[i]
+				if trans {
+					aR += sr*x0r[i] + si*x0i[i]
+					aI += sr*x0i[i] - si*x0r[i]
+				} else {
+					aR += sr*x0r[i] - si*x0i[i]
+					aI += sr*x0i[i] + si*x0r[i]
 				}
 			}
+			ar[v], ai[v] = aR, aI
 		}
 	}
 	z := ws.z[worker]
-	for v := 0; v < batch; v++ {
-		rp.PreInverse(z[v*half:(v+1)*half], acc[v*specLen:(v+1)*specLen])
-	}
-	rp.Complex().BatchInverse(z, z)
+	rp.PreInverseSplitManyRev(z, acc, bpitch, 0, batch)
+	rp.Complex().InverseSplitManyRev(z, bpitch, 0, batch)
 	lo := j * b
 	hi := lo + b
 	if hi > outLen {
 		hi = outLen
 	}
+	var blockBias []float64
+	if bias != nil {
+		blockBias = bias[lo:hi]
+	}
 	for v := 0; v < batch; v++ {
-		rp.PostInverse(dst[v*outLen+lo:v*outLen+hi], z[v*half:(v+1)*half])
+		storeColumn(dst[v*outLen+lo:v*outLen+hi], z.Re, z.Im, bpitch, v, blockBias, relu)
+	}
+}
+
+// storeColumn de-interleaves one inverse-transformed column of the
+// transposed packed buffer into seg, applying the optional fused epilogue
+// — bias add and ReLU — so the output memory is written exactly once.
+// len(seg) may be odd (truncated tail block).
+func storeColumn(seg, zRe, zIm []float64, pitch, col int, bias []float64, relu bool) {
+	n := len(seg)
+	h := n / 2
+	switch {
+	case bias == nil:
+		for j := 0; j < h; j++ {
+			seg[2*j] = zRe[j*pitch+col]
+			seg[2*j+1] = zIm[j*pitch+col]
+		}
+		if n%2 == 1 {
+			seg[n-1] = zRe[h*pitch+col]
+		}
+	case relu:
+		for j := 0; j < h; j++ {
+			seg[2*j] = max(zRe[j*pitch+col]+bias[2*j], 0)
+			seg[2*j+1] = max(zIm[j*pitch+col]+bias[2*j+1], 0)
+		}
+		if n%2 == 1 {
+			seg[n-1] = max(zRe[h*pitch+col]+bias[n-1], 0)
+		}
+	default:
+		for j := 0; j < h; j++ {
+			seg[2*j] = zRe[j*pitch+col] + bias[2*j]
+			seg[2*j+1] = zIm[j*pitch+col] + bias[2*j+1]
+		}
+		if n%2 == 1 {
+			seg[n-1] = zRe[h*pitch+col] + bias[n-1]
+		}
 	}
 }

@@ -123,6 +123,84 @@ func TestBatchWorkspaceReuse(t *testing.T) {
 	}
 }
 
+// TestTransMulBatchFusedMatchesSeparate requires the fused
+// inverse-transform + bias + ReLU epilogue to compute exactly what the
+// unfused product followed by a separate bias/ReLU sweep computes, across
+// the batched path, the per-vector fallback (batch 1) and the generic
+// fallback (non power-of-two block), with and without ReLU.
+func TestTransMulBatchFusedMatchesSeparate(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	shapes := []struct{ rows, cols, block int }{
+		{128, 96, 32},  // batched split path
+		{100, 60, 16},  // padded tails (odd tail handling in storeBlock)
+		{30, 42, 6},    // non power-of-two block: generic fallback
+		{512, 512, 64}, // the benchmark shape
+	}
+	for _, sh := range shapes {
+		m := MustNewBlockCirculant(sh.rows, sh.cols, sh.block).InitRandom(rng)
+		bias := randVec(rng, sh.cols)
+		for _, batch := range []int{1, 7, 16} {
+			for _, relu := range []bool{false, true} {
+				name := fmt.Sprintf("%dx%d/b=%d/batch=%d/relu=%v", sh.rows, sh.cols, sh.block, batch, relu)
+				t.Run(name, func(t *testing.T) {
+					x := randVec(rng, batch*sh.rows)
+					got := m.TransMulBatchFusedInto(nil, x, batch, nil, bias, relu)
+					want := m.TransMulBatchInto(nil, x, batch, nil)
+					for v := 0; v < batch; v++ {
+						for j := 0; j < sh.cols; j++ {
+							w := want[v*sh.cols+j] + bias[j]
+							if relu {
+								w = max(w, 0)
+							}
+							if got[v*sh.cols+j] != w {
+								t.Fatalf("vec %d col %d: fused %g, separate %g", v, j, got[v*sh.cols+j], w)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestTransMulBatchFusedValidatesBias(t *testing.T) {
+	m := MustNewBlockCirculant(8, 8, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for short bias")
+		}
+	}()
+	m.TransMulBatchFusedInto(nil, make([]float64, 16), 2, nil, make([]float64, 7), true)
+}
+
+// TestBatchMulZeroAlloc is the batched-multiply allocation gate: once a
+// workspace is warm, the full split spectral pass (forward, fused
+// transpose, plain transpose) must not allocate. The shape stays below
+// parallelThreshold so the deterministic serial path runs on every host —
+// the parallel path's pfor closures heap-allocate by design.
+func TestBatchMulZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	const rows, cols, block, batch = 256, 192, 32, 4
+	m := MustNewBlockCirculant(rows, cols, block).InitRandom(rng)
+	bias := randVec(rng, cols)
+	ws := NewBatchWorkspace()
+	xM := randVec(rng, batch*cols)
+	xT := randVec(rng, batch*rows)
+	dstM := make([]float64, batch*rows)
+	dstT := make([]float64, batch*cols)
+	m.MulBatchInto(dstM, xM, batch, ws)
+	m.TransMulBatchInto(dstT, xT, batch, ws)
+	m.TransMulBatchFusedInto(dstT, xT, batch, ws, bias, true)
+	allocs := testing.AllocsPerRun(20, func() {
+		m.MulBatchInto(dstM, xM, batch, ws)
+		m.TransMulBatchInto(dstT, xT, batch, ws)
+		m.TransMulBatchFusedInto(dstT, xT, batch, ws, bias, true)
+	})
+	if allocs > 0 {
+		t.Errorf("warm batched spectral pass allocates %.0f/op; want 0", allocs)
+	}
+}
+
 // TestBatchConcurrentMatrices runs batched products on the same matrix from
 // several goroutines (each with its own workspace), exercising the bounded
 // worker pool under -race.

@@ -29,6 +29,14 @@ type BlockCirculant struct {
 
 	spec []complex128 // k·l·block cached spectra, laid out like Base
 
+	// sspec holds the same spectra in split (structure-of-arrays) half
+	// form: k·l·(block/2+1) bins per plane, laid out like Base. It is
+	// derived once per Refresh — plan time, not product time — and is what
+	// the batched spectral engine streams, so the hot loops never touch
+	// interleaved complex128 weight data. Only populated when rplan is
+	// non-nil.
+	sspec fft.SplitSlice
+
 	// plan and rplan are the precomputed transform plans for the block
 	// size, resolved once at construction so no product ever goes back
 	// through the plan cache. plan is nil for non power-of-two blocks
@@ -64,6 +72,7 @@ func NewBlockCirculant(rows, cols, block int) (*BlockCirculant, error) {
 		m.plan = fft.PlanFor(block)
 		if block >= 2 {
 			m.rplan = fft.RealPlanFor(block)
+			m.sspec = fft.NewSplit(m.k * m.l * m.rplan.SpecLen())
 		}
 	}
 	return m, nil
@@ -121,12 +130,32 @@ func (m *BlockCirculant) blockSpec(i, j int) []complex128 {
 	return m.spec[off : off+m.block]
 }
 
-// Refresh recomputes all cached block spectra from Base. Call after any
-// in-place parameter update (e.g. an optimiser step).
+// blockSpecSplit returns the cached split half spectrum of block (i,j) as
+// shared per-plane slices of length block/2+1. Valid only when rplan is
+// non-nil.
+func (m *BlockCirculant) blockSpecSplit(i, j int) (re, im []float64) {
+	specLen := m.block/2 + 1
+	off := (i*m.l + j) * specLen
+	return m.sspec.Re[off : off+specLen], m.sspec.Im[off : off+specLen]
+}
+
+// Refresh recomputes all cached block spectra from Base — both the full
+// complex form the per-vector kernels read and the split half form the
+// batched engine streams. Call after any in-place parameter update (e.g.
+// an optimiser step).
 func (m *BlockCirculant) Refresh() {
+	specLen := m.block/2 + 1
 	for i := 0; i < m.k; i++ {
 		for j := 0; j < m.l; j++ {
-			copy(m.blockSpec(i, j), fft.FFTReal(m.baseVec(i, j)))
+			full := fft.FFTReal(m.baseVec(i, j))
+			copy(m.blockSpec(i, j), full)
+			if m.rplan != nil {
+				sre, sim := m.blockSpecSplit(i, j)
+				for t := 0; t < specLen; t++ {
+					sre[t] = real(full[t])
+					sim[t] = imag(full[t])
+				}
+			}
 		}
 	}
 }

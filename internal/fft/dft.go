@@ -9,39 +9,59 @@ import (
 // summation. It exists as the correctness oracle for the fast transforms and
 // as the "direct" baseline in complexity benchmarks; production code should
 // use FFT.
+//
+// Deprecated: DFT allocates its output on every call. Repeated callers
+// (complexity sweeps, property tests) should reuse a buffer with DFTInto.
 func DFT(x []complex128) []complex128 {
-	n := len(x)
-	out := make([]complex128, n)
-	if n == 0 {
-		return out
-	}
-	for k := 0; k < n; k++ {
-		var sum complex128
-		for j := 0; j < n; j++ {
-			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
-			sum += x[j] * cmplx.Exp(complex(0, ang))
-		}
-		out[k] = sum
-	}
+	out := make([]complex128, len(x))
+	DFTInto(out, x)
 	return out
 }
 
 // IDFT computes the inverse discrete Fourier transform (with 1/n
 // normalisation) by direct summation. Reference implementation only.
+//
+// Deprecated: IDFT allocates its output on every call; use IDFTInto with a
+// reused buffer.
 func IDFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	IDFTInto(out, x)
+	return out
+}
+
+// DFTInto computes the O(n²) reference DFT of x into dst, which must have
+// the same length and must not alias x.
+func DFTInto(dst, x []complex128) { dftInto(dst, x, false) }
+
+// IDFTInto computes the O(n²) reference inverse DFT (with 1/n
+// normalisation) of x into dst, which must have the same length and must
+// not alias x.
+func IDFTInto(dst, x []complex128) { dftInto(dst, x, true) }
+
+func dftInto(dst, x []complex128, inverse bool) {
 	n := len(x)
-	out := make([]complex128, n)
-	if n == 0 {
-		return out
+	if len(dst) != n {
+		panic("fft: DFTInto dst length must match input")
 	}
-	inv := 1 / float64(n)
+	if n == 0 {
+		return
+	}
+	sign := -2.0
+	if inverse {
+		sign = 2.0
+	}
 	for k := 0; k < n; k++ {
 		var sum complex128
 		for j := 0; j < n; j++ {
-			ang := 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			ang := sign * math.Pi * float64(k) * float64(j) / float64(n)
 			sum += x[j] * cmplx.Exp(complex(0, ang))
 		}
-		out[k] = complex(real(sum)*inv, imag(sum)*inv)
+		dst[k] = sum
 	}
-	return out
+	if inverse {
+		inv := 1 / float64(n)
+		for k := range dst {
+			dst[k] = complex(real(dst[k])*inv, imag(dst[k])*inv)
+		}
+	}
 }

@@ -34,6 +34,12 @@ type Plan struct {
 	perm  []int32      // bit-reversal permutation
 	tw    []complex128 // tw[k] = e^{-2πi·k/n}, k ∈ [0, n/2)
 	twInv []complex128 // conj(tw), so the butterfly loop never branches
+
+	// Split (SoA) twiddle tables for the planar butterflies (split.go):
+	// stageTw[s] holds stage s's factors (butterfly width 4·2^s)
+	// contiguously per plane, so the split inner loop reads its twiddles
+	// at unit stride instead of the strided tw[k·step] gather.
+	stageTw, stageTwInv []SplitSlice
 }
 
 // NewPlan creates a transform plan for size n, which must be a power of two
@@ -57,6 +63,15 @@ func NewPlan(n int) (*Plan, error) {
 		p.tw[k] = cmplx.Exp(complex(0, ang))
 		p.twInv[k] = cmplx.Conj(p.tw[k])
 	}
+	// Pin the cardinal twiddle to its exact value: cmplx.Exp leaves
+	// e^{-iπ/2} with a ~6e-17 real part, which both costs accuracy and
+	// would break bit-identity with the split kernels' multiply-free
+	// −i rotation (split.go's fused head stage).
+	if n%4 == 0 {
+		p.tw[n/4] = complex(0, -1)
+		p.twInv[n/4] = complex(0, 1)
+	}
+	p.splitTables()
 	return p, nil
 }
 

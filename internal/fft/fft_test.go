@@ -69,7 +69,7 @@ func TestFFTMatchesDFTPowerOfTwo(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
 		x := randComplex(rng, n)
-		if d := maxDiff(FFT(x), DFT(x)); d > tol*float64(n) {
+		if d := maxDiff(FFT(x), dftRef(x)); d > tol*float64(n) {
 			t.Errorf("n=%d: FFT differs from DFT by %g", n, d)
 		}
 	}
@@ -81,7 +81,7 @@ func TestFFTMatchesDFTArbitrarySizes(t *testing.T) {
 	// (Arch-2 input), 10 (softmax output).
 	for _, n := range []int{3, 5, 7, 10, 11, 12, 15, 121, 100, 255, 243} {
 		x := randComplex(rng, n)
-		if d := maxDiff(FFT(x), DFT(x)); d > tol*float64(n) {
+		if d := maxDiff(FFT(x), dftRef(x)); d > tol*float64(n) {
 			t.Errorf("n=%d: Bluestein FFT differs from DFT by %g", n, d)
 		}
 	}
@@ -389,7 +389,7 @@ func BenchmarkDFTDirect(b *testing.B) {
 		x := randComplex(rng, n)
 		b.Run(sizeName(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				DFT(x)
+				dftRef(x)
 			}
 		})
 	}

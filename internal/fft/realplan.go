@@ -29,6 +29,10 @@ type RealPlan struct {
 	cplx *Plan        // half-size complex plan
 	w    []complex128 // w[k] = e^{-2πi·k/n}, k ∈ [0, n/2]
 	wi   []complex128 // wi[k] = e^{+2πi·k/n}, k ∈ [0, n/2)
+
+	// Split (SoA) copies of w and wi for the planar phases (split.go).
+	wRe, wIm   []float64
+	wiRe, wiIm []float64
 }
 
 // NewRealPlan creates a half-spectrum transform plan for real sequences of
@@ -48,6 +52,7 @@ func NewRealPlan(n int) (*RealPlan, error) {
 			rp.wi[k] = cmplx.Exp(complex(0, ang))
 		}
 	}
+	rp.splitTables()
 	return rp, nil
 }
 

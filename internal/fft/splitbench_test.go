@@ -1,0 +1,33 @@
+package fft
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSplitVsComplexTransform pits the SoA butterflies against the
+// complex128 path on the batched shapes the circulant engine actually runs
+// (many half-size transforms of one block length).
+func BenchmarkSplitVsComplexTransform(b *testing.B) {
+	rng := rand.New(rand.NewSource(71))
+	for _, tc := range []struct{ n, batch int }{{32, 128}, {256, 16}, {1024, 4}} {
+		p := PlanFor(tc.n)
+		total := tc.n * tc.batch
+		xc := randComplex(rng, total)
+		bufC := make([]complex128, total)
+		xs := NewSplit(total)
+		xs.CopyFrom(xc)
+		bufS := NewSplit(total)
+		b.Run(fmt.Sprintf("complex/n=%d/batch=%d", tc.n, tc.batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.BatchForward(bufC, xc)
+			}
+		})
+		b.Run(fmt.Sprintf("split/n=%d/batch=%d", tc.n, tc.batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.BatchForwardSplit(bufS, xs)
+			}
+		})
+	}
+}

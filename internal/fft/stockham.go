@@ -14,22 +14,61 @@ import (
 // same O(n log n) arithmetic, different memory behaviour.
 //
 // The input is not modified.
-func Stockham(x []complex128) []complex128 { return stockham(x, false) }
+//
+// Deprecated: Stockham allocates both ping-pong buffers on every call. Hot
+// callers should hold scratch and use StockhamInto.
+func Stockham(x []complex128) []complex128 {
+	dst := make([]complex128, len(x))
+	StockhamInto(dst, x, make([]complex128, len(x)))
+	return dst
+}
 
 // StockhamInverse computes the inverse DFT (with 1/n normalisation) via the
 // autosort structure.
-func StockhamInverse(x []complex128) []complex128 { return stockham(x, true) }
+//
+// Deprecated: StockhamInverse allocates both ping-pong buffers on every
+// call. Hot callers should hold scratch and use StockhamInverseInto.
+func StockhamInverse(x []complex128) []complex128 {
+	dst := make([]complex128, len(x))
+	StockhamInverseInto(dst, x, make([]complex128, len(x)))
+	return dst
+}
 
-func stockham(x []complex128, inverse bool) []complex128 {
+// StockhamInto computes the DFT of x into dst using scratch as the second
+// ping-pong buffer: the workspace-backed form of Stockham. dst, x and
+// scratch must all have the same power-of-two length; dst and scratch must
+// not alias x or each other. x is not modified.
+func StockhamInto(dst, x, scratch []complex128) { stockhamInto(dst, x, scratch, false) }
+
+// StockhamInverseInto computes the inverse DFT (with 1/n normalisation) of
+// x into dst using scratch as the second ping-pong buffer. Aliasing rules
+// match StockhamInto.
+func StockhamInverseInto(dst, x, scratch []complex128) { stockhamInto(dst, x, scratch, true) }
+
+func stockhamInto(dst, x, scratch []complex128, inverse bool) {
 	n := len(x)
 	if n == 0 {
-		return nil
+		return
 	}
 	if !IsPow2(n) {
 		panic("fft: Stockham requires a power-of-two length")
 	}
-	a := append([]complex128(nil), x...)
-	b := make([]complex128, n)
+	if len(dst) != n || len(scratch) != n {
+		panic("fft: Stockham buffers must match the input length")
+	}
+	// The autosort runs log2(n) stages, swapping buffers after each, so the
+	// result lands in the initial read buffer after an even number of
+	// stages and in the initial write buffer after an odd number. Seed the
+	// ping-pong so the final stage's writes land in dst either way.
+	stages := 0
+	for v := 1; v < n; v <<= 1 {
+		stages++
+	}
+	a, b := dst, scratch
+	if stages%2 != 0 {
+		a, b = scratch, dst
+	}
+	copy(a, x)
 	sign := -2.0
 	if inverse {
 		sign = 2.0
@@ -58,5 +97,4 @@ func stockham(x []complex128, inverse bool) []complex128 {
 			a[i] = complex(real(a[i])*inv, imag(a[i])*inv)
 		}
 	}
-	return a
 }

@@ -6,11 +6,33 @@ import (
 	"testing/quick"
 )
 
+// stockhamRef and stockhamInvRef are allocating conveniences over the
+// workspace-backed StockhamInto/StockhamInverseInto, used where a test
+// wants the value and not the buffer discipline.
+func stockhamRef(x []complex128) []complex128 {
+	dst := make([]complex128, len(x))
+	StockhamInto(dst, x, make([]complex128, len(x)))
+	return dst
+}
+
+func stockhamInvRef(x []complex128) []complex128 {
+	dst := make([]complex128, len(x))
+	StockhamInverseInto(dst, x, make([]complex128, len(x)))
+	return dst
+}
+
+// dftRef is the allocating O(n²) oracle for tests, routed through DFTInto.
+func dftRef(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	DFTInto(out, x)
+	return out
+}
+
 func TestStockhamMatchesPlanFFT(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, n := range []int{1, 2, 4, 8, 64, 256, 1024} {
 		x := randComplex(rng, n)
-		if d := maxDiff(Stockham(x), FFT(x)); d > 1e-9*float64(n) {
+		if d := maxDiff(stockhamRef(x), FFT(x)); d > 1e-9*float64(n) {
 			t.Errorf("n=%d: Stockham differs from Cooley–Tukey by %g", n, d)
 		}
 	}
@@ -20,10 +42,43 @@ func TestStockhamInverseRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for _, n := range []int{2, 16, 128} {
 		x := randComplex(rng, n)
-		if d := maxDiff(StockhamInverse(Stockham(x)), x); d > 1e-9*float64(n) {
+		if d := maxDiff(stockhamInvRef(stockhamRef(x)), x); d > 1e-9*float64(n) {
 			t.Errorf("n=%d: Stockham round trip differs by %g", n, d)
 		}
 	}
+}
+
+// TestStockhamIntoReusesScratch pins the workspace contract: repeated
+// transforms through one (dst, scratch) pair allocate nothing and match the
+// fresh-buffer result, including the odd/even stage-parity cases (n=2 has
+// one stage, n=4 two) where the ping-pong must still land in dst.
+func TestStockhamIntoReusesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 4, 8, 64, 512} {
+		x := randComplex(rng, n)
+		dst := make([]complex128, n)
+		scratch := make([]complex128, n)
+		StockhamInto(dst, x, scratch)
+		if d := maxDiff(dst, stockhamRef(x)); d != 0 {
+			t.Errorf("n=%d: StockhamInto differs from fresh buffers by %g", n, d)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			StockhamInto(dst, x, scratch)
+			StockhamInverseInto(dst, x, scratch)
+		})
+		if allocs > 0 {
+			t.Errorf("n=%d: StockhamInto allocates %.0f/op with caller scratch; want 0", n, allocs)
+		}
+	}
+}
+
+func TestStockhamIntoRejectsShortBuffers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for short scratch")
+		}
+	}()
+	StockhamInto(make([]complex128, 4), make([]complex128, 4), make([]complex128, 2))
 }
 
 func TestStockhamRejectsNonPow2(t *testing.T) {
@@ -32,14 +87,14 @@ func TestStockhamRejectsNonPow2(t *testing.T) {
 			t.Error("expected panic for non power-of-two length")
 		}
 	}()
-	Stockham(make([]complex128, 3))
+	stockhamRef(make([]complex128, 3))
 }
 
 func TestStockhamDoesNotModifyInput(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	x := randComplex(rng, 64)
 	orig := append([]complex128(nil), x...)
-	Stockham(x)
+	stockhamRef(x)
 	if maxDiff(x, orig) != 0 {
 		t.Error("Stockham modified its input")
 	}
@@ -50,7 +105,7 @@ func TestStockhamProperty(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		n := 1 << uint(1+r.Intn(9))
 		x := randComplex(r, n)
-		return maxDiff(Stockham(x), DFT(x)) <= 1e-8*float64(n)
+		return maxDiff(stockhamRef(x), dftRef(x)) <= 1e-8*float64(n)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
@@ -62,6 +117,7 @@ func BenchmarkStockhamVsCooleyTukey(b *testing.B) {
 	for _, n := range []int{256, 4096} {
 		x := randComplex(rng, n)
 		buf := make([]complex128, n)
+		scratch := make([]complex128, n)
 		p := PlanFor(n)
 		b.Run("cooleyTukey/"+sizeName(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -70,7 +126,7 @@ func BenchmarkStockhamVsCooleyTukey(b *testing.B) {
 		})
 		b.Run("stockham/"+sizeName(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				Stockham(x)
+				StockhamInto(buf, x, scratch)
 			}
 		})
 	}

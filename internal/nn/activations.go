@@ -50,6 +50,24 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
+// ForwardWS implements WorkspaceForwarder: in inference mode the
+// rectified output is written into the workspace arena instead of a fresh
+// tensor (training keeps the allocating path — the mask bookkeeping wants
+// a stable output). Standalone ReLUs only: a ReLU directly following a
+// CircDense never reaches this, because Network.ForwardWS fuses the pair
+// into the spectral engine's epilogue.
+func (r *ReLU) ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
+	if ws == nil || train {
+		return r.Forward(x, train)
+	}
+	r.lastN = sampleLen(x)
+	out := ws.actTensorLike(x)
+	for i, v := range x.Data {
+		out.Data[i] = max(v, 0)
+	}
+	return out
+}
+
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(grad.Shape()...)

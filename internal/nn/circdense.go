@@ -63,10 +63,26 @@ func (l *CircDense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // ForwardWS implements WorkspaceForwarder: Forward with the FFT scratch
 // drawn from the caller-owned workspace instead of the per-matrix pool.
 // Multi-row inputs take the batched spectral engine — one planned pass over
-// the whole batch instead of one product per row — which agrees with the
-// per-row path within 1e-12 (see circulant.TransMulBatchInto).
+// the whole batch, with the bias add fused into the inverse transform's
+// store — which agrees with the per-row path within 1e-12 (see
+// circulant.TransMulBatchInto). In inference mode the output lives in the
+// workspace arena, so the steady state allocates nothing.
 func (l *CircDense) ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
 	return l.forward(ws, x, train)
+}
+
+// forwardFusedReLU is the inference-mode fused CircDense→ReLU pair used by
+// Network.ForwardWS: y = max(Wᵀx + θ, 0) computed by the batched spectral
+// engine with bias and rectification applied as each output block is
+// de-interleaved, writing the pair's activations exactly once.
+func (l *CircDense) forwardFusedReLU(ws *Workspace, x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: %s got input shape %v", l.Name(), x.Shape()))
+	}
+	batch := batchOf(x)
+	y := ws.actTensor(batch, l.Out)
+	l.W.TransMulBatchFusedInto(y.Data, x.Data, batch, ws.batch, l.bParam.Value.Data, true)
+	return y
 }
 
 func (l *CircDense) forward(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -77,16 +93,15 @@ func (l *CircDense) forward(ws *Workspace, x *tensor.Tensor, train bool) *tensor
 		l.lastX = x
 	}
 	batch := batchOf(x)
-	y := tensor.New(batch, l.Out)
+	var y *tensor.Tensor
+	if ws != nil && !train {
+		y = ws.actTensor(batch, l.Out)
+	} else {
+		y = tensor.New(batch, l.Out)
+	}
 	bias := l.bParam.Value.Data
 	if ws != nil && batch > 1 {
-		l.W.TransMulBatchInto(y.Data, x.Data, batch, ws.batch)
-		for i := 0; i < batch; i++ {
-			row := y.Row(i)
-			for j := 0; j < l.Out; j++ {
-				row[j] += bias[j]
-			}
-		}
+		l.W.TransMulBatchFusedInto(y.Data, x.Data, batch, ws.batch, bias, false)
 		return y
 	}
 	var cws *circulant.Workspace

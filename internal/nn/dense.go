@@ -61,6 +61,30 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return y
 }
 
+// ForwardWS implements WorkspaceForwarder: in inference mode the product
+// is computed into the workspace arena (tensor.MatMulInto), so the dense
+// head of a circulant network does not break the serving path's
+// zero-allocation steady state.
+func (d *Dense) ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
+	if ws == nil || train {
+		return d.Forward(x, train)
+	}
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		panic(fmt.Sprintf("nn: %s got input shape %v", d.Name(), x.Shape()))
+	}
+	batch := batchOf(x)
+	y := ws.actTensor(batch, d.Out)
+	tensor.MatMulInto(y, x, d.w.Value)
+	bias := d.b.Value.Data
+	for i := 0; i < batch; i++ {
+		row := y.Row(i)
+		for j := 0; j < d.Out; j++ {
+			row[j] += bias[j]
+		}
+	}
+	return y
+}
+
 // Backward implements Layer.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.lastX == nil {

@@ -22,18 +22,53 @@ import (
 // circulant.BatchWorkspace: layers that see more than one row at a time
 // (a coalesced serving batch through CircDense, the output pixels of
 // CircConv2D) run one batched spectral pass per layer instead of one
-// product per row. See DESIGN.md §3 for the plan/workspace lifecycle.
+// product per row.
+//
+// A Workspace is also the inference arena: two ping-pong activation
+// buffers, sized at plan time (the first pass through a network) and
+// reused forever after, that inference-mode layers write their outputs
+// into instead of allocating a fresh tensor per layer per batch. Layers
+// draw alternating slots — a layer's input is always the other slot — so
+// a warm steady-state forward pass allocates nothing. Arena-backed
+// outputs are valid until the second-next arena layer runs; callers that
+// keep activations (training, diagnostics) use the plain Forward path,
+// which never touches the arena. See DESIGN.md §3 for the plan/workspace
+// lifecycle.
 type Workspace struct {
 	circ  *circulant.Workspace      // per-vector FFT scratch (fallbacks, batch of 1)
 	batch *circulant.BatchWorkspace // batched spectral-pass scratch
 	seg   []float64                 // gathered im2col segments for pixel-batched CircConv2D
 	prod  []float64                 // batched product output for pixel-batched CircConv2D
+
+	act  [2][]float64     // ping-pong activation arena
+	actT [2]tensor.Tensor // reusable tensor headers over the arena
+	slot int              // next arena slot to hand out
 }
 
 // NewWorkspace returns an empty Workspace ready for reuse.
 func NewWorkspace() *Workspace {
 	bw := circulant.NewBatchWorkspace()
 	return &Workspace{circ: bw.Vec(), batch: bw}
+}
+
+// actTensor returns a [d0, d1] tensor backed by the next arena slot,
+// allocation-free once the arena has grown to the layer's size.
+func (w *Workspace) actTensor(d0, d1 int) *tensor.Tensor {
+	s := w.slot
+	w.slot = 1 - s
+	n := d0 * d1
+	w.act[s] = growFloats(w.act[s], n)
+	return w.actT[s].Bind(w.act[s][:n], d0, d1)
+}
+
+// actTensorLike returns a tensor shaped like x backed by the next arena
+// slot.
+func (w *Workspace) actTensorLike(x *tensor.Tensor) *tensor.Tensor {
+	s := w.slot
+	w.slot = 1 - s
+	n := x.Len()
+	w.act[s] = growFloats(w.act[s], n)
+	return w.actT[s].BindShapeOf(w.act[s][:n], x)
 }
 
 // growFloats resizes s to length n, retaining capacity across calls.
@@ -56,11 +91,34 @@ type WorkspaceForwarder interface {
 // ForwardWS runs the full stack like Forward, passing the caller-owned
 // workspace to every layer that can use one. A nil ws is equivalent to
 // Forward.
+//
+// In inference mode (train=false) ForwardWS additionally fuses every
+// CircDense layer immediately followed by a ReLU into one call: the bias
+// add and the rectification ride along with the spectral engine's inverse
+// transform (circulant.TransMulBatchFusedInto), so the pair writes its
+// activations exactly once instead of three passes (product, bias sweep,
+// ReLU copy). Results are identical to running the two layers separately.
 func (n *Network) ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if ws == nil {
 		return n.Forward(x, train)
 	}
-	for _, l := range n.Layers {
+	// Restart the arena rotation so identical passes hand out identical
+	// slots: the final output of repeated calls is then not just equal but
+	// the same buffer, and a caller that (incorrectly) retains it across
+	// calls still reads self-consistent values.
+	ws.slot = 0
+	for i := 0; i < len(n.Layers); i++ {
+		l := n.Layers[i]
+		if !train {
+			if cd, ok := l.(*CircDense); ok && i+1 < len(n.Layers) {
+				if relu, ok := n.Layers[i+1].(*ReLU); ok {
+					x = cd.forwardFusedReLU(ws, x)
+					relu.lastN = sampleLen(x)
+					i++
+					continue
+				}
+			}
+		}
 		if wf, ok := l.(WorkspaceForwarder); ok {
 			x = wf.ForwardWS(ws, x, train)
 		} else {

@@ -70,6 +70,45 @@ func TestPredictWSMatchesPredict(t *testing.T) {
 	}
 }
 
+// TestForwardWSZeroAlloc is the planned-forward allocation gate: a warm
+// workspace forward pass of a circulant FC architecture (Arch-1: fused
+// CircDense→ReLU pairs and a Dense head, all arena-backed) must allocate
+// nothing at all, at batch 1 and at serving batch sizes. Layer shapes stay
+// below the spectral engine's parallel threshold, so the deterministic
+// serial path runs on every host.
+func TestForwardWSZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := Arch1(rng)
+	ws := NewWorkspace()
+	for _, batch := range []int{1, 16} {
+		x := tensor.New(batch, 256).Randn(rng, 1)
+		net.ForwardWS(ws, x, false) // warm the arena and FFT scratch
+		allocs := testing.AllocsPerRun(30, func() { net.ForwardWS(ws, x, false) })
+		if allocs > 0 {
+			t.Errorf("batch %d: warm ForwardWS allocates %.0f/op; want 0", batch, allocs)
+		}
+	}
+}
+
+// TestFusedReLUMatchesSeparate pins the ForwardWS peephole: a network with
+// CircDense→ReLU pairs must produce the same activations (within wsTol)
+// whether the pair is fused into the spectral epilogue (ForwardWS,
+// inference) or run as two layers (Forward).
+func TestFusedReLUMatchesSeparate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := Arch1(rng)
+	for _, batch := range []int{1, 3, 16} {
+		x := tensor.New(batch, 256).Randn(rng, 1)
+		want := net.Forward(x, false)
+		got := net.ForwardWS(NewWorkspace(), x, false)
+		for i := range want.Data {
+			if d := got.Data[i] - want.Data[i]; d > wsTol || d < -wsTol {
+				t.Fatalf("batch %d element %d: fused %g, separate %g", batch, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
 // Once warm, the workspace path must allocate nothing beyond the
 // activation tensors themselves: no FFT scratch, no per-product output
 // slices, and never more than the pooled path.

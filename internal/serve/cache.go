@@ -17,20 +17,37 @@ import (
 // return the result of a different input, and two registered models can
 // never alias each other's cached scores even if a cache were shared —
 // the namespace makes identical input bytes distinct keys per model.
+//
+// The cache is sharded cacheShards ways by key hash: under concurrent
+// /infer load every lookup and insert takes a lock, and a single mutex in
+// front of one LRU list serialises the whole request fan-in. Each shard
+// owns an independent mutex, LRU list and hit/miss counters; a key's
+// shard is fixed (FNV-1a of the key), so LRU ordering and eviction stay
+// exact per shard and the total capacity is partitioned across shards.
 type resultCache struct {
+	shards []cacheShard
+	mask   uint64 // len(shards)-1; shard counts are powers of two
+}
+
+// cacheShards is the shard-count ceiling: comfortably above the core
+// counts the serving path runs on, so the probability of two in-flight
+// lookups colliding on one shard lock stays low, while keeping the fixed
+// per-cache footprint (mutexes, lists, maps) trivial. Power of two so the
+// hash reduces with a mask. Caches smaller than the ceiling use the
+// largest power-of-two shard count not exceeding their capacity, so the
+// partitioned capacities still sum to the configured total.
+const cacheShards = 16
+
+// cacheShard is one lock's worth of LRU cache. The hit/miss counters live
+// here, under the same mutex as the entries, so each shard's three figures
+// are mutually consistent; counters() aggregates shard by shard without
+// ever holding two shard locks at once.
+type cacheShard struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List               // front = most recently used
 	items map[string]*list.Element // key → element whose Value is *cacheEntry
 
-	// hits and misses live here, under the same mutex as the entries, so a
-	// Stats snapshot reads all three cache figures in one consistent view
-	// (one lock acquisition) instead of racing /infer between two reads.
-	// A hit is counted by get (after the request was counted); a miss only
-	// once the request is admitted to the batch queue (miss/unmiss), so
-	// the counters reconcile exactly with Stats.Requests at quiescence —
-	// see Server.Stats for the snapshot-ordering guarantee and its
-	// cancellation caveat.
 	hits, misses uint64
 }
 
@@ -40,11 +57,38 @@ type cacheEntry struct {
 }
 
 func newResultCache(capacity int) *resultCache {
-	return &resultCache{
-		cap:   capacity,
-		order: list.New(),
-		items: make(map[string]*list.Element, capacity),
+	if capacity < 1 {
+		capacity = 1
 	}
+	nshards := 1
+	for nshards*2 <= cacheShards && nshards*2 <= capacity {
+		nshards *= 2
+	}
+	c := &resultCache{shards: make([]cacheShard, nshards), mask: uint64(nshards - 1)}
+	per := capacity / nshards
+	extra := capacity % nshards
+	for i := range c.shards {
+		n := per
+		if i < extra {
+			n++
+		}
+		c.shards[i] = cacheShard{
+			cap:   n,
+			order: list.New(),
+			items: make(map[string]*list.Element, n),
+		}
+	}
+	return c
+}
+
+// shard maps a key to its home shard by FNV-1a hash.
+func (c *resultCache) shard(key string) *cacheShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h&c.mask]
 }
 
 // cacheKey encodes an input vector as an exact byte-string key, namespaced
@@ -62,59 +106,74 @@ func cacheKey(namespace string, input []float64) string {
 	return string(b)
 }
 
+// The lookup/record operations live on cacheShard: for a ~2 KB exact-input
+// key, hashing is a real cost, so the serving path resolves a key's shard
+// once per request (resultCache.shard) and drives every subsequent
+// operation — get, miss/unmiss, the worker's add — against that pointer.
+
 // get returns the cached result for key and whether it was present,
 // promoting the entry to most recently used and counting the hit.
-func (c *resultCache) get(key string) (Result, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+func (s *cacheShard) get(key string) (Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
 	if !ok {
 		return Result{}, false
 	}
-	c.hits++
-	c.order.MoveToFront(el)
+	s.hits++
+	s.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).res, true
 }
 
 // miss counts one lookup miss whose request was admitted to the queue;
-// unmiss reverses it for a submission cancelled before admission.
-func (c *resultCache) miss() {
-	c.mu.Lock()
-	c.misses++
-	c.mu.Unlock()
+// unmiss reverses it for a submission cancelled before admission. Callers
+// must use the key's home shard so the counters reconcile with its own
+// traffic.
+func (s *cacheShard) miss() {
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
 }
 
-func (c *resultCache) unmiss() {
-	c.mu.Lock()
-	c.misses--
-	c.mu.Unlock()
+func (s *cacheShard) unmiss() {
+	s.mu.Lock()
+	s.misses--
+	s.mu.Unlock()
 }
 
-// add inserts or refreshes an entry, evicting the least recently used
-// entry when over capacity.
-func (c *resultCache) add(key string, res Result) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+// add inserts or refreshes an entry, evicting the shard's least recently
+// used entry when over its capacity.
+func (s *cacheShard) add(key string, res Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
 		el.Value.(*cacheEntry).res = res
-		c.order.MoveToFront(el)
+		s.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
-	if c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+	s.items[key] = s.order.PushFront(&cacheEntry{key: key, res: res})
+	if s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
 	}
 }
 
-// counters returns the hit/miss totals and current entry count as one
-// consistent snapshot under a single lock acquisition — the /stats fix:
-// reading these through separate locked calls let a concurrent /infer move
-// the cache between reads, so entries could disagree with the hit/miss
-// totals they were reported next to.
+// counters returns the aggregated hit/miss totals and entry count. Each
+// shard is read under its own lock — never all locks at once, so a stats
+// poll cannot stall the whole cache — which makes the aggregate a
+// per-shard-consistent sum: concurrent traffic that lands in a shard
+// after it was read is simply not in this snapshot (exactly as if the
+// snapshot had been taken earlier), and the monotonic counters never
+// double-count.
 func (c *resultCache) counters() (hits, misses uint64, entries int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.order.Len()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		entries += s.order.Len()
+		s.mu.Unlock()
+	}
+	return hits, misses, entries
 }

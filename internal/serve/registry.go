@@ -331,12 +331,20 @@ func (r *Registry) resolve(name, version string) (*Server, error) {
 // request finds its version gone and reports ErrNotFound — never the
 // retired server's ErrClosed.
 func (r *Registry) Infer(ctx context.Context, name, version string, input []float64) (Result, error) {
+	return r.InferInto(ctx, name, version, input, nil)
+}
+
+// InferInto is Infer writing the result's scores into the caller-owned
+// buffer scores (nil allocates): the allocation-free form for high-QPS
+// callers that reuse one buffer per goroutine. See Server.InferInto for
+// the buffer-ownership contract.
+func (r *Registry) InferInto(ctx context.Context, name, version string, input, scores []float64) (Result, error) {
 	for {
 		srv, err := r.resolve(name, version)
 		if err != nil {
 			return Result{}, err
 		}
-		res, err := srv.Infer(ctx, input)
+		res, err := srv.InferInto(ctx, input, scores)
 		if errors.Is(err, ErrClosed) {
 			// The resolved version retired between resolution and
 			// admission. Re-resolve: Retire removes the entry before

@@ -126,11 +126,19 @@ type Result struct {
 // submitting Infer call owns the request again once it has received the
 // response, and returns it for reuse. Requests abandoned by context
 // cancellation are simply dropped (the worker may still touch them).
+//
+// scores is the request's own output row: the worker copies the model's
+// output into it and hands it back through resp, and the receiving
+// InferInto copies it onward into the caller's buffer before pooling the
+// request. Both buffers reach a steady capacity after the first use, so
+// the request round trip allocates nothing.
 type request struct {
-	input []float64
-	key   string // cache key, "" when caching is disabled
-	enq   time.Time
-	resp  chan Result
+	input  []float64
+	scores []float64
+	key    string      // cache key, "" when caching is disabled
+	shard  *cacheShard // key's home shard, resolved once per request
+	enq    time.Time
+	resp   chan Result
 }
 
 var requestPool = sync.Pool{
@@ -149,6 +157,9 @@ type Server struct {
 
 	reqCh   chan *request
 	batchCh chan []*request
+	// freeBatches recycles batch slices between the dispatcher and the
+	// workers, so steady-state batching allocates no slice headers.
+	freeBatches chan []*request
 
 	cache *resultCache
 	stats collector
@@ -219,6 +230,8 @@ func NewModel(m model.Model, opts Options) (*Server, error) {
 		features: m.InDim(),
 		reqCh:    make(chan *request, opts.QueueDepth),
 		batchCh:  make(chan []*request, opts.Workers),
+		// One slice per worker plus one in the dispatcher's hands.
+		freeBatches: make(chan []*request, opts.Workers+1),
 	}
 	if opts.CacheSize > 0 {
 		s.cache = newResultCache(opts.CacheSize)
@@ -243,6 +256,17 @@ func (s *Server) Model() model.Model { return s.m }
 // from any number of goroutines; concurrent calls are what the batching
 // scheduler feeds on.
 func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
+	return s.InferInto(ctx, input, nil)
+}
+
+// InferInto is Infer writing the result's scores into the caller-owned
+// buffer scores (grown as needed; nil allocates a fresh slice, which is
+// exactly Infer). Reusing one buffer per calling goroutine makes the
+// steady-state request path allocation-free end to end. The buffer is
+// surrendered for the duration of the call: on a cancellation or error
+// the caller must not reuse it for anything else, and the returned
+// Result's Scores always replaces it.
+func (s *Server) InferInto(ctx context.Context, input, scores []float64) (Result, error) {
 	if len(input) != s.features {
 		return Result{}, &InputSizeError{Model: s.id, Got: len(input), Want: s.features}
 	}
@@ -259,6 +283,7 @@ func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 	}
 
 	var key string
+	var shard *cacheShard
 	if s.cache != nil {
 		// Count the request before the lookup: the hit is recorded inside
 		// get under the cache lock, and a cache counter must never outrun
@@ -269,10 +294,11 @@ func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 		// accepted calls are counted" contract.
 		s.stats.request()
 		key = cacheKey(s.id, input)
-		if res, ok := s.cache.get(key); ok {
+		shard = s.cache.shard(key)
+		if res, ok := shard.get(key); ok {
 			res.Cached = true
 			res.BatchSize = 0
-			res.Scores = append([]float64(nil), res.Scores...)
+			res.Scores = append(scores[:0], res.Scores...)
 			return res, nil
 		}
 		// The miss is recorded only after queue admission below, so the
@@ -283,6 +309,7 @@ func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 	r := requestPool.Get().(*request)
 	r.input = append(r.input[:0], input...) // detach from caller
 	r.key = key
+	r.shard = shard
 	r.enq = time.Now()
 
 	s.mu.RLock()
@@ -304,7 +331,7 @@ func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 	if s.cache == nil {
 		s.stats.admit()
 	} else {
-		s.cache.miss()
+		shard.miss()
 	}
 	select {
 	case s.reqCh <- r:
@@ -312,7 +339,7 @@ func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 	case <-ctx.Done():
 		s.queued.Add(-1)
 		if s.cache != nil {
-			s.cache.unmiss()
+			r.shard.unmiss()
 		}
 		s.stats.unadmit()
 		s.mu.RUnlock()
@@ -322,6 +349,9 @@ func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 
 	select {
 	case res := <-r.resp:
+		// res.Scores is the pooled request's own buffer; detach into the
+		// caller's before the request (and with it the buffer) is reused.
+		res.Scores = append(scores[:0], res.Scores...)
 		requestPool.Put(r)
 		return res, nil
 	case <-ctx.Done():
@@ -330,11 +360,13 @@ func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 	}
 }
 
-// Stats returns a snapshot of the server's counters. The three cache
-// figures (hits, misses, entries) are read under a single cache-lock
-// acquisition so they are mutually consistent even while /infer traffic is
-// moving the cache; they are read before the collector so neither a hit
-// nor a miss can appear in the snapshot ahead of the request it belongs to
+// Stats returns a snapshot of the server's counters. The cache figures
+// (hits, misses, entries) are aggregated shard by shard — each shard's
+// three numbers are read under that shard's lock, never all shard locks
+// at once, so a stats poll cannot stall concurrent /infer traffic; a
+// lookup landing in a shard after it was summed is simply not in this
+// snapshot. The cache is read before the collector, so neither a hit nor
+// a miss can appear in the snapshot ahead of the request it belongs to
 // (requests are always counted first on the Infer path). With no
 // cancellations in flight this keeps CacheHits + CacheMisses ≤ Requests in
 // every snapshot; a submission cancelled between the two reads can
@@ -380,17 +412,32 @@ func (s *Server) Close() {
 func (s *Server) dispatch() {
 	defer s.wg.Done()
 	defer close(s.batchCh)
+	// One deadline timer reused across batches and batch slices recycled
+	// through freeBatches: the scheduler's steady state allocates nothing
+	// per batch.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		first, ok := <-s.reqCh
 		if !ok {
 			return
 		}
 		s.queued.Add(-1)
-		batch := make([]*request, 1, s.opts.MaxBatch)
-		batch[0] = first
+		var batch []*request
+		select {
+		case batch = <-s.freeBatches:
+			batch = batch[:0]
+		default:
+			batch = make([]*request, 0, s.opts.MaxBatch)
+		}
+		batch = append(batch, first)
 		draining := false
 		if s.opts.MaxBatch > 1 {
-			timer := time.NewTimer(s.opts.MaxDelay)
+			timer.Reset(s.opts.MaxDelay)
+			timerFired := false
 			yielded := false
 		fill:
 			for len(batch) < s.opts.MaxBatch {
@@ -433,10 +480,19 @@ func (s *Server) dispatch() {
 					batch = append(batch, r)
 					yielded = false
 				case <-timer.C:
+					timerFired = true
 					break fill
 				}
 			}
-			timer.Stop()
+			// Quiesce the reused timer: if it has not fired, Stop it and
+			// drain any value that raced in, so the next Reset starts
+			// clean under pre-1.23 timer semantics too.
+			if !timerFired && !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
 		}
 		s.batchCh <- batch
 		if draining {
@@ -455,12 +511,18 @@ func (s *Server) worker(m model.Model) {
 	ws := nn.NewWorkspace()
 	buf := make([]float64, s.opts.MaxBatch*s.features)
 	lats := make([]time.Duration, 0, s.opts.MaxBatch)
+	// The input tensor header is bound to buf per batch instead of
+	// allocated: shape[0] is the only per-batch variable.
+	shape := make([]int, 1+len(s.inShape))
+	copy(shape[1:], s.inShape)
+	var xt tensor.Tensor
 	for batch := range s.batchCh {
 		n := len(batch)
 		for i, r := range batch {
 			copy(buf[i*s.features:(i+1)*s.features], r.input)
 		}
-		x := tensor.FromSlice(buf[:n*s.features], append([]int{n}, s.inShape...)...)
+		shape[0] = n
+		x := xt.Bind(buf[:n*s.features], shape...)
 		out := m.Forward(ws, x)
 		// Record stats before fanning responses out: the moment the last
 		// response lands, a caller may read Stats and must see this batch.
@@ -470,27 +532,31 @@ func (s *Server) worker(m model.Model) {
 			lats = append(lats, now.Sub(r.enq))
 		}
 		s.stats.batchDone(n, lats)
-		// Scores are copied out of the output tensor into one fresh slab
-		// per batch: the output may be a view of the worker's reused input
-		// buffer (a pass-through model) or of layer-retained scratch, so
-		// rows must never be handed out by reference. One slab instead of
-		// one allocation per request keeps the fan-out cheap; each
-		// requester gets a capped (three-index) subslice, so appending to
-		// its Scores cannot bleed into a neighbour's row.
+		// Each requester's scores are copied out of the output tensor into
+		// the request's own reusable row: the output may be a view of the
+		// worker's reused input buffer (a pass-through model) or of
+		// layer-retained scratch (the workspace arena), so rows must never
+		// be handed out by reference — and the receiving InferInto copies
+		// the row onward before the request is pooled, so no slab
+		// allocation is needed either.
 		classes := out.Dim(1)
-		slab := make([]float64, n*classes)
-		copy(slab, out.Data[:n*classes])
 		for i, r := range batch {
-			scores := slab[i*classes : (i+1)*classes : (i+1)*classes]
-			res := Result{Class: nn.Argmax(scores), Scores: scores, BatchSize: n}
+			r.scores = append(r.scores[:0], out.Data[i*classes:(i+1)*classes]...)
+			res := Result{Class: nn.Argmax(r.scores), Scores: r.scores, BatchSize: n}
 			if s.cache != nil {
-				// Cache a private copy of the scores: the requester owns
-				// the slice in res and may mutate it.
+				// Cache a private copy of the scores: the request's row is
+				// reused on its next trip through the pool.
 				cres := res
-				cres.Scores = append([]float64(nil), scores...)
-				s.cache.add(r.key, cres)
+				cres.Scores = append([]float64(nil), r.scores...)
+				r.shard.add(r.key, cres)
 			}
 			r.resp <- res
+		}
+		// Recycle the batch slice; drop it if the free list is full (the
+		// server is closing or sized smaller than the in-flight count).
+		select {
+		case s.freeBatches <- batch:
+		default:
 		}
 	}
 }

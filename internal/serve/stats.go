@@ -46,8 +46,8 @@ type Stats struct {
 }
 
 // collector accumulates the mutable counters behind Stats. The cache
-// counters live in resultCache (under the cache lock) so /stats reads them
-// in one consistent view; see Server.Stats.
+// counters live in resultCache's shards (each under its shard lock) and
+// are aggregated per shard; see Server.Stats.
 type collector struct {
 	mu           sync.Mutex
 	requests     uint64

@@ -5,7 +5,28 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
+
+// wireBufPool recycles codec scratch between calls: a high-QPS client or
+// server encodes thousands of frames per second, and the frame buffer is
+// the only per-call allocation the fixed-layout codec needs. Pooled as
+// *[]byte so the pool round trip itself does not allocate a header.
+var wireBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getWireBuf returns a pooled byte buffer of length n (grown as needed)
+// and the pool token to return via putWireBuf once the buffer's bytes have
+// been written out.
+func getWireBuf(n int) (*[]byte, []byte) {
+	p := wireBufPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	buf := (*p)[:n]
+	return p, buf
+}
+
+func putWireBuf(p *[]byte) { wireBufPool.Put(p) }
 
 // Wire format v1 — the compact binary request/response codec for high-QPS
 // clients, carried over the same /v1/models/{name}/infer endpoint as JSON
@@ -80,7 +101,8 @@ func EncodeWireRequest(w io.Writer, inputs [][]float64) error {
 	if need := 12 + 8*int64(len(inputs))*int64(dim); need > MaxWireBytes {
 		return fmt.Errorf("serve: wire request of %d bytes exceeds the %d-byte limit", need, MaxWireBytes)
 	}
-	buf := make([]byte, 12+8*len(inputs)*dim)
+	p, buf := getWireBuf(12 + 8*len(inputs)*dim)
+	defer putWireBuf(p)
 	binary.LittleEndian.PutUint32(buf[0:], wireReqMagic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(inputs)))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(dim))
@@ -120,7 +142,8 @@ func DecodeWireRequest(r io.Reader) ([][]float64, error) {
 	if need := 12 + 8*int64(count)*int64(dim); need > MaxWireBytes {
 		return nil, fmt.Errorf("serve: wire request of %d bytes exceeds the %d-byte limit", need, MaxWireBytes)
 	}
-	data := make([]byte, 8*count*dim)
+	p, data := getWireBuf(8 * count * dim)
+	defer putWireBuf(p)
 	if _, err := io.ReadFull(r, data); err != nil {
 		return nil, fmt.Errorf("serve: wire request body truncated: %w", err)
 	}
@@ -153,7 +176,8 @@ func EncodeWireResults(w io.Writer, results []Result) error {
 	if need := 12 + int64(len(results))*(9+8*int64(classes)); need > MaxWireBytes {
 		return fmt.Errorf("serve: wire response of %d bytes exceeds the %d-byte limit", need, MaxWireBytes)
 	}
-	buf := make([]byte, 12+len(results)*(9+8*classes))
+	p, buf := getWireBuf(12 + len(results)*(9+8*classes))
+	defer putWireBuf(p)
 	binary.LittleEndian.PutUint32(buf[0:], wireRespMagic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(results)))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(classes))

@@ -139,9 +139,31 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions %d vs %d", k, k2))
 	}
 	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes a·b into dst, the allocation-free form of MatMul:
+// dst must be a zeroed-or-overwritable m×n tensor and must not alias a or
+// b. Returns dst.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMulInto requires rank-2 operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dimensions %d vs %d", k, k2))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst %v, want [%d %d]", dst.shape, m, n))
+	}
 	for i := 0; i < m; i++ {
 		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
+		orow := dst.Data[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
+		}
 		for p := 0; p < k; p++ {
 			av := arow[p]
 			if av == 0 {
@@ -153,7 +175,7 @@ func MatMul(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // MatVec returns the matrix–vector product a·x for a 2-D a (m×n) and a

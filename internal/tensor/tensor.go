@@ -63,6 +63,56 @@ func (t *Tensor) computeStrides() {
 	}
 }
 
+// Bind repoints t at data (not copied) with the given shape, reusing t's
+// shape and stride storage: the allocation-free form of FromSlice for
+// long-lived tensor headers on serving hot paths (a worker's input tensor,
+// a workspace's activation views). The product of the dimensions must
+// equal len(data). Returns t.
+func (t *Tensor) Bind(data []float64, shape ...int) *Tensor {
+	// Copy into the header's persistent shape slice before validating:
+	// referencing the variadic slice in the panic paths would make the
+	// compiler heap-allocate it on every call, defeating the point.
+	t.shape = append(t.shape[:0], shape...)
+	n := 1
+	for _, d := range t.shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, t.shape))
+		}
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, data has %d", t.shape, n, len(data)))
+	}
+	t.Data = data
+	t.rebindStrides()
+	return t
+}
+
+// BindShapeOf is Bind with o's shape: len(data) must equal o.Len().
+func (t *Tensor) BindShapeOf(data []float64, o *Tensor) *Tensor {
+	if len(data) != o.Len() {
+		panic(fmt.Sprintf("tensor: BindShapeOf shape %v needs %d elements, data has %d", o.shape, o.Len(), len(data)))
+	}
+	t.shape = append(t.shape[:0], o.shape...)
+	t.Data = data
+	t.rebindStrides()
+	return t
+}
+
+// rebindStrides is computeStrides reusing the stride slice's capacity.
+func (t *Tensor) rebindStrides() {
+	if cap(t.stride) < len(t.shape) {
+		t.stride = make([]int, len(t.shape))
+	} else {
+		t.stride = t.stride[:len(t.shape)]
+	}
+	s := 1
+	for i := len(t.shape) - 1; i >= 0; i-- {
+		t.stride[i] = s
+		s *= t.shape[i]
+	}
+}
+
 // Shape returns a copy of the tensor's dimensions.
 func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
 

@@ -13,22 +13,27 @@
 //	    Parse `go test -bench` output from stdin (for CI, which wants to
 //	    tee the raw log separately).
 //
-//	benchjson compare [-threshold 1.15] [-gate re] base.json head.json
+//	benchjson compare [-threshold 1.15] [-gate re] [-allocgate re] base.json head.json
 //	    Compare two result files by per-benchmark median ns/op. Benchmarks
 //	    matching -gate fail the run (exit 1) when head is slower than
-//	    base by more than the threshold ratio; everything else is
-//	    informational.
+//	    base by more than the threshold ratio; benchmarks matching
+//	    -allocgate fail on ANY increase in median allocs/op (allocations
+//	    on a steady-state path are a regression at one, not at 15%);
+//	    everything else is informational.
 //
-// Schema (repro-bench/v1):
+// Schema (repro-bench/v2; v1 files — which lacked the alloc series — are
+// still accepted on read, so comparisons against pre-v2 baselines work):
 //
 //	{
-//	  "schema": "repro-bench/v1",
+//	  "schema": "repro-bench/v2",
 //	  "date": "2026-07-28T12:00:00Z",
 //	  "go": "go1.24.0", "goos": "linux", "goarch": "amd64", "cpus": 1,
-//	  "command": "go test -run ^$ -bench . -benchtime 3x -count 5 .",
+//	  "command": "go test -run ^$ -bench . -benchtime 3x -count 5 -benchmem .",
 //	  "benchmarks": [
 //	    {"name": "BenchmarkX/sub", "runs": 5,
-//	     "ns_per_op": [1.0, ...], "metrics": {"req/s": [2.0, ...]}}
+//	     "ns_per_op": [1.0, ...],
+//	     "allocs_per_op": [0, ...], "bytes_per_op": [0, ...],
+//	     "metrics": {"req/s": [2.0, ...]}}
 //	  ]
 //	}
 package main
@@ -61,16 +66,22 @@ type File struct {
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
-// Bench is one benchmark's runs: repeated -count measurements of ns/op plus
-// any b.ReportMetric series, keyed by unit.
+// Bench is one benchmark's runs: repeated -count measurements of ns/op
+// (and, with -benchmem, allocs/op and B/op) plus any b.ReportMetric
+// series, keyed by unit.
 type Bench struct {
-	Name    string               `json:"name"`
-	Runs    int                  `json:"runs"`
-	NsPerOp []float64            `json:"ns_per_op"`
-	Metrics map[string][]float64 `json:"metrics,omitempty"`
+	Name        string               `json:"name"`
+	Runs        int                  `json:"runs"`
+	NsPerOp     []float64            `json:"ns_per_op"`
+	AllocsPerOp []float64            `json:"allocs_per_op,omitempty"`
+	BytesPerOp  []float64            `json:"bytes_per_op,omitempty"`
+	Metrics     map[string][]float64 `json:"metrics,omitempty"`
 }
 
-const schemaV1 = "repro-bench/v1"
+const (
+	schemaV1 = "repro-bench/v1"
+	schemaV2 = "repro-bench/v2"
+)
 
 func main() {
 	if len(os.Args) < 2 {
@@ -107,7 +118,7 @@ func cmdRun(args []string) error {
 	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
 	fs.Parse(args)
 
-	cmdline := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
+	cmdline := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-count", strconv.Itoa(*count), "-benchmem", *pkg}
 	cmd := exec.Command("go", cmdline...)
 	cmd.Stderr = os.Stderr
 	pipe, err := cmd.StdoutPipe()
@@ -151,7 +162,7 @@ func cmdParse(args []string) error {
 
 func writeFile(path string, benches []Bench, command string) error {
 	f := File{
-		Schema:     schemaV1,
+		Schema:     schemaV2,
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		Go:         runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -212,15 +223,19 @@ func ParseBenchOutput(r io.Reader) ([]Bench, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bad value %q in line %q", fields[f], sc.Text())
 			}
-			unit := fields[f+1]
-			if unit == "ns/op" {
+			switch unit := fields[f+1]; unit {
+			case "ns/op":
 				b.NsPerOp = append(b.NsPerOp, v)
-				continue
+			case "allocs/op":
+				b.AllocsPerOp = append(b.AllocsPerOp, v)
+			case "B/op":
+				b.BytesPerOp = append(b.BytesPerOp, v)
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string][]float64{}
+				}
+				b.Metrics[unit] = append(b.Metrics[unit], v)
 			}
-			if b.Metrics == nil {
-				b.Metrics = map[string][]float64{}
-			}
-			b.Metrics[unit] = append(b.Metrics[unit], v)
 		}
 	}
 	return out, sc.Err()
@@ -243,32 +258,44 @@ type Delta struct {
 	Base, Head float64 // median ns/op
 	Ratio      float64 // head/base; >1 is a slowdown
 	Gated      bool
+
+	// Median allocs/op on both sides; HasAllocs is set only when both
+	// files carry the series (a v1 base cannot alloc-gate).
+	AllocBase, AllocHead float64
+	HasAllocs            bool
+	AllocGated           bool
 }
 
 // Compare pairs the benchmarks of two files by name and returns per-name
-// median-ns/op deltas, in head order. Benchmarks present in only one file
-// are skipped (new benchmarks cannot regress; deleted ones cannot be
-// measured).
-func Compare(base, head File, gate *regexp.Regexp) []Delta {
-	ref := map[string][]float64{}
+// median-ns/op (and, when present on both sides, median-allocs/op)
+// deltas, in head order. Benchmarks present in only one file are skipped
+// (new benchmarks cannot regress; deleted ones cannot be measured).
+func Compare(base, head File, gate, allocGate *regexp.Regexp) []Delta {
+	ref := map[string]Bench{}
 	for _, b := range base.Benchmarks {
 		if len(b.NsPerOp) > 0 {
-			ref[b.Name] = b.NsPerOp
+			ref[b.Name] = b
 		}
 	}
 	var out []Delta
 	for _, b := range head.Benchmarks {
-		baseNs, ok := ref[b.Name]
+		bb, ok := ref[b.Name]
 		if !ok || len(b.NsPerOp) == 0 {
 			continue
 		}
 		d := Delta{
-			Name:  b.Name,
-			Base:  Median(baseNs),
-			Head:  Median(b.NsPerOp),
-			Gated: gate != nil && gate.MatchString(b.Name),
+			Name:       b.Name,
+			Base:       Median(bb.NsPerOp),
+			Head:       Median(b.NsPerOp),
+			Gated:      gate != nil && gate.MatchString(b.Name),
+			AllocGated: allocGate != nil && allocGate.MatchString(b.Name),
 		}
 		d.Ratio = d.Head / d.Base
+		if len(bb.AllocsPerOp) > 0 && len(b.AllocsPerOp) > 0 {
+			d.HasAllocs = true
+			d.AllocBase = Median(bb.AllocsPerOp)
+			d.AllocHead = Median(b.AllocsPerOp)
+		}
 		out = append(out, d)
 	}
 	return out
@@ -277,7 +304,8 @@ func Compare(base, head File, gate *regexp.Regexp) []Delta {
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 1.15, "max allowed head/base median ns/op ratio for gated benchmarks")
-	gateRe := fs.String("gate", ".", "regexp of benchmark names whose regression fails the run")
+	gateRe := fs.String("gate", ".", "regexp of benchmark names whose ns/op regression fails the run")
+	allocGateRe := fs.String("allocgate", "", "regexp of benchmark names where any allocs/op increase fails the run")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("compare needs exactly two files: base.json head.json")
@@ -294,31 +322,49 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return fmt.Errorf("bad -gate regexp: %w", err)
 	}
+	var allocGate *regexp.Regexp
+	if *allocGateRe != "" {
+		allocGate, err = regexp.Compile(*allocGateRe)
+		if err != nil {
+			return fmt.Errorf("bad -allocgate regexp: %w", err)
+		}
+	}
 
-	deltas := Compare(base, head, gate)
+	deltas := Compare(base, head, gate, allocGate)
 	if len(deltas) == 0 {
 		return fmt.Errorf("no common benchmarks between %s and %s", fs.Arg(0), fs.Arg(1))
 	}
 	w := bufio.NewWriter(os.Stdout)
-	fmt.Fprintf(w, "%-64s %14s %14s %8s\n", "benchmark (median ns/op)", "base", "head", "delta")
-	var failed []Delta
+	fmt.Fprintf(w, "%-64s %14s %14s %8s %16s\n", "benchmark (median ns/op)", "base", "head", "delta", "allocs/op")
+	var failed, allocFailed []Delta
 	for _, d := range deltas {
 		mark := " "
 		if d.Gated && d.Ratio > *threshold {
 			failed = append(failed, d)
 			mark = "!"
 		}
-		fmt.Fprintf(w, "%s%-63s %14.0f %14.0f %+7.1f%%\n", mark, d.Name, d.Base, d.Head, (d.Ratio-1)*100)
+		allocs := ""
+		if d.HasAllocs {
+			allocs = fmt.Sprintf("%.0f → %.0f", d.AllocBase, d.AllocHead)
+			if d.AllocGated && d.AllocHead > d.AllocBase {
+				allocFailed = append(allocFailed, d)
+				mark = "!"
+			}
+		}
+		fmt.Fprintf(w, "%s%-63s %14.0f %14.0f %+7.1f%% %16s\n", mark, d.Name, d.Base, d.Head, (d.Ratio-1)*100, allocs)
 	}
 	w.Flush()
-	if len(failed) > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d gated benchmark(s) regressed beyond %.0f%%:\n", len(failed), (*threshold-1)*100)
-		for _, d := range failed {
-			fmt.Fprintf(os.Stderr, "  %s: %.0f → %.0f ns/op (%+.1f%%)\n", d.Name, d.Base, d.Head, (d.Ratio-1)*100)
-		}
+	for _, d := range failed {
+		fmt.Fprintf(os.Stderr, "benchjson: gated regression beyond %.0f%%: %s: %.0f → %.0f ns/op (%+.1f%%)\n",
+			(*threshold-1)*100, d.Name, d.Base, d.Head, (d.Ratio-1)*100)
+	}
+	for _, d := range allocFailed {
+		fmt.Fprintf(os.Stderr, "benchjson: alloc-gated increase: %s: %.0f → %.0f allocs/op\n", d.Name, d.AllocBase, d.AllocHead)
+	}
+	if len(failed) > 0 || len(allocFailed) > 0 {
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks compared, no gated regression beyond %.0f%%\n", len(deltas), (*threshold-1)*100)
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks compared, no gated regression beyond %.0f%% and no gated alloc increase\n", len(deltas), (*threshold-1)*100)
 	return nil
 }
 
@@ -331,8 +377,8 @@ func readFile(path string) (File, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return f, fmt.Errorf("%s: %w", path, err)
 	}
-	if f.Schema != schemaV1 {
-		return f, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, schemaV1)
+	if f.Schema != schemaV1 && f.Schema != schemaV2 {
+		return f, fmt.Errorf("%s: schema %q, want %q or %q", path, f.Schema, schemaV2, schemaV1)
 	}
 	return f, nil
 }

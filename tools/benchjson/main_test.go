@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"regexp"
 	"strings"
 	"testing"
@@ -15,6 +16,8 @@ BenchmarkFig1_FFTScaling/n=64-8         	       3	      5400 ns/op	         2.20
 BenchmarkFig1_FFTScaling/n=64-8         	       3	      5000 ns/op	         2.000 ns/(nlogn)
 BenchmarkServingThroughput/serverBatched-8 	     100	      9000 ns/op	        31.50 batch	       300.0 p95us	    110000 req/s
 BenchmarkServingThroughput/serverBatched-8 	     100	      9100 ns/op	        31.40 batch	       310.0 p95us	    109000 req/s
+BenchmarkRegistryRoutedInfer/routed-8 	     100	      8000 ns/op	       128 B/op	       2 allocs/op
+BenchmarkRegistryRoutedInfer/routed-8 	     100	      8100 ns/op	       130 B/op	       3 allocs/op
 PASS
 ok  	repro	12.3s
 `
@@ -24,8 +27,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(benches) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
 	}
 	fft := benches[0]
 	if fft.Name != "BenchmarkFig1_FFTScaling/n=64" {
@@ -41,6 +44,19 @@ func TestParseBenchOutput(t *testing.T) {
 	if len(srv.Metrics["req/s"]) != 2 || len(srv.Metrics["batch"]) != 2 || len(srv.Metrics["p95us"]) != 2 {
 		t.Errorf("metric series incomplete: %v", srv.Metrics)
 	}
+	if len(benches) < 3 {
+		t.Fatal("benchmem lines not parsed")
+	}
+	routed := benches[2]
+	if len(routed.AllocsPerOp) != 2 || Median(routed.AllocsPerOp) != 2.5 {
+		t.Errorf("allocs/op series %v, want [2 3]", routed.AllocsPerOp)
+	}
+	if len(routed.BytesPerOp) != 2 || routed.BytesPerOp[0] != 128 {
+		t.Errorf("B/op series %v, want [128 130]", routed.BytesPerOp)
+	}
+	if len(routed.Metrics) != 0 {
+		t.Errorf("alloc units leaked into metrics: %v", routed.Metrics)
+	}
 }
 
 func TestMedianEvenCount(t *testing.T) {
@@ -50,7 +66,7 @@ func TestMedianEvenCount(t *testing.T) {
 }
 
 func file(benches ...Bench) File {
-	return File{Schema: schemaV1, Benchmarks: benches}
+	return File{Schema: schemaV2, Benchmarks: benches}
 }
 
 func TestCompareGatesRegressions(t *testing.T) {
@@ -65,7 +81,7 @@ func TestCompareGatesRegressions(t *testing.T) {
 		Bench{Name: "BenchmarkNew", NsPerOp: []float64{10}},
 	)
 	gate := regexp.MustCompile(`^BenchmarkHot`)
-	deltas := Compare(base, head, gate)
+	deltas := Compare(base, head, gate, nil)
 	if len(deltas) != 2 {
 		t.Fatalf("got %d deltas, want 2 (added/removed benchmarks skipped)", len(deltas))
 	}
@@ -88,3 +104,52 @@ func TestParseRejectsMalformedLine(t *testing.T) {
 		t.Fatal("odd value/unit field count not rejected")
 	}
 }
+
+// TestCompareAllocGate: any allocs/op increase on an alloc-gated benchmark
+// is flagged; benchmarks without alloc data on both sides (a v1 base)
+// cannot be alloc-gated.
+func TestCompareAllocGate(t *testing.T) {
+	base := file(
+		Bench{Name: "BenchmarkServe/routed", NsPerOp: []float64{100}, AllocsPerOp: []float64{0, 0, 0}},
+		Bench{Name: "BenchmarkServe/legacy", NsPerOp: []float64{100}}, // no alloc series
+	)
+	head := file(
+		Bench{Name: "BenchmarkServe/routed", NsPerOp: []float64{100}, AllocsPerOp: []float64{1, 1, 0}},
+		Bench{Name: "BenchmarkServe/legacy", NsPerOp: []float64{100}, AllocsPerOp: []float64{5}},
+	)
+	deltas := Compare(base, head, nil, regexp.MustCompile(`^BenchmarkServe`))
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	routed := deltas[0]
+	if !routed.HasAllocs || !routed.AllocGated || routed.AllocHead <= routed.AllocBase {
+		t.Errorf("routed delta %+v: want alloc-gated increase 0 → 1", routed)
+	}
+	if deltas[1].HasAllocs {
+		t.Error("legacy benchmark has no base alloc series; must not report allocs")
+	}
+}
+
+// TestReadFileAcceptsV1 pins backwards compatibility: a pre-allocs
+// artifact still loads for comparison.
+func TestReadFileAcceptsV1(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/v1.json"
+	if err := writeV1Fixture(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Name != "BenchmarkX" {
+		t.Errorf("v1 fixture parsed as %+v", f.Benchmarks)
+	}
+}
+
+func writeV1Fixture(path string) error {
+	const v1 = `{"schema":"repro-bench/v1","benchmarks":[{"name":"BenchmarkX","runs":1,"ns_per_op":[42]}]}`
+	return osWriteFile(path, []byte(v1))
+}
+
+func osWriteFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
