@@ -37,20 +37,21 @@ bench:
 # regression on hot-path benchmarks fails, and ANY allocs/op increase on
 # the steady-state serving/spectral benchmarks fails:
 #   make bench-compare BASE=BENCH_20260701.json HEAD=BENCH_20260728.json
-GATE ?= BenchmarkBatchedSpectralForward|BenchmarkFig2_CirculantMatvec|BenchmarkAblationSpectralCache|BenchmarkAblationAccumulateSpectral
+GATE ?= BenchmarkBatchedSpectralForward|BenchmarkFig2_CirculantMatvec|BenchmarkAblationSpectralCache|BenchmarkAblationAccumulateSpectral|BenchmarkCompiledForward
 # Alloc-gate only benchmarks whose hot path is deterministically serial
 # (above the spectral engine's parallel threshold the worker fan-out heap-
 # allocates its closures by design, and the closed-loop serving benches
 # spawn client goroutines); the hard `alloc-gate` test target below covers
 # the full set of steady-state paths exactly.
-ALLOCGATE ?= BenchmarkBatchedSpectralForward/arch1Batched
+ALLOCGATE ?= BenchmarkBatchedSpectralForward/arch1Batched|BenchmarkCompiledForward|BenchmarkQuantizedForward
 
 bench-compare:
 	$(GO) run ./tools/benchjson compare -threshold 1.15 -gate '$(GATE)' -allocgate '$(ALLOCGATE)' $(BASE) $(HEAD)
 
 # Hard zero-allocation gate on the steady-state hot paths (planned split
-# transforms, batched circulant multiply, workspace forward, registry-
-# routed infer). The same tests run in `make test`; this target runs just
-# them, without -race (the race runtime skews allocation accounting).
+# transforms, batched circulant multiply, workspace forward, compiled
+# program Run on both backends, registry-routed infer). The same tests
+# run in `make test`; this target runs just them, without -race (the race
+# runtime skews allocation accounting).
 alloc-gate:
 	$(GO) test -count=1 -run 'ZeroAlloc' ./...

@@ -35,6 +35,7 @@ func main() {
 	env := flag.String("env", "cpp", "runtime environment: cpp or java")
 	battery := flag.Bool("battery", false, "model battery power instead of plugged in")
 	show := flag.Int("show", 10, "print the first N predictions")
+	batch := flag.Int("batch", 64, "samples per compiled forward pass")
 	flag.Parse()
 
 	if *bundle != "" {
@@ -91,9 +92,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Module 4: inference engine.
-	preds := e.Predict(data)
-	acc := e.Evaluate(data)
+	// Module 4: inference engine, through a compiled program — one
+	// Compile, then allocation-free batched forward passes over the test
+	// set, instead of the allocating per-call Predict path (which also
+	// ran the whole set a second time for the accuracy number).
+	preds, err := e.PredictBatched(data, *batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == data.Labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(preds))
 
 	spec, err := platform.ByName(*device)
 	if err != nil {

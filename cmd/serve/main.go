@@ -9,7 +9,15 @@
 //	serve -model mnist=bundle1 -model cifar=bundle2 [flags]
 //	serve -model mnist=bundle1 -model mnist@v2=bundle3 -weights mnist=v1:0.9,v2:0.1 [flags]
 //	serve -demo fc=arch1 -demo conv=arch3 [flags]   # random weights, load testing
+//	serve -demo mnist=arch1 -quantize mnist=12 \
+//	      -weights mnist=v1:0.9,v1-q12:0.1 [flags]  # float vs fixed-point A/B
 //	serve -bundle dir [flags]                       # deprecated single-model form
+//
+// -quantize name[@version]=bits additionally registers an Int16Spectral
+// fixed-point build of an already-loaded model under the derived version
+// "<version>-q<bits>" (e.g. mnist@v1 → mnist@v1-q12): the paper's
+// embedded int16 deployment served side by side with the float build,
+// ready for a -weights A/B split.
 //
 // Flags: [-addr :8080] [-workers N] [-batch 16] [-deadline 2ms] [-cache 1024]
 // [-pprof]
@@ -66,10 +74,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
-	var models, demos, weights modelFlag
+	var models, demos, weights, quantize modelFlag
 	flag.Var(&models, "model", "register a trained bundle: name[@version]=dir (repeatable)")
 	flag.Var(&demos, "demo", "register a randomly-initialised built-in architecture: name[@version]=arch1|arch2|arch3, or bare arch1|arch2|arch3 (repeatable)")
 	flag.Var(&weights, "weights", "A/B split for a name: name=v1:0.9,v2:0.1 (repeatable)")
+	flag.Var(&quantize, "quantize", "also register an int16 fixed-point build of a loaded model: name[@version]=bits (repeatable)")
 	bundle := flag.String("bundle", "", "deprecated: single bundle directory (same as -model default=dir)")
 	archPath := flag.String("arch", "", "deprecated: architecture file of a single model")
 	paramsPath := flag.String("params", "", "deprecated: parameters file of a single model")
@@ -84,6 +93,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	quantized, err := quantizeModels(loaded, quantize.specs)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	reg := serve.NewRegistry(serve.Options{
 		Workers:   *workers,
@@ -92,7 +105,13 @@ func main() {
 		CacheSize: *cache,
 	})
 	var names []string
-	for _, m := range loaded {
+	for _, l := range loaded {
+		if err := reg.Register(l.Model); err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, serve.ModelID(l.Model))
+	}
+	for _, m := range quantized {
 		if err := reg.Register(m); err != nil {
 			log.Fatal(err)
 		}
@@ -139,12 +158,20 @@ func main() {
 	reg.Close()
 }
 
+// loadedModel is a registered executor together with the network it was
+// compiled from, retained so -quantize can build fixed-point siblings.
+type loadedModel struct {
+	model.Model
+	net     *nn.Network
+	inShape []int
+}
+
 // loadModels resolves every model flag into an adapter. The deprecated
 // single-model flags register under "default@v1" so pre-registry
 // invocations keep working; as before the redesign, -bundle takes
 // precedence over -arch/-params when both are given.
-func loadModels(modelSpecs, demoSpecs []string, bundle, archPath, paramsPath string) ([]model.Model, error) {
-	var out []model.Model
+func loadModels(modelSpecs, demoSpecs []string, bundle, archPath, paramsPath string) ([]loadedModel, error) {
+	var out []loadedModel
 	if bundle != "" {
 		// Prepended so the deprecated single-model flags keep claiming the
 		// legacy /infer binding (the first loaded model) over -model specs.
@@ -234,30 +261,34 @@ func parseWeights(spec string) (string, map[string]float64, error) {
 
 // loadBundleModel loads a trained network through the engine (modules 1+2
 // of Fig. 4) and adapts it for serving.
-func loadBundleModel(name, version, archPath, paramsPath string) (model.Model, error) {
+func loadBundleModel(name, version, archPath, paramsPath string) (loadedModel, error) {
 	af, err := os.Open(archPath)
 	if err != nil {
-		return nil, err
+		return loadedModel{}, err
 	}
 	e, err := engine.ParseArchitecture(af, rand.New(rand.NewSource(0)))
 	af.Close()
 	if err != nil {
-		return nil, err
+		return loadedModel{}, err
 	}
 	pf, err := os.Open(paramsPath)
 	if err != nil {
-		return nil, err
+		return loadedModel{}, err
 	}
 	err = e.LoadParameters(pf)
 	pf.Close()
 	if err != nil {
-		return nil, err
+		return loadedModel{}, err
 	}
-	return e.Model(name, version)
+	m, err := e.Model(name, version)
+	if err != nil {
+		return loadedModel{}, err
+	}
+	return loadedModel{Model: m, net: e.Net, inShape: e.InShape}, nil
 }
 
 // demoModel builds a randomly-initialised built-in architecture.
-func demoModel(name, version, arch string) (model.Model, error) {
+func demoModel(name, version, arch string) (loadedModel, error) {
 	rng := rand.New(rand.NewSource(1))
 	var net *nn.Network
 	var inShape []int
@@ -269,7 +300,47 @@ func demoModel(name, version, arch string) (model.Model, error) {
 	case "arch3":
 		net, inShape = nn.Arch3(rng), []int{32, 32, 3}
 	default:
-		return nil, fmt.Errorf("unknown demo architecture %q (want arch1, arch2 or arch3)", arch)
+		return loadedModel{}, fmt.Errorf("unknown demo architecture %q (want arch1, arch2 or arch3)", arch)
 	}
-	return model.FromNetwork(name, version, net, inShape)
+	m, err := model.FromNetwork(name, version, net, inShape)
+	if err != nil {
+		return loadedModel{}, err
+	}
+	return loadedModel{Model: m, net: net, inShape: inShape}, nil
+}
+
+// quantizeModels resolves -quantize specs against the loaded models: for
+// each "name[@version]=bits" it compiles an Int16Spectral build of the
+// matching float model's network under the derived version
+// "<version>-q<bits>" (weights and activations at the same precision),
+// so cmd/serve can A/B a float and a fixed-point build of one network.
+func quantizeModels(loaded []loadedModel, specs []string) ([]model.Model, error) {
+	var out []model.Model
+	for _, spec := range specs {
+		name, version, bitsStr, err := splitSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-quantize %q: %w", spec, err)
+		}
+		bits, err := strconv.Atoi(bitsStr)
+		if err != nil {
+			return nil, fmt.Errorf("-quantize %q: bad bit width %q", spec, bitsStr)
+		}
+		var src *loadedModel
+		for i := range loaded {
+			if loaded[i].Name() == name && loaded[i].Version() == version {
+				src = &loaded[i]
+				break
+			}
+		}
+		if src == nil {
+			return nil, fmt.Errorf("-quantize %q: no loaded model %s@%s", spec, name, version)
+		}
+		qv := fmt.Sprintf("%s-q%d", version, bits)
+		m, err := model.Quantized(name, qv, src.net, src.inShape, bits, bits)
+		if err != nil {
+			return nil, fmt.Errorf("-quantize %q: %w", spec, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
 }

@@ -460,6 +460,24 @@ func TestFlagParsing(t *testing.T) {
 		!strings.Contains(err.Error(), "arch9") {
 		t.Errorf("unknown demo arch error = %v", err)
 	}
+
+	// -quantize derives an Int16Spectral sibling under <version>-q<bits>.
+	qs, err := quantizeModels(ms, []string{"fc=12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 || serve.ModelID(qs[0]) != "fc@v1-q12" {
+		t.Fatalf("quantizeModels ids = %v", qs)
+	}
+	if qs[0].InDim() != ms[0].InDim() || qs[0].OutDim() != ms[0].OutDim() {
+		t.Errorf("quantized build dims %d/%d differ from float %d/%d",
+			qs[0].InDim(), qs[0].OutDim(), ms[0].InDim(), ms[0].OutDim())
+	}
+	for _, bad := range []string{"fc=x", "fc=99", "nosuch=12", "fc@v9=12"} {
+		if _, err := quantizeModels(ms, []string{bad}); err == nil {
+			t.Errorf("quantizeModels accepted %q", bad)
+		}
+	}
 }
 
 // TestBundleFlagPrecedence pins the deprecated-flag contract: -bundle

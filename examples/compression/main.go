@@ -5,6 +5,11 @@
 // reports stored parameters, compression ratio, FFT-path flops and trained
 // accuracy on synthetic digits — the compression-versus-accuracy frontier,
 // plus the paper's fixed-point extension stacked on top.
+//
+// The second half sweeps the fixed-point precision on the trained
+// block=32 model through compiled Int16Spectral programs (int16 weights
+// and activations, int64 accumulation, per-layer rescale) — the
+// accuracy-versus-bits frontier recorded in EXPERIMENTS.md.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/program"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
@@ -23,6 +29,8 @@ func main() {
 
 	denseRef := nn.Arch2Dense(rand.New(rand.NewSource(1)))
 	denseParams := denseRef.NumParams()
+
+	var qnet *nn.Network // trained block=32 model, kept for the bits sweep
 
 	fmt.Println("block-size sweep on the Arch-2 topology (121-64-64-10):")
 	fmt.Printf("%8s %10s %12s %12s %10s\n", "block", "params", "compression", "flops/image", "accuracy")
@@ -49,6 +57,9 @@ func main() {
 			block, net.NumParams(), float64(denseParams)/float64(net.NumParams()),
 			net.CountOps().Flops(), acc*100)
 
+		if block == 32 {
+			qnet = net
+		}
 		// Stack the fixed-point extension on the largest-block model.
 		if block == 64 {
 			qb, fb, err := quant.QuantizeNetwork(net, 10)
@@ -62,4 +73,47 @@ func main() {
 	}
 	fmt.Printf("\ndense baseline stores %d parameters (accuracy ceiling is the same net un-constrained)\n", denseParams)
 	fmt.Println("larger blocks = more compression and fewer flops; the accuracy cost is what the block size tunes (paper §II).")
+
+	// Accuracy versus fixed-point precision: the trained block=32 model
+	// compiled on the Int16Spectral backend at each bit width (weights
+	// and activations at the same precision), against the float compiled
+	// build. This sweep produces the EXPERIMENTS.md accuracy-vs-bits
+	// table.
+	fmt.Println("\nfixed-point precision sweep on the trained block=32 model (compiled Int16Spectral programs):")
+	fmt.Printf("%8s %12s %12s\n", "bits", "accuracy", "Δ vs float")
+	floatProg, err := program.Compile(qnet, program.CompileOptions{InShape: []int{121}})
+	if err != nil {
+		panic(err)
+	}
+	floatAcc := progAccuracy(floatProg, test)
+	fmt.Printf("%8s %11.1f%% %12s\n", "float64", floatAcc*100, "—")
+	for _, bits := range []int{4, 6, 8, 10, 12, 16} {
+		prog, err := program.Compile(qnet, program.CompileOptions{
+			InShape: []int{121},
+			Backend: program.Int16Spectral(bits, bits),
+		})
+		if err != nil {
+			panic(err)
+		}
+		acc := progAccuracy(prog, test)
+		fmt.Printf("%8d %11.1f%% %+11.1fpp\n", bits, acc*100, (acc-floatAcc)*100)
+	}
+	fmt.Println("int16 weights/activations with int64 accumulation hold the float accuracy down to ~8 bits;")
+	fmt.Println("the paper's 12-bit embedded deployment point is accuracy-neutral on this model.")
+}
+
+// progAccuracy evaluates a compiled program's top-1 accuracy over a
+// dataset in batches of 50.
+func progAccuracy(prog *program.Program, d *dataset.Dataset) float64 {
+	correct := 0
+	for lo := 0; lo < d.Len(); lo += 50 {
+		x, labels := d.Batch(lo, 50)
+		out := prog.Run(x)
+		for i, label := range labels {
+			if nn.Argmax(out.Row(i)) == label {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(d.Len())
 }

@@ -6,19 +6,24 @@
 // addresses a Model by name and version and calls Forward on whole batches,
 // never a concrete network type.
 //
-// Three adapters cover the artefacts the repo produces:
+// Four adapters cover the artefacts the repo produces:
 //
-//   - FromNetwork wraps a trained *nn.Network and runs the planned batched
-//     spectral path (Network.ForwardWS): one FFT plan per block-circulant
-//     layer across the whole batch.
+//   - FromNetwork compiles a trained *nn.Network into an inference
+//     program on the Float64Split backend (internal/program): the typed
+//     op graph with the fused spectral kernels, executed batch-at-a-time.
+//   - Quantized compiles the same network on the Int16Spectral backend —
+//     the paper's fixed-point deployment (int16 weights and activations,
+//     int64 accumulation, per-layer rescale) — so a float build and a
+//     quantised build of one network can serve side by side for registry
+//     A/B.
 //   - Engine-exported artifacts (a parsed architecture plus its loaded
 //     parameter file) adapt through engine.Engine.Model, which lives in
 //     internal/engine to keep this package's dependencies at the framework
 //     layer.
 //   - DenseBaseline wraps a network through the plain per-call Forward —
 //     the uncompressed reference arm of a dense-versus-circulant A/B pair,
-//     deliberately bypassing the workspace path so the comparison measures
-//     the model, not the scratch strategy.
+//     deliberately bypassing both the compiler and the workspace path so
+//     the comparison measures the model, not the execution strategy.
 package model
 
 import (
@@ -27,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/nn"
+	"repro/internal/program"
 	"repro/internal/tensor"
 )
 
@@ -86,9 +92,9 @@ func ValidateName(kind, s string) error {
 	return nil
 }
 
-// netModel adapts *nn.Network to Model. dense selects the plain Forward
-// path (the uncompressed baseline arm); otherwise the batched spectral
-// ForwardWS path is used.
+// netModel adapts *nn.Network to Model. A non-nil backend selects the
+// compiled-program executor (prog carries the bound program); otherwise
+// the plain per-call Forward runs (the uncompressed baseline arm).
 type netModel struct {
 	name    string
 	version string
@@ -96,25 +102,37 @@ type netModel struct {
 	inShape []int
 	inDim   int
 	outDim  int
-	dense   bool
+	backend program.Backend
+	prog    *program.Program
 }
 
-// FromNetwork wraps a trained network as a Model running the batched
-// spectral path. It probes the network with a one-sample zero input to
-// verify inShape and learn the output width, so a mis-shaped model is an
-// error here rather than a panic in a serving worker. The caller keeps
-// ownership of net; Replicate deep-copies it.
+// FromNetwork compiles a trained network into an inference program on the
+// float split-complex backend and wraps it as a Model. Shape problems —
+// a rejected inShape, mismatched layer dimensions — are errors here
+// rather than panics in a serving worker. The caller keeps ownership of
+// net; the program shares its float parameters (later in-place updates
+// are visible, exactly like the interpreted path), and Replicate
+// deep-copies the network and recompiles.
 func FromNetwork(name, version string, net *nn.Network, inShape []int) (Model, error) {
-	return fromNetwork(name, version, net, inShape, false)
+	return fromNetwork(name, version, net, inShape, program.Float64Split())
+}
+
+// Quantized compiles a trained network on the Int16Spectral fixed-point
+// backend: int16 weights (quantised once, a frozen snapshot) and
+// activations, int64 accumulation, per-layer rescale — the paper's
+// embedded deployment, servable next to the float build of the same
+// network for registry A/B.
+func Quantized(name, version string, net *nn.Network, inShape []int, weightBits, actBits int) (Model, error) {
+	return fromNetwork(name, version, net, inShape, program.Int16Spectral(weightBits, actBits))
 }
 
 // DenseBaseline wraps a network as a Model running the plain per-call
 // Forward path — the reference arm of a dense-versus-circulant A/B pair.
 func DenseBaseline(name, version string, net *nn.Network, inShape []int) (Model, error) {
-	return fromNetwork(name, version, net, inShape, true)
+	return fromNetwork(name, version, net, inShape, nil)
 }
 
-func fromNetwork(name, version string, net *nn.Network, inShape []int, dense bool) (Model, error) {
+func fromNetwork(name, version string, net *nn.Network, inShape []int, backend program.Backend) (Model, error) {
 	if err := ValidateName("name", name); err != nil {
 		return nil, err
 	}
@@ -124,19 +142,29 @@ func fromNetwork(name, version string, net *nn.Network, inShape []int, dense boo
 	if net == nil {
 		return nil, errors.New("model: nil network")
 	}
-	inDim, outDim, err := nn.ProbeShape(net, inShape)
-	if err != nil {
-		return nil, fmt.Errorf("model: %s: %w", ID(name, version), err)
-	}
-	return &netModel{
+	m := &netModel{
 		name:    name,
 		version: version,
 		net:     net,
 		inShape: append([]int(nil), inShape...),
-		inDim:   inDim,
-		outDim:  outDim,
-		dense:   dense,
-	}, nil
+		backend: backend,
+	}
+	if backend != nil {
+		// Compile validates the whole shape chain itself, so no separate
+		// probe pass is needed on this arm.
+		prog, err := program.Compile(net, program.CompileOptions{InShape: inShape, Backend: backend})
+		if err != nil {
+			return nil, fmt.Errorf("model: %s: %w", ID(name, version), err)
+		}
+		m.prog, m.inDim, m.outDim = prog, prog.InDim(), prog.OutDim()
+	} else {
+		inDim, outDim, err := nn.ProbeShape(net, inShape)
+		if err != nil {
+			return nil, fmt.Errorf("model: %s: %w", ID(name, version), err)
+		}
+		m.inDim, m.outDim = inDim, outDim
+	}
+	return m, nil
 }
 
 func (m *netModel) Name() string    { return m.name }
@@ -146,10 +174,12 @@ func (m *netModel) InDim() int      { return m.inDim }
 func (m *netModel) OutDim() int     { return m.outDim }
 
 func (m *netModel) Forward(ws *nn.Workspace, batch *tensor.Tensor) *tensor.Tensor {
-	if m.dense {
-		return m.net.Forward(batch, false)
+	if m.prog != nil {
+		// The compiled program owns its arena, so the worker's workspace
+		// is not consulted.
+		return m.prog.Run(batch)
 	}
-	return m.net.ForwardWS(ws, batch, false)
+	return m.net.Forward(batch, false)
 }
 
 func (m *netModel) Replicate() (Model, error) {
@@ -159,5 +189,16 @@ func (m *netModel) Replicate() (Model, error) {
 	}
 	cp := *m
 	cp.net = clone
+	cp.prog = nil
+	if cp.backend != nil {
+		cp.prog, err = program.Compile(clone, program.CompileOptions{InShape: cp.inShape, Backend: cp.backend})
+		if err != nil {
+			return nil, fmt.Errorf("model: replicating %s: %w", ID(m.name, m.version), err)
+		}
+	}
 	return &cp, nil
 }
+
+// Program exposes the compiled program backing a FromNetwork/Quantized
+// model (nil for the dense baseline) — for listings and diagnostics.
+func (m *netModel) Program() *program.Program { return m.prog }

@@ -108,6 +108,43 @@ func TestForwardMatchesNetwork(t *testing.T) {
 	}
 }
 
+// TestQuantizedAdapter: the fixed-point build reports the same identity
+// surface as the float build, tracks it closely on real inputs, and
+// replicates independently.
+func TestQuantizedAdapter(t *testing.T) {
+	net := testNet(8)
+	q, err := model.Quantized("mnist", "v1-q12", net, []int{64}, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.InDim() != 64 || q.OutDim() != 10 {
+		t.Errorf("dims in=%d out=%d, want 64/10", q.InDim(), q.OutDim())
+	}
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.New(4, 64).Randn(rng, 1)
+	ref := net.Forward(x, false)
+	got := q.Forward(nil, x)
+	for i := range ref.Data {
+		if diff := got.Data[i] - ref.Data[i]; diff > 0.05 || diff < -0.05 {
+			t.Fatalf("q12 output[%d] = %g, float reference %g", i, got.Data[i], ref.Data[i])
+		}
+	}
+	rep, err := q.Replicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repOut := rep.Forward(nil, x)
+	for i := range got.Data[:10] {
+		if repOut.Data[i] != got.Data[i] {
+			t.Fatalf("replica output[%d] = %g, original %g", i, repOut.Data[i], got.Data[i])
+		}
+	}
+	// Bad precision surfaces at adapt time.
+	if _, err := model.Quantized("mnist", "bad", net, []int{64}, 99, 12); err == nil {
+		t.Error("99-bit weights accepted")
+	}
+}
+
 // TestReplicateIsIndependent checks that a replica shares no parameters
 // with the original: perturbing the original must not move the replica's
 // outputs.

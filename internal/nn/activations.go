@@ -53,9 +53,9 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // ForwardWS implements WorkspaceForwarder: in inference mode the
 // rectified output is written into the workspace arena instead of a fresh
 // tensor (training keeps the allocating path — the mask bookkeeping wants
-// a stable output). Standalone ReLUs only: a ReLU directly following a
-// CircDense never reaches this, because Network.ForwardWS fuses the pair
-// into the spectral engine's epilogue.
+// a stable output). On the compiled path (internal/program) a ReLU
+// directly following a product layer never executes as a layer at all:
+// the fusion pass folds it into the kernel's epilogue.
 func (r *ReLU) ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if ws == nil || train {
 		return r.Forward(x, train)

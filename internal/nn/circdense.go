@@ -55,6 +55,10 @@ func (l *CircDense) Params() []*Param { return []*Param{l.wParam, l.bParam} }
 // CompressionRatio returns dense/stored parameter counts for the weight.
 func (l *CircDense) CompressionRatio() float64 { return l.W.CompressionRatio() }
 
+// Bias returns the layer's bias vector θ as a shared slice — the payload
+// the program compiler fuses into the spectral kernel's epilogue.
+func (l *CircDense) Bias() []float64 { return l.bParam.Value.Data }
+
 // Forward implements Layer. x is [B, In]; the result is [B, Out].
 func (l *CircDense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return l.forward(nil, x, train)
@@ -69,20 +73,6 @@ func (l *CircDense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // workspace arena, so the steady state allocates nothing.
 func (l *CircDense) ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
 	return l.forward(ws, x, train)
-}
-
-// forwardFusedReLU is the inference-mode fused CircDense→ReLU pair used by
-// Network.ForwardWS: y = max(Wᵀx + θ, 0) computed by the batched spectral
-// engine with bias and rectification applied as each output block is
-// de-interleaved, writing the pair's activations exactly once.
-func (l *CircDense) forwardFusedReLU(ws *Workspace, x *tensor.Tensor) *tensor.Tensor {
-	if x.Rank() != 2 || x.Dim(1) != l.In {
-		panic(fmt.Sprintf("nn: %s got input shape %v", l.Name(), x.Shape()))
-	}
-	batch := batchOf(x)
-	y := ws.actTensor(batch, l.Out)
-	l.W.TransMulBatchFusedInto(y.Data, x.Data, batch, ws.batch, l.bParam.Value.Data, true)
-	return y
 }
 
 func (l *CircDense) forward(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {

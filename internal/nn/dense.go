@@ -42,6 +42,13 @@ func (d *Dense) Name() string { return fmt.Sprintf("dense(%dx%d)", d.In, d.Out) 
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 
+// Weight returns the in×out weight matrix W as a shared tensor — the
+// payload of the program compiler's MatMul lowering.
+func (d *Dense) Weight() *tensor.Tensor { return d.w.Value }
+
+// Bias returns the bias vector θ as a shared slice.
+func (d *Dense) Bias() []float64 { return d.b.Value.Data }
+
 // Forward implements Layer. x is [B, In]; the result is [B, Out].
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != d.In {

@@ -92,12 +92,12 @@ type WorkspaceForwarder interface {
 // workspace to every layer that can use one. A nil ws is equivalent to
 // Forward.
 //
-// In inference mode (train=false) ForwardWS additionally fuses every
-// CircDense layer immediately followed by a ReLU into one call: the bias
-// add and the rectification ride along with the spectral engine's inverse
-// transform (circulant.TransMulBatchFusedInto), so the pair writes its
-// activations exactly once instead of three passes (product, bias sweep,
-// ReLU copy). Results are identical to running the two layers separately.
+// ForwardWS is the interpreted inference path: one interface dispatch per
+// layer, no cross-layer rewriting. Cross-layer fusion (the CircDense→ReLU
+// epilogue that used to be special-cased here) now lives in the program
+// compiler's fusion pass (internal/program), which serves as this path's
+// generalisation; ForwardWS stays as the equivalence oracle compiled
+// programs are tested against.
 func (n *Network) ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if ws == nil {
 		return n.Forward(x, train)
@@ -107,18 +107,7 @@ func (n *Network) ForwardWS(ws *Workspace, x *tensor.Tensor, train bool) *tensor
 	// the same buffer, and a caller that (incorrectly) retains it across
 	// calls still reads self-consistent values.
 	ws.slot = 0
-	for i := 0; i < len(n.Layers); i++ {
-		l := n.Layers[i]
-		if !train {
-			if cd, ok := l.(*CircDense); ok && i+1 < len(n.Layers) {
-				if relu, ok := n.Layers[i+1].(*ReLU); ok {
-					x = cd.forwardFusedReLU(ws, x)
-					relu.lastN = sampleLen(x)
-					i++
-					continue
-				}
-			}
-		}
+	for _, l := range n.Layers {
 		if wf, ok := l.(WorkspaceForwarder); ok {
 			x = wf.ForwardWS(ws, x, train)
 		} else {

@@ -1,0 +1,81 @@
+package program
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TestInt16BatchIndependence pins the serving-determinism contract of the
+// fixed-point backend: a sample's scores are bit-identical whether it
+// runs alone or inside a larger batch. The activation scale is computed
+// per sample row — never over the whole batch — so what the serving
+// scheduler happens to coalesce around a request cannot change its
+// answer (or poison the result cache with co-traffic-dependent scores).
+func TestInt16BatchIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	net := nn.NewNetwork(
+		nn.NewCircDense(256, 128, 64, rng),
+		nn.NewReLU(),
+		nn.NewCircDense(128, 128, 64, rng),
+		nn.NewReLU(),
+		nn.NewDense(128, 10, rng),
+		nn.NewSoftmax(),
+	)
+	prog, err := Compile(net, CompileOptions{InShape: []int{256}, Backend: Int16Spectral(12, 12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows of widely different magnitudes: a batch-wide scale would be
+	// dominated by the loud rows and visibly perturb the quiet ones.
+	xb := tensor.New(4, 256)
+	for v := 0; v < 4; v++ {
+		scale := []float64{0.01, 1, 100, 3}[v]
+		row := xb.Row(v)
+		for j := range row {
+			row[j] = rng.NormFloat64() * scale
+		}
+	}
+	batchOut := append([]float64(nil), prog.Run(xb).Data...)
+	for v := 0; v < 4; v++ {
+		x1 := tensor.FromSlice(append([]float64(nil), xb.Row(v)...), 1, 256)
+		one := prog.Run(x1)
+		for j := 0; j < 10; j++ {
+			if one.Data[j] != batchOut[v*10+j] {
+				t.Errorf("sample %d output %d: alone %g, in batch %g — scores depend on co-batched traffic",
+					v, j, one.Data[j], batchOut[v*10+j])
+			}
+		}
+	}
+}
+
+// TestInt16ReplicaParity: a clone-recompiled program (the serving
+// replica unit) must produce bit-identical quantised outputs — the
+// weight quantisation is deterministic and Clone is exact.
+func TestInt16ReplicaParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	net := nn.Arch2(rng)
+	opts := CompileOptions{InShape: []int{121}, Backend: Int16Spectral(12, 12)}
+	prog, err := Compile(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := net.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := Compile(clone, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(5, 121).Randn(rng, 1)
+	a := append([]float64(nil), prog.Run(x).Data...)
+	b := prog2.Run(x)
+	for i := range a {
+		if a[i] != b.Data[i] {
+			t.Fatalf("output %d: original %g, replica %g", i, a[i], b.Data[i])
+		}
+	}
+}

@@ -125,10 +125,13 @@ func NewFixedPointDense(d *nn.Dense, weightBits, actBits int) (*FixedPointDense,
 }
 
 // Forward computes y = x·W + θ entirely in integer arithmetic (apart from
-// the per-layer activation quantisation), returning float outputs.
-func (f *FixedPointDense) Forward(x []float64) []float64 {
+// the per-layer activation quantisation), returning float outputs. A
+// mis-sized input is an error, not a panic: this path is fed by deployed
+// artefacts (parameter files, wire requests), where a length mismatch is
+// an input problem rather than a programming one.
+func (f *FixedPointDense) Forward(x []float64) ([]float64, error) {
 	if len(x) != f.In {
-		panic(fmt.Sprintf("quant: input length %d, want %d", len(x), f.In))
+		return nil, fmt.Errorf("quant: input length %d, want %d", len(x), f.In)
 	}
 	// Quantise activations on the fly.
 	maxAbs := 0.0
@@ -160,5 +163,5 @@ func (f *FixedPointDense) Forward(x []float64) []float64 {
 		}
 		out[j] = float64(acc)*xs*f.w.Scale + float64(f.b.Data[j])*f.b.Scale
 	}
-	return out
+	return out, nil
 }

