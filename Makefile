@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-compare alloc-gate
+.PHONY: all build test race lint bench bench-compare alloc-gate fuzz
 
 all: build test
 
@@ -43,7 +43,7 @@ GATE ?= BenchmarkBatchedSpectralForward|BenchmarkFig2_CirculantMatvec|BenchmarkA
 # allocates its closures by design, and the closed-loop serving benches
 # spawn client goroutines); the hard `alloc-gate` test target below covers
 # the full set of steady-state paths exactly.
-ALLOCGATE ?= BenchmarkBatchedSpectralForward/arch1Batched|BenchmarkCompiledForward|BenchmarkQuantizedForward
+ALLOCGATE ?= BenchmarkBatchedSpectralForward/arch1Batched|BenchmarkCompiledForward|BenchmarkQuantizedForward|BenchmarkStreamInfer/serial
 
 bench-compare:
 	$(GO) run ./tools/benchjson compare -threshold 1.15 -gate '$(GATE)' -allocgate '$(ALLOCGATE)' $(BASE) $(HEAD)
@@ -55,3 +55,14 @@ bench-compare:
 # runtime skews allocation accounting).
 alloc-gate:
 	$(GO) test -count=1 -run 'ZeroAlloc' ./...
+
+# Coverage-guided fuzzing of the wire decoders (request + results codecs,
+# RPS2 stream frames). `go test` accepts one -fuzz pattern per invocation,
+# so each target gets its own run. CI runs the same loop as a short smoke;
+# raise the budget locally, e.g. `make fuzz FUZZTIME=5m`.
+FUZZTIME ?= 10s
+
+fuzz:
+	$(GO) test -run xxx -fuzz 'FuzzDecodeWireRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
+	$(GO) test -run xxx -fuzz 'FuzzDecodeWireResults$$' -fuzztime $(FUZZTIME) ./internal/serve/
+	$(GO) test -run xxx -fuzz 'FuzzDecodeStreamFrame$$' -fuzztime $(FUZZTIME) ./internal/serve/stream/

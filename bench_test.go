@@ -15,8 +15,10 @@ package repro
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -35,6 +37,8 @@ import (
 	"repro/internal/prune"
 	"repro/internal/quant"
 	"repro/internal/serve"
+	"repro/internal/serve/admission"
+	"repro/internal/serve/stream"
 	"repro/internal/tensor"
 )
 
@@ -854,6 +858,160 @@ func BenchmarkQuantizedForward(b *testing.B) {
 				b.ReportMetric(float64(b.N)*float64(batch)/b.Elapsed().Seconds(), "vec/s")
 			})
 		}
+	}
+}
+
+// streamBench stands up an Arch-1 registry behind an RPS2 listener on
+// loopback and returns a dialed client plus teardown.
+func streamBench(b *testing.B, admit *admission.Controller) (*stream.Client, [][]float64, func()) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(25))
+	const features = 256
+	m, err := model.FromNetwork("arch1", "v1", nn.Arch1(rng), []int{features})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := serve.NewRegistry(serve.Options{MaxBatch: 16, MaxDelay: 500 * time.Microsecond})
+	if err := reg.Register(m); err != nil {
+		b.Fatal(err)
+	}
+	srv := stream.NewServer(reg, stream.Options{Window: 128, Handlers: 8, Admission: admit})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	cl, err := stream.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([][]float64, 64)
+	for i := range inputs {
+		inputs[i] = make([]float64, features)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.NormFloat64()
+		}
+	}
+	return cl, inputs, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		cl.Close(ctx)
+		srv.Shutdown(ctx)
+		reg.Close()
+	}
+}
+
+// BenchmarkStreamInfer is the streaming protocol's acceptance benchmark:
+// the PR 4/5 serving hot path addressed over a persistent RPS2 TCP
+// connection instead of in-process calls. "pipelined" multiplexes many
+// closed-loop client goroutines over the one connection — the deployment
+// shape, where the pipelining window keeps the batching scheduler fed
+// from a single socket. "serial" is one strictly sequential client: the
+// per-frame floor (encode + TCP round trip + decode), and the sub-bench
+// whose allocs/op the CI alloc gate pins at zero.
+func BenchmarkStreamInfer(b *testing.B) {
+	b.Run("pipelined", func(b *testing.B) {
+		cl, inputs, done := streamBench(b, nil)
+		defer done()
+		b.SetParallelism(32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var n atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			ctx := context.Background()
+			var out []serve.Result
+			for pb.Next() {
+				k := int(n.Add(1)) % len(inputs)
+				res, err := cl.DoInto(ctx, "arch1", inputs[k:k+1], out)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				out = res
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+	b.Run("serial", func(b *testing.B) {
+		cl, inputs, done := streamBench(b, nil)
+		defer done()
+		ctx := context.Background()
+		var out []serve.Result
+		// Warm the pools so the measured loop is the steady state.
+		for k := 0; k < 50; k++ {
+			res, err := cl.DoInto(ctx, "arch1", inputs[k%len(inputs):k%len(inputs)+1], out)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = res
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := cl.DoInto(ctx, "arch1", inputs[i%len(inputs):i%len(inputs)+1], out)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = res
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+}
+
+// BenchmarkStreamSaturation measures the overload story the README's
+// saturation table records: closed-loop client counts at ~1×, 2× and 10×
+// the admission cap (MaxInflight 8). req/s counts completed inferences
+// only; "shed/s" is the typed-429 rate — at 10× most offered load is
+// refused in microseconds while completed throughput holds, which is the
+// point of admission control.
+func BenchmarkStreamSaturation(b *testing.B) {
+	for _, mult := range []int{1, 2, 10} {
+		b.Run(fmt.Sprintf("load%dx", mult), func(b *testing.B) {
+			ctrl := admission.New(admission.Config{MaxInflight: 8, RetryAfter: 5 * time.Millisecond})
+			cl, inputs, done := streamBench(b, ctrl)
+			defer done()
+			clients := 4 * mult
+			var wg sync.WaitGroup
+			var idx, shed atomic.Int64
+			work := make(chan struct{}, clients)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for g := 0; g < clients; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					ctx := context.Background()
+					var out []serve.Result
+					for range work {
+						for {
+							k := int(idx.Add(1)) % len(inputs)
+							res, err := cl.DoInto(ctx, "arch1", inputs[k:k+1], out)
+							if err == nil {
+								out = res
+								break
+							}
+							var oe *admission.OverloadError
+							if !errors.As(err, &oe) {
+								b.Error(err)
+								return
+							}
+							shed.Add(1)
+							time.Sleep(oe.RetryAfter / 10)
+						}
+					}
+				}(g)
+			}
+			for i := 0; i < b.N; i++ {
+				work <- struct{}{}
+			}
+			close(work)
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			b.ReportMetric(float64(shed.Load())/b.Elapsed().Seconds(), "shed/s")
+		})
 	}
 }
 

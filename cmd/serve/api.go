@@ -9,10 +9,12 @@ import (
 	"mime"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/model"
 	"repro/internal/serve"
+	"repro/internal/serve/admission"
 )
 
 // registerPprof mounts net/http/pprof's handlers under /debug/pprof/ on
@@ -32,8 +34,10 @@ func registerPprof(mux *http.ServeMux) {
 // newMux builds the HTTP surface over a model registry. Factored out of
 // main so the handler wiring is testable (the endpoint regression tests
 // drive it through httptest). defaultName is the model the deprecated
-// single-model endpoints (/infer, /stats) bind to.
-func newMux(reg *serve.Registry, defaultName string, start time.Time) *http.ServeMux {
+// single-model endpoints (/infer, /stats) bind to. ctrl, when non-nil, is
+// the admission controller shared with the streaming listener — one
+// capacity budget across both protocols; nil admits everything.
+func newMux(reg *serve.Registry, defaultName string, start time.Time, ctrl *admission.Controller) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -47,7 +51,7 @@ func newMux(reg *serve.Registry, defaultName string, start time.Time) *http.Serv
 	})
 	mux.HandleFunc("POST /v1/models/{id}/infer", func(w http.ResponseWriter, r *http.Request) {
 		name, version := model.ParseID(r.PathValue("id"))
-		handleInfer(w, r, reg, name, version)
+		handleInfer(w, r, reg, name, version, ctrl)
 	})
 	mux.HandleFunc("GET /v1/models/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
 		name, version := model.ParseID(r.PathValue("id"))
@@ -60,7 +64,7 @@ func newMux(reg *serve.Registry, defaultName string, start time.Time) *http.Serv
 	})
 	// Deprecated single-model aliases, routed to defaultName@latest.
 	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
-		handleInfer(w, r, reg, defaultName, "")
+		handleInfer(w, r, reg, defaultName, "", ctrl)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st, err := reg.Stats(defaultName, "")
@@ -95,8 +99,18 @@ const (
 // wire-format v1 (selected by Content-Type). Multiple inputs are submitted
 // concurrently so the batching scheduler can coalesce them into shared
 // forward passes. Malformed payloads and wrong input dimensions are
-// structured 400 responses; unknown models are 404.
-func handleInfer(w http.ResponseWriter, r *http.Request, reg *serve.Registry, name, version string) {
+// structured 400 responses; unknown models are 404; a request shed by
+// admission control is a 429 with a Retry-After header, before the body
+// is even read.
+func handleInfer(w http.ResponseWriter, r *http.Request, reg *serve.Registry, name, version string, ctrl *admission.Controller) {
+	if ctrl != nil {
+		ticket, err := ctrl.Admit(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer ticket.Release()
+	}
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	// Compare the media type proper, ignoring parameters, so a client
 	// library that appends ";charset=..." still reaches the wire decoder.
@@ -109,7 +123,7 @@ func handleInfer(w http.ResponseWriter, r *http.Request, reg *serve.Registry, na
 		}
 		results, err := inferAll(r.Context(), reg, name, version, inputs)
 		if err != nil {
-			writeJSON(w, statusFor(err), errorBody(err))
+			writeError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", serve.WireContentType)
@@ -138,14 +152,14 @@ func handleInfer(w http.ResponseWriter, r *http.Request, reg *serve.Registry, na
 	case req.Input != nil:
 		res, err := reg.Infer(r.Context(), name, version, req.Input)
 		if err != nil {
-			writeJSON(w, statusFor(err), errorBody(err))
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	case len(req.Inputs) > 0:
 		results, err := inferAll(r.Context(), reg, name, version, req.Inputs)
 		if err != nil {
-			writeJSON(w, statusFor(err), errorBody(err))
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"results": results})
@@ -180,7 +194,10 @@ func inferAll(ctx context.Context, reg *serve.Registry, name, version string, in
 // statusFor maps serving errors to HTTP statuses. Everything not
 // recognised — including serve.InputSizeError — is a client-input 400.
 func statusFor(err error) int {
+	var oe *admission.OverloadError
 	switch {
+	case errors.As(err, &oe):
+		return http.StatusTooManyRequests
 	case errors.Is(err, serve.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, serve.ErrClosed):
@@ -190,6 +207,21 @@ func statusFor(err error) int {
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// writeError writes err as a structured JSON error with its mapped
+// status; an overload carries its Retry-After hint as the standard header
+// so well-behaved clients back off for the advertised interval.
+func writeError(w http.ResponseWriter, err error) {
+	var oe *admission.OverloadError
+	if errors.As(err, &oe) && oe.RetryAfter > 0 {
+		secs := int(oe.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1 // Retry-After is whole seconds; never advertise 0
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, statusFor(err), errorBody(err))
 }
 
 func errorBody(err error) map[string]string {

@@ -20,10 +20,25 @@
 // ready for a -weights A/B split.
 //
 // Flags: [-addr :8080] [-workers N] [-batch 16] [-deadline 2ms] [-cache 1024]
-// [-pprof]
+// [-pprof] [-listen-tcp :9090] [-max-inflight N] [-quota name=N]
+// [-slo 5ms] [-retry-after 50ms]
 //
 // With -pprof, net/http/pprof is mounted under /debug/pprof/ so a live
 // server can be CPU- and heap-profiled under real traffic.
+//
+// With -listen-tcp, the same registry is additionally served over the
+// RPS2 streaming protocol (wire format v2; see internal/serve/stream):
+// persistent TCP connections carrying many pipelined request frames, with
+// a GOAWAY drain on SIGTERM that completes every in-flight frame before
+// the process exits — a rolling model swap behind a TCP load balancer
+// loses no requests.
+//
+// -max-inflight and -quota enable admission control shared across both
+// front ends: past the caps, HTTP posts get 429 + Retry-After and stream
+// frames get a 429 status frame, in both cases before any inference work
+// is spent. -slo additionally sheds requests that already waited longer
+// than the target inside the batching queue — deadline-aware scheduling
+// that refuses to burn a forward pass on an answer nobody is waiting for.
 //
 // Endpoints (wire-format v1; see internal/serve/wire.go for the binary
 // request codec selected by Content-Type):
@@ -49,6 +64,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -62,6 +78,8 @@ import (
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/serve"
+	"repro/internal/serve/admission"
+	"repro/internal/serve/stream"
 )
 
 // modelFlag collects repeated "-model name[@version]=value" occurrences.
@@ -87,6 +105,12 @@ func main() {
 	deadline := flag.Duration("deadline", 2*time.Millisecond, "max time to hold an open batch")
 	cache := flag.Int("cache", 1024, "LRU result-cache entries per model (0 disables)")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ for live profiling")
+	listenTCP := flag.String("listen-tcp", "", "also serve the RPS2 streaming protocol (wire v2) on this TCP address (empty disables)")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: max requests in flight process-wide across HTTP and stream (0 disables)")
+	var quotas modelFlag
+	flag.Var(&quotas, "quota", "admission control: per-model inflight quota, name=N (repeatable)")
+	slo := flag.Duration("slo", 0, "shed requests queued longer than this before running them (0 disables)")
+	retryAfter := flag.Duration("retry-after", 50*time.Millisecond, "Retry-After hint attached to shed responses")
 	flag.Parse()
 
 	loaded, err := loadModels(models.specs, demos.specs, *bundle, *archPath, *paramsPath)
@@ -103,6 +127,7 @@ func main() {
 		MaxBatch:  *batch,
 		MaxDelay:  *deadline,
 		CacheSize: *cache,
+		SLO:       *slo,
 	})
 	var names []string
 	for _, l := range loaded {
@@ -131,7 +156,14 @@ func main() {
 	// registered model's name, routed through its latest alias.
 	defaultName := loaded[0].Name()
 
-	mux := newMux(reg, defaultName, time.Now())
+	// One admission controller guards both protocol front ends, so
+	// -max-inflight is a process capacity, not a per-listener one.
+	ctrl, err := newAdmission(*maxInflight, quotas.specs, *retryAfter)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mux := newMux(reg, defaultName, time.Now(), ctrl)
 	if *pprofFlag {
 		registerPprof(mux)
 		log.Print("pprof enabled on /debug/pprof/")
@@ -145,17 +177,67 @@ func main() {
 		}
 	}()
 
-	// Graceful shutdown: stop accepting HTTP, drain in-flight batches.
+	var ss *stream.Server
+	if *listenTCP != "" {
+		ln, err := net.Listen("tcp", *listenTCP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ss = stream.NewServer(reg, stream.Options{Admission: ctrl})
+		go func() {
+			log.Printf("streaming (RPS2) on %s", ln.Addr())
+			if err := ss.Serve(ln); err != nil && !errors.Is(err, stream.ErrServerClosed) {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	// Graceful shutdown: drain the streaming connections first (GOAWAY
+	// handshake completes every pipelined frame), then stop accepting
+	// HTTP, and only then close the registry so drained work ran on live
+	// models throughout.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if ss != nil {
+		if err := ss.Shutdown(ctx); err != nil {
+			log.Printf("stream shutdown: %v", err)
+		}
+	}
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
 	reg.Close()
+}
+
+// newAdmission builds the shared admission controller from the capacity
+// flags, or returns nil (admit everything) when none are set.
+func newAdmission(maxInflight int, quotaSpecs []string, retryAfter time.Duration) (*admission.Controller, error) {
+	if maxInflight <= 0 && len(quotaSpecs) == 0 {
+		return nil, nil
+	}
+	cfg := admission.Config{MaxInflight: maxInflight, RetryAfter: retryAfter}
+	if len(quotaSpecs) > 0 {
+		cfg.Quota = make(map[string]int, len(quotaSpecs))
+		for _, spec := range quotaSpecs {
+			name, ns, ok := strings.Cut(spec, "=")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("-quota %q: want name=N", spec)
+			}
+			n, err := strconv.Atoi(ns)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("-quota %q: bad limit %q", spec, ns)
+			}
+			if _, dup := cfg.Quota[name]; dup {
+				return nil, fmt.Errorf("-quota %q: model %q given twice", spec, name)
+			}
+			cfg.Quota[name] = n
+		}
+	}
+	return admission.New(cfg), nil
 }
 
 // loadedModel is a registered executor together with the network it was

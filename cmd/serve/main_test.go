@@ -19,6 +19,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/serve"
+	"repro/internal/serve/admission"
 )
 
 func testNet(seed int64) *nn.Network {
@@ -47,7 +48,7 @@ func newTestServer(t *testing.T, cacheSize int) (*serve.Registry, *httptest.Serv
 	if err := reg.Register(m); err != nil {
 		t.Fatal(err)
 	}
-	hs := httptest.NewServer(newMux(reg, "test", time.Now()))
+	hs := httptest.NewServer(newMux(reg, "test", time.Now(), nil))
 	t.Cleanup(func() { hs.Close(); reg.Close() })
 	return reg, hs
 }
@@ -536,7 +537,7 @@ func TestPprofRegistration(t *testing.T) {
 	if err := reg.Register(m); err != nil {
 		t.Fatal(err)
 	}
-	mux := newMux(reg, "test", time.Now())
+	mux := newMux(reg, "test", time.Now(), nil)
 	registerPprof(mux)
 	ts2 := httptest.NewServer(mux)
 	defer ts2.Close()
@@ -550,5 +551,75 @@ func TestPprofRegistration(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("%s: status %d, body %q", path, resp.StatusCode, body)
 		}
+	}
+}
+
+// TestAdmissionHTTP429 pins the HTTP overload contract: past the
+// controller's caps the handler answers 429 with a Retry-After header and
+// a structured JSON error, before reading the request body; under the
+// caps traffic is unaffected; and a released ticket restores capacity.
+func TestAdmissionHTTP429(t *testing.T) {
+	reg := serve.NewRegistry(serve.Options{Workers: 1, MaxBatch: 4})
+	defer reg.Close()
+	m, err := model.FromNetwork("test", "v1", testNet(5), []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := admission.New(admission.Config{MaxInflight: 1, RetryAfter: 2 * time.Second})
+	hs := httptest.NewServer(newMux(reg, "test", time.Now(), ctrl))
+	defer hs.Close()
+	url := hs.URL + "/v1/models/test/infer"
+	body, _ := json.Marshal(map[string]any{"input": make([]float64, 64)})
+
+	// Under the cap: normal service.
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("uncontended request: status %d", resp.StatusCode)
+	}
+
+	// Hold the only slot, then overload.
+	ticket, err := ctrl.Admit("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded request: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After header %q, want \"2\"", got)
+	}
+	var payload struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil || payload.Error == "" {
+		t.Errorf("429 body %q is not a structured error", raw)
+	}
+
+	// Releasing the ticket restores service.
+	ticket.Release()
+	resp, err = http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-release request: status %d", resp.StatusCode)
+	}
+	st := ctrl.Stats()
+	if st.ShedInflight == 0 || st.Inflight != 0 {
+		t.Errorf("controller stats %+v after shed and quiesce", st)
 	}
 }

@@ -1,0 +1,183 @@
+// Package admission is the serving stack's overload story: a shared
+// admission controller that bounds how much work the process accepts
+// before the batching schedulers ever see it. Both front ends — the HTTP
+// handlers in cmd/serve and the RPS2 streaming listener
+// (internal/serve/stream) — consult one Controller per process, so a
+// deployment's capacity limits hold regardless of which protocol the
+// traffic arrives on.
+//
+// The model is deliberately simple and allocation-free on the admit path:
+// a global in-flight cap, optional per-model quotas, and immediate load
+// shedding with a typed OverloadError carrying a Retry-After hint.
+// Shedding beats queueing past capacity: a request that would wait longer
+// than its caller's patience only wastes a batch slot, and the paper's
+// deployment target (embedded/mobile inference behind heavy traffic)
+// cares about bounded tail latency more than about never saying no.
+// Deadline-aware shedding of work already admitted — dropping requests
+// past their SLO before running them — lives in the batch scheduler
+// itself (serve.Options.SLO), which reuses this package's error type so
+// every shed looks the same to clients.
+package admission
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Shed reasons, recorded in OverloadError.Reason and the Stats counters.
+const (
+	// ReasonInflight: the global in-flight cap is reached.
+	ReasonInflight = "inflight"
+	// ReasonQuota: the target model's admission quota is reached.
+	ReasonQuota = "quota"
+	// ReasonQueue: a bounded accept/pipeline queue is full (used by the
+	// streaming listener when a connection's pending window overflows).
+	ReasonQueue = "queue"
+	// ReasonSLO: the request sat queued past its latency SLO and was
+	// dropped by the batch scheduler before execution.
+	ReasonSLO = "slo"
+)
+
+// OverloadError is the typed load-shed error every overload path returns:
+// the HTTP layer maps it to 429 with a Retry-After header, the streaming
+// layer to a status frame, and the batch scheduler's SLO shed reuses it so
+// clients see one error shape for "the server chose not to do this work".
+type OverloadError struct {
+	// Reason is one of the Reason* constants.
+	Reason string
+	// Model is the name the shed request was addressed to, when known.
+	Model string
+	// RetryAfter is the server's backoff hint; 0 means none was
+	// configured.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	msg := "admission: overloaded (" + e.Reason + ")"
+	if e.Model != "" {
+		msg += " model " + e.Model
+	}
+	if e.RetryAfter > 0 {
+		msg += fmt.Sprintf(", retry after %v", e.RetryAfter)
+	}
+	return msg
+}
+
+// Config parameterises a Controller. The zero value admits everything
+// (useful as an explicit "no limits" controller in tests).
+type Config struct {
+	// MaxInflight caps concurrently admitted requests across all models;
+	// 0 means unlimited.
+	MaxInflight int
+	// Quota caps concurrently admitted requests per model name (the bare
+	// name, not name@version — a hot-swap must not reset the budget);
+	// models without an entry are bounded only by MaxInflight.
+	Quota map[string]int
+	// RetryAfter is the backoff hint attached to shed errors.
+	RetryAfter time.Duration
+}
+
+// Stats is a point-in-time snapshot of the controller's counters.
+type Stats struct {
+	// Admitted counts requests that passed admission.
+	Admitted uint64 `json:"admitted"`
+	// ShedInflight and ShedQuota count rejections by reason.
+	ShedInflight uint64 `json:"shed_inflight"`
+	ShedQuota    uint64 `json:"shed_quota"`
+	// Inflight is the number of currently admitted, unreleased requests.
+	Inflight int64 `json:"inflight"`
+}
+
+// Controller enforces a Config. It is safe for use by any number of
+// goroutines, and the admit/release round trip performs no allocation and
+// takes no locks — two atomic adds each way.
+type Controller struct {
+	cfg      Config
+	inflight atomic.Int64
+	quotas   map[string]*quota // read-only after New
+
+	admitted     atomic.Uint64
+	shedInflight atomic.Uint64
+	shedQuota    atomic.Uint64
+}
+
+type quota struct {
+	limit    int64
+	inflight atomic.Int64
+}
+
+// New builds a controller for cfg. The quota map is copied; later
+// mutations of cfg.Quota have no effect.
+func New(cfg Config) *Controller {
+	c := &Controller{cfg: cfg}
+	if len(cfg.Quota) > 0 {
+		c.quotas = make(map[string]*quota, len(cfg.Quota))
+		for name, limit := range cfg.Quota {
+			if limit > 0 {
+				c.quotas[name] = &quota{limit: int64(limit)}
+			}
+		}
+	}
+	return c
+}
+
+// RetryAfter returns the configured backoff hint.
+func (c *Controller) RetryAfter() time.Duration { return c.cfg.RetryAfter }
+
+// Ticket is an admitted request's reservation. Release returns the
+// capacity; it must be called exactly once, after the request completes
+// or fails. The zero Ticket (from a rejected Admit) releases nothing, so
+// callers may defer Release unconditionally.
+type Ticket struct {
+	c *Controller
+	q *quota
+}
+
+// Release returns the ticket's capacity to the controller.
+func (t Ticket) Release() {
+	if t.c == nil {
+		return
+	}
+	t.c.inflight.Add(-1)
+	if t.q != nil {
+		t.q.inflight.Add(-1)
+	}
+}
+
+// Admit reserves capacity for one request addressed to the named model
+// (bare name; the caller resolves versions). It never blocks: past any
+// cap it returns a zero Ticket and an *OverloadError, and the caller is
+// expected to shed the request with that error immediately.
+func (c *Controller) Admit(model string) (Ticket, error) {
+	if n := c.inflight.Add(1); c.cfg.MaxInflight > 0 && n > int64(c.cfg.MaxInflight) {
+		c.inflight.Add(-1)
+		c.shedInflight.Add(1)
+		return Ticket{}, &OverloadError{Reason: ReasonInflight, Model: model, RetryAfter: c.cfg.RetryAfter}
+	}
+	q := c.quotas[model]
+	if q != nil && q.inflight.Add(1) > q.limit {
+		q.inflight.Add(-1)
+		c.inflight.Add(-1)
+		c.shedQuota.Add(1)
+		return Ticket{}, &OverloadError{Reason: ReasonQuota, Model: model, RetryAfter: c.cfg.RetryAfter}
+	}
+	c.admitted.Add(1)
+	return Ticket{c: c, q: q}, nil
+}
+
+// Overloaded builds the typed shed error front ends use for their own
+// bounded queues (ReasonQueue), with this controller's Retry-After hint.
+func (c *Controller) Overloaded(reason, model string) *OverloadError {
+	return &OverloadError{Reason: reason, Model: model, RetryAfter: c.cfg.RetryAfter}
+}
+
+// Stats snapshots the counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Admitted:     c.admitted.Load(),
+		ShedInflight: c.shedInflight.Load(),
+		ShedQuota:    c.shedQuota.Load(),
+		Inflight:     c.inflight.Load(),
+	}
+}

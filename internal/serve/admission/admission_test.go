@@ -1,0 +1,209 @@
+package admission
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmitInflightCap(t *testing.T) {
+	c := New(Config{MaxInflight: 2, RetryAfter: 7 * time.Millisecond})
+	t1, err := c.Admit("a")
+	if err != nil {
+		t.Fatalf("admit 1: %v", err)
+	}
+	t2, err := c.Admit("b")
+	if err != nil {
+		t.Fatalf("admit 2: %v", err)
+	}
+	_, err = c.Admit("c")
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("admit past cap: got %v, want *OverloadError", err)
+	}
+	if oe.Reason != ReasonInflight || oe.Model != "c" || oe.RetryAfter != 7*time.Millisecond {
+		t.Errorf("shed error fields: %+v", oe)
+	}
+	t1.Release()
+	t3, err := c.Admit("c")
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	t2.Release()
+	t3.Release()
+	st := c.Stats()
+	if st.Admitted != 3 || st.ShedInflight != 1 || st.ShedQuota != 0 || st.Inflight != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestAdmitQuota(t *testing.T) {
+	c := New(Config{Quota: map[string]int{"capped": 1}, RetryAfter: time.Millisecond})
+	tk, err := c.Admit("capped")
+	if err != nil {
+		t.Fatalf("admit capped: %v", err)
+	}
+	_, err = c.Admit("capped")
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != ReasonQuota {
+		t.Fatalf("second capped admit: got %v, want quota shed", err)
+	}
+	// A sibling model without a quota entry is bounded only by MaxInflight
+	// (unlimited here), even while "capped" is saturated.
+	open, err := c.Admit("open")
+	if err != nil {
+		t.Fatalf("admit open while capped is full: %v", err)
+	}
+	open.Release()
+	tk.Release()
+	if tk2, err := c.Admit("capped"); err != nil {
+		t.Fatalf("capped after release: %v", err)
+	} else {
+		tk2.Release()
+	}
+	if st := c.Stats(); st.ShedQuota != 1 || st.Inflight != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestZeroConfigAdmitsEverything(t *testing.T) {
+	c := New(Config{})
+	tickets := make([]Ticket, 100)
+	for i := range tickets {
+		tk, err := c.Admit("m")
+		if err != nil {
+			t.Fatalf("admit %d under zero config: %v", i, err)
+		}
+		tickets[i] = tk
+	}
+	for _, tk := range tickets {
+		tk.Release()
+	}
+	if st := c.Stats(); st.Inflight != 0 || st.Admitted != 100 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestZeroTicketReleaseIsSafe pins the contract that lets callers defer
+// Release unconditionally: a rejected Admit's zero Ticket is a no-op.
+func TestZeroTicketReleaseIsSafe(t *testing.T) {
+	c := New(Config{MaxInflight: 1})
+	tk, err := c.Admit("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected, err := c.Admit("a")
+	if err == nil {
+		t.Fatal("expected shed")
+	}
+	rejected.Release()
+	rejected.Release()
+	if got := c.Stats().Inflight; got != 1 {
+		t.Fatalf("zero-ticket Release changed inflight: %d", got)
+	}
+	tk.Release()
+	if got := c.Stats().Inflight; got != 0 {
+		t.Fatalf("inflight after release: %d", got)
+	}
+}
+
+func TestOverloadedHelperAndErrorString(t *testing.T) {
+	c := New(Config{RetryAfter: 50 * time.Millisecond})
+	oe := c.Overloaded(ReasonQueue, "mnist")
+	if oe.Reason != ReasonQueue || oe.Model != "mnist" || oe.RetryAfter != 50*time.Millisecond {
+		t.Errorf("Overloaded fields: %+v", oe)
+	}
+	msg := oe.Error()
+	for _, want := range []string{"overloaded", ReasonQueue, "mnist", "50ms"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error string %q missing %q", msg, want)
+		}
+	}
+	bare := (&OverloadError{Reason: ReasonSLO}).Error()
+	if strings.Contains(bare, "model") || strings.Contains(bare, "retry") {
+		t.Errorf("zero-field error string leaked optional parts: %q", bare)
+	}
+}
+
+// TestAdmitConcurrentInvariant hammers one controller from many goroutines
+// and checks the two safety invariants the atomics must preserve: admitted
+// concurrency never exceeds the caps (globally and per model), and all
+// capacity returns after the storm. Run under -race this also proves the
+// admit/release path is data-race-free.
+func TestAdmitConcurrentInvariant(t *testing.T) {
+	const (
+		maxInflight = 8
+		quotaLimit  = 3
+		goroutines  = 32
+		iters       = 500
+	)
+	c := New(Config{MaxInflight: maxInflight, Quota: map[string]int{"q": quotaLimit}})
+	var (
+		cur, qcur       atomic.Int64
+		maxSeen, qMax   atomic.Int64
+		admitted, sheds atomic.Int64
+	)
+	update := func(m *atomic.Int64, v int64) {
+		for {
+			old := m.Load()
+			if v <= old || m.CompareAndSwap(old, v) {
+				return
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			model := "open"
+			if g%2 == 0 {
+				model = "q"
+			}
+			for i := 0; i < iters; i++ {
+				tk, err := c.Admit(model)
+				if err != nil {
+					var oe *OverloadError
+					if !errors.As(err, &oe) {
+						t.Errorf("untyped admission error: %v", err)
+						return
+					}
+					sheds.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				update(&maxSeen, cur.Add(1))
+				if model == "q" {
+					update(&qMax, qcur.Add(1))
+				}
+				if model == "q" {
+					qcur.Add(-1)
+				}
+				cur.Add(-1)
+				tk.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m := maxSeen.Load(); m > maxInflight {
+		t.Errorf("observed %d concurrent admissions, cap %d", m, maxInflight)
+	}
+	if m := qMax.Load(); m > quotaLimit {
+		t.Errorf("observed %d concurrent quota admissions, cap %d", m, quotaLimit)
+	}
+	st := c.Stats()
+	if st.Inflight != 0 {
+		t.Errorf("inflight after drain: %d", st.Inflight)
+	}
+	if st.Admitted != uint64(admitted.Load()) {
+		t.Errorf("admitted counter %d, locally observed %d", st.Admitted, admitted.Load())
+	}
+	if st.ShedInflight+st.ShedQuota != uint64(sheds.Load()) {
+		t.Errorf("shed counters %d+%d, locally observed %d", st.ShedInflight, st.ShedQuota, sheds.Load())
+	}
+	t.Logf("admitted=%d sheds=%d maxConcurrent=%d quotaMax=%d",
+		admitted.Load(), sheds.Load(), maxSeen.Load(), qMax.Load())
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzz seeds: valid frames of both codecs plus the hostile shapes the
+// hardening checks exist for. The fuzzer mutates from here into the
+// interesting corners (header/body length disagreements, huge counts,
+// wrapped 32-bit fields, bad cached flags).
+
+func wireRequestSeed(t testing.TB, inputs [][]float64) []byte {
+	t.Helper()
+	b, err := AppendWireRequest(nil, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func wireResultsSeed(t testing.TB, results []Result) []byte {
+	t.Helper()
+	b, err := AppendWireResults(nil, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// FuzzDecodeWireRequest drives both request decoders with arbitrary
+// bytes: no input may panic or allocate past the MaxWireBytes bound, the
+// in-memory and reader decoders must agree, and anything that decodes
+// must re-encode to the identical bytes (the format is canonical —
+// comparing bytes also makes the check NaN-safe, scores travel as raw
+// float bits).
+func FuzzDecodeWireRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(wireRequestSeed(f, [][]float64{{1, 2, 3}}))
+	f.Add(wireRequestSeed(f, [][]float64{{math.NaN(), math.Inf(1)}, {0, math.Copysign(0, -1)}}))
+	valid := wireRequestSeed(f, [][]float64{{0.5, -0.5}})
+	f.Add(valid[:7])                      // truncated header
+	f.Add(valid[:len(valid)-3])           // truncated body
+	f.Add(append(valid, 0xAA))            // trailing garbage
+	f.Add([]byte("RPO1\x01\x00\x00\x00")) // response magic on the request decoder
+	hostile := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hostile[0:], wireReqMagic)
+	binary.LittleEndian.PutUint32(hostile[4:], 0xFFFFFFFF) // count wraps negative as int32
+	binary.LittleEndian.PutUint32(hostile[8:], 0xFFFFFFFF)
+	f.Add(append([]byte(nil), hostile...))
+	binary.LittleEndian.PutUint32(hostile[4:], 1<<16) // count*dim overflows MaxWireBytes
+	binary.LittleEndian.PutUint32(hostile[8:], 1<<16)
+	f.Add(append([]byte(nil), hostile...))
+	binary.LittleEndian.PutUint32(hostile[4:], 0) // zero count
+	binary.LittleEndian.PutUint32(hostile[8:], 0)
+	f.Add(append([]byte(nil), hostile...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var scratch WireRequestScratch
+		inputs, err := ParseWireRequest(data, &scratch)
+		if err != nil {
+			// The reader form accepts a valid prefix with trailing bytes
+			// (it stops at the described length); it must never succeed on
+			// something the stricter in-memory parser rejected for any
+			// other reason, so re-check only the success path below.
+			return
+		}
+		if len(data) > MaxWireBytes {
+			t.Fatalf("decoded a %d-byte request past the %d-byte bound", len(data), MaxWireBytes)
+		}
+		reenc, err := AppendWireRequest(nil, inputs)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatalf("request round trip changed bytes: %d in, %d out", len(data), len(reenc))
+		}
+		rd, err := DecodeWireRequest(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("reader decoder rejected what the parser accepted: %v", err)
+		}
+		if len(rd) != len(inputs) {
+			t.Fatalf("decoders disagree: %d vs %d inputs", len(rd), len(inputs))
+		}
+		for i := range rd {
+			for j := range rd[i] {
+				if math.Float64bits(rd[i][j]) != math.Float64bits(inputs[i][j]) {
+					t.Fatalf("decoders disagree at input %d feature %d", i, j)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeWireResults is the response-side twin: arbitrary bytes must
+// not panic either decoder, the hardening checks (cached byte ∈ {0,1},
+// class/batch_size within int32) hold, and decoded responses re-encode
+// canonically.
+func FuzzDecodeWireResults(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(wireResultsSeed(f, []Result{{Class: 3, Scores: []float64{0.1, 0.2, 0.7}, BatchSize: 4}}))
+	f.Add(wireResultsSeed(f, []Result{
+		{Class: 0, Scores: []float64{math.NaN(), math.Inf(-1)}, Cached: true},
+		{Class: 1, Scores: []float64{1, 2}, BatchSize: maxWireIntField},
+	}))
+	valid := wireResultsSeed(f, []Result{{Class: 1, Scores: []float64{0.5, 0.5}}})
+	f.Add(valid[:5])
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(valid, 0x00))
+	bad := append([]byte(nil), valid...)
+	bad[12+8] = 2 // cached flag other than 0/1
+	f.Add(bad)
+	bad = append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(bad[12:], 0x80000000) // class wraps negative on 32-bit
+	f.Add(bad)
+	hostile := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hostile[0:], wireRespMagic)
+	binary.LittleEndian.PutUint32(hostile[4:], 0xFFFFFFFF)
+	binary.LittleEndian.PutUint32(hostile[8:], 0xFFFFFFFF)
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var scratch WireResultsScratch
+		results, err := ParseWireResults(data, &scratch)
+		if err != nil {
+			return
+		}
+		if len(data) > MaxWireBytes {
+			t.Fatalf("decoded a %d-byte response past the %d-byte bound", len(data), MaxWireBytes)
+		}
+		for i, r := range results {
+			if r.Class < 0 || r.BatchSize < 0 {
+				t.Fatalf("result %d decoded with negative field: class=%d batch=%d", i, r.Class, r.BatchSize)
+			}
+		}
+		reenc, err := AppendWireResults(nil, results)
+		if err != nil {
+			t.Fatalf("decoded response does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatalf("response round trip changed bytes: %d in, %d out", len(data), len(reenc))
+		}
+		rd, err := DecodeWireResults(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("reader decoder rejected what the parser accepted: %v", err)
+		}
+		if len(rd) != len(results) {
+			t.Fatalf("decoders disagree: %d vs %d results", len(rd), len(results))
+		}
+		for i := range rd {
+			if rd[i].Class != results[i].Class || rd[i].BatchSize != results[i].BatchSize || rd[i].Cached != results[i].Cached {
+				t.Fatalf("decoders disagree on result %d header", i)
+			}
+			for j := range rd[i].Scores {
+				if math.Float64bits(rd[i].Scores[j]) != math.Float64bits(results[i].Scores[j]) {
+					t.Fatalf("decoders disagree at result %d score %d", i, j)
+				}
+			}
+		}
+	})
+}

@@ -32,8 +32,15 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/nn"
+	"repro/internal/serve/admission"
 	"repro/internal/tensor"
 )
+
+// errShedSLO is the typed overload error a worker answers with when it
+// sheds a request already past its SLO or context deadline instead of
+// running it. A shared instance: shedding is exactly what happens on the
+// overloaded hot path, so it must not allocate per request.
+var errShedSLO = &admission.OverloadError{Reason: admission.ReasonSLO}
 
 // ErrClosed is returned by Infer after Close has been called.
 var ErrClosed = errors.New("serve: server closed")
@@ -68,6 +75,15 @@ type Options struct {
 	// CacheSize is the LRU result-cache capacity in entries; 0 disables
 	// caching.
 	CacheSize int
+	// SLO, when positive, is the latency objective the batch scheduler
+	// enforces by shedding: a request that has already waited longer than
+	// SLO when its batch reaches a worker is answered with a typed
+	// overload error (admission.OverloadError, reason "slo") instead of
+	// being executed — past saturation, running work nobody is still
+	// waiting for only pushes every later request further past its own
+	// deadline. Requests whose context deadline has passed are shed the
+	// same way regardless of SLO. 0 disables age-based shedding.
+	SLO time.Duration
 }
 
 // withDefaults returns opts with zero fields replaced by defaults.
@@ -133,12 +149,17 @@ type Result struct {
 // request. Both buffers reach a steady capacity after the first use, so
 // the request round trip allocates nothing.
 type request struct {
-	input  []float64
-	scores []float64
-	key    string      // cache key, "" when caching is disabled
-	shard  *cacheShard // key's home shard, resolved once per request
-	enq    time.Time
-	resp   chan Result
+	input    []float64
+	scores   []float64
+	key      string      // cache key, "" when caching is disabled
+	shard    *cacheShard // key's home shard, resolved once per request
+	enq      time.Time
+	deadline time.Time // from the submitting context; zero = none
+	// err is set by the worker before the resp send when the request was
+	// shed instead of executed (the channel send orders the write), and
+	// cleared when the request is taken from the pool.
+	err  error
+	resp chan Result
 }
 
 var requestPool = sync.Pool{
@@ -311,6 +332,8 @@ func (s *Server) InferInto(ctx context.Context, input, scores []float64) (Result
 	r.key = key
 	r.shard = shard
 	r.enq = time.Now()
+	r.deadline, _ = ctx.Deadline()
+	r.err = nil
 
 	s.mu.RLock()
 	if s.closed {
@@ -349,6 +372,12 @@ func (s *Server) InferInto(ctx context.Context, input, scores []float64) (Result
 
 	select {
 	case res := <-r.resp:
+		if err := r.err; err != nil {
+			// Shed by the worker (past SLO or deadline): the typed
+			// overload error is the response.
+			requestPool.Put(r)
+			return Result{}, err
+		}
 		// res.Scores is the pooled request's own buffer; detach into the
 		// caller's before the request (and with it the buffer) is reused.
 		res.Scores = append(scores[:0], res.Scores...)
@@ -517,7 +546,38 @@ func (s *Server) worker(m model.Model) {
 	copy(shape[1:], s.inShape)
 	var xt tensor.Tensor
 	for batch := range s.batchCh {
+		// Deadline-aware shed before execution: a request that has already
+		// outlived its SLO (or its caller's context deadline) gets the
+		// typed overload error now, for free, instead of a batch slot.
+		// Shedding at the worker rather than at admission is what bounds
+		// tail latency at saturation — whatever time a batch spent queued
+		// is charged against its requests before any model work starts.
+		now := time.Now()
+		live := batch[:0]
+		for _, r := range batch {
+			expired := !r.deadline.IsZero() && now.After(r.deadline)
+			if !expired && s.opts.SLO > 0 && now.Sub(r.enq) > s.opts.SLO {
+				expired = true
+			}
+			if expired {
+				r.err = errShedSLO
+				r.resp <- Result{}
+				continue
+			}
+			live = append(live, r)
+		}
+		if shed := len(batch) - len(live); shed > 0 {
+			s.stats.shedN(shed)
+		}
+		batch = live
 		n := len(batch)
+		if n == 0 {
+			select {
+			case s.freeBatches <- batch:
+			default:
+			}
+			continue
+		}
 		for i, r := range batch {
 			copy(buf[i*s.features:(i+1)*s.features], r.input)
 		}
@@ -526,7 +586,7 @@ func (s *Server) worker(m model.Model) {
 		out := m.Forward(ws, x)
 		// Record stats before fanning responses out: the moment the last
 		// response lands, a caller may read Stats and must see this batch.
-		now := time.Now()
+		now = time.Now()
 		lats = lats[:0]
 		for _, r := range batch {
 			lats = append(lats, now.Sub(r.enq))

@@ -25,6 +25,10 @@ type Stats struct {
 	// Completed is the number of requests answered by a model forward
 	// pass (cache hits are not included).
 	Completed uint64 `json:"completed"`
+	// Shed is the number of admitted requests the batch scheduler dropped
+	// unexecuted because they were already past their SLO or context
+	// deadline (answered with a typed overload error; see Options.SLO).
+	Shed uint64 `json:"shed"`
 	// CacheHits and CacheMisses count result-cache lookups; both are zero
 	// when the cache is disabled.
 	CacheHits   uint64 `json:"cache_hits"`
@@ -52,6 +56,7 @@ type collector struct {
 	mu           sync.Mutex
 	requests     uint64
 	completed    uint64
+	shed         uint64
 	batches      uint64
 	batchSizeSum uint64
 	maxBatch     int
@@ -79,6 +84,14 @@ func (c *collector) admit() {
 func (c *collector) unadmit() {
 	c.mu.Lock()
 	c.requests--
+	c.mu.Unlock()
+}
+
+// shedN records n requests dropped unexecuted by the deadline-aware
+// scheduler.
+func (c *collector) shedN(n int) {
+	c.mu.Lock()
+	c.shed += uint64(n)
 	c.mu.Unlock()
 }
 
@@ -110,6 +123,7 @@ func (c *collector) snapshot() Stats {
 	s := Stats{
 		Requests:  c.requests,
 		Completed: c.completed,
+		Shed:      c.shed,
 		Batches:   c.batches,
 		MaxBatch:  c.maxBatch,
 	}

@@ -1,0 +1,387 @@
+package stream
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/admission"
+)
+
+// Client errors.
+var (
+	// ErrGoingAway is returned by Do once the server has announced a
+	// drain (GOAWAY): in-flight requests still complete, new ones must go
+	// to another connection.
+	ErrGoingAway = errors.New("stream: connection draining (GOAWAY received)")
+	// ErrClientClosed is returned by Do after Close.
+	ErrClientClosed = errors.New("stream: client closed")
+)
+
+// StatusError is a non-overload status frame surfaced as an error. Its
+// Is method maps protocol codes back onto the serving sentinels, so
+// errors.Is(err, serve.ErrNotFound) works across the wire exactly as it
+// does in-process.
+type StatusError struct {
+	Code       int
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("stream: status %d: %s", e.Code, e.Msg)
+}
+
+// Is maps status codes onto the in-process error identities.
+func (e *StatusError) Is(target error) bool {
+	switch e.Code {
+	case 404:
+		return target == serve.ErrNotFound
+	case 503:
+		return target == serve.ErrClosed
+	case 408:
+		return target == context.DeadlineExceeded
+	}
+	return false
+}
+
+// call is one in-flight request's rendezvous, pooled so the steady-state
+// Do round trip allocates nothing. The reader parses the response into
+// the call's own scratch before signalling done; Do copies outward and
+// recycles. A call abandoned by context cancellation is NOT pooled — the
+// reader may still be about to touch it (the buffered done channel makes
+// that signal harmless on a dead call).
+type call struct {
+	done    chan struct{}
+	scratch serve.WireResultsScratch
+	results []serve.Result
+	err     error
+}
+
+var callPool = sync.Pool{
+	New: func() any { return &call{done: make(chan struct{}, 1)} },
+}
+
+// Client is one RPS2 connection: any number of goroutines may Do on it
+// concurrently, each request becomes one pipelined frame, and responses
+// are matched back by id as they complete — out of order, as the server's
+// batching dictates. Create one with Dial or NewClient.
+type Client struct {
+	nc net.Conn
+
+	wmu  sync.Mutex
+	wbuf []byte // frame encode scratch, under wmu
+
+	mu       sync.Mutex
+	calls    map[uint64]*call
+	inflight int
+	idle     chan struct{} // signalled when inflight drops to 0, for Close
+	closed   bool
+
+	nextID    atomic.Uint64
+	goingAway atomic.Bool
+
+	readDone chan struct{} // closed when the read loop exits
+	readErr  error         // valid after readDone
+	drained  chan struct{} // closed on the server's GOAWAY drain ack
+}
+
+// Dial connects an RPS2 client to addr over TCP.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient speaks RPS2 over an established connection (any net.Conn,
+// including net.Pipe ends in tests) and starts its read loop.
+func NewClient(nc net.Conn) *Client {
+	c := &Client{
+		nc:       nc,
+		calls:    make(map[uint64]*call),
+		idle:     make(chan struct{}, 1),
+		readDone: make(chan struct{}),
+		drained:  make(chan struct{}),
+	}
+	go c.read()
+	return c
+}
+
+// GoingAway reports whether the server has announced a drain.
+func (c *Client) GoingAway() bool { return c.goingAway.Load() }
+
+// Do submits one routed request — route is "name" or "name@version",
+// exactly the HTTP path's id — and blocks until its response frame
+// arrives. If ctx carries a deadline, the remaining budget rides in the
+// frame, so the server can shed the request once it is past the SLO
+// instead of computing an answer nobody reads. Do is DoInto(..., nil).
+func (c *Client) Do(ctx context.Context, route string, inputs [][]float64) ([]serve.Result, error) {
+	return c.DoInto(ctx, route, inputs, nil)
+}
+
+// DoInto is Do appending the results into out's storage (out[i].Scores
+// buffers are reused when their capacity suffices), the allocation-free
+// form for a long-lived client goroutine reusing one results slice.
+func (c *Client) DoInto(ctx context.Context, route string, inputs [][]float64, out []serve.Result) ([]serve.Result, error) {
+	if c.goingAway.Load() {
+		return out, ErrGoingAway
+	}
+	var budget time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		budget = time.Until(dl)
+		if budget <= 0 {
+			return out, context.DeadlineExceeded
+		}
+	}
+
+	cl := callPool.Get().(*call)
+	cl.err = nil
+	id := c.nextID.Add(1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		callPool.Put(cl)
+		return out, ErrClientClosed
+	}
+	c.calls[id] = cl
+	c.inflight++
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	start := 0
+	c.wbuf = beginFrame(c.wbuf[:0], FrameRequest, id)
+	var err error
+	c.wbuf, err = appendRequestPayload(c.wbuf, route, budget, inputs)
+	if err == nil {
+		c.wbuf = finishFrame(c.wbuf, start)
+		_, err = c.nc.Write(c.wbuf)
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(id)
+		callPool.Put(cl)
+		return out, err
+	}
+
+	select {
+	case <-cl.done:
+		if cl.err != nil {
+			err := cl.err
+			c.finish(cl)
+			return out, err
+		}
+		out = appendResults(out, cl.results)
+		c.finish(cl)
+		return out, nil
+	case <-ctx.Done():
+		// The response may race in at any moment; drop the call without
+		// pooling it (see the call doc comment).
+		c.forget(id)
+		return out, ctx.Err()
+	case <-c.readDone:
+		c.forget(id)
+		return out, c.readErr
+	}
+}
+
+// finish recycles a completed call.
+func (c *Client) finish(cl *call) {
+	c.decInflight()
+	callPool.Put(cl)
+}
+
+// forget unregisters an abandoned or failed call id. The in-flight count
+// is decremented unconditionally: every Do ends in exactly one of finish
+// (response consumed) or forget, even when the reader claimed the call
+// a moment before the abandoning context fired.
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.calls, id)
+	c.inflight--
+	if c.inflight == 0 {
+		select {
+		case c.idle <- struct{}{}:
+		default:
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) decInflight() {
+	c.mu.Lock()
+	c.inflight--
+	if c.inflight == 0 {
+		select {
+		case c.idle <- struct{}{}:
+		default:
+		}
+	}
+	c.mu.Unlock()
+}
+
+// appendResults copies parsed results into out, reusing out's backing
+// storage and per-result score buffers where capacity allows.
+func appendResults(out, parsed []serve.Result) []serve.Result {
+	n := len(parsed)
+	for cap(out) < n {
+		out = append(out[:cap(out)], serve.Result{})
+	}
+	out = out[:n]
+	for i, r := range parsed {
+		scores := append(out[i].Scores[:0], r.Scores...)
+		out[i] = r
+		out[i].Scores = scores
+	}
+	return out
+}
+
+// read is the response demultiplexer: one loop per connection matching
+// response and status frames back to their waiting calls.
+func (c *Client) read() {
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var f Frame
+	for {
+		if err := DecodeFrame(br, &f); err != nil {
+			c.readErr = err
+			c.mu.Lock()
+			c.closed = true
+			c.mu.Unlock()
+			close(c.readDone)
+			return
+		}
+		switch f.Type {
+		case FrameGoAway:
+			// Drain announcement or drain ack: either way no new work. A
+			// server-initiated drain is answered automatically — once the
+			// in-flight calls complete, the client sends its own GOAWAY so
+			// the server can finish the handshake without waiting on an
+			// explicit Close.
+			if !c.goingAway.Swap(true) {
+				close(c.drained)
+				go c.ackGoAway()
+			}
+		case FrameResponse:
+			cl := c.take(f.ID)
+			if cl == nil {
+				continue // abandoned call; drop the late response
+			}
+			cl.results, cl.err = serve.ParseWireResults(f.Payload, &cl.scratch)
+			cl.done <- struct{}{}
+		case FrameStatus:
+			cl := c.take(f.ID)
+			if cl == nil {
+				continue
+			}
+			code, retryAfter, msg, err := parseStatusPayload(f.Payload)
+			switch {
+			case err != nil:
+				cl.err = err
+			case code == 429:
+				cl.err = &admission.OverloadError{Reason: string(msg), RetryAfter: retryAfter}
+			default:
+				cl.err = &StatusError{Code: code, RetryAfter: retryAfter, Msg: string(msg)}
+			}
+			cl.done <- struct{}{}
+		}
+	}
+}
+
+// ackGoAway completes the client half of a server-initiated drain: wait
+// for the in-flight calls to finish (goingAway already blocks new ones),
+// then send GOAWAY so the server knows nothing else is coming. Marking
+// the client closed under mu before writing makes the wait race-free
+// against a Do that passed the goingAway fast-path but has not yet
+// registered: it observes closed and fails instead of slipping a frame
+// past the handshake.
+func (c *Client) ackGoAway() {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return // Close owns the handshake from here
+		}
+		if c.inflight == 0 {
+			c.closed = true
+			c.mu.Unlock()
+			c.wmu.Lock()
+			c.wbuf, _ = AppendFrame(c.wbuf[:0], FrameGoAway, 0, nil)
+			c.nc.Write(c.wbuf)
+			c.wmu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.idle:
+		case <-c.readDone:
+			return
+		}
+	}
+}
+
+// take claims the call registered under id, if any. The in-flight count
+// is decremented by the Do that receives the signal (or by forget), not
+// here — the call is still in flight until its owner has the result.
+func (c *Client) take(id uint64) *call {
+	c.mu.Lock()
+	cl := c.calls[id]
+	if cl != nil {
+		delete(c.calls, id)
+	}
+	c.mu.Unlock()
+	return cl
+}
+
+// Close drains the connection: it waits for in-flight calls to complete
+// (bounded by ctx), sends GOAWAY, and closes the socket. Calls made after
+// Close fail with ErrClientClosed.
+func (c *Client) Close(ctx context.Context) error {
+	c.goingAway.Store(true) // fail-fast new Do calls
+	for {
+		c.mu.Lock()
+		n := c.inflight
+		c.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-c.idle:
+		case <-ctx.Done():
+			c.nc.Close()
+			<-c.readDone
+			return ctx.Err()
+		case <-c.readDone:
+			// Connection already gone; nothing left to drain.
+			c.nc.Close()
+			return c.readErr
+		}
+	}
+	c.wmu.Lock()
+	c.wbuf, _ = AppendFrame(c.wbuf[:0], FrameGoAway, 0, nil)
+	c.nc.Write(c.wbuf)
+	c.wmu.Unlock()
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	// The server acks the drain with its own GOAWAY before closing; wait
+	// for either the ack or the close so no response frame is cut off.
+	select {
+	case <-c.drained:
+	case <-c.readDone:
+	case <-ctx.Done():
+	}
+	err := c.nc.Close()
+	<-c.readDone
+	if errors.Is(c.readErr, net.ErrClosed) {
+		return nil
+	}
+	_ = err
+	return nil
+}

@@ -1,0 +1,496 @@
+package stream
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/serve/admission"
+)
+
+// ErrServerClosed is returned by Serve after Close or Shutdown.
+var ErrServerClosed = errors.New("stream: server closed")
+
+// Options parameterises the streaming listener. Zero values select the
+// documented defaults.
+type Options struct {
+	// Window is the per-connection pipelining depth: the most request
+	// frames one connection may have pending (accepted but not yet
+	// dispatched to a handler). A frame past the window is shed with a
+	// 429 status frame rather than stalling the reader — a blocked reader
+	// would head-of-line-block every other request on the connection.
+	// Default: 64.
+	Window int
+	// Handlers is the number of executor goroutines per connection, each
+	// with its own decode scratch and score buffers — the unit of
+	// in-connection concurrency that keeps the batching scheduler fed
+	// from a single pipelined client. Default: 4.
+	Handlers int
+	// Admission is the shared admission controller consulted before a
+	// request frame is accepted into the window; nil admits everything.
+	// The same controller instance should also guard the process's HTTP
+	// handlers, so capacity limits hold across both protocols.
+	Admission *admission.Controller
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.Handlers <= 0 {
+		o.Handlers = 4
+	}
+	return o
+}
+
+// ServerStats is a snapshot of the streaming listener's counters.
+type ServerStats struct {
+	// Conns is the number of currently open connections; TotalConns
+	// counts every connection ever accepted.
+	Conns      int64  `json:"conns"`
+	TotalConns uint64 `json:"total_conns"`
+	// Frames counts request frames accepted into a connection window;
+	// Responses counts response frames written.
+	Frames    uint64 `json:"frames"`
+	Responses uint64 `json:"responses"`
+	// Shed counts request frames answered with a 429 status frame
+	// (admission or window overflow) instead of being executed.
+	Shed uint64 `json:"shed"`
+}
+
+// Server speaks RPS2 over any net.Listener, routing request frames into a
+// serve.Registry. One Server may serve several listeners; Shutdown drains
+// every connection (GOAWAY handshake) before returning.
+type Server struct {
+	reg  *serve.Registry
+	opts Options
+
+	mu       sync.Mutex
+	lns      map[net.Listener]struct{}
+	conns    map[*sconn]struct{}
+	draining bool
+	closed   bool
+	connWG   sync.WaitGroup
+
+	totalConns uint64
+	frames     atomic.Uint64
+	responses  atomic.Uint64
+	shed       atomic.Uint64
+}
+
+// NewServer builds a streaming server over reg.
+func NewServer(reg *serve.Registry, opts Options) *Server {
+	return &Server{
+		reg:   reg,
+		opts:  opts.withDefaults(),
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[*sconn]struct{}),
+	}
+}
+
+// Stats snapshots the listener counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	st := ServerStats{
+		Conns:      int64(len(s.conns)),
+		TotalConns: s.totalConns,
+	}
+	s.mu.Unlock()
+	st.Frames = s.frames.Load()
+	st.Responses = s.responses.Load()
+	st.Shed = s.shed.Load()
+	return st
+}
+
+// Serve accepts connections on ln until the listener fails or the server
+// is shut down; it returns ErrServerClosed on a clean stop. Each
+// connection gets a reader goroutine plus Options.Handlers executors.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopped := s.closed || s.draining
+			s.mu.Unlock()
+			if stopped {
+				return ErrServerClosed
+			}
+			return err
+		}
+		c := newSConn(s, nc)
+		s.mu.Lock()
+		if s.closed || s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.totalConns++
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go c.run()
+	}
+}
+
+// Shutdown drains the server: listeners stop accepting, every open
+// connection receives a GOAWAY frame, and Shutdown waits — up to ctx —
+// for each connection to answer all of its in-flight frames and close.
+// On ctx expiry the stragglers are force-closed and ctx.Err() returned.
+// The registry is left open; the caller closes it after Shutdown so
+// drained work completes normally.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	conns := make([]*sconn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.sendGoAway()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-closes every listener and connection without draining.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	return nil
+}
+
+// sreq is one request frame accepted into a connection's window, recycled
+// through the connection's free list so the steady-state frame path
+// allocates nothing.
+type sreq struct {
+	id       uint64
+	name     string // resolved route, interned per connection
+	version  string
+	deadline time.Duration // client's latency budget; 0 = none
+	arrival  time.Time
+	wire     []byte // embedded wire-v1 request, copied out of the read buffer
+	ticket   admission.Ticket
+}
+
+// route is an interned model route.
+type route struct{ name, version string }
+
+// sconn is one server-side RPS2 connection.
+type sconn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+
+	// wmu serializes complete frame writes from the reader (status
+	// frames), the handlers (responses) and Shutdown (GOAWAY).
+	wmu    sync.Mutex
+	sbuf   []byte // status/goaway encode scratch, under wmu
+	goaway bool   // server GOAWAY already sent, under wmu
+
+	pending chan *sreq
+	free    chan *sreq
+	routes  map[string]route // route bytes → interned name/version
+
+	ctx    context.Context // cancelled when the connection is torn down
+	cancel context.CancelFunc
+}
+
+func newSConn(s *Server, nc net.Conn) *sconn {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &sconn{
+		srv:     s,
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 64<<10),
+		pending: make(chan *sreq, s.opts.Window),
+		free:    make(chan *sreq, s.opts.Window+s.opts.Handlers),
+		routes:  make(map[string]route),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+}
+
+// run owns the connection lifecycle: a handler pool drains the pending
+// window while the reader loop fills it; when the reader stops (client
+// GOAWAY, EOF, protocol error) the window is closed, the handlers finish
+// every frame already accepted — the drain guarantee — and only then does
+// the connection close.
+func (c *sconn) run() {
+	var hwg sync.WaitGroup
+	hwg.Add(c.srv.opts.Handlers)
+	for i := 0; i < c.srv.opts.Handlers; i++ {
+		go func() {
+			defer hwg.Done()
+			c.handle()
+		}()
+	}
+	c.read()
+	close(c.pending)
+	hwg.Wait()
+	// All accepted frames are answered; acknowledge the drain so a
+	// GOAWAY-initiated client can distinguish "drained clean" from a cut
+	// connection, then tear down.
+	c.wmu.Lock()
+	if !c.goaway {
+		c.goaway = true
+		c.sbuf, _ = AppendFrame(c.sbuf[:0], FrameGoAway, 0, nil)
+		c.nc.Write(c.sbuf)
+	}
+	c.wmu.Unlock()
+	c.cancel()
+	c.nc.Close()
+	s := c.srv
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.connWG.Done()
+}
+
+// sendGoAway announces the drain to the client (idempotent).
+func (c *sconn) sendGoAway() {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.goaway {
+		return
+	}
+	c.goaway = true
+	c.sbuf, _ = AppendFrame(c.sbuf[:0], FrameGoAway, 0, nil)
+	c.nc.Write(c.sbuf)
+}
+
+// writeFrame writes one pre-encoded frame under the write lock.
+func (c *sconn) writeFrame(buf []byte) error {
+	c.wmu.Lock()
+	_, err := c.nc.Write(buf)
+	c.wmu.Unlock()
+	return err
+}
+
+// writeStatus answers id with a status frame (reader-side sheds and
+// handler-less errors; uses the shared scratch under wmu).
+func (c *sconn) writeStatus(id uint64, code int, retryAfter time.Duration, msg string) {
+	c.wmu.Lock()
+	start := 0
+	c.sbuf = beginFrame(c.sbuf[:0], FrameStatus, id)
+	c.sbuf = appendStatusPayload(c.sbuf, code, retryAfter, msg)
+	c.sbuf = finishFrame(c.sbuf, start)
+	c.nc.Write(c.sbuf)
+	c.wmu.Unlock()
+}
+
+// lookupRoute interns the route bytes into name/version strings — a map
+// hit costs no allocation, so repeated routes (the steady state: clients
+// address a handful of models) keep the reader allocation-free.
+func (c *sconn) lookupRoute(b []byte) (string, string) {
+	if rt, ok := c.routes[string(b)]; ok {
+		return rt.name, rt.version
+	}
+	name, version := model.ParseID(string(b))
+	c.routes[string(b)] = route{name: name, version: version}
+	return name, version
+}
+
+// read is the connection's reader loop: decode frames, shed what
+// admission or the window rejects, hand the rest to the handler pool. It
+// returns when the client is done sending (GOAWAY, EOF) or the stream is
+// unrecoverable (protocol error).
+func (c *sconn) read() {
+	var f Frame
+	for {
+		if err := DecodeFrame(c.br, &f); err != nil {
+			return
+		}
+		switch f.Type {
+		case FrameGoAway:
+			// Client is done sending; everything accepted still completes.
+			return
+		case FrameRequest:
+			c.readRequest(&f)
+		default:
+			// Response/status frames only flow server→client; a peer that
+			// sends them is broken, not malicious enough to keep around.
+			c.writeStatus(f.ID, 400, 0, fmt.Sprintf("stream: unexpected frame type %d from client", f.Type))
+			return
+		}
+	}
+}
+
+// readRequest admits one request frame into the window or sheds it.
+func (c *sconn) readRequest(f *Frame) {
+	routeB, deadline, wire, err := parseRequestPayload(f.Payload)
+	if err != nil {
+		c.writeStatus(f.ID, 400, 0, err.Error())
+		return
+	}
+	name, version := c.lookupRoute(routeB)
+	var ticket admission.Ticket
+	if ctrl := c.srv.opts.Admission; ctrl != nil {
+		t, err := ctrl.Admit(name)
+		if err != nil {
+			c.srv.shed.Add(1)
+			var oe *admission.OverloadError
+			errors.As(err, &oe)
+			c.writeStatus(f.ID, 429, oe.RetryAfter, oe.Reason)
+			return
+		}
+		ticket = t
+	}
+	var q *sreq
+	select {
+	case q = <-c.free:
+	default:
+		q = &sreq{}
+	}
+	q.id, q.name, q.version, q.deadline = f.ID, name, version, deadline
+	q.arrival = time.Now()
+	q.wire = append(q.wire[:0], wire...)
+	q.ticket = ticket
+	select {
+	case c.pending <- q:
+		c.srv.frames.Add(1)
+	default:
+		// Window full: shed rather than block the reader — a stalled
+		// reader would head-of-line-block every response already owed.
+		ticket.Release()
+		c.putFree(q)
+		c.srv.shed.Add(1)
+		retry := time.Duration(0)
+		if ctrl := c.srv.opts.Admission; ctrl != nil {
+			retry = ctrl.RetryAfter()
+		}
+		c.writeStatus(f.ID, 429, retry, admission.ReasonQueue)
+	}
+}
+
+func (c *sconn) putFree(q *sreq) {
+	select {
+	case c.free <- q:
+	default:
+	}
+}
+
+// handle is one executor goroutine: it owns all its decode and encode
+// scratch, so at steady state a request frame travels decode → InferInto
+// → encode → write without a single allocation.
+func (c *sconn) handle() {
+	var (
+		scratch serve.WireRequestScratch
+		results []serve.Result
+		out     []byte
+	)
+	for q := range c.pending {
+		results, out = c.handleOne(q, &scratch, results, out)
+		q.ticket.Release()
+		c.putFree(q)
+	}
+}
+
+// handleOne answers a single request frame, returning the (possibly
+// grown) scratch slices for reuse.
+func (c *sconn) handleOne(q *sreq, scratch *serve.WireRequestScratch, results []serve.Result, out []byte) ([]serve.Result, []byte) {
+	inputs, err := serve.ParseWireRequest(q.wire, scratch)
+	if err != nil {
+		c.writeStatus(q.id, 400, 0, err.Error())
+		return results, out
+	}
+	ctx := c.ctx
+	if q.deadline > 0 {
+		// The only allocating branch on the frame path, taken just when
+		// the client set a latency budget: the deadline context is what
+		// lets the batch scheduler shed this request once it is late.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, q.arrival.Add(q.deadline))
+		defer cancel()
+	}
+	n := len(inputs)
+	for cap(results) < n {
+		results = append(results[:cap(results)], serve.Result{})
+	}
+	results = results[:n]
+	for i, in := range inputs {
+		res, err := c.srv.reg.InferInto(ctx, q.name, q.version, in, results[i].Scores[:0])
+		if err != nil {
+			c.writeStatusErr(q.id, err)
+			return results, out
+		}
+		results[i] = res
+	}
+	start := 0
+	out = beginFrame(out[:0], FrameResponse, q.id)
+	out, err = serve.AppendWireResults(out, results)
+	if err != nil {
+		c.writeStatus(q.id, 500, 0, err.Error())
+		return results, out
+	}
+	out = finishFrame(out, start)
+	if c.writeFrame(out) == nil {
+		c.srv.responses.Add(1)
+	}
+	return results, out
+}
+
+// writeStatusErr maps a serving error onto a status frame, mirroring the
+// HTTP layer's statusFor mapping.
+func (c *sconn) writeStatusErr(id uint64, err error) {
+	var oe *admission.OverloadError
+	switch {
+	case errors.As(err, &oe):
+		c.srv.shed.Add(1)
+		c.writeStatus(id, 429, oe.RetryAfter, oe.Reason)
+	case errors.Is(err, serve.ErrNotFound):
+		c.writeStatus(id, 404, 0, err.Error())
+	case errors.Is(err, serve.ErrClosed):
+		c.writeStatus(id, 503, 0, err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		c.writeStatus(id, 408, 0, err.Error())
+	default:
+		c.writeStatus(id, 400, 0, err.Error())
+	}
+}

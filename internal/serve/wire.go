@@ -81,43 +81,122 @@ const (
 	// arithmetic, which also keeps 8·count·dim from overflowing int on
 	// 32-bit platforms). Matches the HTTP layer's body cap.
 	MaxWireBytes = 64 << 20
+	// maxWireIntField bounds the uint32 per-result integer fields (class,
+	// batch_size) on decode: any larger value would wrap negative when
+	// converted to int on a 32-bit platform, so a hostile response could
+	// smuggle a negative Class or BatchSize through the codec. No honest
+	// encoder emits values near this (classes ≤ MaxWireDim, batches ≤
+	// MaxWireInputs in practice).
+	maxWireIntField = 1<<31 - 1
 )
 
-// EncodeWireRequest writes inputs as one wire-format v1 request. All
-// vectors must have the same non-zero length; the decode-side bounds are
-// enforced here too, so a request that encodes is one every decoder
-// accepts rather than a remote 400.
-func EncodeWireRequest(w io.Writer, inputs [][]float64) error {
-	if len(inputs) == 0 {
-		return fmt.Errorf("serve: wire request needs at least one input")
+// validateWireRequestHeader applies the request header bounds shared by
+// the reader and in-memory decoders.
+func validateWireRequestHeader(count, dim int) error {
+	if count < 1 || count > MaxWireInputs {
+		return fmt.Errorf("serve: wire request count %d outside [1, %d]", count, MaxWireInputs)
 	}
-	if len(inputs) > MaxWireInputs {
-		return fmt.Errorf("serve: wire request count %d exceeds %d", len(inputs), MaxWireInputs)
-	}
-	dim := len(inputs[0])
 	if dim < 1 || dim > MaxWireDim {
 		return fmt.Errorf("serve: wire request dim %d outside [1, %d]", dim, MaxWireDim)
 	}
-	if need := 12 + 8*int64(len(inputs))*int64(dim); need > MaxWireBytes {
+	if need := 12 + 8*int64(count)*int64(dim); need > MaxWireBytes {
 		return fmt.Errorf("serve: wire request of %d bytes exceeds the %d-byte limit", need, MaxWireBytes)
 	}
-	p, buf := getWireBuf(12 + 8*len(inputs)*dim)
-	defer putWireBuf(p)
-	binary.LittleEndian.PutUint32(buf[0:], wireReqMagic)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(inputs)))
-	binary.LittleEndian.PutUint32(buf[8:], uint32(dim))
-	off := 12
+	return nil
+}
+
+// AppendWireRequest appends one encoded wire-format v1 request to dst and
+// returns the extended slice — the in-memory form the streaming layer
+// embeds in RPS2 frames (the io.Writer form below wraps it). All vectors
+// must have the same non-zero length; the decode-side bounds are enforced
+// here too, so a request that encodes is one every decoder accepts rather
+// than a remote 400.
+func AppendWireRequest(dst []byte, inputs [][]float64) ([]byte, error) {
+	if len(inputs) == 0 {
+		return dst, fmt.Errorf("serve: wire request needs at least one input")
+	}
+	if len(inputs) > MaxWireInputs {
+		return dst, fmt.Errorf("serve: wire request count %d exceeds %d", len(inputs), MaxWireInputs)
+	}
+	dim := len(inputs[0])
+	if err := validateWireRequestHeader(len(inputs), dim); err != nil {
+		return dst, err
+	}
 	for i, in := range inputs {
 		if len(in) != dim {
-			return fmt.Errorf("serve: wire input %d has %d features, input 0 has %d", i, len(in), dim)
-		}
-		for _, v := range in {
-			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
-			off += 8
+			return dst, fmt.Errorf("serve: wire input %d has %d features, input 0 has %d", i, len(in), dim)
 		}
 	}
-	_, err := w.Write(buf)
+	dst = binary.LittleEndian.AppendUint32(dst, wireReqMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(inputs)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(dim))
+	for _, in := range inputs {
+		for _, v := range in {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst, nil
+}
+
+// EncodeWireRequest writes inputs as one wire-format v1 request.
+func EncodeWireRequest(w io.Writer, inputs [][]float64) error {
+	p, buf := getWireBuf(0)
+	defer putWireBuf(p)
+	buf, err := AppendWireRequest(buf[:0], inputs)
+	if err != nil {
+		return err
+	}
+	*p = buf // keep the grown buffer for the pool
+	_, err = w.Write(buf)
 	return err
+}
+
+// WireRequestScratch is reusable decode storage for ParseWireRequest: one
+// scratch per decoding goroutine makes the steady-state request decode
+// allocation-free. The zero value is ready to use.
+type WireRequestScratch struct {
+	flat []float64
+	vecs [][]float64
+}
+
+// ParseWireRequest decodes one wire-format v1 request held entirely in
+// data (a stream frame payload). The returned vectors are views into the
+// scratch, valid until its next Parse; a nil scratch allocates fresh
+// storage. Trailing bytes after the encoded request are rejected — in a
+// length-prefixed frame they can only be garbage.
+func ParseWireRequest(data []byte, s *WireRequestScratch) ([][]float64, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("serve: wire request header truncated: %d bytes", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data[0:]); m != wireReqMagic {
+		return nil, fmt.Errorf("serve: bad wire request magic %#x (want \"RPI1\")", m)
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	dim := int(binary.LittleEndian.Uint32(data[8:]))
+	if err := validateWireRequestHeader(count, dim); err != nil {
+		return nil, err
+	}
+	if want := 12 + 8*count*dim; len(data) != want {
+		return nil, fmt.Errorf("serve: wire request of %d bytes, header describes %d", len(data), want)
+	}
+	if s == nil {
+		s = &WireRequestScratch{}
+	}
+	if cap(s.flat) < count*dim {
+		s.flat = make([]float64, count*dim)
+	}
+	flat := s.flat[:count*dim]
+	for i := range flat {
+		flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[12+8*i:]))
+	}
+	if cap(s.vecs) < count {
+		s.vecs = make([][]float64, count)
+	}
+	inputs := s.vecs[:count]
+	for i := range inputs {
+		inputs[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return inputs, nil
 }
 
 // DecodeWireRequest reads one wire-format v1 request and returns its input
@@ -133,14 +212,8 @@ func DecodeWireRequest(r io.Reader) ([][]float64, error) {
 	}
 	count := int(binary.LittleEndian.Uint32(hdr[4:]))
 	dim := int(binary.LittleEndian.Uint32(hdr[8:]))
-	if count < 1 || count > MaxWireInputs {
-		return nil, fmt.Errorf("serve: wire request count %d outside [1, %d]", count, MaxWireInputs)
-	}
-	if dim < 1 || dim > MaxWireDim {
-		return nil, fmt.Errorf("serve: wire request dim %d outside [1, %d]", dim, MaxWireDim)
-	}
-	if need := 12 + 8*int64(count)*int64(dim); need > MaxWireBytes {
-		return nil, fmt.Errorf("serve: wire request of %d bytes exceeds the %d-byte limit", need, MaxWireBytes)
+	if err := validateWireRequestHeader(count, dim); err != nil {
+		return nil, err
 	}
 	p, data := getWireBuf(8 * count * dim)
 	defer putWireBuf(p)
@@ -158,47 +231,152 @@ func DecodeWireRequest(r io.Reader) ([][]float64, error) {
 	return inputs, nil
 }
 
-// EncodeWireResults writes results as one wire-format v1 response. All
-// results must have the same non-zero score width; as with
-// EncodeWireRequest, the decode-side bounds are enforced here so an
-// encoded response is always decodable.
-func EncodeWireResults(w io.Writer, results []Result) error {
-	if len(results) == 0 {
-		return fmt.Errorf("serve: wire response needs at least one result")
+// validateWireResultsHeader applies the response header bounds shared by
+// the reader and in-memory decoders.
+func validateWireResultsHeader(count, classes int) error {
+	if count < 1 || count > MaxWireInputs {
+		return fmt.Errorf("serve: wire response count %d outside [1, %d]", count, MaxWireInputs)
 	}
-	if len(results) > MaxWireInputs {
-		return fmt.Errorf("serve: wire response count %d exceeds %d", len(results), MaxWireInputs)
-	}
-	classes := len(results[0].Scores)
 	if classes < 1 || classes > MaxWireDim {
 		return fmt.Errorf("serve: wire response classes %d outside [1, %d]", classes, MaxWireDim)
 	}
-	if need := 12 + int64(len(results))*(9+8*int64(classes)); need > MaxWireBytes {
+	if need := 12 + int64(count)*(9+8*int64(classes)); need > MaxWireBytes {
 		return fmt.Errorf("serve: wire response of %d bytes exceeds the %d-byte limit", need, MaxWireBytes)
 	}
-	p, buf := getWireBuf(12 + len(results)*(9+8*classes))
-	defer putWireBuf(p)
-	binary.LittleEndian.PutUint32(buf[0:], wireRespMagic)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(results)))
-	binary.LittleEndian.PutUint32(buf[8:], uint32(classes))
-	off := 12
+	return nil
+}
+
+// decodeWireResultRecord fills one Result from its fixed-layout record,
+// applying the per-record hardening checks: class and batch_size must fit
+// a 32-bit int (a larger uint32 would wrap negative on 32-bit platforms),
+// and the cached flag must be exactly 0 or 1 (any other byte is a
+// malformed frame, not a creative truthy value).
+func decodeWireResultRecord(rec []byte, scores []float64, res *Result) error {
+	class := binary.LittleEndian.Uint32(rec[0:])
+	batch := binary.LittleEndian.Uint32(rec[4:])
+	if class > maxWireIntField {
+		return fmt.Errorf("serve: wire result class %d exceeds %d", class, uint32(maxWireIntField))
+	}
+	if batch > maxWireIntField {
+		return fmt.Errorf("serve: wire result batch_size %d exceeds %d", batch, uint32(maxWireIntField))
+	}
+	if rec[8] > 1 {
+		return fmt.Errorf("serve: wire result cached flag %d (want 0 or 1)", rec[8])
+	}
+	res.Class = int(class)
+	res.BatchSize = int(batch)
+	res.Cached = rec[8] == 1
+	for j := range scores {
+		scores[j] = math.Float64frombits(binary.LittleEndian.Uint64(rec[9+8*j:]))
+	}
+	res.Scores = scores
+	return nil
+}
+
+// AppendWireResults appends one encoded wire-format v1 response to dst and
+// returns the extended slice. All results must have the same non-zero
+// score width, and every integer field must survive the decoders'
+// hardening checks — the decode-side bounds are enforced here so an
+// encoded response is always decodable.
+func AppendWireResults(dst []byte, results []Result) ([]byte, error) {
+	if len(results) == 0 {
+		return dst, fmt.Errorf("serve: wire response needs at least one result")
+	}
+	if len(results) > MaxWireInputs {
+		return dst, fmt.Errorf("serve: wire response count %d exceeds %d", len(results), MaxWireInputs)
+	}
+	classes := len(results[0].Scores)
+	if err := validateWireResultsHeader(len(results), classes); err != nil {
+		return dst, err
+	}
 	for i, res := range results {
 		if len(res.Scores) != classes {
-			return fmt.Errorf("serve: wire result %d has %d scores, result 0 has %d", i, len(res.Scores), classes)
+			return dst, fmt.Errorf("serve: wire result %d has %d scores, result 0 has %d", i, len(res.Scores), classes)
 		}
-		binary.LittleEndian.PutUint32(buf[off:], uint32(res.Class))
-		binary.LittleEndian.PutUint32(buf[off+4:], uint32(res.BatchSize))
-		if res.Cached {
-			buf[off+8] = 1
+		if res.Class < 0 || res.Class > maxWireIntField {
+			return dst, fmt.Errorf("serve: wire result %d class %d outside [0, %d]", i, res.Class, maxWireIntField)
 		}
-		off += 9
-		for _, v := range res.Scores {
-			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
-			off += 8
+		if res.BatchSize < 0 || res.BatchSize > maxWireIntField {
+			return dst, fmt.Errorf("serve: wire result %d batch_size %d outside [0, %d]", i, res.BatchSize, maxWireIntField)
 		}
 	}
-	_, err := w.Write(buf)
+	dst = binary.LittleEndian.AppendUint32(dst, wireRespMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(results)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(classes))
+	for _, res := range results {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(res.Class))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(res.BatchSize))
+		if res.Cached {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		for _, v := range res.Scores {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst, nil
+}
+
+// EncodeWireResults writes results as one wire-format v1 response.
+func EncodeWireResults(w io.Writer, results []Result) error {
+	p, buf := getWireBuf(0)
+	defer putWireBuf(p)
+	buf, err := AppendWireResults(buf[:0], results)
+	if err != nil {
+		return err
+	}
+	*p = buf // keep the grown buffer for the pool
+	_, err = w.Write(buf)
 	return err
+}
+
+// WireResultsScratch is reusable decode storage for ParseWireResults: the
+// result headers and per-result score rows are retained across calls, so
+// a long-lived client connection decodes responses without allocating.
+// The zero value is ready to use.
+type WireResultsScratch struct {
+	results []Result
+	scores  []float64
+}
+
+// ParseWireResults decodes one wire-format v1 response held entirely in
+// data. The returned results (and their score slices) are views into the
+// scratch, valid until its next Parse; a nil scratch allocates fresh
+// storage. Trailing bytes are rejected.
+func ParseWireResults(data []byte, s *WireResultsScratch) ([]Result, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("serve: wire response header truncated: %d bytes", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data[0:]); m != wireRespMagic {
+		return nil, fmt.Errorf("serve: bad wire response magic %#x (want \"RPO1\")", m)
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	classes := int(binary.LittleEndian.Uint32(data[8:]))
+	if err := validateWireResultsHeader(count, classes); err != nil {
+		return nil, err
+	}
+	rec := 9 + 8*classes
+	if want := 12 + count*rec; len(data) != want {
+		return nil, fmt.Errorf("serve: wire response of %d bytes, header describes %d", len(data), want)
+	}
+	if s == nil {
+		s = &WireResultsScratch{}
+	}
+	if cap(s.results) < count {
+		s.results = make([]Result, count)
+	}
+	if cap(s.scores) < count*classes {
+		s.scores = make([]float64, count*classes)
+	}
+	results := s.results[:count]
+	for i := range results {
+		scores := s.scores[i*classes : (i+1)*classes : (i+1)*classes]
+		if err := decodeWireResultRecord(data[12+i*rec:12+(i+1)*rec], scores, &results[i]); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // DecodeWireResults reads one wire-format v1 response.
@@ -212,14 +390,8 @@ func DecodeWireResults(r io.Reader) ([]Result, error) {
 	}
 	count := int(binary.LittleEndian.Uint32(hdr[4:]))
 	classes := int(binary.LittleEndian.Uint32(hdr[8:]))
-	if count < 1 || count > MaxWireInputs {
-		return nil, fmt.Errorf("serve: wire response count %d outside [1, %d]", count, MaxWireInputs)
-	}
-	if classes < 1 || classes > MaxWireDim {
-		return nil, fmt.Errorf("serve: wire response classes %d outside [1, %d]", classes, MaxWireDim)
-	}
-	if need := 12 + int64(count)*(9+8*int64(classes)); need > MaxWireBytes {
-		return nil, fmt.Errorf("serve: wire response of %d bytes exceeds the %d-byte limit", need, MaxWireBytes)
+	if err := validateWireResultsHeader(count, classes); err != nil {
+		return nil, err
 	}
 	results := make([]Result, count)
 	rec := make([]byte, 9+8*classes)
@@ -227,14 +399,9 @@ func DecodeWireResults(r io.Reader) ([]Result, error) {
 		if _, err := io.ReadFull(r, rec); err != nil {
 			return nil, fmt.Errorf("serve: wire response body truncated: %w", err)
 		}
-		results[i].Class = int(binary.LittleEndian.Uint32(rec[0:]))
-		results[i].BatchSize = int(binary.LittleEndian.Uint32(rec[4:]))
-		results[i].Cached = rec[8] == 1
-		scores := make([]float64, classes)
-		for j := range scores {
-			scores[j] = math.Float64frombits(binary.LittleEndian.Uint64(rec[9+8*j:]))
+		if err := decodeWireResultRecord(rec, make([]float64, classes), &results[i]); err != nil {
+			return nil, err
 		}
-		results[i].Scores = scores
 	}
 	return results, nil
 }

@@ -142,5 +142,87 @@ func TestWireDecodeRejectsMalformed(t *testing.T) {
 		} else if !strings.HasPrefix(err.Error(), "serve:") {
 			t.Errorf("%s: error %q not from serve", name, err)
 		}
+		// The in-memory parser (stream-frame path) applies at least the
+		// reader's checks, plus a trailing-bytes rejection of its own.
+		var scratch WireRequestScratch
+		if _, err := ParseWireRequest(body, &scratch); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+	if _, err := ParseWireRequest(append(valid(), 0xAA), nil); err == nil {
+		t.Error("trailing bytes: parsed without error")
+	}
+}
+
+// TestWireResultsDecodeRejectsMalformed is the response-codec twin,
+// covering every header and record field: magic, count, classes, the
+// count×classes product bound, truncation at each boundary, plus the
+// per-record hardening — class or batch_size past int32 (which would wrap
+// negative on 32-bit platforms) and a cached flag other than 0 or 1.
+func TestWireResultsDecodeRejectsMalformed(t *testing.T) {
+	valid := func() []byte {
+		b, err := AppendWireResults(nil, []Result{
+			{Class: 1, Scores: []float64{0.25, 0.75}, BatchSize: 4},
+			{Class: 0, Scores: []float64{0.5, 0.5}, Cached: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	mut := func(f func(b []byte)) []byte {
+		b := valid()
+		f(b)
+		return b
+	}
+	const rec0 = 12 // first record offset: class u32 | batch u32 | cached u8 | scores
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   valid()[:8],
+		"header only":    valid()[:12],
+		"truncated body": valid()[:len(valid())-1],
+		"bad magic":      mut(func(b []byte) { copy(b, "XXXX") }),
+		"request as resp": mut(func(b []byte) {
+			binary.LittleEndian.PutUint32(b, wireReqMagic)
+		}),
+		"zero count":    mut(func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 0) }),
+		"hostile count": mut(func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 1<<30) }),
+		"zero classes":  mut(func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 0) }),
+		"hostile classes": mut(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[8:], 1<<30)
+		}),
+		"hostile product": mut(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[4:], MaxWireInputs)
+			binary.LittleEndian.PutUint32(b[8:], MaxWireDim)
+		}),
+		"class wraps int32": mut(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[rec0:], 0x80000000)
+		}),
+		"batch wraps int32": mut(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[rec0+4:], 0xFFFFFFFF)
+		}),
+		"cached flag 2":    mut(func(b []byte) { b[rec0+8] = 2 }),
+		"cached flag 0xFF": mut(func(b []byte) { b[rec0+8] = 0xFF }),
+	}
+
+	for name, body := range cases {
+		if _, err := DecodeWireResults(bytes.NewReader(body)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		} else if !strings.HasPrefix(err.Error(), "serve:") {
+			t.Errorf("%s: error %q not from serve", name, err)
+		}
+		var scratch WireResultsScratch
+		if _, err := ParseWireResults(body, &scratch); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+	if _, err := ParseWireResults(append(valid(), 0x00), nil); err == nil {
+		t.Error("trailing bytes: parsed without error")
+	}
+	// cached flag 1 (not just 0) must still decode — the hardening rejects
+	// >1, not truthiness.
+	if res, err := DecodeWireResults(bytes.NewReader(valid())); err != nil || !res[1].Cached {
+		t.Errorf("valid response with cached=1: res=%v err=%v", res, err)
 	}
 }

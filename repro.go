@@ -46,6 +46,8 @@ import (
 	"repro/internal/platform"
 	"repro/internal/program"
 	"repro/internal/serve"
+	"repro/internal/serve/admission"
+	"repro/internal/serve/stream"
 	"repro/internal/tensor"
 )
 
@@ -262,3 +264,51 @@ var (
 func ModelQuantized(name, version string, net *Network, inShape []int, weightBits, actBits int) (Model, error) {
 	return model.Quantized(name, version, net, inShape, weightBits, actBits)
 }
+
+// Streaming wire v2 (internal/serve/stream): the RPS2 length-prefixed
+// protocol carrying the wire-v1 codec over persistent TCP connections.
+// One connection multiplexes many in-flight request frames — each tagged
+// with an id and a "name[@version]" route — responses complete out of
+// order as the batching scheduler finishes them, and a GOAWAY handshake
+// drains pipelined work losslessly during rolling swaps. Admission
+// control (internal/serve/admission) is the shared overload story: one
+// Controller guards both the HTTP handlers and the stream listener, and
+// sheds with a typed OverloadError (HTTP 429 + Retry-After, stream 429
+// status frame) instead of queueing past capacity.
+type (
+	// StreamServer serves RPS2 over net.Listeners backed by a Registry.
+	StreamServer = stream.Server
+	// StreamClient is one pipelined RPS2 connection; safe for concurrent
+	// use by any number of goroutines.
+	StreamClient = stream.Client
+	// StreamOptions parameterises a StreamServer (window, handlers,
+	// admission controller).
+	StreamOptions = stream.Options
+	// StreamStatusError is a non-overload status frame surfaced as an
+	// error; errors.Is maps it back onto the serving sentinels.
+	StreamStatusError = stream.StatusError
+	// AdmissionController is the shared load-shedding gate.
+	AdmissionController = admission.Controller
+	// AdmissionConfig parameterises NewAdmission.
+	AdmissionConfig = admission.Config
+	// OverloadError is the typed shed error carried across both protocols,
+	// with the shed reason and a Retry-After hint.
+	OverloadError = admission.OverloadError
+)
+
+// ErrStreamGoingAway is returned by StreamClient.Do once the server has
+// announced a drain; in-flight requests still complete.
+var ErrStreamGoingAway = stream.ErrGoingAway
+
+// NewStreamServer builds an RPS2 streaming server over a registry.
+func NewStreamServer(reg *Registry, opts StreamOptions) *StreamServer {
+	return stream.NewServer(reg, opts)
+}
+
+// DialStream connects an RPS2 streaming client to a NewStreamServer
+// address.
+func DialStream(addr string) (*StreamClient, error) { return stream.Dial(addr) }
+
+// NewAdmission builds an admission controller to share between a
+// StreamServer and an HTTP front end.
+func NewAdmission(cfg AdmissionConfig) *AdmissionController { return admission.New(cfg) }
