@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-compare alloc-gate fuzz
+.PHONY: all build test race lint bench bench-compare alloc-gate check-gates fuzz
 
 all: build test
 
@@ -15,8 +15,12 @@ build:
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomises test (and subtest) execution order each run, so
+# an accidental inter-test ordering dependency fails somewhere instead of
+# passing forever in source order. Failures print the shuffle seed for
+# deterministic replay: go test -race -shuffle=<seed> <pkg>.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 lint:
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
@@ -38,6 +42,9 @@ bench:
 # the steady-state serving/spectral benchmarks fails:
 #   make bench-compare BASE=BENCH_20260701.json HEAD=BENCH_20260728.json
 GATE ?= BenchmarkBatchedSpectralForward|BenchmarkFig2_CirculantMatvec|BenchmarkAblationSpectralCache|BenchmarkAblationAccumulateSpectral|BenchmarkCompiledForward
+# Serving acceptance benchmarks, gated at a wide catastrophic-only
+# threshold (2.5x) because closed-loop per-op medians are scheduler-shaped.
+SERVEGATE ?= BenchmarkRegistryRoutedInfer|BenchmarkStreamInfer
 # Alloc-gate only benchmarks whose hot path is deterministically serial
 # (above the spectral engine's parallel threshold the worker fan-out heap-
 # allocates its closures by design, and the closed-loop serving benches
@@ -47,6 +54,13 @@ ALLOCGATE ?= BenchmarkBatchedSpectralForward/arch1Batched|BenchmarkCompiledForwa
 
 bench-compare:
 	$(GO) run ./tools/benchjson compare -threshold 1.15 -gate '$(GATE)' -allocgate '$(ALLOCGATE)' $(BASE) $(HEAD)
+	$(GO) run ./tools/benchjson compare -threshold 2.5 -gate '$(SERVEGATE)' $(BASE) $(HEAD)
+
+# Fail if the benchmark gate lists above have drifted from the CI
+# workflow's copies (.github/workflows/ci.yml env block). Runs in the CI
+# lint job too, so a PR that updates one file but not the other is caught.
+check-gates:
+	$(GO) run ./tools/benchjson checkgates
 
 # Hard zero-allocation gate on the steady-state hot paths (planned split
 # transforms, batched circulant multiply, workspace forward, compiled

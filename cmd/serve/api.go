@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/serve"
 	"repro/internal/serve/admission"
@@ -36,9 +37,13 @@ func registerPprof(mux *http.ServeMux) {
 // drive it through httptest). defaultName is the model the deprecated
 // single-model endpoints (/infer, /stats) bind to. ctrl, when non-nil, is
 // the admission controller shared with the streaming listener — one
-// capacity budget across both protocols; nil admits everything.
-func newMux(reg *serve.Registry, defaultName string, start time.Time, ctrl *admission.Controller) *http.ServeMux {
+// capacity budget across both protocols; nil admits everything. mx is the
+// process metrics registry served at GET /metrics in Prometheus text
+// exposition format; the serving layers register their series into it, so
+// the scrape and the /stats JSON read the same counters.
+func newMux(reg *serve.Registry, defaultName string, start time.Time, ctrl *admission.Controller, mx *metrics.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", mx.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":   "ok",

@@ -21,7 +21,17 @@
 //
 // Flags: [-addr :8080] [-workers N] [-batch 16] [-deadline 2ms] [-cache 1024]
 // [-pprof] [-listen-tcp :9090] [-max-inflight N] [-quota name=N]
-// [-slo 5ms] [-retry-after 50ms]
+// [-slo 5ms] [-retry-after 50ms] [-canary name@base:name@cand]
+// [-canary-interval 15s] [-canary-schedule 0.05,0.25,0.5]
+//
+// -canary starts the rollout autopilot (internal/canary) over an A/B
+// pair: the candidate ramps through the -canary-schedule weight steps,
+// each held until its latency quantiles and score drift stay healthy,
+// then is promoted to the name's "latest" alias; a sustained breach rolls
+// the split back to its pre-canary state. Every transition is logged as
+// one JSON line. Typical use with a quantised sibling:
+//
+//	serve -demo mnist=arch1 -quantize mnist=12 -canary mnist@v1:mnist@v1-q12
 //
 // With -pprof, net/http/pprof is mounted under /debug/pprof/ so a live
 // server can be CPU- and heap-profiled under real traffic.
@@ -43,6 +53,11 @@
 // Endpoints (wire-format v1; see internal/serve/wire.go for the binary
 // request codec selected by Content-Type):
 //
+//	GET  /metrics                       Prometheus text exposition: per-model
+//	                                    latency/batch histograms, queue and
+//	                                    cache gauges, admission and stream
+//	                                    counters — the same numbers /stats
+//	                                    reports, scraped from one registry
 //	GET  /healthz                       liveness: {"status":"ok",...}
 //	GET  /v1/models                     registered models, versions, stats
 //	POST /v1/models/{id}/infer          id = name (routed) or name@version
@@ -74,7 +89,11 @@ import (
 	"syscall"
 	"time"
 
+	"encoding/json"
+
+	"repro/internal/canary"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/serve"
@@ -111,6 +130,10 @@ func main() {
 	flag.Var(&quotas, "quota", "admission control: per-model inflight quota, name=N (repeatable)")
 	slo := flag.Duration("slo", 0, "shed requests queued longer than this before running them (0 disables)")
 	retryAfter := flag.Duration("retry-after", 50*time.Millisecond, "Retry-After hint attached to shed responses")
+	var canaries modelFlag
+	flag.Var(&canaries, "canary", "canary autopilot: ramp candidate against base, name@base:name@cand (repeatable)")
+	canaryInterval := flag.Duration("canary-interval", 15*time.Second, "canary evaluation period")
+	canarySchedule := flag.String("canary-schedule", "0.05,0.25,0.5", "canary weight ramp, ascending shares in (0,1)")
 	flag.Parse()
 
 	loaded, err := loadModels(models.specs, demos.specs, *bundle, *archPath, *paramsPath)
@@ -122,12 +145,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One metrics registry for the whole process: every served model,
+	// the admission controller and the streaming listener report into it,
+	// and GET /metrics scrapes it.
+	mx := metrics.NewRegistry()
+
 	reg := serve.NewRegistry(serve.Options{
 		Workers:   *workers,
 		MaxBatch:  *batch,
 		MaxDelay:  *deadline,
 		CacheSize: *cache,
 		SLO:       *slo,
+		Metrics:   mx,
 	})
 	var names []string
 	for _, l := range loaded {
@@ -162,8 +191,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if ctrl != nil {
+		ctrl.RegisterMetrics(mx)
+	}
 
-	mux := newMux(reg, defaultName, time.Now(), ctrl)
+	mux := newMux(reg, defaultName, time.Now(), ctrl, mx)
 	if *pprofFlag {
 		registerPprof(mux)
 		log.Print("pprof enabled on /debug/pprof/")
@@ -183,7 +215,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ss = stream.NewServer(reg, stream.Options{Admission: ctrl})
+		ss = stream.NewServer(reg, stream.Options{Admission: ctrl, Metrics: mx})
 		go func() {
 			log.Printf("streaming (RPS2) on %s", ln.Addr())
 			if err := ss.Serve(ln); err != nil && !errors.Is(err, stream.ErrServerClosed) {
@@ -192,14 +224,23 @@ func main() {
 		}()
 	}
 
-	// Graceful shutdown: drain the streaming connections first (GOAWAY
-	// handshake completes every pipelined frame), then stop accepting
-	// HTTP, and only then close the registry so drained work ran on live
-	// models throughout.
+	ramps, err := startCanaries(reg, mx, canaries.specs, *canaryInterval, *canarySchedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Graceful shutdown: stop the canary controllers (their probe traffic
+	// and weight actuation must not race the teardown), then drain the
+	// streaming connections (GOAWAY handshake completes every pipelined
+	// frame), then stop accepting HTTP, and only then close the registry
+	// so drained work ran on live models throughout.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
+	for _, c := range ramps {
+		c.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if ss != nil {
@@ -211,6 +252,94 @@ func main() {
 		log.Printf("http shutdown: %v", err)
 	}
 	reg.Close()
+}
+
+// startCanaries launches one canary controller per -canary spec
+// ("name@base:name@cand"), each ramping its candidate on the shared
+// schedule and logging every transition as a structured JSON line.
+func startCanaries(reg *serve.Registry, mx *metrics.Registry, specs []string, interval time.Duration, scheduleSpec string) ([]*canary.Controller, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	schedule, err := parseSchedule(scheduleSpec)
+	if err != nil {
+		return nil, err
+	}
+	var out []*canary.Controller
+	for _, spec := range specs {
+		base, cand, ok := strings.Cut(spec, ":")
+		if !ok || base == "" || cand == "" {
+			return nil, fmt.Errorf("-canary %q: want name@base:name@cand", spec)
+		}
+		c, err := canary.New(canary.Config{
+			Registry:  reg,
+			Metrics:   mx,
+			Base:      base,
+			Candidate: cand,
+			Schedule:  schedule,
+			Interval:  interval,
+			Probes:    canaryProbes(reg, base),
+			OnEvent: func(ev canary.Event) {
+				b, err := json.Marshal(ev)
+				if err != nil {
+					log.Printf("canary %s: %+v", ev.Type, ev)
+					return
+				}
+				log.Printf("canary %s", b)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Start(); err != nil {
+			return nil, err
+		}
+		log.Printf("canary %s → %s (interval %v, schedule %v)", base, cand, interval, schedule)
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// parseSchedule parses "-canary-schedule 0.05,0.25,0.5".
+func parseSchedule(spec string) ([]float64, error) {
+	parts := strings.Split(spec, ",")
+	schedule := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-canary-schedule %q: bad weight %q", spec, p)
+		}
+		schedule = append(schedule, w)
+	}
+	return schedule, nil
+}
+
+// canaryProbes builds a deterministic probe set matching the base model's
+// input dimension (the drift check's inputs; seeded so every process
+// judges the same canary the same way). An unknown base yields no probes
+// and lets canary.New report the real registration error.
+func canaryProbes(reg *serve.Registry, baseID string) [][]float64 {
+	name, version := model.ParseID(baseID)
+	var inDim int
+	for _, info := range reg.Models() {
+		if info.Name == name && info.Version == version {
+			inDim = info.InDim
+			break
+		}
+	}
+	if inDim == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(42))
+	const nProbes = 32
+	probes := make([][]float64, nProbes)
+	for i := range probes {
+		probes[i] = make([]float64, inDim)
+		for j := range probes[i] {
+			probes[i][j] = rng.NormFloat64()
+		}
+	}
+	return probes
 }
 
 // newAdmission builds the shared admission controller from the capacity

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/serve"
@@ -48,7 +49,7 @@ func newTestServer(t *testing.T, cacheSize int) (*serve.Registry, *httptest.Serv
 	if err := reg.Register(m); err != nil {
 		t.Fatal(err)
 	}
-	hs := httptest.NewServer(newMux(reg, "test", time.Now(), nil))
+	hs := httptest.NewServer(newMux(reg, "test", time.Now(), nil, metrics.NewRegistry()))
 	t.Cleanup(func() { hs.Close(); reg.Close() })
 	return reg, hs
 }
@@ -537,7 +538,7 @@ func TestPprofRegistration(t *testing.T) {
 	if err := reg.Register(m); err != nil {
 		t.Fatal(err)
 	}
-	mux := newMux(reg, "test", time.Now(), nil)
+	mux := newMux(reg, "test", time.Now(), nil, metrics.NewRegistry())
 	registerPprof(mux)
 	ts2 := httptest.NewServer(mux)
 	defer ts2.Close()
@@ -569,7 +570,7 @@ func TestAdmissionHTTP429(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctrl := admission.New(admission.Config{MaxInflight: 1, RetryAfter: 2 * time.Second})
-	hs := httptest.NewServer(newMux(reg, "test", time.Now(), ctrl))
+	hs := httptest.NewServer(newMux(reg, "test", time.Now(), ctrl, metrics.NewRegistry()))
 	defer hs.Close()
 	url := hs.URL + "/v1/models/test/infer"
 	body, _ := json.Marshal(map[string]any{"input": make([]float64, 64)})

@@ -1,0 +1,559 @@
+// Package canary is the autopilot for version rollouts: a controller
+// that ramps a candidate model version through a weighted A/B split
+// against the serving base, watches latency quantiles and score drift at
+// every step, and either promotes the candidate to "latest" after
+// sustained health or rolls the split back to its pre-canary state the
+// moment a threshold is breached.
+//
+// The controller is deliberately an observer-actuator loop over existing
+// primitives, not a new routing layer: traffic splitting is
+// serve.Registry.SetWeights (smooth weighted round-robin, exact
+// proportions), promotion is Registry.Promote (re-points the "latest"
+// alias, PR 3 semantics), and health reads come from the /metrics
+// latency histograms (window deltas between evaluations) plus
+// deterministic probe inferences pinned to each arm. Time is injected
+// through a Clock so every state transition — ramp, promote, rollback,
+// stop — is reproducible in tests under -race with a fake clock.
+//
+// Health has two axes, chosen to be cheap and robust at the serving tier:
+//
+//   - Latency: the candidate's p99 over the last evaluation window,
+//     estimated from its histogram delta, must not exceed
+//     max(LatencyRatio × base p99, LatencyFloor). The floor keeps
+//     microsecond-scale noise from failing a comparison where both arms
+//     are far inside the SLO; windows with fewer than MinSamples
+//     observations on either arm are inconclusive and count for neither
+//     health nor breach.
+//   - Drift: each evaluation runs the probe set through both arms
+//     (version-pinned, so the A/B split is not advanced or skewed) and
+//     compares outputs. An argmax disagreement rate above MaxDisagree or
+//     a mean absolute score delta above MaxScoreDelta is a breach. For a
+//     quantised or recompiled sibling of the same trained network this
+//     check is fully deterministic.
+//
+// Hysteresis works in consecutive ticks: HealthyTicks healthy
+// evaluations advance the ramp one step (promoting after the last
+// step), BreachTicks consecutive breaches roll back. A rollback restores
+// the exact weights that were configured before the canary started —
+// including "no split at all" — and re-points "latest" at the base, so
+// the registry is left indistinguishable from a canary that never
+// happened.
+package canary
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// Clock abstracts time for the controller loop. Production code uses
+// RealClock; tests inject a fake to drive evaluations deterministically.
+type Clock interface {
+	Now() time.Time
+	// NewTicker returns a ticker firing roughly every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the minimal ticker surface the controller needs.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// RealClock is the wall-clock Clock.
+type RealClock struct{}
+
+func (RealClock) Now() time.Time                   { return time.Now() }
+func (RealClock) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+type realTicker struct{ t *time.Ticker }
+
+func (t realTicker) C() <-chan time.Time { return t.t.C }
+func (t realTicker) Stop()               { t.t.Stop() }
+
+// EventType enumerates the controller's observable transitions.
+type EventType string
+
+const (
+	// EventRamp: the canary advanced to a new weight step.
+	EventRamp EventType = "ramp"
+	// EventPromote: the candidate was promoted to "latest" and the split
+	// cleared; terminal.
+	EventPromote EventType = "promote"
+	// EventRollback: a sustained breach rolled the split back to its
+	// pre-canary state; terminal.
+	EventRollback EventType = "rollback"
+	// EventStop: the canary ended without a verdict — Stop was called or
+	// the candidate was retired mid-evaluation; terminal.
+	EventStop EventType = "stop"
+)
+
+// Event is one controller transition, delivered to Config.OnEvent and
+// JSON-serialisable for structured logs.
+type Event struct {
+	Type      EventType `json:"type"`
+	Name      string    `json:"name"`
+	Base      string    `json:"base"`
+	Candidate string    `json:"candidate"`
+	// Step is the index into the weight schedule (meaningful for ramp
+	// events); Weight is the candidate's share at that step.
+	Step   int     `json:"step"`
+	Weight float64 `json:"weight,omitempty"`
+	// Reason explains rollbacks and stops.
+	Reason string `json:"reason,omitempty"`
+}
+
+// State is the controller's lifecycle position.
+type State string
+
+const (
+	StateRamping    State = "ramping"
+	StatePromoted   State = "promoted"
+	StateRolledBack State = "rolled_back"
+	StateStopped    State = "stopped"
+)
+
+// Config parameterises one canary evaluation. Registry, Base and
+// Candidate are required; zero values elsewhere select the documented
+// defaults.
+type Config struct {
+	// Registry is the serving registry holding both versions.
+	Registry *serve.Registry
+	// Metrics is the process metrics registry the serving layer reports
+	// into. When set, the controller reads per-arm latency histograms
+	// from it; when nil the latency axis is skipped and health rides on
+	// drift alone.
+	Metrics *metrics.Registry
+	// Base and Candidate are "name@version" identifiers sharing one
+	// name: the serving arm and the version under evaluation.
+	Base, Candidate string
+	// Schedule is the candidate's weight share at each ramp step,
+	// ascending in (0, 1). Default: 5%, 25%, 50%.
+	Schedule []float64
+	// Interval is the evaluation period. Default: 15s.
+	Interval time.Duration
+	// HealthyTicks is how many consecutive healthy evaluations advance
+	// the ramp one step (hysteresis against flapping). Default: 2.
+	HealthyTicks int
+	// BreachTicks is how many consecutive breached evaluations trigger
+	// rollback. Default: 2.
+	BreachTicks int
+	// MinSamples is the fewest latency observations each arm needs in an
+	// evaluation window for the latency comparison to count; windows
+	// below it are inconclusive. Default: 50.
+	MinSamples uint64
+	// LatencyRatio bounds candidate p99 relative to base p99; a window
+	// where candidate > max(ratio × base, LatencyFloor) breaches.
+	// Default: 2.0.
+	LatencyRatio float64
+	// LatencyFloor is the absolute p99 below which the ratio check never
+	// breaches, keeping noise at microsecond scales from failing arms
+	// that are both comfortably fast. Default: 1ms.
+	LatencyFloor time.Duration
+	// MaxDisagree is the tolerated argmax disagreement rate over the
+	// probe set, in [0, 1]. Default: 0.02.
+	MaxDisagree float64
+	// MaxScoreDelta is the tolerated mean absolute score difference over
+	// the probe set. Default: 0.25.
+	MaxScoreDelta float64
+	// Probes are the inputs (each of the model's InDim) inferred through
+	// both arms each evaluation for the drift check. Required: an empty
+	// probe set would make drift vacuously healthy.
+	Probes [][]float64
+	// OnEvent, when set, receives every transition synchronously from
+	// the controller goroutine (keep it fast; it is on the tick path).
+	OnEvent func(Event)
+	// Clock defaults to RealClock.
+	Clock Clock
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Schedule) == 0 {
+		c.Schedule = []float64{0.05, 0.25, 0.5}
+	}
+	if c.Interval <= 0 {
+		c.Interval = 15 * time.Second
+	}
+	if c.HealthyTicks <= 0 {
+		c.HealthyTicks = 2
+	}
+	if c.BreachTicks <= 0 {
+		c.BreachTicks = 2
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 50
+	}
+	if c.LatencyRatio <= 0 {
+		c.LatencyRatio = 2.0
+	}
+	if c.LatencyFloor <= 0 {
+		c.LatencyFloor = time.Millisecond
+	}
+	if c.MaxDisagree <= 0 {
+		c.MaxDisagree = 0.02
+	}
+	if c.MaxScoreDelta <= 0 {
+		c.MaxScoreDelta = 0.25
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock{}
+	}
+	return c
+}
+
+// Controller runs one canary evaluation loop. Create with New, start
+// with Start, and release with Stop (idempotent; also safe after the
+// controller reached a terminal state on its own).
+type Controller struct {
+	cfg   Config
+	name  string
+	baseV string
+	candV string
+
+	// prevWeights is the raw pre-canary split (nil = the name had no
+	// split), captured at Start for exact rollback restoration.
+	prevWeights map[string]float64
+
+	// prevBase/prevCand are the previous evaluation's histogram
+	// snapshots; the window delta between ticks is what the latency
+	// check compares.
+	prevBase, prevCand metrics.HistSnapshot
+
+	mu      sync.Mutex
+	state   State
+	step    int // index of the *installed* schedule step
+	healthy int // consecutive healthy evaluations at this step
+	breach  int // consecutive breached evaluations
+
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	started  bool
+	stopOnce sync.Once
+
+	// afterEval, when set (tests), is signalled after every evaluation
+	// completes, so a fake clock can step tick-by-tick without sleeping.
+	afterEval chan struct{}
+}
+
+// New validates cfg and builds a controller. Both versions must already
+// be registered and share one model name.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Registry == nil {
+		return nil, errors.New("canary: Config.Registry is required")
+	}
+	bn, bv := model.ParseID(cfg.Base)
+	cn, cv := model.ParseID(cfg.Candidate)
+	if bv == "" || cv == "" {
+		return nil, fmt.Errorf("canary: base %q and candidate %q must be name@version", cfg.Base, cfg.Candidate)
+	}
+	if bn != cn {
+		return nil, fmt.Errorf("canary: base %q and candidate %q name different models", cfg.Base, cfg.Candidate)
+	}
+	if bv == cv {
+		return nil, fmt.Errorf("canary: base and candidate are both %s", cfg.Base)
+	}
+	if len(cfg.Probes) == 0 {
+		return nil, errors.New("canary: Config.Probes is required (drift cannot be judged without probes)")
+	}
+	prev := 0.0
+	for i, w := range cfg.Schedule {
+		if !(w > 0 && w < 1) {
+			return nil, fmt.Errorf("canary: schedule step %d weight %g outside (0, 1)", i, w)
+		}
+		if w <= prev {
+			return nil, fmt.Errorf("canary: schedule must ascend, step %d weight %g ≤ %g", i, w, prev)
+		}
+		prev = w
+	}
+	for id := range map[string]string{cfg.Base: bv, cfg.Candidate: cv} {
+		n, v := model.ParseID(id)
+		if _, err := cfg.Registry.Stats(n, v); err != nil {
+			return nil, fmt.Errorf("canary: %s: %w", id, err)
+		}
+	}
+	return &Controller{
+		cfg:    cfg,
+		name:   bn,
+		baseV:  bv,
+		candV:  cv,
+		state:  StateRamping,
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}, nil
+}
+
+// State returns the controller's current lifecycle position.
+func (c *Controller) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Start snapshots the pre-canary split, installs the first schedule
+// step, and launches the evaluation loop. It returns an error — leaving
+// the registry untouched beyond the restored snapshot — if the split
+// cannot be installed.
+func (c *Controller) Start() error {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return errors.New("canary: already started")
+	}
+	c.started = true
+	c.mu.Unlock()
+
+	c.prevWeights = c.cfg.Registry.Weights(c.name)
+	if err := c.setStep(0); err != nil {
+		return fmt.Errorf("canary: installing first step: %w", err)
+	}
+	if bh, ch := c.histogram(c.baseV), c.histogram(c.candV); bh != nil && ch != nil {
+		c.prevBase, c.prevCand = bh.Snapshot(), ch.Snapshot()
+	}
+	c.emit(Event{Type: EventRamp, Step: 0, Weight: c.cfg.Schedule[0]})
+	go c.run()
+	return nil
+}
+
+// Stop ends the evaluation without a verdict: the split is left exactly
+// as it stands (callers wanting a clean slate roll back via the
+// registry). Stop blocks until the loop goroutine has exited and is safe
+// to call in any state, any number of times.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if !started {
+		return
+	}
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	<-c.doneCh
+}
+
+// run is the controller goroutine: evaluate every Interval tick until a
+// terminal state is reached or Stop is called.
+func (c *Controller) run() {
+	defer close(c.doneCh)
+	ticker := c.cfg.Clock.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			c.mu.Lock()
+			if c.state == StateRamping {
+				c.state = StateStopped
+				c.mu.Unlock()
+				c.emit(Event{Type: EventStop, Reason: "stopped by caller"})
+			} else {
+				c.mu.Unlock()
+			}
+			return
+		case <-ticker.C():
+			terminal := c.evaluate()
+			if c.afterEval != nil {
+				c.afterEval <- struct{}{}
+			}
+			if terminal {
+				return
+			}
+		}
+	}
+}
+
+// evaluate runs one health check and applies the hysteresis state
+// machine; it reports whether the controller reached a terminal state.
+func (c *Controller) evaluate() bool {
+	// A candidate (or base) retired mid-evaluation ends the canary with
+	// a clean stop: Retire already dissolved the split, so there are no
+	// weights to restore, and a verdict on a vanished arm is meaningless.
+	if _, err := c.cfg.Registry.Stats(c.name, c.candV); err != nil {
+		return c.finish(StateStopped, Event{Type: EventStop, Reason: "candidate retired: " + err.Error()})
+	}
+	if _, err := c.cfg.Registry.Stats(c.name, c.baseV); err != nil {
+		return c.finish(StateStopped, Event{Type: EventStop, Reason: "base retired: " + err.Error()})
+	}
+
+	healthy, breachReason := c.check()
+
+	c.mu.Lock()
+	if c.state != StateRamping {
+		c.mu.Unlock()
+		return true
+	}
+	if healthy {
+		c.breach = 0
+		c.healthy++
+		advance := c.healthy >= c.cfg.HealthyTicks
+		step := c.step
+		c.mu.Unlock()
+		if !advance {
+			return false
+		}
+		if step+1 < len(c.cfg.Schedule) {
+			if err := c.setStep(step + 1); err != nil {
+				// The registry refused the new split (e.g. closing); end
+				// with a rollback so traffic is not left mid-ramp.
+				c.rollback("advancing ramp: " + err.Error())
+				return true
+			}
+			c.mu.Lock()
+			c.step = step + 1
+			c.healthy = 0
+			c.mu.Unlock()
+			c.emit(Event{Type: EventRamp, Step: step + 1, Weight: c.cfg.Schedule[step+1]})
+			return false
+		}
+		// Past the last step: promote. Promote clears the split and
+		// re-points "latest" at the candidate (PR 3 semantics).
+		if err := c.cfg.Registry.Promote(c.name, c.candV); err != nil {
+			c.rollback("promoting: " + err.Error())
+			return true
+		}
+		return c.finish(StatePromoted, Event{Type: EventPromote, Step: step, Weight: 1})
+	}
+	c.healthy = 0
+	c.breach++
+	trip := c.breach >= c.cfg.BreachTicks
+	c.mu.Unlock()
+	if trip {
+		c.rollback(breachReason)
+		return true
+	}
+	return false
+}
+
+// check runs the two health axes and returns health plus the breach
+// reason when unhealthy. Inconclusive latency windows pass the latency
+// axis (neither evidence for nor against); drift is always conclusive.
+func (c *Controller) check() (bool, string) {
+	if dis, delta := c.drift(); dis > c.cfg.MaxDisagree || delta > c.cfg.MaxScoreDelta {
+		return false, fmt.Sprintf("score drift: disagree=%.3f (max %.3f), mean|Δscore|=%.4f (max %.4f)",
+			dis, c.cfg.MaxDisagree, delta, c.cfg.MaxScoreDelta)
+	}
+	bh, ch := c.histogram(c.baseV), c.histogram(c.candV)
+	if bh == nil || ch == nil {
+		return true, ""
+	}
+	baseSnap, candSnap := bh.Snapshot(), ch.Snapshot()
+	baseWin, candWin := baseSnap.Sub(c.prevBase), candSnap.Sub(c.prevCand)
+	c.prevBase, c.prevCand = baseSnap, candSnap
+	if baseWin.Count() < c.cfg.MinSamples || candWin.Count() < c.cfg.MinSamples {
+		return true, ""
+	}
+	basP, canP := baseWin.Quantile(0.99), candWin.Quantile(0.99)
+	limit := basP * c.cfg.LatencyRatio
+	if floor := c.cfg.LatencyFloor.Seconds(); limit < floor {
+		limit = floor
+	}
+	if canP > limit {
+		return false, fmt.Sprintf("latency: candidate p99 %.3gs > limit %.3gs (base p99 %.3gs, ratio %.1f, floor %s)",
+			canP, limit, basP, c.cfg.LatencyRatio, c.cfg.LatencyFloor)
+	}
+	return true, ""
+}
+
+// drift infers the probe set through both arms (version-pinned, so the
+// A/B rotation is not advanced) and returns the argmax disagreement rate
+// and mean absolute score delta. Probe failures count as disagreements:
+// an arm that cannot answer its probes is not healthy.
+func (c *Controller) drift() (disagree, meanDelta float64) {
+	ctx := context.Background()
+	var disagreed, failed int
+	var deltaSum float64
+	var deltaN int
+	var bScores, cScores []float64
+	for _, p := range c.cfg.Probes {
+		bres, berr := c.cfg.Registry.InferInto(ctx, c.name, c.baseV, p, bScores)
+		cres, cerr := c.cfg.Registry.InferInto(ctx, c.name, c.candV, p, cScores)
+		if berr != nil || cerr != nil {
+			failed++
+			continue
+		}
+		bScores, cScores = bres.Scores, cres.Scores
+		if bres.Class != cres.Class {
+			disagreed++
+		}
+		if len(bScores) == len(cScores) {
+			for i := range bScores {
+				d := bScores[i] - cScores[i]
+				if d < 0 {
+					d = -d
+				}
+				deltaSum += d
+				deltaN++
+			}
+		}
+	}
+	n := len(c.cfg.Probes)
+	disagree = float64(disagreed+failed) / float64(n)
+	if deltaN > 0 {
+		meanDelta = deltaSum / float64(deltaN)
+	}
+	return disagree, meanDelta
+}
+
+// setStep installs schedule step i as the registry split.
+func (c *Controller) setStep(i int) error {
+	w := c.cfg.Schedule[i]
+	return c.cfg.Registry.SetWeights(c.name, map[string]float64{
+		c.baseV: 1 - w,
+		c.candV: w,
+	})
+}
+
+// rollback restores the exact pre-canary routing state: the snapshotted
+// raw weights when the name had a split, otherwise no split and "latest"
+// re-pointed at the base (registration order had left it on the
+// candidate). Restoration errors are folded into the event reason — at
+// that point the registry itself is failing and there is nothing better
+// to do than report it.
+func (c *Controller) rollback(reason string) {
+	if len(c.prevWeights) > 0 {
+		if err := c.cfg.Registry.SetWeights(c.name, c.prevWeights); err != nil {
+			reason += "; restoring weights: " + err.Error()
+		}
+	} else if err := c.cfg.Registry.Promote(c.name, c.baseV); err != nil {
+		reason += "; restoring base: " + err.Error()
+	}
+	c.finish(StateRolledBack, Event{Type: EventRollback, Reason: reason})
+}
+
+// finish transitions to a terminal state (first writer wins) and emits
+// its event; it always reports terminal.
+func (c *Controller) finish(s State, ev Event) bool {
+	c.mu.Lock()
+	if c.state != StateRamping {
+		c.mu.Unlock()
+		return true
+	}
+	c.state = s
+	step := c.step
+	c.mu.Unlock()
+	if ev.Step == 0 && ev.Type != EventPromote {
+		ev.Step = step
+	}
+	c.emit(ev)
+	return true
+}
+
+// histogram returns the version's request-latency histogram, nil when
+// metrics are not wired or the series is not registered.
+func (c *Controller) histogram(version string) *metrics.Histogram {
+	if c.cfg.Metrics == nil {
+		return nil
+	}
+	return c.cfg.Metrics.FindHistogram(serve.MetricRequestLatency, "model", model.ID(c.name, version))
+}
+
+func (c *Controller) emit(ev Event) {
+	ev.Name, ev.Base, ev.Candidate = c.name, model.ID(c.name, c.baseV), model.ID(c.name, c.candV)
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(ev)
+	}
+}

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. Inc and Add are single
+// atomic operations — lock-free, allocation-free, safe on the serving
+// hot path.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down, stored as float64 bits in
+// one atomic word. Set is a single atomic store.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (CAS loop; still allocation-free).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: per-bucket atomic counters
+// plus a CAS-accumulated sum. Observe performs one bucket search (a
+// linear scan over a cache-resident float slice — the layouts in use
+// have ≲16 buckets, where a scan beats binary search), one atomic add,
+// and one CAS loop for the sum: no locks, no allocation.
+//
+// Bucket counts are stored non-cumulatively and cumulated at read time,
+// so two concurrent Observes never contend on more than one counter.
+// Under concurrency a scrape may catch a count whose sum update has not
+// landed yet (or vice versa); both series are monotone and the skew is
+// bounded by the number of in-flight observations, the standard
+// Prometheus histogram contract.
+type Histogram struct {
+	upper  []float64       // ascending upper bounds; +Inf implicit
+	counts []atomic.Uint64 // len(upper)+1, last = +Inf overflow
+	sum    atomic.Uint64   // float64 bits
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram: non-cumulative
+// per-bucket counts (last entry is the +Inf overflow bucket) and the
+// value sum. Snapshots subtract, so a controller can reason about "the
+// last window" of a cumulative histogram.
+type HistSnapshot struct {
+	Upper  []float64
+	Counts []uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Upper:  h.upper,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Sub returns the window delta s − prev (same bucket layout assumed).
+// Counters are monotone, so a clamped subtraction guards against the
+// bounded read skew described on Histogram.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Upper: s.Upper, Counts: make([]uint64, len(s.Counts)), Sum: s.Sum - prev.Sum}
+	for i := range s.Counts {
+		if i < len(prev.Counts) && prev.Counts[i] <= s.Counts[i] {
+			d.Counts[i] = s.Counts[i] - prev.Counts[i]
+		} else if i >= len(prev.Counts) {
+			d.Counts[i] = s.Counts[i]
+		}
+	}
+	if d.Sum < 0 {
+		d.Sum = 0
+	}
+	return d
+}
+
+// Count returns the total number of observations in the snapshot.
+func (s HistSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) by linear
+// interpolation inside the bucket containing the target rank — the same
+// estimate Prometheus's histogram_quantile computes. Observations in the
+// +Inf bucket resolve to the highest finite bound (quantiles beyond the
+// grid are not extrapolated). A snapshot with no observations returns 0.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	total := s.Count()
+	if total == 0 || len(s.Upper) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Upper) {
+			return s.Upper[len(s.Upper)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Upper[i-1]
+		}
+		return lo + (s.Upper[i]-lo)*(rank-prev)/float64(c)
+	}
+	return s.Upper[len(s.Upper)-1]
+}

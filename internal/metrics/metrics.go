@@ -1,0 +1,412 @@
+// Package metrics is a dependency-free Prometheus-exposition-format
+// metrics registry for the serving stack: counters, gauges and
+// fixed-bucket histograms whose hot paths are single atomic operations —
+// no locks taken and no per-observation allocation, so instrumenting the
+// zero-allocation serving paths (internal/serve's InferInto round trip,
+// the stream frame loop) costs nothing the alloc gates would notice.
+//
+// The design splits each metric into a family (name, HELP text, TYPE,
+// bucket layout) and its labelled series. Registration is GetOrCreate:
+// asking for the same family + label set twice returns the same
+// instrument, so a re-registered model version continues its counters —
+// exactly the Prometheus process-lifetime-cumulative convention.
+// Registration may allocate and lock; it happens once per served model,
+// not per request. Callback-backed series (CounterFunc, GaugeFunc) read
+// an existing counter at scrape time, which is how /stats and /metrics
+// are kept answering from the same underlying counters instead of two
+// drifting copies.
+//
+// WritePrometheus renders the text exposition format (version 0.0.4):
+// one HELP + TYPE comment per family, families sorted by name, histogram
+// series expanded into cumulative _bucket/_sum/_count triples. The
+// output is what tools/promcheck validates in CI.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is a family's metric type.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// LatencyBuckets is the default histogram layout for request latencies,
+// in seconds. The serving hot path answers in tens of microseconds on
+// one core, so the grid starts at 25µs and rises geometrically to 2.5s:
+// dense where the p50/p95/p99 of a healthy server land, sparse in the
+// overload tail a canary controller needs only coarsely.
+var LatencyBuckets = []float64{
+	25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+	250e-3, 500e-3, 1, 2.5,
+}
+
+// SizeBuckets is the default layout for small-count distributions
+// (batch sizes, pipeline depths): powers of two up to 128.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Registry holds metric families and renders them in exposition format.
+// The zero value is not usable; create one with NewRegistry. All methods
+// are safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with its labelled series.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	buckets []float64 // histogram upper bounds, ascending, +Inf implicit
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []*series
+}
+
+// series is one labelled instrument of a family. Exactly one of the
+// value fields is set, matching the family kind; fn, when non-nil, is a
+// callback read at scrape time instead of the stored value.
+type series struct {
+	labels  string // pre-rendered `k="v",...` (no braces), "" when unlabelled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// labelKey renders alternating name/value pairs into the canonical
+// series key and exposition fragment, validating label names.
+func labelKey(name string, labels []string) string {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: %s: odd label list %q (want name, value pairs)", name, labels))
+	}
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(labels); i += 2 {
+		if !labelNameRe.MatchString(labels[i]) {
+			panic(fmt.Sprintf("metrics: %s: invalid label name %q", name, labels[i]))
+		}
+		if labels[i] == "le" {
+			panic(fmt.Sprintf("metrics: %s: label name \"le\" is reserved for histogram buckets", name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// getFamily returns the named family, creating it on first use and
+// checking kind (and, for histograms, bucket layout) against later
+// registrations. Mismatches are programmer errors and panic.
+func (r *Registry) getFamily(name, help string, kind Kind, buckets []float64) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		if !metricNameRe.MatchString(name) {
+			panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+		}
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{
+				name:    name,
+				help:    help,
+				kind:    kind,
+				buckets: append([]float64(nil), buckets...),
+				series:  make(map[string]*series),
+			}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s already registered as %v, asked for %v", name, f.kind, kind))
+	}
+	return f
+}
+
+// getSeries returns the family's series for key, creating it with mk on
+// first use.
+func (f *family) getSeries(key string, mk func() *series) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[key]
+	if s == nil {
+		s = mk()
+		s.labels = key
+		f.series[key] = s
+		f.order = append(f.order, s)
+	}
+	return s
+}
+
+// Counter returns (creating on first use) the counter series of the
+// named family with the given alternating label name/value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	f := r.getFamily(name, help, KindCounter, nil)
+	s := f.getSeries(labelKey(name, labels), func() *series { return &series{counter: &Counter{}} })
+	if s.counter == nil {
+		panic(fmt.Sprintf("metrics: %s{%s} is callback-backed, not a stored counter", name, s.labels))
+	}
+	return s.counter
+}
+
+// CounterFunc registers (or replaces) a callback-backed counter series:
+// fn is read at scrape time, so the exposed value and any other reader
+// of the same underlying counter can never disagree. fn must be
+// monotonically non-decreasing and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	f := r.getFamily(name, help, KindCounter, nil)
+	s := f.getSeries(labelKey(name, labels), func() *series { return &series{} })
+	f.mu.Lock()
+	s.counter, s.fn = nil, fn
+	f.mu.Unlock()
+}
+
+// Gauge returns (creating on first use) the gauge series of the named
+// family.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	f := r.getFamily(name, help, KindGauge, nil)
+	s := f.getSeries(labelKey(name, labels), func() *series { return &series{gauge: &Gauge{}} })
+	if s.gauge == nil {
+		panic(fmt.Sprintf("metrics: %s{%s} is callback-backed, not a stored gauge", name, s.labels))
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers (or replaces) a callback-backed gauge series.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	f := r.getFamily(name, help, KindGauge, nil)
+	s := f.getSeries(labelKey(name, labels), func() *series { return &series{} })
+	f.mu.Lock()
+	s.gauge, s.fn = nil, fn
+	f.mu.Unlock()
+}
+
+// Histogram returns (creating on first use) the histogram series of the
+// named family. buckets are ascending upper bounds in the observed unit;
+// the +Inf bucket is implicit. All series of one family share the layout
+// fixed by its first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("metrics: %s: buckets not strictly ascending at %d", name, i))
+		}
+	}
+	f := r.getFamily(name, help, KindHistogram, buckets)
+	s := f.getSeries(labelKey(name, labels), func() *series { return &series{hist: newHistogram(f.buckets)} })
+	return s.hist
+}
+
+// FindHistogram returns the already-registered histogram series, or nil
+// — the read-side lookup the canary controller uses to watch a model's
+// latency distribution without owning the registration.
+func (r *Registry) FindHistogram(name string, labels ...string) *Histogram {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil || f.kind != KindHistogram {
+		return nil
+	}
+	key := labelKey(name, labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := f.series[key]; s != nil {
+		return s.hist
+	}
+	return nil
+}
+
+// Unregister removes one series (identified by family name + exact label
+// pairs) from the exposition, reporting whether it existed. A family
+// left with no series disappears from the output but keeps its kind and
+// bucket layout for future registrations. Closing servers use this so a
+// retired model's callbacks are not scraped forever.
+func (r *Registry) Unregister(name string, labels ...string) bool {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return false
+	}
+	key := labelKey(name, labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		return false
+	}
+	delete(f.series, key)
+	for i, o := range f.order {
+		if o == s {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// WritePrometheus renders every family in text exposition format 0.0.4
+// (families sorted by name, series in registration order) and writes the
+// document to w in one call.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	r.render(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (r *Registry) render(w *strings.Builder) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		if len(f.order) == 0 {
+			f.mu.Unlock()
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.order {
+			writeSeries(w, f, s)
+		}
+		f.mu.Unlock()
+	}
+}
+
+func writeSeries(w *strings.Builder, f *family, s *series) {
+	switch {
+	case f.kind == KindHistogram:
+		snap := s.hist.Snapshot()
+		cum := uint64(0)
+		for i, c := range snap.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(snap.Upper) {
+				le = formatFloat(snap.Upper[i])
+			}
+			w.WriteString(f.name)
+			w.WriteString("_bucket{")
+			if s.labels != "" {
+				w.WriteString(s.labels)
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(le)
+			w.WriteString(`"} `)
+			w.WriteString(strconv.FormatUint(cum, 10))
+			w.WriteByte('\n')
+		}
+		writeSample(w, f.name+"_sum", s.labels, formatFloat(snap.Sum))
+		writeSample(w, f.name+"_count", s.labels, strconv.FormatUint(cum, 10))
+	case s.fn != nil:
+		writeSample(w, f.name, s.labels, formatFloat(s.fn()))
+	case s.counter != nil:
+		writeSample(w, f.name, s.labels, strconv.FormatUint(s.counter.Value(), 10))
+	case s.gauge != nil:
+		writeSample(w, f.name, s.labels, formatFloat(s.gauge.Value()))
+	}
+}
+
+func writeSample(w *strings.Builder, name, labels, value string) {
+	w.WriteString(name)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Expose renders the registry as one exposition-format document.
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.render(&b)
+	return b.String()
+}
+
+// ContentType is the exposition format content type the Handler serves.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns the /metrics HTTP handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,294 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMain asserts the package's tests leak no goroutines: the metrics
+// layer must never need a background goroutine (scrapes are pull-based),
+// and the canary controller that consumes it is held to the same
+// standard. The settle loop tolerates runtime-internal goroutines that
+// wind down asynchronously.
+func TestMain(m *testing.M) {
+	before := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		for i := 0; i < 100; i++ {
+			if runtime.NumGoroutine() <= before {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after := runtime.NumGoroutine(); after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			os.Stderr.WriteString("goroutine leak: " + string(buf[:n]) + "\n")
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Total requests.", "model", "mnist@v1")
+	c.Add(41)
+	c.Inc()
+	if c2 := r.Counter("test_requests_total", "Total requests.", "model", "mnist@v1"); c2 != c {
+		t.Error("GetOrCreate returned a different counter for the same series")
+	}
+	r.Counter("test_requests_total", "Total requests.", "model", "mnist@v2").Inc()
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(3.5)
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 7 })
+
+	out := r.Expose()
+	for _, want := range []string{
+		"# HELP test_requests_total Total requests.\n",
+		"# TYPE test_requests_total counter\n",
+		`test_requests_total{model="mnist@v1"} 42` + "\n",
+		`test_requests_total{model="mnist@v2"} 1` + "\n",
+		"# TYPE test_depth gauge\n",
+		"test_depth 3.5\n",
+		"test_uptime_seconds 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterFuncReadsLiveValue(t *testing.T) {
+	r := NewRegistry()
+	v := 0.0
+	r.CounterFunc("test_live_total", "Live.", func() float64 { return v })
+	v = 5
+	if out := r.Expose(); !strings.Contains(out, "test_live_total 5\n") {
+		t.Errorf("callback counter not read at scrape time:\n%s", out)
+	}
+	// Replacing the callback re-points the same series.
+	r.CounterFunc("test_live_total", "Live.", func() float64 { return 9 })
+	if out := r.Expose(); !strings.Contains(out, "test_live_total 9\n") {
+		t.Errorf("replaced callback not used:\n%s", out)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, "model", "m@v1")
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	out := r.Expose()
+	for _, want := range []string{
+		"# TYPE test_latency_seconds histogram\n",
+		`test_latency_seconds_bucket{model="m@v1",le="0.01"} 1` + "\n",
+		`test_latency_seconds_bucket{model="m@v1",le="0.1"} 3` + "\n",
+		`test_latency_seconds_bucket{model="m@v1",le="1"} 4` + "\n",
+		`test_latency_seconds_bucket{model="m@v1",le="+Inf"} 5` + "\n",
+		`test_latency_seconds_sum{model="m@v1"} 5.605` + "\n",
+		`test_latency_seconds_count{model="m@v1"} 5` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_q", "Q.", []float64{1, 2, 4, 8})
+	before := h.Snapshot()
+	// 100 observations uniform in (0, 1]: p50 ≈ 0.5 within the first
+	// bucket by interpolation.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	win := h.Snapshot().Sub(before)
+	if got := win.Count(); got != 100 {
+		t.Fatalf("window count %d, want 100", got)
+	}
+	if q := win.Quantile(0.5); q < 0.4 || q > 0.6 {
+		t.Errorf("p50 of uniform(0,1] estimated %g, want ≈0.5", q)
+	}
+	// Everything in one bucket: p99 interpolates inside (2, 4].
+	h2 := r.Histogram("test_q2", "Q.", []float64{1, 2, 4, 8})
+	for i := 0; i < 10; i++ {
+		h2.Observe(3)
+	}
+	if q := h2.Snapshot().Quantile(0.99); q <= 2 || q > 4 {
+		t.Errorf("p99 %g outside bucket (2, 4]", q)
+	}
+	// Overflow observations clamp to the top finite bound.
+	h3 := r.Histogram("test_q3", "Q.", []float64{1, 2})
+	h3.Observe(100)
+	if q := h3.Snapshot().Quantile(0.5); q != 2 {
+		t.Errorf("overflow quantile %g, want clamp to 2", q)
+	}
+	// Empty snapshot.
+	if q := (HistSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile %g, want 0", q)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_gone_total", "Gone.", "model", "a@v1").Inc()
+	r.Counter("test_gone_total", "Gone.", "model", "b@v1").Inc()
+	if !r.Unregister("test_gone_total", "model", "a@v1") {
+		t.Fatal("Unregister of an existing series returned false")
+	}
+	if r.Unregister("test_gone_total", "model", "a@v1") {
+		t.Error("second Unregister of the same series returned true")
+	}
+	out := r.Expose()
+	if strings.Contains(out, `model="a@v1"`) {
+		t.Errorf("unregistered series still exposed:\n%s", out)
+	}
+	if !strings.Contains(out, `test_gone_total{model="b@v1"} 1`) {
+		t.Errorf("sibling series lost:\n%s", out)
+	}
+	// A family emptied of series drops out of the exposition entirely
+	// (no orphaned HELP/TYPE block for promcheck to trip on).
+	r.Unregister("test_gone_total", "model", "b@v1")
+	if out := r.Expose(); strings.Contains(out, "test_gone_total") {
+		t.Errorf("empty family still exposed:\n%s", out)
+	}
+}
+
+func TestFindHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_find", "F.", []float64{1}, "model", "m@v1")
+	if got := r.FindHistogram("test_find", "model", "m@v1"); got != h {
+		t.Error("FindHistogram did not return the registered series")
+	}
+	if got := r.FindHistogram("test_find", "model", "other"); got != nil {
+		t.Error("FindHistogram invented a series for unknown labels")
+	}
+	if got := r.FindHistogram("test_absent"); got != nil {
+		t.Error("FindHistogram invented a family")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_esc_total", "Esc.", "path", `a"b\c`+"\n").Inc()
+	out := r.Expose()
+	want := `test_esc_total{path="a\"b\\c\n"} 1` + "\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped series %q missing in:\n%s", want, out)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_h_total", "H.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type %q, want %q", ct, ContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "test_h_total 1") {
+		t.Errorf("handler body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentObserve hammers one family from many goroutines while a
+// scraper renders — the -race regression test for the atomic hot paths.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "C.")
+	h := r.Histogram("test_conc_seconds", "H.", LatencyBuckets)
+	g := r.Gauge("test_conc_depth", "G.")
+	const goroutines, iters = 8, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				c.Inc()
+				g.Set(float64(k))
+				h.Observe(float64(k%100) * 1e-5)
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			if r.Expose() == "" {
+				t.Error("empty exposition under load")
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-scraped
+	if got := c.Value(); got != goroutines*iters {
+		t.Errorf("counter %d, want %d", got, goroutines*iters)
+	}
+	if got := h.Snapshot().Count(); got != goroutines*iters {
+		t.Errorf("histogram count %d, want %d", got, goroutines*iters)
+	}
+}
+
+// TestMetricsHotPathZeroAlloc is this package's entry in the repo's
+// zero-allocation gate (`-run 'ZeroAlloc'`, run without -race): the
+// instruments the serving hot path calls per request must not allocate.
+func TestMetricsHotPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the alloc gate runs without -race")
+	}
+	r := NewRegistry()
+	c := r.Counter("test_alloc_total", "A.", "model", "m@v1")
+	g := r.Gauge("test_alloc_depth", "A.", "model", "m@v1")
+	h := r.Histogram("test_alloc_seconds", "A.", LatencyBuckets, "model", "m@v1")
+	v := 0.0
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(v)
+		g.Add(1)
+		h.Observe(v)
+		v += 1e-5
+	}); allocs > 0 {
+		t.Errorf("hot-path instrument calls allocate %.1f/op; want 0", allocs)
+	}
+}
+
+func TestInvalidRegistrationsPanic(t *testing.T) {
+	r := NewRegistry()
+	for name, fn := range map[string]func(){
+		"bad metric name": func() { r.Counter("0bad", "x") },
+		"bad label name":  func() { r.Counter("test_ok", "x", "0bad", "v") },
+		"odd label list":  func() { r.Counter("test_ok2", "x", "only-name") },
+		"reserved le":     func() { r.Histogram("test_ok3", "x", []float64{1}, "le", "5") },
+		"kind mismatch": func() {
+			r.Counter("test_kind", "x")
+			r.Gauge("test_kind", "x")
+		},
+		"unsorted buckets": func() { r.Histogram("test_unsorted", "x", []float64{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package metrics
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation allocates on paths that are
+// allocation-free in production builds; allocation-accounting tests skip
+// themselves when it is set (the CI zero-alloc gate runs without -race).
+const raceEnabled = true

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Shed reasons, recorded in OverloadError.Reason and the Stats counters.
@@ -170,6 +172,24 @@ func (c *Controller) Admit(model string) (Ticket, error) {
 // bounded queues (ReasonQueue), with this controller's Retry-After hint.
 func (c *Controller) Overloaded(reason, model string) *OverloadError {
 	return &OverloadError{Reason: reason, Model: model, RetryAfter: c.cfg.RetryAfter}
+}
+
+// RegisterMetrics exposes the controller's counters on r as
+// callback-backed Prometheus series: repro_admission_admitted_total,
+// repro_admission_shed_total{reason="inflight"|"quota"} and the
+// repro_admission_inflight gauge. The callbacks read the same atomics
+// Stats snapshots, so the /stats JSON and a /metrics scrape can never
+// report different admission numbers. Safe to call once per controller;
+// a process runs one controller, so the series carry no extra labels.
+func (c *Controller) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("repro_admission_admitted_total", "Requests that passed admission control.",
+		func() float64 { return float64(c.admitted.Load()) })
+	r.CounterFunc("repro_admission_shed_total", "Requests rejected at admission, by reason.",
+		func() float64 { return float64(c.shedInflight.Load()) }, "reason", ReasonInflight)
+	r.CounterFunc("repro_admission_shed_total", "Requests rejected at admission, by reason.",
+		func() float64 { return float64(c.shedQuota.Load()) }, "reason", ReasonQuota)
+	r.GaugeFunc("repro_admission_inflight", "Currently admitted, unreleased requests.",
+		func() float64 { return float64(c.inflight.Load()) })
 }
 
 // Stats snapshots the counters.

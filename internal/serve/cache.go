@@ -159,6 +159,14 @@ func (s *cacheShard) add(key string, res Result) {
 	}
 }
 
+// counts returns this shard's hit/miss counters and entry count under its
+// lock — the per-shard read behind the shard-labelled /metrics series.
+func (s *cacheShard) counts() (hits, misses uint64, entries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.order.Len()
+}
+
 // counters returns the aggregated hit/miss totals and entry count. Each
 // shard is read under its own lock — never all locks at once, so a stats
 // poll cannot stall the whole cache — which makes the aggregate a

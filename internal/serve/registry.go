@@ -98,6 +98,17 @@ func (r *abRoute) weights() map[string]float64 {
 	return out
 }
 
+// rawWeights returns the as-configured (unnormalised) weight per version.
+func (r *abRoute) rawWeights() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.arms))
+	for _, a := range r.arms {
+		out[a.version] = a.weight
+	}
+	return out
+}
+
 // ModelInfo describes one registered model version — the /v1/models
 // listing entry.
 type ModelInfo struct {
@@ -292,6 +303,21 @@ func (r *Registry) SetWeights(name string, weights map[string]float64) error {
 	sort.Slice(route.arms, func(i, j int) bool { return route.arms[i].version < route.arms[j].version })
 	r.routes[name] = route
 	return nil
+}
+
+// Weights returns name's current A/B split exactly as configured — the
+// raw, unnormalised weights passed to SetWeights — or nil when the name
+// has no split. The canary controller snapshots this before installing
+// its ramp so a rollback can restore the precise pre-canary state, not a
+// normalised approximation of it.
+func (r *Registry) Weights(name string) map[string]float64 {
+	r.mu.RLock()
+	route, ok := r.routes[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return route.rawWeights()
 }
 
 // resolve maps (name, version) to the serving instance. An empty version

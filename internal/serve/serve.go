@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/serve/admission"
@@ -84,6 +85,13 @@ type Options struct {
 	// deadline. Requests whose context deadline has passed are shed the
 	// same way regardless of SLO. 0 disables age-based shedding.
 	SLO time.Duration
+	// Metrics, when non-nil, registers this server's Prometheus series
+	// (latency and batch-size histograms, queue/cache gauges, and
+	// callback-backed counters reading the same state Stats reads) under
+	// a model="name@version" label. The hot-path instruments are pure
+	// atomics, so enabling metrics keeps the request path allocation-free.
+	// Series are unregistered by Close.
+	Metrics *metrics.Registry
 }
 
 // withDefaults returns opts with zero fields replaced by defaults.
@@ -184,6 +192,7 @@ type Server struct {
 
 	cache *resultCache
 	stats collector
+	mx    *serverMetrics // nil when Options.Metrics is unset
 
 	// queued counts requests submitted but not yet taken by the
 	// scheduler (it is incremented before the queue send and decremented
@@ -256,6 +265,9 @@ func NewModel(m model.Model, opts Options) (*Server, error) {
 	}
 	if opts.CacheSize > 0 {
 		s.cache = newResultCache(opts.CacheSize)
+	}
+	if opts.Metrics != nil {
+		s.mx = newServerMetrics(opts.Metrics, s)
 	}
 	s.wg.Add(1 + opts.Workers)
 	go s.dispatch()
@@ -426,6 +438,9 @@ func (s *Server) Close() {
 	close(s.reqCh)
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Unregister after the workers are gone: a retired model's
+	// callback-backed series must not outlive the state they read.
+	s.mx.unregister()
 }
 
 // dispatch is the batching scheduler: it assembles batches of up to
@@ -592,6 +607,7 @@ func (s *Server) worker(m model.Model) {
 			lats = append(lats, now.Sub(r.enq))
 		}
 		s.stats.batchDone(n, lats)
+		s.mx.observeBatch(n, lats)
 		// Each requester's scores are copied out of the output tensor into
 		// the request's own reusable row: the output may be a view of the
 		// worker's reused input buffer (a pass-through model) or of

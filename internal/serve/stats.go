@@ -116,6 +116,28 @@ func (c *collector) batchDone(size int, lats []time.Duration) {
 	c.mu.Unlock()
 }
 
+// requestsTotal / completedTotal / shedTotal expose individual counters
+// for the callback-backed /metrics series. They read the same fields
+// snapshot reads, under the same lock — the mechanism that keeps the
+// /stats JSON and the Prometheus exposition reporting one set of numbers.
+func (c *collector) requestsTotal() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return float64(c.requests)
+}
+
+func (c *collector) completedTotal() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return float64(c.completed)
+}
+
+func (c *collector) shedTotal() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return float64(c.shed)
+}
+
 // snapshot assembles a Stats from the counters.
 func (c *collector) snapshot() Stats {
 	c.mu.Lock()

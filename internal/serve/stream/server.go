@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/serve"
 	"repro/internal/serve/admission"
@@ -38,6 +39,11 @@ type Options struct {
 	// The same controller instance should also guard the process's HTTP
 	// handlers, so capacity limits hold across both protocols.
 	Admission *admission.Controller
+	// Metrics, when non-nil, registers the listener's Prometheus series
+	// (connection/frame/shed/GOAWAY counters and a pipelining-depth
+	// gauge) at NewServer time. The callbacks read the same counters
+	// Stats snapshots, so the two surfaces always agree.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +69,10 @@ type ServerStats struct {
 	// Shed counts request frames answered with a 429 status frame
 	// (admission or window overflow) instead of being executed.
 	Shed uint64 `json:"shed"`
+	// GoAways counts server-sent GOAWAY frames — one per drained
+	// connection, whether the drain was initiated by Shutdown or by the
+	// connection's own teardown acknowledgement.
+	GoAways uint64 `json:"goaways"`
 }
 
 // Server speaks RPS2 over any net.Listener, routing request frames into a
@@ -83,16 +93,44 @@ type Server struct {
 	frames     atomic.Uint64
 	responses  atomic.Uint64
 	shed       atomic.Uint64
+	goaways    atomic.Uint64
 }
 
-// NewServer builds a streaming server over reg.
+// NewServer builds a streaming server over reg. When opts.Metrics is set
+// the listener's series are registered here, once per server — they are
+// callback-backed, reading the same counters Stats reads.
 func NewServer(reg *serve.Registry, opts Options) *Server {
-	return &Server{
+	s := &Server{
 		reg:   reg,
 		opts:  opts.withDefaults(),
 		lns:   make(map[net.Listener]struct{}),
 		conns: make(map[*sconn]struct{}),
 	}
+	if r := s.opts.Metrics; r != nil {
+		r.GaugeFunc("repro_stream_conns", "Open RPS2 connections.",
+			func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.conns)) })
+		r.CounterFunc("repro_stream_conns_total", "RPS2 connections ever accepted.",
+			func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.totalConns) })
+		r.CounterFunc("repro_stream_frames_total", "Request frames accepted into a connection window.",
+			func() float64 { return float64(s.frames.Load()) })
+		r.CounterFunc("repro_stream_responses_total", "Response frames written.",
+			func() float64 { return float64(s.responses.Load()) })
+		r.CounterFunc("repro_stream_shed_total", "Request frames answered with a 429 status frame.",
+			func() float64 { return float64(s.shed.Load()) })
+		r.CounterFunc("repro_stream_goaways_total", "Server-sent GOAWAY frames (connection drains).",
+			func() float64 { return float64(s.goaways.Load()) })
+		r.GaugeFunc("repro_stream_pipeline_depth", "Request frames pending in connection windows, summed across open connections.",
+			func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				depth := 0
+				for c := range s.conns {
+					depth += len(c.pending)
+				}
+				return float64(depth)
+			})
+	}
+	return s
 }
 
 // Stats snapshots the listener counters.
@@ -106,6 +144,7 @@ func (s *Server) Stats() ServerStats {
 	st.Frames = s.frames.Load()
 	st.Responses = s.responses.Load()
 	st.Shed = s.shed.Load()
+	st.GoAways = s.goaways.Load()
 	return st
 }
 
@@ -280,6 +319,7 @@ func (c *sconn) run() {
 	c.wmu.Lock()
 	if !c.goaway {
 		c.goaway = true
+		c.srv.goaways.Add(1)
 		c.sbuf, _ = AppendFrame(c.sbuf[:0], FrameGoAway, 0, nil)
 		c.nc.Write(c.sbuf)
 	}
@@ -301,6 +341,7 @@ func (c *sconn) sendGoAway() {
 		return
 	}
 	c.goaway = true
+	c.srv.goaways.Add(1)
 	c.sbuf, _ = AppendFrame(c.sbuf[:0], FrameGoAway, 0, nil)
 	c.nc.Write(c.sbuf)
 }

@@ -36,10 +36,12 @@ import (
 	"io"
 	"math/rand"
 
+	"repro/internal/canary"
 	"repro/internal/circulant"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/fft"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/ops"
@@ -312,3 +314,42 @@ func DialStream(addr string) (*StreamClient, error) { return stream.Dial(addr) }
 // NewAdmission builds an admission controller to share between a
 // StreamServer and an HTTP front end.
 func NewAdmission(cfg AdmissionConfig) *AdmissionController { return admission.New(cfg) }
+
+// Observability (internal/metrics, internal/canary): a dependency-free
+// Prometheus text-exposition registry with atomic counters, gauges, and
+// histograms (no per-observation allocation, so the serving hot path
+// stays at 0 allocs/op), and a canary controller that ramps a candidate
+// version's registry A/B weight through a schedule while watching the
+// same latency histograms and probe-based score drift, auto-promoting
+// on sustained health and auto-rolling back to the pre-canary weights
+// on sustained breach. ServeOptions.Metrics wires a MetricsRegistry into
+// every registered model; MetricsRegistry.Handler serves GET /metrics.
+type (
+	// MetricsRegistry holds registered series and renders the
+	// Prometheus 0.0.4 text exposition.
+	MetricsRegistry = metrics.Registry
+	// MetricsCounter is a monotone atomic counter series.
+	MetricsCounter = metrics.Counter
+	// MetricsGauge is a settable atomic gauge series.
+	MetricsGauge = metrics.Gauge
+	// MetricsHistogram is a fixed-bucket atomic histogram series.
+	MetricsHistogram = metrics.Histogram
+	// CanaryController ramps, evaluates, and promotes or rolls back
+	// one base→candidate pair.
+	CanaryController = canary.Controller
+	// CanaryConfig parameterises NewCanary.
+	CanaryConfig = canary.Config
+	// CanaryEvent is the structured record emitted on every ramp step,
+	// promote, rollback, or stop.
+	CanaryEvent = canary.Event
+	// CanaryState is the controller's lifecycle state.
+	CanaryState = canary.State
+)
+
+// NewMetricsRegistry builds an empty metrics registry; pass it via
+// ServeOptions.Metrics and mount its Handler at /metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewCanary validates a canary configuration against the registry and
+// returns a controller; call Start to begin the ramp.
+func NewCanary(cfg CanaryConfig) (*CanaryController, error) { return canary.New(cfg) }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// The benchmark gate lists live in two places that cannot include each
+// other: the Makefile (local `make bench-compare`) and the CI workflow
+// (the bench job's env block). They drifted silently once already — the
+// Makefile had no serving gate at all while CI gated BenchmarkStreamInfer
+// — so `benchjson checkgates` pins them together: it extracts each list
+// from both files by regex (no YAML or Make parser; the declarations are
+// single-line by construction) and fails if any pair diverges. The lint
+// job and `make check-gates` both run it.
+
+// gatePair names one gate list's spelling in each file.
+type gatePair struct {
+	makeVar string // Makefile variable, declared `NAME ?= value`
+	ciVar   string // workflow env key, declared `NAME: value`
+}
+
+var gatePairs = []gatePair{
+	{makeVar: "GATE", ciVar: "GATE"},
+	{makeVar: "SERVEGATE", ciVar: "SERVE_GATE"},
+	{makeVar: "ALLOCGATE", ciVar: "ALLOC_GATE"},
+}
+
+func cmdCheckGates(args []string) error {
+	fs := flag.NewFlagSet("checkgates", flag.ExitOnError)
+	makefile := fs.String("makefile", "Makefile", "path to the Makefile")
+	workflow := fs.String("workflow", ".github/workflows/ci.yml", "path to the CI workflow")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	makeSrc, err := os.ReadFile(*makefile)
+	if err != nil {
+		return err
+	}
+	ciSrc, err := os.ReadFile(*workflow)
+	if err != nil {
+		return err
+	}
+	problems := checkGates(string(makeSrc), string(ciSrc))
+	if len(problems) > 0 {
+		return fmt.Errorf("gate lists diverge between %s and %s:\n  %s",
+			*makefile, *workflow, strings.Join(problems, "\n  "))
+	}
+	for _, p := range gatePairs {
+		fmt.Printf("ok: %s == %s\n", p.makeVar, p.ciVar)
+	}
+	return nil
+}
+
+// checkGates compares every gate pair between the two sources and
+// returns one message per divergence (missing declarations included).
+func checkGates(makeSrc, ciSrc string) []string {
+	var problems []string
+	for _, p := range gatePairs {
+		mv, mok := extractMakeVar(makeSrc, p.makeVar)
+		cv, cok := extractCIEnv(ciSrc, p.ciVar)
+		switch {
+		case !mok && !cok:
+			problems = append(problems, fmt.Sprintf("%s: declared in neither file", p.makeVar))
+		case !mok:
+			problems = append(problems, fmt.Sprintf("%s: missing from the Makefile (CI has %s)", p.makeVar, p.ciVar))
+		case !cok:
+			problems = append(problems, fmt.Sprintf("%s: missing from the workflow (Makefile has %s)", p.ciVar, p.makeVar))
+		case mv != cv:
+			problems = append(problems, fmt.Sprintf("%s != %s:\n    Makefile: %s\n    ci.yml:   %s", p.makeVar, p.ciVar, mv, cv))
+		}
+	}
+	return problems
+}
+
+// extractMakeVar finds `NAME ?= value` (or `NAME = value`) at the start
+// of a line and returns the trimmed value.
+func extractMakeVar(src, name string) (string, bool) {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `\s*\??=\s*(.*)$`)
+	m := re.FindStringSubmatch(src)
+	if m == nil {
+		return "", false
+	}
+	return strings.TrimSpace(m[1]), true
+}
+
+// extractCIEnv finds `NAME: value` as a YAML mapping entry (indented,
+// so job names never collide) and returns the trimmed value.
+func extractCIEnv(src, name string) (string, bool) {
+	re := regexp.MustCompile(`(?m)^\s+` + regexp.QuoteMeta(name) + `:\s*(.*)$`)
+	m := re.FindStringSubmatch(src)
+	if m == nil {
+		return "", false
+	}
+	return strings.TrimSpace(m[1]), true
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// readRepoFile reads a file relative to the repo root (two levels up
+// from this package).
+func readRepoFile(rel string) (string, error) {
+	b, err := os.ReadFile(filepath.Join("..", "..", rel))
+	return string(b), err
+}
+
+const gatesMakefile = `GO ?= go
+GATE ?= BenchmarkA|BenchmarkB
+SERVEGATE ?= BenchmarkC
+ALLOCGATE ?= BenchmarkA/serial
+`
+
+const gatesWorkflow = `jobs:
+  bench:
+    env:
+      GATE: BenchmarkA|BenchmarkB
+      SERVE_GATE: BenchmarkC
+      ALLOC_GATE: BenchmarkA/serial
+`
+
+func TestCheckGatesAgree(t *testing.T) {
+	if problems := checkGates(gatesMakefile, gatesWorkflow); len(problems) != 0 {
+		t.Fatalf("matching gate lists reported divergent: %v", problems)
+	}
+}
+
+func TestCheckGatesDivergentValue(t *testing.T) {
+	drifted := strings.Replace(gatesWorkflow, "BenchmarkA|BenchmarkB", "BenchmarkA", 1)
+	problems := checkGates(gatesMakefile, drifted)
+	if len(problems) != 1 {
+		t.Fatalf("want exactly one divergence, got %v", problems)
+	}
+	if !strings.Contains(problems[0], "GATE") {
+		t.Fatalf("divergence does not name the gate: %q", problems[0])
+	}
+}
+
+func TestCheckGatesMissingDeclarations(t *testing.T) {
+	noServe := strings.Replace(gatesMakefile, "SERVEGATE ?= BenchmarkC\n", "", 1)
+	problems := checkGates(noServe, gatesWorkflow)
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing from the Makefile") {
+		t.Fatalf("want one missing-from-Makefile divergence, got %v", problems)
+	}
+
+	noCI := strings.Replace(gatesWorkflow, "      ALLOC_GATE: BenchmarkA/serial\n", "", 1)
+	problems = checkGates(gatesMakefile, noCI)
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing from the workflow") {
+		t.Fatalf("want one missing-from-workflow divergence, got %v", problems)
+	}
+}
+
+// TestCheckGatesIgnoresComments: a commented-out declaration must not
+// shadow the real one, and the first real declaration wins.
+func TestCheckGatesIgnoresCommentedMakeVar(t *testing.T) {
+	commented := "# GATE ?= BenchmarkOld\n" + gatesMakefile
+	if problems := checkGates(commented, gatesWorkflow); len(problems) != 0 {
+		t.Fatalf("commented declaration changed the result: %v", problems)
+	}
+}
+
+// TestCheckGatesRepoFiles pins the real Makefile and workflow: the repo
+// itself must never merge with drifted gate lists.
+func TestCheckGatesRepoFiles(t *testing.T) {
+	makeSrc, err := readRepoFile("Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciSrc, err := readRepoFile(".github/workflows/ci.yml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := checkGates(makeSrc, ciSrc); len(problems) != 0 {
+		t.Fatalf("repo gate lists diverge:\n%s", strings.Join(problems, "\n"))
+	}
+}

@@ -85,7 +85,7 @@ const (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson {run|parse|compare} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: benchjson {run|parse|compare|checkgates} [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -96,8 +96,10 @@ func main() {
 		err = cmdParse(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "checkgates":
+		err = cmdCheckGates(os.Args[2:])
 	default:
-		err = fmt.Errorf("unknown subcommand %q (want run, parse or compare)", os.Args[1])
+		err = fmt.Errorf("unknown subcommand %q (want run, parse, compare or checkgates)", os.Args[1])
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -1,0 +1,444 @@
+// Package promcheck is a small, dependency-free validator for the
+// Prometheus text exposition format (version 0.0.4) — the CI conformance
+// gate behind cmd/serve's /metrics endpoint. It is a consumer-side
+// check: anything promcheck rejects, a real Prometheus scraper would
+// either reject or silently misinterpret, which is exactly the class of
+// bug an in-house exposition writer (internal/metrics) can ship without
+// noticing.
+//
+// Check enforces, line by line and then across the whole exposition:
+//
+//   - every sample belongs to a family announced by # HELP and # TYPE
+//     comments earlier in the stream, with a legal type;
+//   - metric and label names match the Prometheus grammars, label values
+//     use only the legal escapes (\\, \", \n), and sample values parse
+//     as floats (including +Inf/-Inf/NaN);
+//   - no two samples repeat the same (name, label set) series;
+//   - histogram families are complete and coherent per label set: the
+//     _bucket series carry ascending le bounds ending in le="+Inf",
+//     cumulative counts are monotone non-decreasing, the +Inf bucket
+//     equals the _count sample, and _sum/_count are present exactly
+//     once;
+//   - counter and histogram-count values are non-negative.
+package promcheck
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// family is one announced metric family.
+type family struct {
+	name    string
+	typ     string
+	help    bool
+	samples int
+}
+
+// sample is one parsed exposition line.
+type sample struct {
+	line   int
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// Errors collects every violation found in one exposition; it is the
+// error type Check returns so a test failure shows all problems at once.
+type Errors []string
+
+func (e Errors) Error() string {
+	return fmt.Sprintf("%d exposition violations:\n  %s", len(e), strings.Join(e, "\n  "))
+}
+
+// Check validates one exposition read from r. It returns nil when the
+// exposition conforms, and an Errors listing every violation otherwise.
+func Check(r io.Reader) error {
+	var errs Errors
+	addf := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+
+	families := make(map[string]*family)
+	var samples []sample
+	seen := make(map[string]int) // series key → first line
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parseComment(line, lineNo, families, addf)
+			continue
+		}
+		s, ok := parseSample(line, lineNo, addf)
+		if !ok {
+			continue
+		}
+		key := seriesKey(s)
+		if first, dup := seen[key]; dup {
+			addf("line %d: duplicate series %s (first at line %d)", lineNo, key, first)
+		} else {
+			seen[key] = lineNo
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return Errors{fmt.Sprintf("reading exposition: %v", err)}
+	}
+
+	histograms := make(map[string]map[string][]sample) // family → labelKey(sans le) → buckets
+	histSums := make(map[string]map[string]*sample)
+	histCounts := make(map[string]map[string]*sample)
+
+	for i := range samples {
+		s := samples[i]
+		fam, suffix := resolveFamily(families, s.name)
+		if fam == nil {
+			addf("line %d: sample %s has no preceding # TYPE for its family", s.line, s.name)
+			continue
+		}
+		fam.samples++
+		if !fam.help {
+			// Counted once per family below.
+			continue
+		}
+		switch {
+		case fam.typ == "histogram" && suffix == "":
+			addf("line %d: histogram family %s exposes a bare sample %s (want _bucket/_sum/_count)", s.line, fam.name, s.name)
+		case fam.typ != "histogram" && suffix != "":
+			// resolveFamily only reports a suffix for histogram families,
+			// so this cannot happen; kept as a guard.
+			addf("line %d: %s sample %s carries a histogram suffix", s.line, fam.typ, s.name)
+		}
+		if fam.typ == "counter" && s.value < 0 {
+			addf("line %d: counter %s has negative value %g", s.line, s.name, s.value)
+		}
+		if fam.typ == "histogram" {
+			lk := labelKeyWithout(s.labels, "le")
+			switch suffix {
+			case "_bucket":
+				if _, ok := s.labels["le"]; !ok {
+					addf("line %d: %s_bucket sample without an le label", s.line, fam.name)
+					continue
+				}
+				if histograms[fam.name] == nil {
+					histograms[fam.name] = make(map[string][]sample)
+				}
+				histograms[fam.name][lk] = append(histograms[fam.name][lk], s)
+			case "_sum":
+				if histSums[fam.name] == nil {
+					histSums[fam.name] = make(map[string]*sample)
+				}
+				histSums[fam.name][lk] = &samples[i]
+			case "_count":
+				if histCounts[fam.name] == nil {
+					histCounts[fam.name] = make(map[string]*sample)
+				}
+				histCounts[fam.name][lk] = &samples[i]
+				if s.value < 0 {
+					addf("line %d: %s_count is negative: %g", s.line, fam.name, s.value)
+				}
+			}
+		}
+	}
+
+	for name, f := range families {
+		if !f.help {
+			addf("family %s has # TYPE but no # HELP", name)
+		}
+		if f.samples == 0 {
+			addf("family %s is announced but exposes no samples", name)
+		}
+	}
+
+	for famName, byLabels := range histograms {
+		for lk, buckets := range byLabels {
+			checkHistogram(famName, lk, buckets, histSums[famName][lk], histCounts[famName][lk], addf)
+			delete(histSums[famName], lk)
+			delete(histCounts[famName], lk)
+		}
+	}
+	// _sum/_count series whose label set never produced a bucket.
+	for famName, byLabels := range histSums {
+		for lk, s := range byLabels {
+			addf("line %d: histogram %s{%s} has _sum but no _bucket series", s.line, famName, lk)
+		}
+	}
+	for famName, byLabels := range histCounts {
+		for lk, s := range byLabels {
+			addf("line %d: histogram %s{%s} has _count but no _bucket series", s.line, famName, lk)
+		}
+	}
+
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return errs
+	}
+	return nil
+}
+
+// parseComment handles # HELP / # TYPE lines (other comments are legal
+// and ignored).
+func parseComment(line string, lineNo int, families map[string]*family, addf func(string, ...any)) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return // free-form comment
+	}
+	name := fields[2]
+	if !metricNameRe.MatchString(name) {
+		addf("line %d: illegal metric name %q in %s comment", lineNo, name, fields[1])
+		return
+	}
+	f := families[name]
+	if f == nil {
+		f = &family{name: name, typ: "untyped"}
+		families[name] = f
+	}
+	switch fields[1] {
+	case "HELP":
+		f.help = true
+	case "TYPE":
+		if len(fields) < 4 || !validTypes[strings.TrimSpace(fields[3])] {
+			addf("line %d: illegal TYPE for %s: %q", lineNo, name, line)
+			return
+		}
+		f.typ = strings.TrimSpace(fields[3])
+	}
+}
+
+// parseSample parses "name{label="v",...} value".
+func parseSample(line string, lineNo int, addf func(string, ...any)) (sample, bool) {
+	s := sample{line: lineNo, labels: map[string]string{}}
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd < 0 {
+		addf("line %d: malformed sample %q", lineNo, line)
+		return s, false
+	}
+	s.name = rest[:nameEnd]
+	if !metricNameRe.MatchString(s.name) {
+		addf("line %d: illegal metric name %q", lineNo, s.name)
+		return s, false
+	}
+	rest = rest[nameEnd:]
+	if rest[0] == '{' {
+		end, ok := parseLabels(rest, lineNo, s.labels, addf)
+		if !ok {
+			return s, false
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A timestamp after the value is legal in the format; the in-house
+	// writer never emits one, but tolerate it like a scraper would.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		if _, err := strconv.ParseInt(strings.TrimSpace(rest[i+1:]), 10, 64); err != nil {
+			addf("line %d: trailing garbage after value: %q", lineNo, line)
+			return s, false
+		}
+		rest = rest[:i]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		addf("line %d: bad sample value %q", lineNo, rest)
+		return s, false
+	}
+	s.value = v
+	return s, true
+}
+
+// parseLabels parses a {k="v",...} block starting at rest[0]=='{',
+// returning the index just past the closing '}'.
+func parseLabels(rest string, lineNo int, into map[string]string, addf func(string, ...any)) (int, bool) {
+	i := 1
+	for {
+		if i >= len(rest) {
+			addf("line %d: unterminated label block", lineNo)
+			return 0, false
+		}
+		if rest[i] == '}' {
+			return i + 1, true
+		}
+		eq := strings.IndexByte(rest[i:], '=')
+		if eq < 0 {
+			addf("line %d: label without '=': %q", lineNo, rest[i:])
+			return 0, false
+		}
+		name := rest[i : i+eq]
+		if !labelNameRe.MatchString(name) {
+			addf("line %d: illegal label name %q", lineNo, name)
+			return 0, false
+		}
+		i += eq + 1
+		if i >= len(rest) || rest[i] != '"' {
+			addf("line %d: label %s value not quoted", lineNo, name)
+			return 0, false
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				addf("line %d: unterminated label value for %s", lineNo, name)
+				return 0, false
+			}
+			c := rest[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					addf("line %d: dangling escape in label %s", lineNo, name)
+					return 0, false
+				}
+				switch rest[i+1] {
+				case '\\', '"':
+					val.WriteByte(rest[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					addf("line %d: illegal escape \\%c in label %s", lineNo, rest[i+1], name)
+					return 0, false
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := into[name]; dup {
+			addf("line %d: label %s repeated", lineNo, name)
+			return 0, false
+		}
+		into[name] = val.String()
+		if i < len(rest) && rest[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseValue parses a sample value, accepting the Prometheus spellings
+// of the non-finite floats.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// resolveFamily maps a sample name to its announced family, peeling the
+// histogram suffixes when the base family is a histogram. A family whose
+// literal name was announced always wins over suffix-peeling, so a plain
+// counter named *_count is not misread as a histogram fragment.
+func resolveFamily(families map[string]*family, name string) (*family, string) {
+	if f, ok := families[name]; ok {
+		return f, ""
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f, ok := families[base]; ok && f.typ == "histogram" {
+				return f, suffix
+			}
+		}
+	}
+	return nil, ""
+}
+
+// checkHistogram validates one (family, label set)'s bucket series
+// against its _sum and _count.
+func checkHistogram(famName, lk string, buckets []sample, sum, count *sample, addf func(string, ...any)) {
+	where := famName
+	if lk != "" {
+		where = famName + "{" + lk + "}"
+	}
+	bounds := make([]float64, len(buckets))
+	for i, b := range buckets {
+		v, err := parseValue(b.labels["le"])
+		if err != nil {
+			addf("line %d: %s bucket has unparsable le=%q", b.line, where, b.labels["le"])
+			return
+		}
+		bounds[i] = v
+	}
+	order := make([]int, len(buckets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return bounds[order[a]] < bounds[order[b]] })
+	prev := math.Inf(-1)
+	prevCount := 0.0
+	for _, idx := range order {
+		b := buckets[idx]
+		if bounds[idx] == prev {
+			addf("line %d: %s repeats bucket le=%q", b.line, where, b.labels["le"])
+		}
+		if b.value < prevCount {
+			addf("line %d: %s cumulative bucket le=%q decreases (%g after %g)", b.line, where, b.labels["le"], b.value, prevCount)
+		}
+		prev, prevCount = bounds[idx], b.value
+	}
+	last := buckets[order[len(order)-1]]
+	if !math.IsInf(bounds[order[len(order)-1]], 1) {
+		addf("line %d: %s has no le=\"+Inf\" bucket", last.line, where)
+	}
+	if count == nil {
+		addf("line %d: %s has buckets but no _count", last.line, where)
+	} else if count.value != last.value {
+		addf("line %d: %s _count %g != +Inf bucket %g", count.line, where, count.value, last.value)
+	}
+	if sum == nil {
+		addf("line %d: %s has buckets but no _sum", last.line, where)
+	}
+}
+
+// seriesKey renders a sample's identity (name plus sorted labels).
+func seriesKey(s sample) string {
+	if len(s.labels) == 0 {
+		return s.name
+	}
+	return s.name + "{" + labelKeyWithout(s.labels, "") + "}"
+}
+
+// labelKeyWithout renders labels sorted by name, omitting the named one
+// (pass "" to keep all) — the per-label-set grouping key for histograms.
+func labelKeyWithout(labels map[string]string, omit string) string {
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		if n != omit {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, labels[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package promcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, exposition string) error {
+	t.Helper()
+	return Check(strings.NewReader(exposition))
+}
+
+// requireViolation asserts Check rejects the exposition with a message
+// containing want.
+func requireViolation(t *testing.T, exposition, want string) {
+	t.Helper()
+	err := check(t, exposition)
+	if err == nil {
+		t.Fatalf("Check accepted an exposition that should violate %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("violations %v do not mention %q", err, want)
+	}
+}
+
+const goodExposition = `# HELP up Whether the process is up.
+# TYPE up gauge
+up 1
+# HELP requests_total Requests served.
+# TYPE requests_total counter
+requests_total{model="mnist@v1"} 42
+requests_total{model="mnist@v2"} 0
+# HELP latency_seconds Request latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{model="m@v1",le="0.01"} 1
+latency_seconds_bucket{model="m@v1",le="0.1"} 3
+latency_seconds_bucket{model="m@v1",le="+Inf"} 5
+latency_seconds_sum{model="m@v1"} 5.605
+latency_seconds_count{model="m@v1"} 5
+`
+
+func TestAcceptsConformingExposition(t *testing.T) {
+	if err := check(t, goodExposition); err != nil {
+		t.Fatalf("Check rejected a conforming exposition: %v", err)
+	}
+}
+
+func TestAcceptsEscapesAndNonFinite(t *testing.T) {
+	err := check(t, `# HELP esc_total E.
+# TYPE esc_total counter
+esc_total{path="a\"b\\c\n"} 1
+# HELP g G.
+# TYPE g gauge
+g NaN
+`)
+	if err != nil {
+		t.Fatalf("Check rejected legal escapes / NaN: %v", err)
+	}
+}
+
+func TestRejectsMissingTypeAndHelp(t *testing.T) {
+	requireViolation(t, "orphan_total 1\n", "no preceding # TYPE")
+	requireViolation(t, "# TYPE lonely counter\nlonely 1\n", "no # HELP")
+}
+
+func TestRejectsEmptyFamily(t *testing.T) {
+	requireViolation(t, "# HELP ghost G.\n# TYPE ghost counter\n", "no samples")
+}
+
+func TestRejectsIllegalNames(t *testing.T) {
+	requireViolation(t, "# HELP ok O.\n# TYPE ok counter\n0bad 1\n", "illegal metric name")
+	requireViolation(t, "# HELP ok O.\n# TYPE ok counter\nok{0bad=\"v\"} 1\n", "illegal label name")
+}
+
+func TestRejectsBadValuesAndTypes(t *testing.T) {
+	requireViolation(t, "# HELP ok O.\n# TYPE ok counter\nok xyz\n", "bad sample value")
+	requireViolation(t, "# HELP ok O.\n# TYPE ok frobnicator\nok 1\n", "illegal TYPE")
+	requireViolation(t, "# HELP ok O.\n# TYPE ok counter\nok -3\n", "negative value")
+}
+
+func TestRejectsDuplicateSeries(t *testing.T) {
+	requireViolation(t, `# HELP d D.
+# TYPE d counter
+d{a="1"} 1
+d{a="1"} 2
+`, "duplicate series")
+	// Same labels in a different order are still the same series.
+	requireViolation(t, `# HELP d D.
+# TYPE d counter
+d{a="1",b="2"} 1
+d{b="2",a="1"} 2
+`, "duplicate series")
+}
+
+func TestRejectsHistogramViolations(t *testing.T) {
+	const head = "# HELP h H.\n# TYPE h histogram\n"
+	requireViolation(t, head+`h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 2
+h_count 2
+`, "no _sum")
+	requireViolation(t, head+`h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 2
+h_sum 1.5
+`, "no _count")
+	requireViolation(t, head+`h_bucket{le="1"} 1
+h_sum 1.5
+h_count 1
+`, `no le="+Inf"`)
+	requireViolation(t, head+`h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 9
+h_count 5
+`, "decreases")
+	requireViolation(t, head+`h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 5
+h_sum 9
+h_count 4
+`, "_count 4 != +Inf bucket 5")
+	requireViolation(t, head+`h_sum 9
+h_count 4
+`, "no _bucket")
+	requireViolation(t, head+"h 3\n", "bare sample")
+	requireViolation(t, head+`h_bucket 3
+h_sum 1
+h_count 3
+`, "without an le label")
+}
+
+// TestHistogramLabelSetsAreIndependent: two models' histograms validate
+// separately — a bug in grouping would cross their buckets.
+func TestHistogramLabelSetsAreIndependent(t *testing.T) {
+	err := check(t, `# HELP h H.
+# TYPE h histogram
+h_bucket{m="a",le="1"} 1
+h_bucket{m="a",le="+Inf"} 2
+h_sum{m="a"} 1.5
+h_count{m="a"} 2
+h_bucket{m="b",le="1"} 7
+h_bucket{m="b",le="+Inf"} 9
+h_sum{m="b"} 12
+h_count{m="b"} 9
+`)
+	if err != nil {
+		t.Fatalf("independent label sets rejected: %v", err)
+	}
+}
+
+// TestCounterNamedLikeHistogramFragment: a plain counter whose name ends
+// in _count must not be misread as a histogram fragment.
+func TestCounterNamedLikeHistogramFragment(t *testing.T) {
+	err := check(t, `# HELP retry_count R.
+# TYPE retry_count counter
+retry_count 3
+`)
+	if err != nil {
+		t.Fatalf("literal family name lost to suffix peeling: %v", err)
+	}
+}
+
+func TestRejectsMalformedLabels(t *testing.T) {
+	requireViolation(t, "# HELP m M.\n# TYPE m counter\nm{a=\"1 1\n", "unterminated")
+	requireViolation(t, "# HELP m M.\n# TYPE m counter\nm{a=\"1\" 1\n", "label without '='")
+	requireViolation(t, "# HELP m M.\n# TYPE m counter\nm{a=\"\\q\"} 1\n", "illegal escape")
+	requireViolation(t, "# HELP m M.\n# TYPE m counter\nm{a=\"1\",a=\"2\"} 1\n", "repeated")
+}
