@@ -22,10 +22,17 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./...
 
+# gofmt -s (simplify) covers the tree including the reprolint testdata
+# corpus; reprolint is the project-native analyzer suite (noalloc,
+# atomicmix, nopanic, errcheck, lockbalance — see DESIGN.md §9); and
+# check-gates pins the benchmark gate lists against CI plus the
+# ALLOCGATE↔noalloc benchcover cross-check.
 lint:
-	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
-		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
-	$(GO) vet ./...
+	@unformatted="$$(gofmt -s -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt -s needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet -tests=true ./...
+	$(GO) run ./tools/reprolint ./...
+	$(GO) run ./tools/benchjson checkgates
 
 # Run the full benchmark suite (root package) and write BENCH_<YYYYMMDD>.json.
 # Override the selection or budget, e.g.:

@@ -96,6 +96,8 @@ func pfor(n, maxWorkers int, fn func(worker, idx int)) {
 
 // poolWidth returns how many workers (caller included) a stage with n
 // independent tasks may use.
+//
+//repro:noalloc
 func poolWidth(n int) int {
 	w := runtime.GOMAXPROCS(0)
 	if w > n {
@@ -130,6 +132,8 @@ func NewBatchWorkspace() *BatchWorkspace { return &BatchWorkspace{vec: NewWorksp
 
 // Vec returns the embedded per-vector Workspace (used by fallback paths and
 // by callers that mix batched and per-vector products on one worker).
+//
+//repro:noalloc
 func (w *BatchWorkspace) Vec() *Workspace {
 	if w.vec == nil {
 		w.vec = NewWorkspace()
@@ -142,6 +146,8 @@ func (w *BatchWorkspace) Vec() *Workspace {
 // batch × blocks counts are all powers of two) make every row alias the
 // same handful of sets and thrash an N-way cache during the strided
 // pack/store transposes.
+//
+//repro:noalloc
 func rowPitch(count int) int {
 	if count%32 == 0 {
 		return count + 8
@@ -150,6 +156,8 @@ func rowPitch(count int) int {
 }
 
 // ensure sizes the batched buffers for one product.
+//
+//repro:noalloc
 func (w *BatchWorkspace) ensure(specLen, half, nIn, pitch, bpitch, workers int) {
 	w.zAll = w.zAll.Resize(half * pitch)
 	w.specs = w.specs.Resize(specLen * pitch)
@@ -169,6 +177,8 @@ func (w *BatchWorkspace) ensure(specLen, half, nIn, pitch, bpitch, workers int) 
 // x holds the batch row-major (batch × Cols), dst receives batch × Rows (a
 // nil dst is allocated) and is returned. A nil ws allocates fresh scratch;
 // long-lived callers should reuse one BatchWorkspace.
+//
+//repro:noalloc
 func (m *BlockCirculant) MulBatchInto(dst, x []float64, batch int, ws *BatchWorkspace) []float64 {
 	if batch < 1 || len(x) != batch*m.cols {
 		panic(fmt.Sprintf("circulant: MulBatchInto batch %d, input length %d, want %d", batch, len(x), batch*m.cols))
@@ -195,6 +205,8 @@ func (m *BlockCirculant) MulBatchInto(dst, x []float64, batch int, ws *BatchWork
 // pass — the batched form of the paper's FC-layer bottleneck. x holds the
 // batch row-major (batch × Rows), dst receives batch × Cols (a nil dst is
 // allocated) and is returned.
+//
+//repro:noalloc
 func (m *BlockCirculant) TransMulBatchInto(dst, x []float64, batch int, ws *BatchWorkspace) []float64 {
 	if batch < 1 || len(x) != batch*m.rows {
 		panic(fmt.Sprintf("circulant: TransMulBatchInto batch %d, input length %d, want %d", batch, len(x), batch*m.rows))
@@ -227,6 +239,8 @@ func (m *BlockCirculant) TransMulBatchInto(dst, x []float64, batch int, ws *Batc
 //
 // Fallback paths (non power-of-two blocks, single-vector batches) compute
 // the same values with a separate epilogue sweep; results are identical.
+//
+//repro:noalloc
 func (m *BlockCirculant) TransMulBatchFusedInto(dst, x []float64, batch int, ws *BatchWorkspace, bias []float64, relu bool) []float64 {
 	if batch < 1 || len(x) != batch*m.rows {
 		panic(fmt.Sprintf("circulant: TransMulBatchFusedInto batch %d, input length %d, want %d", batch, len(x), batch*m.rows))
@@ -277,6 +291,8 @@ func (m *BlockCirculant) TransMulBatchFusedInto(dst, x []float64, batch int, ws 
 //     accumulate across input blocks, PreInverseSplitMany,
 //     InverseSplitMany and the fused-epilogue store (parallel over output
 //     blocks, the independent unit).
+//
+//repro:noalloc
 func (m *BlockCirculant) batchCore(dst, x []float64, batch int, ws *BatchWorkspace, trans bool, bias []float64, relu bool) {
 	b := m.block
 	half := b / 2
@@ -315,15 +331,18 @@ func (m *BlockCirculant) batchCore(dst, x []float64, batch int, ws *BatchWorkspa
 		}
 		return
 	}
+	//repro:lint-ignore noalloc the parallel fan-out heap-allocates its pfor closures by design; the serial serving path above stays allocation-free
 	pfor(batch, workers, func(worker, v int) {
 		m.packColumns(ws, x, inBlks, inLen, pitch, v)
 	})
+	//repro:lint-ignore noalloc the parallel fan-out heap-allocates its pfor closures by design; the serial serving path above stays allocation-free
 	pfor(workers, workers, func(worker, c int) {
 		c0 := c * count / workers
 		c1 := (c + 1) * count / workers
 		rp.Complex().ForwardSplitManyRev(ws.zAll, pitch, c0, c1)
 		rp.UnpackSplitMany(ws.specs, ws.zAll, pitch, c0, c1)
 	})
+	//repro:lint-ignore noalloc the parallel fan-out heap-allocates its pfor closures by design; the serial serving path above stays allocation-free
 	pfor(outBlks, workers, func(worker, j int) {
 		m.batchOutBlock(ws, dst, batch, inBlks, outLen, pitch, bpitch, trans, bias, relu, worker, j)
 	})
@@ -335,6 +354,8 @@ func (m *BlockCirculant) batchCore(dst, x []float64, batch int, ws *BatchWorkspa
 // bit-reversed row perm[j] — the pack is a scatter anyway, so writing
 // through the permutation is free and lets the forward transform run as
 // ForwardSplitManyRev, skipping its permutation round trip.
+//
+//repro:noalloc
 func (m *BlockCirculant) packColumns(ws *BatchWorkspace, x []float64, inBlks, inLen, pitch, v int) {
 	b := m.block
 	half := b / 2
@@ -388,6 +409,8 @@ func (m *BlockCirculant) packColumns(ws *BatchWorkspace, x []float64, inBlks, in
 // the transposed split half-spectrum domain, inverse-transforms it, and
 // stores it into dst with the fused epilogue (bias, relu) applied as it
 // de-interleaves.
+//
+//repro:noalloc
 func (m *BlockCirculant) batchOutBlock(ws *BatchWorkspace, dst []float64, batch, inBlks, outLen, pitch, bpitch int, trans bool, bias []float64, relu bool, worker, j int) {
 	b, rp := m.block, m.rplan
 	half := b / 2
@@ -520,6 +543,8 @@ func (m *BlockCirculant) batchOutBlock(ws *BatchWorkspace, dst []float64, batch,
 // transposed packed buffer into seg, applying the optional fused epilogue
 // — bias add and ReLU — so the output memory is written exactly once.
 // len(seg) may be odd (truncated tail block).
+//
+//repro:noalloc
 func storeColumn(seg, zRe, zIm []float64, pitch, col int, bias []float64, relu bool) {
 	n := len(seg)
 	h := n / 2

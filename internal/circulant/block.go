@@ -89,15 +89,23 @@ func MustNewBlockCirculant(rows, cols, block int) *BlockCirculant {
 }
 
 // Rows returns the logical row count m.
+//
+//repro:noalloc
 func (m *BlockCirculant) Rows() int { return m.rows }
 
 // Cols returns the logical column count n.
+//
+//repro:noalloc
 func (m *BlockCirculant) Cols() int { return m.cols }
 
 // BlockSize returns b.
+//
+//repro:noalloc
 func (m *BlockCirculant) BlockSize() int { return m.block }
 
 // Grid returns the block-grid dimensions (k row blocks, l column blocks).
+//
+//repro:noalloc
 func (m *BlockCirculant) Grid() (k, l int) { return m.k, m.l }
 
 // NumParams returns the number of stored parameters (k·l·b), the numerator of
@@ -125,6 +133,8 @@ func (m *BlockCirculant) baseVec(i, j int) []float64 {
 }
 
 // blockSpec returns the cached spectrum of block (i,j) as a shared slice.
+//
+//repro:noalloc
 func (m *BlockCirculant) blockSpec(i, j int) []complex128 {
 	off := (i*m.l + j) * m.block
 	return m.spec[off : off+m.block]
@@ -281,6 +291,7 @@ func (m *BlockCirculant) DenseOps() ops.Counts {
 	return ops.DenseMatVec(m.rows, m.cols)
 }
 
+//repro:noalloc
 func min(a, b int) int {
 	if a < b {
 		return a

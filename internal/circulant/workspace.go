@@ -43,6 +43,8 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 
 // ensure sizes the buffers for one product with the given block length and
 // block count, retaining capacity across calls.
+//
+//repro:noalloc
 func (w *Workspace) ensure(block, nblk int) {
 	if cap(w.in) < block {
 		w.in = make([]complex128, block)
@@ -79,6 +81,8 @@ func (m *BlockCirculant) putWorkspace(w *Workspace) { m.pool.Put(w) }
 
 // blockSpectraInto fills ws.spec[0..nblk) with the FFTs of the zero-padded
 // blocks of v using the cached plan.
+//
+//repro:noalloc
 func (m *BlockCirculant) blockSpectraInto(ws *Workspace, v []float64, nblk int, p *fft.Plan) {
 	b := m.block
 	for j := 0; j < nblk; j++ {
@@ -99,12 +103,15 @@ func (m *BlockCirculant) blockSpectraInto(ws *Workspace, v []float64, nblk int, 
 // allocated) and is returned. A nil ws falls back to the per-matrix pool.
 // Non power-of-two block sizes take the generic (allocating) path; the
 // result is identical either way.
+//
+//repro:noalloc
 func (m *BlockCirculant) MulVecInto(dst, x []float64, ws *Workspace) []float64 {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("circulant: MulVecInto length %d, want %d", len(x), m.cols))
 	}
 	dst = m.ensureDst(dst, m.rows, "MulVecInto")
 	if !fft.IsPow2(m.block) {
+		//repro:lint-ignore noalloc non power-of-two block sizes take the documented generic (allocating) path
 		copy(dst, m.MulVec(x))
 		return dst
 	}
@@ -121,12 +128,15 @@ func (m *BlockCirculant) MulVecInto(dst, x []float64, ws *Workspace) []float64 {
 // allocation-free form of TransMulVec. dst must have length Cols (a nil dst
 // is allocated) and is returned. A nil ws falls back to the per-matrix
 // pool; non power-of-two block sizes take the generic path.
+//
+//repro:noalloc
 func (m *BlockCirculant) TransMulVecInto(dst, x []float64, ws *Workspace) []float64 {
 	if len(x) != m.rows {
 		panic(fmt.Sprintf("circulant: TransMulVecInto length %d, want %d", len(x), m.rows))
 	}
 	dst = m.ensureDst(dst, m.cols, "TransMulVecInto")
 	if !fft.IsPow2(m.block) {
+		//repro:lint-ignore noalloc non power-of-two block sizes take the documented generic (allocating) path
 		copy(dst, m.TransMulVec(x))
 		return dst
 	}
@@ -140,8 +150,11 @@ func (m *BlockCirculant) TransMulVecInto(dst, x []float64, ws *Workspace) []floa
 }
 
 // ensureDst validates or allocates an output slice of length n.
+//
+//repro:noalloc
 func (m *BlockCirculant) ensureDst(dst []float64, n int, op string) []float64 {
 	if dst == nil {
+		//repro:lint-ignore noalloc a nil dst is documented to allocate its own output; hot callers pass a preallocated buffer
 		return make([]float64, n)
 	}
 	if len(dst) != n {
@@ -152,6 +165,8 @@ func (m *BlockCirculant) ensureDst(dst []float64, n int, op string) []float64 {
 
 // mulVecCore is the shared pow-of-two MulVec kernel: per-input-block FFTs,
 // spectral accumulation, one IFFT per output block, all in ws.
+//
+//repro:noalloc
 func (m *BlockCirculant) mulVecCore(dst, x []float64, ws *Workspace, p *fft.Plan) {
 	m.blockSpectraInto(ws, x, m.l, p)
 	b := m.block
@@ -176,6 +191,8 @@ func (m *BlockCirculant) mulVecCore(dst, x []float64, ws *Workspace, p *fft.Plan
 
 // transMulVecCore is the shared pow-of-two TransMulVec kernel (correlation
 // form: conjugated weight spectra).
+//
+//repro:noalloc
 func (m *BlockCirculant) transMulVecCore(dst, x []float64, ws *Workspace, p *fft.Plan) {
 	m.blockSpectraInto(ws, x, m.k, p)
 	b := m.block

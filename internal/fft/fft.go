@@ -89,12 +89,17 @@ func reverseBits(v uint32, bits uint) uint32 {
 
 // Forward computes the DFT of src into dst. dst and src must both have
 // length p.Size(); they may alias the same slice for an in-place transform.
+//
+//repro:noalloc
 func (p *Plan) Forward(dst, src []complex128) { p.transform(dst, src, false) }
 
 // Inverse computes the inverse DFT (including the 1/n normalisation) of src
 // into dst. dst and src may alias for an in-place transform.
+//
+//repro:noalloc
 func (p *Plan) Inverse(dst, src []complex128) { p.transform(dst, src, true) }
 
+//repro:noalloc
 func (p *Plan) transform(dst, src []complex128, inverse bool) {
 	n := p.n
 	if len(dst) != n || len(src) != n {
@@ -161,6 +166,8 @@ func PlanFor(n int) *Plan {
 }
 
 // IsPow2 reports whether n is a positive power of two.
+//
+//repro:noalloc
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // NextPow2 returns the smallest power of two ≥ n (and ≥ 1).

@@ -65,6 +65,8 @@ func (rp *RealPlan) SpecLen() int { return rp.half + 1 }
 // Complex returns the half-size complex plan that executes the middle phase,
 // for callers batching many packed vectors through one BatchForward or
 // BatchInverse call.
+//
+//repro:noalloc
 func (rp *RealPlan) Complex() *Plan { return rp.cplx }
 
 // Pack folds the real sequence x into the length-n/2 complex sequence

@@ -30,9 +30,13 @@ func NewSplit(n int) SplitSlice {
 }
 
 // Len returns the vector length.
+//
+//repro:noalloc
 func (s SplitSlice) Len() int { return len(s.Re) }
 
 // Slice returns the sub-vector [lo, hi) sharing the receiver's storage.
+//
+//repro:noalloc
 func (s SplitSlice) Slice(lo, hi int) SplitSlice {
 	return SplitSlice{Re: s.Re[lo:hi], Im: s.Im[lo:hi]}
 }
@@ -40,6 +44,8 @@ func (s SplitSlice) Slice(lo, hi int) SplitSlice {
 // Resize returns a split vector of length n, reusing the receiver's storage
 // when it has the capacity (contents are then unspecified). The idiom for
 // caller-owned scratch that grows to the largest transform it has served.
+//
+//repro:noalloc
 func (s SplitSlice) Resize(n int) SplitSlice {
 	if cap(s.Re) < n || cap(s.Im) < n {
 		return NewSplit(n)
@@ -48,6 +54,8 @@ func (s SplitSlice) Resize(n int) SplitSlice {
 }
 
 // Zero clears the vector.
+//
+//repro:noalloc
 func (s SplitSlice) Zero() {
 	for i := range s.Re {
 		s.Re[i] = 0
@@ -82,12 +90,17 @@ func (s SplitSlice) CopyFrom(src []complex128) {
 // must have length p.Size(); dst may share storage with src for an in-place
 // transform. It is the SoA counterpart of Forward and computes bit-identical
 // results (same butterfly order, same twiddle values).
+//
+//repro:noalloc
 func (p *Plan) ForwardSplit(dst, src SplitSlice) { p.transformSplit(dst, src, false) }
 
 // InverseSplit computes the inverse DFT (with the 1/n factor) of src into
 // dst in split form. dst may share storage with src.
+//
+//repro:noalloc
 func (p *Plan) InverseSplit(dst, src SplitSlice) { p.transformSplit(dst, src, true) }
 
+//repro:noalloc
 func (p *Plan) transformSplit(dst, src SplitSlice, inverse bool) {
 	n := p.n
 	if dst.Len() != n || src.Len() != n || len(dst.Im) != n || len(src.Im) != n {
@@ -243,12 +256,17 @@ func (p *Plan) transformSplit(dst, src SplitSlice, inverse bool) {
 // BatchForwardSplit computes the DFT of every length-n chunk of src into
 // the corresponding chunk of dst, both in split form. Chunk counts and
 // aliasing rules match BatchForward.
+//
+//repro:noalloc
 func (p *Plan) BatchForwardSplit(dst, src SplitSlice) { p.batchTransformSplit(dst, src, false) }
 
 // BatchInverseSplit computes the inverse DFT (with the 1/n factor) of every
 // length-n chunk of src into the corresponding chunk of dst, in split form.
+//
+//repro:noalloc
 func (p *Plan) BatchInverseSplit(dst, src SplitSlice) { p.batchTransformSplit(dst, src, true) }
 
+//repro:noalloc
 func (p *Plan) batchTransformSplit(dst, src SplitSlice, inverse bool) {
 	n := p.n
 	if dst.Len() != src.Len() || src.Len()%n != 0 {
@@ -283,6 +301,8 @@ func (p *Plan) splitTables() {
 // ForwardSplit computes the half spectrum (length n/2+1) of the real
 // sequence x into spec, using z (length n/2) as scratch, entirely in split
 // form: the planar counterpart of ForwardInto.
+//
+//repro:noalloc
 func (rp *RealPlan) ForwardSplit(spec SplitSlice, x []float64, z SplitSlice) {
 	rp.PackSplit(z, x)
 	rp.cplx.ForwardSplit(z, z)
@@ -292,6 +312,8 @@ func (rp *RealPlan) ForwardSplit(spec SplitSlice, x []float64, z SplitSlice) {
 // InverseSplit recovers the real sequence x (length ≤ n) from its split
 // half spectrum spec, using z (length n/2) as scratch. spec is not
 // modified.
+//
+//repro:noalloc
 func (rp *RealPlan) InverseSplit(x []float64, spec, z SplitSlice) {
 	rp.PreInverseSplit(z, spec)
 	rp.cplx.InverseSplit(z, z)
@@ -302,6 +324,8 @@ func (rp *RealPlan) InverseSplit(x []float64, spec, z SplitSlice) {
 // z[j] = x[2j] + i·x[2j+1]; missing tail entries are treated as zero. In
 // split form the "interleave" is two independent strided gathers, one per
 // plane.
+//
+//repro:noalloc
 func (rp *RealPlan) PackSplit(z SplitSlice, x []float64) {
 	if z.Len() != rp.half || len(x) > rp.n {
 		panic(fmt.Sprintf("fft: RealPlan(%d).PackSplit z %d, x %d", rp.n, z.Len(), len(x)))
@@ -331,6 +355,8 @@ func (rp *RealPlan) PackSplit(z SplitSlice, x []float64) {
 // UnpackSplit untangles the transformed packed sequence zf (length n/2)
 // into the split half spectrum spec (length n/2+1): the planar counterpart
 // of Unpack, same explicit real arithmetic.
+//
+//repro:noalloc
 func (rp *RealPlan) UnpackSplit(spec, zf SplitSlice) {
 	h := rp.half
 	if spec.Len() != h+1 || zf.Len() != h {
@@ -359,6 +385,8 @@ func (rp *RealPlan) UnpackSplit(spec, zf SplitSlice) {
 // the packed split sequence z (length n/2) whose half-size inverse
 // transform interleaves the real output: the planar counterpart of
 // PreInverse.
+//
+//repro:noalloc
 func (rp *RealPlan) PreInverseSplit(z, spec SplitSlice) {
 	h := rp.half
 	if z.Len() != h || spec.Len() != h+1 {
@@ -385,6 +413,8 @@ func (rp *RealPlan) PreInverseSplit(z, spec SplitSlice) {
 // PostInverseSplit de-interleaves the inverse-transformed packed split
 // sequence zt into the real output x, which may be shorter than n
 // (truncated tail block).
+//
+//repro:noalloc
 func (rp *RealPlan) PostInverseSplit(x []float64, zt SplitSlice) {
 	if zt.Len() != rp.half || len(x) > rp.n {
 		panic(fmt.Sprintf("fft: RealPlan(%d).PostInverseSplit x %d, zt %d", rp.n, len(x), zt.Len()))
@@ -423,6 +453,8 @@ func (rp *RealPlan) splitTables() {
 // (row-major rows×cols; dst may share storage with src), using col (length
 // rows) as column-gather scratch. The row-then-column schedule matches
 // Forward, so results are bit-identical to the complex128 path.
+//
+//repro:noalloc
 func (p *Plan2D) ForwardSplit(dst, src, col SplitSlice) {
 	p.transformSplit(dst, src, col, false)
 }
@@ -430,10 +462,13 @@ func (p *Plan2D) ForwardSplit(dst, src, col SplitSlice) {
 // InverseSplit computes the inverse 2-D DFT (with 1/(rows·cols)
 // normalisation) of src into dst in split form, using col (length rows) as
 // scratch.
+//
+//repro:noalloc
 func (p *Plan2D) InverseSplit(dst, src, col SplitSlice) {
 	p.transformSplit(dst, src, col, true)
 }
 
+//repro:noalloc
 func (p *Plan2D) transformSplit(dst, src, col SplitSlice, inverse bool) {
 	n := p.rows * p.cols
 	if dst.Len() != n || src.Len() != n || col.Len() != p.rows {

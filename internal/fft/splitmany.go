@@ -27,16 +27,22 @@ import "fmt"
 // belongs at row BitReversal()[j] of a pre-permuted (Rev-kernel) layout.
 // The permutation is an involution, so the same table maps both ways.
 // Callers must treat the returned slice as read-only.
+//
+//repro:noalloc
 func (p *Plan) BitReversal() []int32 { return p.perm }
 
 // ForwardSplitMany computes the DFT of each column transform in place.
 // d must hold p.Size()·stride elements per plane.
+//
+//repro:noalloc
 func (p *Plan) ForwardSplitMany(d SplitSlice, stride, m0, m1 int) {
 	p.transformSplitMany(d, stride, m0, m1, false, false)
 }
 
 // InverseSplitMany computes the inverse DFT (with the 1/n factor) of each
 // column transform in place.
+//
+//repro:noalloc
 func (p *Plan) InverseSplitMany(d SplitSlice, stride, m0, m1 int) {
 	p.transformSplitMany(d, stride, m0, m1, true, false)
 }
@@ -46,16 +52,21 @@ func (p *Plan) InverseSplitMany(d SplitSlice, stride, m0, m1 int) {
 // BitReversal()[j]): the permutation pass — a full extra memory round trip
 // over the data — is skipped. Results are identical to writing rows
 // naturally and calling ForwardSplitMany.
+//
+//repro:noalloc
 func (p *Plan) ForwardSplitManyRev(d SplitSlice, stride, m0, m1 int) {
 	p.transformSplitMany(d, stride, m0, m1, false, true)
 }
 
 // InverseSplitManyRev is InverseSplitMany for pre-permuted rows; see
 // ForwardSplitManyRev.
+//
+//repro:noalloc
 func (p *Plan) InverseSplitManyRev(d SplitSlice, stride, m0, m1 int) {
 	p.transformSplitMany(d, stride, m0, m1, true, true)
 }
 
+//repro:noalloc
 func (p *Plan) transformSplitMany(d SplitSlice, stride, m0, m1 int, inverse, permuted bool) {
 	n := p.n
 	if d.Len() != n*stride || m0 < 0 || m1 > stride || m0 > m1 {
@@ -275,6 +286,8 @@ func (p *Plan) transformSplitMany(d SplitSlice, stride, m0, m1 int, inverse, per
 // length stride) into their half spectra: the Many form of UnpackSplit.
 // zf holds n/2 rows, spec n/2+1 rows; both share the stride and column
 // range semantics of ForwardSplitMany.
+//
+//repro:noalloc
 func (rp *RealPlan) UnpackSplitMany(spec, zf SplitSlice, stride, m0, m1 int) {
 	h := rp.half
 	if spec.Len() != (h+1)*stride || zf.Len() != h*stride || m0 < 0 || m1 > stride || m0 > m1 {
@@ -313,6 +326,8 @@ func (rp *RealPlan) UnpackSplitMany(spec, zf SplitSlice, stride, m0, m1 int) {
 
 // PreInverseSplitMany converts count half spectra (bin-major) into their
 // packed inverse-transform inputs: the Many form of PreInverseSplit.
+//
+//repro:noalloc
 func (rp *RealPlan) PreInverseSplitMany(z, spec SplitSlice, stride, m0, m1 int) {
 	rp.preInverseSplitMany(z, spec, stride, m0, m1, false)
 }
@@ -320,10 +335,13 @@ func (rp *RealPlan) PreInverseSplitMany(z, spec SplitSlice, stride, m0, m1 int) 
 // PreInverseSplitManyRev is PreInverseSplitMany writing z's rows in
 // bit-reversed order, so the following inverse transform can run as
 // InverseSplitManyRev and skip its permutation pass.
+//
+//repro:noalloc
 func (rp *RealPlan) PreInverseSplitManyRev(z, spec SplitSlice, stride, m0, m1 int) {
 	rp.preInverseSplitMany(z, spec, stride, m0, m1, true)
 }
 
+//repro:noalloc
 func (rp *RealPlan) preInverseSplitMany(z, spec SplitSlice, stride, m0, m1 int, rev bool) {
 	h := rp.half
 	if z.Len() != h*stride || spec.Len() != (h+1)*stride || m0 < 0 || m1 > stride || m0 > m1 {

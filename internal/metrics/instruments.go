@@ -13,9 +13,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//repro:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//repro:noalloc
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -28,9 +32,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//repro:noalloc
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by d (CAS loop; still allocation-free).
+//
+//repro:noalloc
 func (g *Gauge) Add(d float64) {
 	for {
 		old := g.bits.Load()
@@ -66,6 +74,8 @@ func newHistogram(upper []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//repro:noalloc
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.upper) && v > h.upper[i] {

@@ -407,6 +407,6 @@ const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", ContentType)
-		r.WritePrometheus(w)
+		_ = r.WritePrometheus(w) // a failed scrape write means the scraper went away
 	})
 }

@@ -11,6 +11,8 @@ import (
 // ensure grows the execution arenas to hold a batch of the given size.
 // Capacity is retained, so a program that has seen its steady-state batch
 // never allocates again.
+//
+//repro:noalloc
 func (p *Program) ensure(batch int) {
 	for s := 0; s < 2; s++ {
 		if n := p.fmax[s] * batch; cap(p.farena[s]) < n {
@@ -40,12 +42,16 @@ func (p *Program) ensure(batch int) {
 // served — allocates nothing on the typed-op path; fallback KindLayer
 // ops (convolutions, pooling) allocate their own outputs exactly like
 // the interpreted path.
+//
+//repro:noalloc
 func (p *Program) Run(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() < 1 || x.Dim(0) < 1 {
+		//repro:lint-ignore nopanic Run's documented contract panics on malformed batches like the layer API; serving validates shape before dispatch
 		panic(fmt.Sprintf("program: Run input shape %v, want [batch, ...]", x.Shape()))
 	}
 	batch := x.Dim(0)
 	if x.Len() != batch*p.inDim {
+		//repro:lint-ignore nopanic Run's documented contract panics on malformed batches like the layer API; serving validates shape before dispatch
 		panic(fmt.Sprintf("program: Run input %d elements per sample, program needs %d", x.Len()/batch, p.inDim))
 	}
 	p.ensure(batch)
@@ -61,6 +67,8 @@ func (p *Program) Run(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // canonicalShape reports whether x is already [B, per...].
+//
+//repro:noalloc
 func canonicalShape(x *tensor.Tensor, per []int) bool {
 	if x.Rank() != len(per)+1 {
 		return false
@@ -75,6 +83,8 @@ func canonicalShape(x *tensor.Tensor, per []int) bool {
 
 // bindOut binds the op's reusable output header over its planned float
 // slot for the given batch.
+//
+//repro:noalloc
 func (p *Program) bindOut(o *op, batch int) *tensor.Tensor {
 	n := flatLen(o.outShape) * batch
 	o.dims[0] = batch
@@ -84,6 +94,8 @@ func (p *Program) bindOut(o *op, batch int) *tensor.Tensor {
 // exec dispatches one op. Integer ops communicate through the program's
 // int16/int64 scratch (their producers and consumers are adjacent by
 // construction) and pass the float chain value through untouched.
+//
+//repro:noalloc
 func (p *Program) exec(o *op, x *tensor.Tensor, batch int) *tensor.Tensor {
 	switch o.kind {
 	case KindPack, KindUnpack:
@@ -92,8 +104,10 @@ func (p *Program) exec(o *op, x *tensor.Tensor, batch int) *tensor.Tensor {
 
 	case KindLayer:
 		if wf, ok := o.layer.(nn.WorkspaceForwarder); ok {
+			//repro:lint-ignore noalloc KindLayer is the documented allocating fallback for conv/pool ops outside the typed-op set
 			return wf.ForwardWS(p.fws, x, false)
 		}
+		//repro:lint-ignore noalloc KindLayer is the documented allocating fallback for conv/pool ops outside the typed-op set
 		return o.layer.Forward(x, false)
 
 	case KindCircMul, KindBlockCircMul:
@@ -172,15 +186,18 @@ func (p *Program) exec(o *op, x *tensor.Tensor, batch int) *tensor.Tensor {
 	case KindDequantize:
 		return p.execDequant(o, batch)
 	}
+	//repro:lint-ignore nopanic an unknown op kind is a compiler bug, not a request error; Compile can never emit one
 	panic(fmt.Sprintf("program: exec on invalid op kind %d", o.kind))
 }
 
+//repro:noalloc
 func reluInPlace(data []float64) {
 	for i, v := range data {
 		data[i] = max(v, 0)
 	}
 }
 
+//repro:noalloc
 func softmaxRow(src, dst []float64) {
 	m := math.Inf(-1)
 	for _, v := range src {
@@ -207,6 +224,8 @@ func softmaxRow(src, dst []float64) {
 // not per batch: a served sample's scores must not depend on which other
 // requests the scheduler happened to coalesce around it (determinism,
 // and result-cache correctness, under batched serving).
+//
+//repro:noalloc
 func (p *Program) quantizeActivations(o *op, x *tensor.Tensor, batch int) {
 	n := flatLen(o.inShape)
 	levels := float64(int(1)<<(o.actBits-1)) - 1
@@ -240,6 +259,8 @@ func (p *Program) quantizeActivations(o *op, x *tensor.Tensor, batch int) {
 // execQMatMul is the integer dense product: int16 activations × int16
 // weights accumulated in int64, per sample — quant.FixedPointDense's
 // kernel over a whole batch.
+//
+//repro:noalloc
 func (p *Program) execQMatMul(o *op, batch int) {
 	in := flatLen(o.inShape)
 	out := flatLen(o.outShape)
@@ -268,6 +289,8 @@ func (p *Program) execQMatMul(o *op, batch int) {
 // per sample — the embedded deployment arithmetic, keeping only the
 // compressed k·l·b weight words. Ragged edges follow the float path's
 // implicit zero padding.
+//
+//repro:noalloc
 func (p *Program) execQCirc(o *op, batch int) {
 	m := o.circ
 	k, l := m.Grid()
@@ -308,6 +331,8 @@ func (p *Program) execQCirc(o *op, batch int) {
 // execDequant is the KindDequantize kernel: accumulators scaled by the
 // combined activation×weight scale back to float64, with the fused bias
 // add and rectifier applied as each element is stored.
+//
+//repro:noalloc
 func (p *Program) execDequant(o *op, batch int) *tensor.Tensor {
 	y := p.bindOut(o, batch)
 	n := flatLen(o.outShape)
@@ -329,6 +354,7 @@ func (p *Program) execDequant(o *op, batch int) *tensor.Tensor {
 	return y
 }
 
+//repro:noalloc
 func minInt(a, b int) int {
 	if a < b {
 		return a

@@ -154,6 +154,8 @@ type op struct {
 }
 
 // flatLen returns the number of elements of a per-sample shape.
+//
+//repro:noalloc
 func flatLen(shape []int) int {
 	n := 1
 	for _, d := range shape {

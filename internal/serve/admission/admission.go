@@ -137,6 +137,8 @@ type Ticket struct {
 }
 
 // Release returns the ticket's capacity to the controller.
+//
+//repro:noalloc
 func (t Ticket) Release() {
 	if t.c == nil {
 		return
@@ -151,6 +153,8 @@ func (t Ticket) Release() {
 // (bare name; the caller resolves versions). It never blocks: past any
 // cap it returns a zero Ticket and an *OverloadError, and the caller is
 // expected to shed the request with that error immediately.
+//
+//repro:noalloc
 func (c *Controller) Admit(model string) (Ticket, error) {
 	if n := c.inflight.Add(1); c.cfg.MaxInflight > 0 && n > int64(c.cfg.MaxInflight) {
 		c.inflight.Add(-1)

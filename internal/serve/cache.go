@@ -82,6 +82,8 @@ func newResultCache(capacity int) *resultCache {
 }
 
 // shard maps a key to its home shard by FNV-1a hash.
+//
+//repro:noalloc
 func (c *resultCache) shard(key string) *cacheShard {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
@@ -113,6 +115,8 @@ func cacheKey(namespace string, input []float64) string {
 
 // get returns the cached result for key and whether it was present,
 // promoting the entry to most recently used and counting the hit.
+//
+//repro:noalloc
 func (s *cacheShard) get(key string) (Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -129,12 +133,15 @@ func (s *cacheShard) get(key string) (Result, bool) {
 // unmiss reverses it for a submission cancelled before admission. Callers
 // must use the key's home shard so the counters reconcile with its own
 // traffic.
+//
+//repro:noalloc
 func (s *cacheShard) miss() {
 	s.mu.Lock()
 	s.misses++
 	s.mu.Unlock()
 }
 
+//repro:noalloc
 func (s *cacheShard) unmiss() {
 	s.mu.Lock()
 	s.misses--

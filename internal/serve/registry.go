@@ -67,6 +67,7 @@ type abArm struct {
 	current float64
 }
 
+//repro:noalloc
 func (r *abRoute) pick() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -323,6 +324,8 @@ func (r *Registry) Weights(name string) map[string]float64 {
 // resolve maps (name, version) to the serving instance. An empty version
 // or the "latest" alias routes: through the A/B split when one is
 // configured, otherwise to the alias target.
+//
+//repro:noalloc
 func (r *Registry) resolve(name, version string) (*Server, error) {
 	r.mu.RLock()
 	if r.closed {
@@ -339,6 +342,7 @@ func (r *Registry) resolve(name, version string) (*Server, error) {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 		}
 	}
+	//repro:lint-ignore noalloc the composite registry key is one small string per routed request
 	e, ok := r.entries[model.ID(name, version)]
 	r.mu.RUnlock()
 	if !ok {
@@ -364,6 +368,8 @@ func (r *Registry) Infer(ctx context.Context, name, version string, input []floa
 // buffer scores (nil allocates): the allocation-free form for high-QPS
 // callers that reuse one buffer per goroutine. See Server.InferInto for
 // the buffer-ownership contract.
+//
+//repro:noalloc
 func (r *Registry) InferInto(ctx context.Context, name, version string, input, scores []float64) (Result, error) {
 	for {
 		srv, err := r.resolve(name, version)

@@ -299,6 +299,8 @@ func (s *Server) Infer(ctx context.Context, input []float64) (Result, error) {
 // surrendered for the duration of the call: on a cancellation or error
 // the caller must not reuse it for anything else, and the returned
 // Result's Scores always replaces it.
+//
+//repro:noalloc
 func (s *Server) InferInto(ctx context.Context, input, scores []float64) (Result, error) {
 	if len(input) != s.features {
 		return Result{}, &InputSizeError{Model: s.id, Got: len(input), Want: s.features}
@@ -326,6 +328,7 @@ func (s *Server) InferInto(ctx context.Context, input, scores []float64) (Result
 		// cancelled-before-admission paths below, keeping the "only
 		// accepted calls are counted" contract.
 		s.stats.request()
+		//repro:lint-ignore noalloc the result-cache key is one small allocation, the documented cost of enabling the LRU
 		key = cacheKey(s.id, input)
 		shard = s.cache.shard(key)
 		if res, ok := shard.get(key); ok {

@@ -67,6 +67,8 @@ type collector struct {
 
 // request counts one accepted call before its cache lookup runs, so cache
 // counters can never outrun Requests.
+//
+//repro:noalloc
 func (c *collector) request() {
 	c.mu.Lock()
 	c.requests++
@@ -75,12 +77,15 @@ func (c *collector) request() {
 
 // admit counts one request entering the batch queue; unadmit reverses it
 // for a submission cancelled before the scheduler accepted it.
+//
+//repro:noalloc
 func (c *collector) admit() {
 	c.mu.Lock()
 	c.requests++
 	c.mu.Unlock()
 }
 
+//repro:noalloc
 func (c *collector) unadmit() {
 	c.mu.Lock()
 	c.requests--

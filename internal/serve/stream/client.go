@@ -130,6 +130,8 @@ func (c *Client) Do(ctx context.Context, route string, inputs [][]float64) ([]se
 // DoInto is Do appending the results into out's storage (out[i].Scores
 // buffers are reused when their capacity suffices), the allocation-free
 // form for a long-lived client goroutine reusing one results slice.
+//
+//repro:noalloc
 func (c *Client) DoInto(ctx context.Context, route string, inputs [][]float64, out []serve.Result) ([]serve.Result, error) {
 	if c.goingAway.Load() {
 		return out, ErrGoingAway
@@ -151,6 +153,7 @@ func (c *Client) DoInto(ctx context.Context, route string, inputs [][]float64, o
 		callPool.Put(cl)
 		return out, ErrClientClosed
 	}
+	//repro:lint-ignore noalloc registering the pending call in the id map may grow it; the sync.Pool reuses call slots themselves
 	c.calls[id] = cl
 	c.inflight++
 	c.mu.Unlock()
@@ -193,6 +196,8 @@ func (c *Client) DoInto(ctx context.Context, route string, inputs [][]float64, o
 }
 
 // finish recycles a completed call.
+//
+//repro:noalloc
 func (c *Client) finish(cl *call) {
 	c.decInflight()
 	callPool.Put(cl)
@@ -202,6 +207,8 @@ func (c *Client) finish(cl *call) {
 // is decremented unconditionally: every Do ends in exactly one of finish
 // (response consumed) or forget, even when the reader claimed the call
 // a moment before the abandoning context fired.
+//
+//repro:noalloc
 func (c *Client) forget(id uint64) {
 	c.mu.Lock()
 	delete(c.calls, id)
@@ -215,6 +222,7 @@ func (c *Client) forget(id uint64) {
 	c.mu.Unlock()
 }
 
+//repro:noalloc
 func (c *Client) decInflight() {
 	c.mu.Lock()
 	c.inflight--
@@ -229,6 +237,8 @@ func (c *Client) decInflight() {
 
 // appendResults copies parsed results into out, reusing out's backing
 // storage and per-result score buffers where capacity allows.
+//
+//repro:noalloc
 func appendResults(out, parsed []serve.Result) []serve.Result {
 	n := len(parsed)
 	for cap(out) < n {
@@ -313,7 +323,7 @@ func (c *Client) ackGoAway() {
 			c.mu.Unlock()
 			c.wmu.Lock()
 			c.wbuf, _ = AppendFrame(c.wbuf[:0], FrameGoAway, 0, nil)
-			c.nc.Write(c.wbuf)
+			_, _ = c.nc.Write(c.wbuf) // best-effort: a failed GOAWAY surfaces in the read loop
 			c.wmu.Unlock()
 			return
 		}
@@ -354,18 +364,18 @@ func (c *Client) Close(ctx context.Context) error {
 		select {
 		case <-c.idle:
 		case <-ctx.Done():
-			c.nc.Close()
+			_ = c.nc.Close()
 			<-c.readDone
 			return ctx.Err()
 		case <-c.readDone:
 			// Connection already gone; nothing left to drain.
-			c.nc.Close()
+			_ = c.nc.Close()
 			return c.readErr
 		}
 	}
 	c.wmu.Lock()
 	c.wbuf, _ = AppendFrame(c.wbuf[:0], FrameGoAway, 0, nil)
-	c.nc.Write(c.wbuf)
+	_, _ = c.nc.Write(c.wbuf) // best-effort: the server may already be gone
 	c.wmu.Unlock()
 	c.mu.Lock()
 	c.closed = true

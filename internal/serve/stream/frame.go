@@ -90,6 +90,8 @@ type Frame struct {
 // zero length field; finishFrame patches the length once the payload has
 // been appended. The pair lets encoders build header and payload in one
 // buffer without knowing the payload size up front.
+//
+//repro:noalloc
 func beginFrame(dst []byte, typ uint8, id uint64) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, FrameMagic)
 	dst = append(dst, typ, 0)
@@ -99,12 +101,16 @@ func beginFrame(dst []byte, typ uint8, id uint64) []byte {
 }
 
 // finishFrame patches the length field of the frame begun at start.
+//
+//repro:noalloc
 func finishFrame(dst []byte, start int) []byte {
 	binary.LittleEndian.PutUint32(dst[start+14:], uint32(len(dst)-start-frameHeaderLen))
 	return dst
 }
 
 // AppendFrame appends one complete RPS2 frame to dst.
+//
+//repro:noalloc
 func AppendFrame(dst []byte, typ uint8, id uint64, payload []byte) ([]byte, error) {
 	if typ < FrameRequest || typ > FrameGoAway {
 		return dst, fmt.Errorf("stream: unknown frame type %d", typ)
@@ -123,6 +129,8 @@ func AppendFrame(dst []byte, typ uint8, id uint64, payload []byte) ([]byte, erro
 // length past MaxFramePayload — are errors; so is a truncated payload.
 // The payload cap never grows past the header's (validated) length claim,
 // so a hostile 4 GiB length field cannot make the decoder allocate it.
+//
+//repro:noalloc
 func DecodeFrame(r io.Reader, f *Frame) error {
 	hdr := f.hdr[:]
 	if _, err := io.ReadFull(r, hdr); err != nil {
@@ -156,6 +164,8 @@ func DecodeFrame(r io.Reader, f *Frame) error {
 
 // appendRequestPayload appends a request frame's payload: route prefix,
 // deadline budget, then the encoded wire-v1 request.
+//
+//repro:noalloc
 func appendRequestPayload(dst []byte, route string, deadline time.Duration, inputs [][]float64) ([]byte, error) {
 	if route == "" || len(route) > MaxRouteLen {
 		return dst, fmt.Errorf("stream: route length %d outside [1, %d]", len(route), MaxRouteLen)
@@ -176,6 +186,8 @@ func appendRequestPayload(dst []byte, route string, deadline time.Duration, inpu
 // parseRequestPayload splits a request frame's payload into its route,
 // deadline budget and embedded wire-v1 request bytes. The returned slices
 // alias p.
+//
+//repro:noalloc
 func parseRequestPayload(p []byte) (route []byte, deadline time.Duration, wire []byte, err error) {
 	if len(p) < 2 {
 		return nil, 0, nil, fmt.Errorf("stream: request payload truncated: %d bytes", len(p))
@@ -194,6 +206,8 @@ func parseRequestPayload(p []byte) (route []byte, deadline time.Duration, wire [
 }
 
 // appendStatusPayload appends a status frame's payload.
+//
+//repro:noalloc
 func appendStatusPayload(dst []byte, code int, retryAfter time.Duration, msg string) []byte {
 	if len(msg) > MaxStatusMsgLen {
 		msg = msg[:MaxStatusMsgLen]
@@ -209,6 +223,8 @@ func appendStatusPayload(dst []byte, code int, retryAfter time.Duration, msg str
 }
 
 // parseStatusPayload splits a status frame's payload. msg aliases p.
+//
+//repro:noalloc
 func parseStatusPayload(p []byte) (code int, retryAfter time.Duration, msg []byte, err error) {
 	if len(p) < 8 {
 		return 0, 0, nil, fmt.Errorf("stream: status payload truncated: %d bytes", len(p))

@@ -155,7 +155,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed || s.draining {
 		s.mu.Unlock()
-		ln.Close()
+		_ = ln.Close()
 		return ErrServerClosed
 	}
 	s.lns[ln] = struct{}{}
@@ -164,7 +164,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		delete(s.lns, ln)
 		s.mu.Unlock()
-		ln.Close()
+		_ = ln.Close()
 	}()
 	for {
 		nc, err := ln.Accept()
@@ -181,7 +181,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.closed || s.draining {
 			s.mu.Unlock()
-			nc.Close()
+			_ = nc.Close()
 			return ErrServerClosed
 		}
 		s.conns[c] = struct{}{}
@@ -202,7 +202,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	for ln := range s.lns {
-		ln.Close()
+		_ = ln.Close()
 	}
 	conns := make([]*sconn, 0, len(s.conns))
 	for c := range s.conns {
@@ -223,7 +223,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		s.mu.Lock()
 		for c := range s.conns {
-			c.nc.Close()
+			_ = c.nc.Close()
 		}
 		s.mu.Unlock()
 		<-done
@@ -236,10 +236,10 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	for ln := range s.lns {
-		ln.Close()
+		_ = ln.Close()
 	}
 	for c := range s.conns {
-		c.nc.Close()
+		_ = c.nc.Close()
 	}
 	s.mu.Unlock()
 	s.connWG.Wait()
@@ -321,11 +321,11 @@ func (c *sconn) run() {
 		c.goaway = true
 		c.srv.goaways.Add(1)
 		c.sbuf, _ = AppendFrame(c.sbuf[:0], FrameGoAway, 0, nil)
-		c.nc.Write(c.sbuf)
+		_, _ = c.nc.Write(c.sbuf) // best-effort: the connection is being torn down
 	}
 	c.wmu.Unlock()
 	c.cancel()
-	c.nc.Close()
+	_ = c.nc.Close()
 	s := c.srv
 	s.mu.Lock()
 	delete(s.conns, c)
@@ -343,7 +343,7 @@ func (c *sconn) sendGoAway() {
 	c.goaway = true
 	c.srv.goaways.Add(1)
 	c.sbuf, _ = AppendFrame(c.sbuf[:0], FrameGoAway, 0, nil)
-	c.nc.Write(c.sbuf)
+	_, _ = c.nc.Write(c.sbuf) // best-effort: a failed GOAWAY surfaces in the read loop
 }
 
 // writeFrame writes one pre-encoded frame under the write lock.
@@ -362,7 +362,7 @@ func (c *sconn) writeStatus(id uint64, code int, retryAfter time.Duration, msg s
 	c.sbuf = beginFrame(c.sbuf[:0], FrameStatus, id)
 	c.sbuf = appendStatusPayload(c.sbuf, code, retryAfter, msg)
 	c.sbuf = finishFrame(c.sbuf, start)
-	c.nc.Write(c.sbuf)
+	_, _ = c.nc.Write(c.sbuf) // best-effort: a failed status write surfaces in the read loop
 	c.wmu.Unlock()
 }
 

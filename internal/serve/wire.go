@@ -92,6 +92,8 @@ const (
 
 // validateWireRequestHeader applies the request header bounds shared by
 // the reader and in-memory decoders.
+//
+//repro:noalloc
 func validateWireRequestHeader(count, dim int) error {
 	if count < 1 || count > MaxWireInputs {
 		return fmt.Errorf("serve: wire request count %d outside [1, %d]", count, MaxWireInputs)
@@ -111,6 +113,8 @@ func validateWireRequestHeader(count, dim int) error {
 // must have the same non-zero length; the decode-side bounds are enforced
 // here too, so a request that encodes is one every decoder accepts rather
 // than a remote 400.
+//
+//repro:noalloc
 func AppendWireRequest(dst []byte, inputs [][]float64) ([]byte, error) {
 	if len(inputs) == 0 {
 		return dst, fmt.Errorf("serve: wire request needs at least one input")
@@ -164,6 +168,8 @@ type WireRequestScratch struct {
 // scratch, valid until its next Parse; a nil scratch allocates fresh
 // storage. Trailing bytes after the encoded request are rejected — in a
 // length-prefixed frame they can only be garbage.
+//
+//repro:noalloc
 func ParseWireRequest(data []byte, s *WireRequestScratch) ([][]float64, error) {
 	if len(data) < 12 {
 		return nil, fmt.Errorf("serve: wire request header truncated: %d bytes", len(data))
@@ -233,6 +239,8 @@ func DecodeWireRequest(r io.Reader) ([][]float64, error) {
 
 // validateWireResultsHeader applies the response header bounds shared by
 // the reader and in-memory decoders.
+//
+//repro:noalloc
 func validateWireResultsHeader(count, classes int) error {
 	if count < 1 || count > MaxWireInputs {
 		return fmt.Errorf("serve: wire response count %d outside [1, %d]", count, MaxWireInputs)
@@ -251,6 +259,8 @@ func validateWireResultsHeader(count, classes int) error {
 // a 32-bit int (a larger uint32 would wrap negative on 32-bit platforms),
 // and the cached flag must be exactly 0 or 1 (any other byte is a
 // malformed frame, not a creative truthy value).
+//
+//repro:noalloc
 func decodeWireResultRecord(rec []byte, scores []float64, res *Result) error {
 	class := binary.LittleEndian.Uint32(rec[0:])
 	batch := binary.LittleEndian.Uint32(rec[4:])
@@ -278,6 +288,8 @@ func decodeWireResultRecord(rec []byte, scores []float64, res *Result) error {
 // score width, and every integer field must survive the decoders'
 // hardening checks — the decode-side bounds are enforced here so an
 // encoded response is always decodable.
+//
+//repro:noalloc
 func AppendWireResults(dst []byte, results []Result) ([]byte, error) {
 	if len(results) == 0 {
 		return dst, fmt.Errorf("serve: wire response needs at least one result")
@@ -344,6 +356,8 @@ type WireResultsScratch struct {
 // data. The returned results (and their score slices) are views into the
 // scratch, valid until its next Parse; a nil scratch allocates fresh
 // storage. Trailing bytes are rejected.
+//
+//repro:noalloc
 func ParseWireResults(data []byte, s *WireResultsScratch) ([]Result, error) {
 	if len(data) < 12 {
 		return nil, fmt.Errorf("serve: wire response header truncated: %d bytes", len(data))

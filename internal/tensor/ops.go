@@ -146,6 +146,8 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto computes a·b into dst, the allocation-free form of MatMul:
 // dst must be a zeroed-or-overwritable m×n tensor and must not alias a or
 // b. Returns dst.
+//
+//repro:noalloc
 func MatMulInto(dst, a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		panic("tensor: MatMulInto requires rank-2 operands")

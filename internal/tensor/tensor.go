@@ -68,6 +68,8 @@ func (t *Tensor) computeStrides() {
 // long-lived tensor headers on serving hot paths (a worker's input tensor,
 // a workspace's activation views). The product of the dimensions must
 // equal len(data). Returns t.
+//
+//repro:noalloc
 func (t *Tensor) Bind(data []float64, shape ...int) *Tensor {
 	// Copy into the header's persistent shape slice before validating:
 	// referencing the variadic slice in the panic paths would make the
@@ -100,6 +102,8 @@ func (t *Tensor) BindShapeOf(data []float64, o *Tensor) *Tensor {
 }
 
 // rebindStrides is computeStrides reusing the stride slice's capacity.
+//
+//repro:noalloc
 func (t *Tensor) rebindStrides() {
 	if cap(t.stride) < len(t.shape) {
 		t.stride = make([]int, len(t.shape))
@@ -117,12 +121,18 @@ func (t *Tensor) rebindStrides() {
 func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
 
 // Dim returns the size of dimension i.
+//
+//repro:noalloc
 func (t *Tensor) Dim(i int) int { return t.shape[i] }
 
 // Rank returns the number of dimensions.
+//
+//repro:noalloc
 func (t *Tensor) Rank() int { return len(t.shape) }
 
 // Len returns the total number of elements.
+//
+//repro:noalloc
 func (t *Tensor) Len() int { return len(t.Data) }
 
 // offset converts a multi-index to a flat offset, bounds-checked.

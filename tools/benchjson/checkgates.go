@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"regexp"
 	"strings"
 )
@@ -33,6 +34,8 @@ func cmdCheckGates(args []string) error {
 	fs := flag.NewFlagSet("checkgates", flag.ExitOnError)
 	makefile := fs.String("makefile", "Makefile", "path to the Makefile")
 	workflow := fs.String("workflow", ".github/workflows/ci.yml", "path to the CI workflow")
+	benchcover := fs.Bool("benchcover", true,
+		"verify every ALLOCGATE benchmark reaches a //repro:noalloc function (runs reprolint)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +54,24 @@ func cmdCheckGates(args []string) error {
 	}
 	for _, p := range gatePairs {
 		fmt.Printf("ok: %s == %s\n", p.makeVar, p.ciVar)
+	}
+	// The runtime alloc gate and the static noalloc tier must agree too:
+	// every ALLOCGATE benchmark has to reach at least one //repro:noalloc
+	// function through the static call graph, or the 0 allocs/op the CI
+	// compare job enforces is measuring code the analyzer never checks.
+	// reprolint's -benchcover mode proves that from the same Makefile
+	// value just pinned against CI.
+	if *benchcover {
+		gates, ok := extractMakeVar(string(makeSrc), "ALLOCGATE")
+		if !ok {
+			return fmt.Errorf("ALLOCGATE missing from %s", *makefile)
+		}
+		cmd := exec.Command("go", "run", "./tools/reprolint", "-benchcover", gates, "./...")
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("reprolint -benchcover: %w", err)
+		}
 	}
 	return nil
 }

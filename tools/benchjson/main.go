@@ -118,7 +118,9 @@ func cmdRun(args []string) error {
 	count := fs.Int("count", 5, "go test -count value")
 	pkg := fs.String("pkg", ".", "package to benchmark")
 	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cmdline := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-count", strconv.Itoa(*count), "-benchmem", *pkg}
 	cmd := exec.Command("go", cmdline...)
@@ -150,7 +152,9 @@ func cmdParse(args []string) error {
 	fs := flag.NewFlagSet("parse", flag.ExitOnError)
 	out := fs.String("out", "", "output file (default BENCH_<date>.json, \"-\" for stdout)")
 	command := fs.String("command", "", "command line recorded in the artifact")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	benches, err := ParseBenchOutput(os.Stdin)
 	if err != nil {
 		return err
@@ -308,7 +312,9 @@ func cmdCompare(args []string) error {
 	threshold := fs.Float64("threshold", 1.15, "max allowed head/base median ns/op ratio for gated benchmarks")
 	gateRe := fs.String("gate", ".", "regexp of benchmark names whose ns/op regression fails the run")
 	allocGateRe := fs.String("allocgate", "", "regexp of benchmark names where any allocs/op increase fails the run")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if fs.NArg() != 2 {
 		return fmt.Errorf("compare needs exactly two files: base.json head.json")
 	}
@@ -337,7 +343,7 @@ func cmdCompare(args []string) error {
 		return fmt.Errorf("no common benchmarks between %s and %s", fs.Arg(0), fs.Arg(1))
 	}
 	w := bufio.NewWriter(os.Stdout)
-	fmt.Fprintf(w, "%-64s %14s %14s %8s %16s\n", "benchmark (median ns/op)", "base", "head", "delta", "allocs/op")
+	_, _ = fmt.Fprintf(w, "%-64s %14s %14s %8s %16s\n", "benchmark (median ns/op)", "base", "head", "delta", "allocs/op")
 	var failed, allocFailed []Delta
 	for _, d := range deltas {
 		mark := " "
@@ -353,9 +359,11 @@ func cmdCompare(args []string) error {
 				mark = "!"
 			}
 		}
-		fmt.Fprintf(w, "%s%-63s %14.0f %14.0f %+7.1f%% %16s\n", mark, d.Name, d.Base, d.Head, (d.Ratio-1)*100, allocs)
+		_, _ = fmt.Fprintf(w, "%s%-63s %14.0f %14.0f %+7.1f%% %16s\n", mark, d.Name, d.Base, d.Head, (d.Ratio-1)*100, allocs)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	for _, d := range failed {
 		fmt.Fprintf(os.Stderr, "benchjson: gated regression beyond %.0f%%: %s: %.0f → %.0f ns/op (%+.1f%%)\n",
 			(*threshold-1)*100, d.Name, d.Base, d.Head, (d.Ratio-1)*100)

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicmix enforces the all-or-nothing rule for sync/atomic: once any
+// code path touches a struct field through the atomic functions
+// (atomic.AddUint64(&s.n, 1) and friends), every other access to that
+// field — read, write, or address-taken — must be atomic too, anywhere
+// in the tree. Mixed access is a data race the race detector only
+// catches when a test happens to interleave it; the type system catches
+// it always. Typed atomics (atomic.Uint64 et al.) are immune by
+// construction and are the preferred fix.
+//
+// Facts are gathered globally before checking, so an atomic access in
+// one package poisons plain accesses to the same field everywhere.
+
+// gatherAtomicFacts records every field whose address is passed to a
+// sync/atomic function.
+func gatherAtomicFacts(pkg *Package, fset *token.FileSet, facts *Facts) {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fieldSel := atomicFieldArg(info, call); fieldSel != nil {
+				key := atomicFieldKey(info, fieldSel)
+				if key != "" {
+					if _, dup := facts.atomicFields[key]; !dup {
+						facts.atomicFields[key] = fset.Position(call.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// atomicFieldArg returns the field selector when call is a sync/atomic
+// function applied to &x.field, else nil.
+func atomicFieldArg(info *types.Info, call *ast.CallExpr) *ast.SelectorExpr {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return sel
+}
+
+// atomicFieldKey identifies a field across packages:
+// "pkgpath.Type.field". Unnamed receiver types yield "" (not tracked).
+func atomicFieldKey(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	recv := s.Recv()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	pkgPath := ""
+	if obj.Pkg() != nil {
+		pkgPath = obj.Pkg().Path()
+	}
+	return pkgPath + "." + obj.Name() + "." + s.Obj().Name()
+}
+
+func runAtomicmix(pass *Pass) {
+	info := pass.pkg.Info
+	for _, f := range pass.pkg.Files {
+		// First collect the selector nodes that ARE atomic accesses, so
+		// the plain-access walk can skip them.
+		atomicUses := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel := atomicFieldArg(info, call); sel != nil {
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel] {
+				return true
+			}
+			key := atomicFieldKey(info, sel)
+			if key == "" {
+				return true
+			}
+			if first, mixed := pass.facts.atomicFields[key]; mixed {
+				pass.report(sel.Pos(), "plain access to %s, which is accessed atomically at %s — use sync/atomic everywhere or a typed atomic",
+					key, first)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// benchcover cross-checks the static and runtime alloc gates: every
+// benchmark named in the ALLOCGATE list must reach at least one
+// //repro:noalloc function through the static call graph, so a
+// benchmark kept at 0 allocs/op by the CI compare job is provably
+// exercising code the noalloc analyzer also guards — the two gates
+// cannot silently drift apart. The walk is syntactic and name-based
+// (test files are never type-checked): it over-approximates
+// reachability, which errs toward passing, never toward a false alarm.
+
+// runBenchcover returns one problem string per uncovered gate entry.
+func runBenchcover(pkgs []*Package, facts *Facts, gates string) []string {
+	// Gate entries are 'BenchmarkName' or 'BenchmarkName/subbench';
+	// sub-benchmarks live inside their parent's FuncDecl.
+	var parents []string
+	seenParent := make(map[string]bool)
+	for _, g := range strings.Split(gates, "|") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		if i := strings.IndexByte(g, '/'); i >= 0 {
+			g = g[:i]
+		}
+		if !seenParent[g] {
+			seenParent[g] = true
+			parents = append(parents, g)
+		}
+	}
+
+	// Index every function declaration — module sources and test files
+	// alike — by bare name.
+	byName := make(map[string][]*ast.FuncDecl)
+	for _, p := range pkgs {
+		for _, f := range append(append([]*ast.File(nil), p.Files...), p.TestFiles...) {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					byName[fd.Name.Name] = append(byName[fd.Name.Name], fd)
+				}
+			}
+		}
+	}
+
+	var problems []string
+	for _, bench := range parents {
+		decls := byName[bench]
+		if len(decls) == 0 {
+			problems = append(problems, fmt.Sprintf("gated benchmark %s not found in any package", bench))
+			continue
+		}
+		if !reachesMarked(decls, byName, facts) {
+			problems = append(problems, fmt.Sprintf(
+				"gated benchmark %s does not reach any //repro:noalloc function — the runtime alloc gate and the static noalloc tier have drifted apart", bench))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// reachesMarked BFSes the name-based call graph from the given roots.
+func reachesMarked(roots []*ast.FuncDecl, byName map[string][]*ast.FuncDecl, facts *Facts) bool {
+	queue := append([]*ast.FuncDecl(nil), roots...)
+	visited := make(map[*ast.FuncDecl]bool)
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if visited[fd] {
+			continue
+		}
+		visited[fd] = true
+		if facts.markedDecls[fd] {
+			return true
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var name string
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if name != "" {
+				queue = append(queue, byName[name]...)
+			}
+			return true
+		})
+	}
+	return false
+}

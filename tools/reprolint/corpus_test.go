@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The self-test corpus: each testdata/src directory is type-checked
+// under a mapped import path (the path is what scope-sensitive
+// analyzers key on) and its diagnostics are matched bidirectionally
+// against the files' annotations:
+//
+//	code // want "regex"        a diagnostic on this line must match
+//	// wantnext "regex"         ... on the next line (for diagnostics
+//	                            anchored to full-line comments)
+//
+// Every diagnostic must be claimed by an annotation and every
+// annotation must claim a diagnostic, so the corpus pins firing and
+// non-firing behavior at once.
+var corpusPackages = []struct {
+	dir        string
+	importPath string
+}{
+	{"noalloc", "repro/lintcorpus/noalloc"},
+	{"atomicmix", "repro/lintcorpus/atomicmix"},
+	{"lockbalance", "repro/lintcorpus/lockbalance"},
+	{"errcheck", "repro/internal/lintcorpus/errcheck"},
+	{"errcheckout", "repro/lintcorpus/errcheckout"},
+	{"nopanic", "repro/internal/serve/lintcorpus"},
+	{"nopanicrun", "repro/internal/program"},
+	{"directives", "repro/lintcorpus/directives"},
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantPattern = regexp.MustCompile(`want(next)?((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var wantQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants extracts the annotations from one corpus file.
+func parseWants(t *testing.T, path string) []*expectation {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		m := wantPattern.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		target := i + 1 // 1-based line of the annotation
+		if m[1] == "next" {
+			target++
+			// Skip the bare // separator gofmt inserts between a doc
+			// comment and a directive line.
+			for target-1 < len(lines) && strings.TrimSpace(lines[target-1]) == "//" {
+				target++
+			}
+		}
+		for _, q := range wantQuoted.FindAllStringSubmatch(m[2], -1) {
+			text := strings.ReplaceAll(q[1], `\"`, `"`)
+			re, err := regexp.Compile(text)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, text, err)
+			}
+			wants = append(wants, &expectation{file: path, line: target, re: re})
+		}
+	}
+	return wants
+}
+
+func TestCorpus(t *testing.T) {
+	ld, err := newLoader(".", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	var wants []*expectation
+	for _, cp := range corpusPackages {
+		dir := filepath.Join("testdata", "src", cp.dir)
+		pkg, err := ld.checkDir(dir, cp.importPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".go") {
+				wants = append(wants, parseWants(t, filepath.Join(dir, e.Name()))...)
+			}
+		}
+	}
+
+	diags := analyze(ld.fset, pkgs)
+
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				claimed = true
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic %s: [%s] %s", d.Position, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestCorpusDiagnosticFormat pins the text rendering the CI log shows.
+func TestCorpusDiagnosticFormat(t *testing.T) {
+	ld, err := newLoader(".", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := ld.checkDir(filepath.Join("testdata", "src", "errcheck"), "repro/internal/lintcorpus/errcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analyze(ld.fset, []*Package{pkg})
+	if len(diags) != 1 {
+		t.Fatalf("errcheck corpus: got %d diagnostics, want 1", len(diags))
+	}
+	got := fmt.Sprintf("%s: [%s] %s", diags[0].Position, diags[0].Analyzer, diags[0].Message)
+	want := "result of os.Remove contains an error that is discarded"
+	if !strings.Contains(got, "[errcheck]") || !strings.Contains(got, want) {
+		t.Errorf("rendered diagnostic %q does not carry analyzer tag and message %q", got, want)
+	}
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Directive grammar (DESIGN.md §9):
+//
+//	//repro:noalloc
+//	    Only valid in a function declaration's doc comment. Marks the
+//	    function as part of the allocation-free tier: the noalloc
+//	    analyzer checks its body and requires every callee to be marked
+//	    too, allowlisted, or explicitly ignored.
+//
+//	//repro:lint-ignore <analyzer> <reason...>
+//	    Suppresses <analyzer>'s diagnostics on the same line or the line
+//	    immediately below. The reason is mandatory; an ignore that
+//	    suppresses nothing is itself a diagnostic, so stale suppressions
+//	    cannot linger.
+//
+// Any other //repro: comment is an error: a typo in a directive must
+// never silently disable a check.
+const directivePrefix = "//repro:"
+
+// driverName is the pseudo-analyzer that reports directive misuse and
+// unused ignores. Its diagnostics cannot be lint-ignored.
+const driverName = "reprolint"
+
+// ignoreDirective is one parsed //repro:lint-ignore.
+type ignoreDirective struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	used     bool
+}
+
+// parseDirectives walks one package's comments, validating every
+// //repro: comment, recording noalloc marks into facts, and returning
+// the file's lint-ignore directives. report receives driver diagnostics
+// (malformed or misplaced directives).
+func parseDirectives(fset *token.FileSet, pkg *Package, facts *Facts,
+	report func(pos token.Pos, format string, args ...any)) []*ignoreDirective {
+
+	// Comments that legitimately carry //repro:noalloc: function doc
+	// comment groups.
+	funcDoc := make(map[*ast.Comment]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					funcDoc[c] = fd
+				}
+			}
+		}
+	}
+
+	var ignores []*ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				fields := strings.Fields(c.Text[len(directivePrefix):])
+				if len(fields) == 0 {
+					report(c.Pos(), "empty //repro: directive")
+					continue
+				}
+				switch fields[0] {
+				case "noalloc":
+					if len(fields) != 1 {
+						report(c.Pos(), "malformed //repro:noalloc directive (no arguments allowed)")
+						continue
+					}
+					fd, ok := funcDoc[c]
+					if !ok {
+						report(c.Pos(), "misplaced //repro:noalloc (must appear in a function declaration's doc comment)")
+						continue
+					}
+					def, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					facts.Noalloc[def.FullName()] = fset.Position(fd.Pos())
+					facts.markedDecls[fd] = true
+				case "lint-ignore":
+					if len(fields) < 2 {
+						report(c.Pos(), "//repro:lint-ignore needs an analyzer name and a reason")
+						continue
+					}
+					if !knownAnalyzer(fields[1]) {
+						report(c.Pos(), "//repro:lint-ignore names unknown analyzer %q", fields[1])
+						continue
+					}
+					if len(fields) < 3 {
+						report(c.Pos(), "//repro:lint-ignore %s is missing its reason (the reason is mandatory)", fields[1])
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					ignores = append(ignores, &ignoreDirective{
+						pos:      c.Pos(),
+						file:     pos.Filename,
+						line:     pos.Line,
+						analyzer: fields[1],
+					})
+				default:
+					report(c.Pos(), "unknown directive //repro:%s", fields[0])
+				}
+			}
+		}
+	}
+	return ignores
+}
+
+// knownAnalyzer reports whether name is one of the five analyzers.
+func knownAnalyzer(name string) bool {
+	for _, a := range analyzerNames {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// applyIgnores filters diags through the lint-ignore directives: a
+// diagnostic is suppressed when an ignore for its analyzer sits on the
+// same line or the line above (i.e. the ignore covers its own line and
+// the next). Each ignore records whether it suppressed anything; the
+// caller turns unused ignores into driver diagnostics, so dead
+// suppressions are flushed out as code moves.
+func applyIgnores(diags []Diagnostic, ignores []*ignoreDirective) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == driverName {
+			kept = append(kept, d)
+			continue
+		}
+		suppressed := false
+		for _, ig := range ignores {
+			if ig.analyzer == d.Analyzer && ig.file == d.Position.Filename &&
+				(d.Position.Line == ig.line || d.Position.Line == ig.line+1) {
+				ig.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, attributed to the analyzer that produced
+// it. Position is resolved eagerly so diagnostics survive the FileSet.
+type Diagnostic struct {
+	Position token.Position `json:"position"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+// Facts is the cross-package state gathered before any analyzer runs:
+// the global //repro:noalloc mark set (keyed by types.Func.FullName, so
+// a mark collected from source matches the same function seen through
+// export data) and the fields accessed through sync/atomic anywhere in
+// the tree.
+type Facts struct {
+	// Noalloc maps a marked function's FullName to its declaration.
+	Noalloc map[string]token.Position
+	// markedDecls is the same set at the syntax level, for the
+	// benchmark-coverage walk (which never type-checks test files).
+	markedDecls map[*ast.FuncDecl]bool
+	// atomicFields maps "pkgpath.Type.field" to the first sync/atomic
+	// access observed for that field.
+	atomicFields map[string]token.Position
+}
+
+func newFacts() *Facts {
+	return &Facts{
+		Noalloc:      make(map[string]token.Position),
+		markedDecls:  make(map[*ast.FuncDecl]bool),
+		atomicFields: make(map[string]token.Position),
+	}
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	fset   *token.FileSet
+	pkg    *Package
+	facts  *Facts
+	report func(pos token.Pos, format string, args ...any)
+}
+
+// analyzerNames lists the five analyzers, in the order they run. These
+// are the names //repro:lint-ignore accepts.
+var analyzerNames = []string{"noalloc", "atomicmix", "nopanic", "errcheck", "lockbalance"}
+
+var analyzers = map[string]func(*Pass){
+	"noalloc":     runNoalloc,
+	"atomicmix":   runAtomicmix,
+	"nopanic":     runNopanic,
+	"errcheck":    runErrcheck,
+	"lockbalance": runLockbalance,
+}
+
+// analyze runs the full pipeline over pkgs: gather facts (directive
+// marks, atomic fields), run every analyzer on every package, apply
+// lint-ignore suppression, and return position-sorted diagnostics.
+func analyze(fset *token.FileSet, pkgs []*Package) []Diagnostic {
+	facts := newFacts()
+	var diags []Diagnostic
+	mkReport := func(analyzer string) func(pos token.Pos, format string, args ...any) {
+		return func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Position: fset.Position(pos),
+				Analyzer: analyzer,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+	}
+
+	var ignores []*ignoreDirective
+	for _, pkg := range pkgs {
+		ignores = append(ignores, parseDirectives(fset, pkg, facts, mkReport(driverName))...)
+		gatherAtomicFacts(pkg, fset, facts)
+	}
+	for _, pkg := range pkgs {
+		for _, name := range analyzerNames {
+			analyzers[name](&Pass{fset: fset, pkg: pkg, facts: facts, report: mkReport(name)})
+		}
+	}
+
+	kept := applyIgnores(diags, ignores)
+	for _, ig := range ignores {
+		if !ig.used {
+			kept = append(kept, Diagnostic{
+				Position: fset.Position(ig.pos),
+				Analyzer: driverName,
+				Message:  fmt.Sprintf("unused //repro:lint-ignore %s (no diagnostic on this or the next line)", ig.analyzer),
+			})
+		}
+	}
+	sortDiagnostics(kept)
+	return kept
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// funcFullName resolves a declaration's types.Func FullName, or "".
+func funcFullName(pkg *Package, fd *ast.FuncDecl) string {
+	if def, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		return def.FullName()
+	}
+	return ""
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, when
+// it statically invokes one: a plain function, a method (on a concrete
+// or interface receiver), or a qualified package function. It returns
+// nil for builtins, conversions, and calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// calleeBuiltin returns the builtin a call invokes, or "".
+func calleeBuiltin(info *types.Info, call *ast.CallExpr) string {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return b.Name()
+		}
+	}
+	return ""
+}
+
+// exprString renders an expression for use as a state key or message.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// isConversion reports whether a call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		return tv.Type, true
+	}
+	return nil, false
+}

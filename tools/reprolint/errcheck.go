@@ -1,0 +1,122 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errcheck flags call statements that silently discard an error result
+// anywhere under internal/ and tools/. Assigning to _ is an explicit
+// acknowledgment and is never flagged; so are deferred calls (teardown
+// best-effort by convention), writes to the two stdlib sinks that are
+// documented never to fail (*bytes.Buffer and *strings.Builder), and
+// human-facing terminal output — fmt.Print* and fmt.Fprint* aimed at
+// os.Stdout or os.Stderr — where no recovery is possible or useful.
+
+var errcheckScopes = []string{"repro/internal/", "repro/tools/"}
+
+func errcheckInScope(path string) bool {
+	for _, s := range errcheckScopes {
+		if strings.HasPrefix(path, s) || path+"/" == s {
+			return true
+		}
+	}
+	return false
+}
+
+func runErrcheck(pass *Pass) {
+	if !errcheckInScope(pass.pkg.ImportPath) {
+		return
+	}
+	info := pass.pkg.Info
+	for _, f := range pass.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !callDiscardsError(info, call) {
+				return true
+			}
+			pass.report(call.Pos(), "result of %s contains an error that is discarded (handle it or acknowledge with _ =)",
+				calleeLabel(info, call))
+			return true
+		})
+	}
+}
+
+// callDiscardsError reports whether the statement-position call returns
+// an error that the surrounding code never sees.
+func callDiscardsError(info *types.Info, call *ast.CallExpr) bool {
+	if _, isConv := isConversion(info, call); isConv {
+		return false
+	}
+	if calleeBuiltin(info, call) != "" {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	returnsError := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				returnsError = true
+			}
+		}
+	default:
+		returnsError = types.Identical(tv.Type, errorType)
+	}
+	if !returnsError {
+		return false
+	}
+	return !neverFailsSink(info, call)
+}
+
+// neverFailsSink exempts the stdlib in-memory writers whose error
+// results are documented always nil — methods on *bytes.Buffer and
+// *strings.Builder, and fmt.Fprint* writing to one of them — plus
+// terminal output: fmt.Print* and fmt.Fprint* aimed syntactically at
+// os.Stdout or os.Stderr.
+func neverFailsSink(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	full := f.FullName()
+	if strings.HasPrefix(full, "(*bytes.Buffer).") || strings.HasPrefix(full, "(*strings.Builder).") {
+		return true
+	}
+	switch full {
+	case "fmt.Print", "fmt.Printf", "fmt.Println":
+		return true
+	}
+	if strings.HasPrefix(full, "fmt.Fprint") && len(call.Args) > 0 {
+		switch exprString(call.Args[0]) {
+		case "os.Stdout", "os.Stderr":
+			return true
+		}
+		if t := info.Types[call.Args[0]].Type; t != nil {
+			s := t.String()
+			if s == "*bytes.Buffer" || s == "*strings.Builder" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeLabel names a call target for a diagnostic.
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	if f := calleeFunc(info, call); f != nil {
+		return f.FullName()
+	}
+	return exprString(call.Fun)
+}

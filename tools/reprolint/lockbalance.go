@@ -1,0 +1,358 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockbalance proves Lock/Unlock pairing on every path through a
+// function by abstract interpretation over the statement tree: the
+// state is the set of held (lock expression, mode) pairs, branches of
+// if/switch/select are interpreted independently and must agree where
+// control flow rejoins, and returns (and the function end) must hold
+// nothing that a pending defer will not release. It also flags a defer
+// of an unlock inside a loop (the defers pile up until function exit —
+// the iteration still holds the lock) and locking a mutex already held
+// on the same path.
+//
+// Approximations, chosen to stay exact on this tree: break/continue/
+// goto end their path's interpretation (their state is dropped at the
+// join), TryLock results are not tracked, and helper methods that
+// intentionally return holding a lock need a lint-ignore.
+
+type lockKey struct {
+	expr string // types.ExprString of the receiver, e.g. "s.mu"
+	mode string // "" for Lock/Unlock, "R" for RLock/RUnlock
+}
+
+func (k lockKey) String() string {
+	if k.mode == "R" {
+		return k.expr + " (read-locked)"
+	}
+	return k.expr
+}
+
+type lockState struct {
+	held     map[lockKey]token.Pos
+	deferred map[lockKey]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: make(map[lockKey]token.Pos), deferred: make(map[lockKey]bool)}
+}
+
+func (st *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range st.held {
+		c.held[k] = v
+	}
+	for k := range st.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// heldKeys lists held locks not covered by a pending deferred unlock.
+func (st *lockState) leaked() []lockKey {
+	var keys []lockKey
+	for k := range st.held {
+		if !st.deferred[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+func sameHeld(a, b *lockState) bool {
+	if len(a.held) != len(b.held) {
+		return false
+	}
+	for k := range a.held {
+		if _, ok := b.held[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func runLockbalance(pass *Pass) {
+	for _, f := range pass.pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			li := &lockInterp{pass: pass}
+			st := newLockState()
+			terminated := li.stmts(fd.Body.List, st, false)
+			if !terminated {
+				for _, k := range st.leaked() {
+					pass.report(fd.Body.Rbrace, "%s ends the function still held (locked at %s)",
+						k, pass.fset.Position(st.held[k]))
+				}
+			}
+			// Closures get their own independent interpretation.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				fl, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				sti := newLockState()
+				if !li.stmts(fl.Body.List, sti, false) {
+					for _, k := range sti.leaked() {
+						pass.report(fl.Body.Rbrace, "%s ends the closure still held (locked at %s)",
+							k, pass.fset.Position(sti.held[k]))
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+type lockInterp struct {
+	pass *Pass
+}
+
+// lockEvent classifies a call as a lock or unlock of a tracked mutex.
+// acquire==false means release.
+func lockEvent(info *types.Info, call *ast.CallExpr) (key lockKey, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return lockKey{}, false, false
+	}
+	f := calleeFunc(info, call)
+	if f == nil {
+		return lockKey{}, false, false
+	}
+	full := f.FullName()
+	var mode string
+	switch full {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).Unlock":
+	case "(*sync.RWMutex).Lock", "(*sync.RWMutex).Unlock":
+	case "(*sync.RWMutex).RLock", "(*sync.RWMutex).RUnlock":
+		mode = "R"
+	default:
+		return lockKey{}, false, false
+	}
+	key = lockKey{expr: exprString(sel.X), mode: mode}
+	acquire = strings.HasSuffix(full, ").Lock") || strings.HasSuffix(full, ").RLock")
+	return key, acquire, true
+}
+
+// stmts interprets a statement list, mutating st. It returns true when
+// the list definitely terminates the enclosing path (return, panic,
+// break/continue/goto).
+func (li *lockInterp) stmts(list []ast.Stmt, st *lockState, inLoop bool) bool {
+	for _, s := range list {
+		if li.stmt(s, st, inLoop) {
+			return true
+		}
+	}
+	return false
+}
+
+func (li *lockInterp) stmt(s ast.Stmt, st *lockState, inLoop bool) bool {
+	info := li.pass.pkg.Info
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if calleeBuiltin(info, call) == "panic" {
+				return true
+			}
+			li.event(call, st)
+		}
+	case *ast.DeferStmt:
+		if key, acquire, ok := lockEvent(info, s.Call); ok && !acquire {
+			if inLoop {
+				li.pass.report(s.Pos(), "defer of %s.%s inside a loop runs at function exit, not per iteration",
+					key.expr, unlockName(key))
+			} else {
+				st.deferred[key] = true
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, k := range st.leaked() {
+			li.pass.report(s.Pos(), "return while %s is held (locked at %s)",
+				k, li.pass.fset.Position(st.held[k]))
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return li.stmts(s.List, st, inLoop)
+	case *ast.LabeledStmt:
+		return li.stmt(s.Stmt, st, inLoop)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			li.stmt(s.Init, st, inLoop)
+		}
+		branches := []*lockState{st.clone()}
+		bodyTerm := li.stmts(s.Body.List, branches[0], inLoop)
+		var states []*lockState
+		if !bodyTerm {
+			states = append(states, branches[0])
+		}
+		if s.Else != nil {
+			est := st.clone()
+			if !li.stmt(s.Else, est, inLoop) {
+				states = append(states, est)
+			}
+		} else {
+			states = append(states, st.clone())
+		}
+		return li.join(s.Pos(), st, states)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			li.stmt(s.Init, st, inLoop)
+		}
+		return li.switchStmt(s.Pos(), s.Body.List, st, inLoop)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			li.stmt(s.Init, st, inLoop)
+		}
+		return li.switchStmt(s.Pos(), s.Body.List, st, inLoop)
+	case *ast.SelectStmt:
+		var states []*lockState
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			cst := st.clone()
+			if !li.stmts(comm.Body, cst, inLoop) {
+				states = append(states, cst)
+			}
+		}
+		if len(s.Body.List) == 0 {
+			return true // empty select blocks forever
+		}
+		return li.join(s.Pos(), st, states)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			li.stmt(s.Init, st, inLoop)
+		}
+		entry := st.clone()
+		bst := st.clone()
+		term := li.stmts(s.Body.List, bst, true)
+		if !term && !sameHeld(entry, bst) {
+			for _, k := range bst.leaked() {
+				if _, was := entry.held[k]; !was {
+					li.pass.report(s.Pos(), "%s is still held at the end of a loop iteration (locked at %s)",
+						k, li.pass.fset.Position(bst.held[k]))
+				}
+			}
+		}
+		// After the loop the entry state is the sound continuation:
+		// balanced iterations were just verified, unbalanced reported.
+		*st = *entry
+		// A `for {}` with no condition only exits via break/return from
+		// inside; treat its aftermath as reachable with the entry state.
+	case *ast.RangeStmt:
+		entry := st.clone()
+		bst := st.clone()
+		term := li.stmts(s.Body.List, bst, true)
+		if !term && !sameHeld(entry, bst) {
+			for _, k := range bst.leaked() {
+				if _, was := entry.held[k]; !was {
+					li.pass.report(s.Pos(), "%s is still held at the end of a loop iteration (locked at %s)",
+						k, li.pass.fset.Position(bst.held[k]))
+				}
+			}
+		}
+		*st = *entry
+	case *ast.GoStmt:
+		// The spawned goroutine's locking is its own path; closures are
+		// interpreted independently by runLockbalance.
+	}
+	return false
+}
+
+// switchStmt interprets switch/type-switch clause bodies as branches.
+func (li *lockInterp) switchStmt(pos token.Pos, clauses []ast.Stmt, st *lockState, inLoop bool) bool {
+	var states []*lockState
+	hasDefault := false
+	for _, cc := range clauses {
+		c := cc.(*ast.CaseClause)
+		if c.List == nil {
+			hasDefault = true
+		}
+		cst := st.clone()
+		if !li.stmts(c.Body, cst, inLoop) {
+			states = append(states, cst)
+		}
+	}
+	if !hasDefault {
+		states = append(states, st.clone()) // no-case-matched path
+	}
+	return li.join(pos, st, states)
+}
+
+// join merges branch exit states back into st. All surviving branches
+// must agree on what is held; divergence is itself the bug (a lock held
+// on some paths only).
+func (li *lockInterp) join(pos token.Pos, st *lockState, states []*lockState) bool {
+	if len(states) == 0 {
+		return true
+	}
+	first := states[0]
+	for _, other := range states[1:] {
+		if !sameHeld(first, other) {
+			li.reportDivergence(pos, first, other)
+			break
+		}
+	}
+	*st = *first
+	return false
+}
+
+func (li *lockInterp) reportDivergence(pos token.Pos, a, b *lockState) {
+	mention := make(map[lockKey]bool)
+	for k := range a.held {
+		if _, ok := b.held[k]; !ok {
+			mention[k] = true
+		}
+	}
+	for k := range b.held {
+		if _, ok := a.held[k]; !ok {
+			mention[k] = true
+		}
+	}
+	var keys []lockKey
+	for k := range mention {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, k := range keys {
+		li.pass.report(pos, "%s is held on some paths through this statement but not others", k)
+	}
+}
+
+// event applies a lock/unlock call to the state.
+func (li *lockInterp) event(call *ast.CallExpr, st *lockState) {
+	key, acquire, ok := lockEvent(li.pass.pkg.Info, call)
+	if !ok {
+		return
+	}
+	if acquire {
+		if prev, held := st.held[key]; held && key.mode == "" {
+			li.pass.report(call.Pos(), "%s locked again while already held (locked at %s) — deadlock",
+				key, li.pass.fset.Position(prev))
+		}
+		st.held[key] = call.Pos()
+		return
+	}
+	if _, held := st.held[key]; !held {
+		li.pass.report(call.Pos(), "%s unlocked but not locked on this path", key)
+		return
+	}
+	delete(st.held, key)
+}
+
+func unlockName(k lockKey) string {
+	if k.mode == "R" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}

@@ -1,0 +1,497 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// noalloc proves the //repro:noalloc tier: a marked function's body may
+// not contain allocating constructs, and every function it calls must
+// itself be marked, allowlisted, or explicitly lint-ignored — a
+// transitive proof over the call graph, since marks are collected
+// globally before any package is checked.
+//
+// Four carve-outs keep the rule honest about paths that never run in
+// steady state:
+//
+//  1. panic arguments: the program is already crashing; the Sprintf in
+//     a validation panic is free.
+//  2. error returns: in a function whose last result is an error, any
+//     return whose final expression is not the nil identifier is the
+//     error-construction path, not the hot path.
+//  3. capacity guards: the body of an `if` (or `for`) whose condition
+//     reads cap() or len() is the grow-on-demand path of caller-owned
+//     scratch; it allocates once, then never again.
+//  4. lazy init: the body of an `if x == nil` that assigns to x is
+//     first-use initialization of optional scratch the caller declined
+//     to provide.
+//
+// append is allowed when the appended-to slice is caller-owned storage
+// (a parameter, receiver field, struct field, or package-level var) —
+// amortized growth the runtime gates measure at 0 allocs/op — and
+// flagged when the base is a fresh local.
+
+// allowedCallPrefixes match types.Func.FullName()s that are known not
+// to allocate. Kept deliberately small: anything not provably free
+// needs a mark or an explicit ignore.
+var allowedCallPrefixes = []string{
+	"math.",
+	"math/bits.",
+	"sync/atomic.",
+	"(*sync/atomic.",
+	"(sync/atomic.",
+	"(*sync.Mutex).",
+	"(*sync.RWMutex).",
+	"(time.Time).",
+	"(time.Duration).",
+	"(encoding/binary.littleEndian).",
+	"(encoding/binary.bigEndian).",
+	"(context.Context).",
+}
+
+// allowedCallExact are individually audited functions.
+var allowedCallExact = map[string]bool{
+	"(*sync.Pool).Get":                   true,
+	"(*sync.Pool).Put":                   true,
+	"time.Now":                           true,
+	"time.Since":                         true,
+	"time.Until":                         true,
+	"io.ReadFull":                        true,
+	"errors.Is":                          true,
+	"runtime.Gosched":                    true,
+	"runtime.GOMAXPROCS":                 true,
+	"(net.Conn).Write":                   true,
+	"(net.Conn).Read":                    true,
+	"(*container/list.List).Len":         true,
+	"(*container/list.List).Front":       true,
+	"(*container/list.List).Back":        true,
+	"(*container/list.List).MoveToFront": true,
+	"(*container/list.List).MoveToBack":  true,
+	"(*container/list.List).Remove":      true,
+	"(*container/list.Element).Next":     true,
+	"(*container/list.Element).Prev":     true,
+	"(*bufio.Reader).Read":               true,
+	"(*bufio.Reader).Discard":            true,
+	"(*bufio.Writer).Write":              true,
+	"(*bufio.Writer).Flush":              true,
+	"(*bufio.Writer).Available":          true,
+	"(*bufio.Writer).AvailableBuffer":    true,
+}
+
+// allowedBuiltins never allocate (append/make/new/panic are handled
+// specially; anything else, print/println included, is flagged).
+var allowedBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "delete": true, "close": true,
+	"min": true, "max": true, "real": true, "imag": true, "complex": true,
+	"recover": true,
+}
+
+func allowedCall(fullName string) bool {
+	if allowedCallExact[fullName] {
+		return true
+	}
+	for _, p := range allowedCallPrefixes {
+		if strings.HasPrefix(fullName, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoalloc(pass *Pass) {
+	for _, f := range pass.pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.facts.markedDecls[fd] {
+				continue
+			}
+			c := &allocChecker{
+				pass:   pass,
+				fnName: fd.Name.Name,
+				owned:  make(map[types.Object]bool),
+				exempt: make(map[ast.Node]bool),
+			}
+			c.errRet = lastResultIsError(pass.pkg.Info, fd.Type)
+			collectOwned(pass.pkg.Info, fd, c.owned)
+			c.markExempt(fd.Body)
+			c.walk(fd.Body)
+		}
+	}
+}
+
+// lastResultIsError reports whether the function's final result is the
+// error interface (the shape carve-out 2 keys on).
+func lastResultIsError(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		return false
+	}
+	last := ft.Results.List[len(ft.Results.List)-1]
+	tv, ok := info.Types[last.Type]
+	return ok && types.Identical(tv.Type, errorType)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// collectOwned records the receiver and parameter objects: appending to
+// these is amortized growth of caller-owned storage.
+func collectOwned(info *types.Info, fd *ast.FuncDecl, owned map[types.Object]bool) {
+	addField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	addField(fd.Recv)
+	addField(fd.Type.Params)
+}
+
+type allocChecker struct {
+	pass   *Pass
+	fnName string
+	errRet bool
+	owned  map[types.Object]bool
+	exempt map[ast.Node]bool
+}
+
+func (c *allocChecker) report(pos token.Pos, format string, args ...any) {
+	c.pass.report(pos, "//repro:noalloc "+c.fnName+": "+format, args...)
+}
+
+// markExempt precomputes the cold subtrees (the four carve-outs in the
+// package comment) so the construct walk can skip them wholesale.
+func (c *allocChecker) markExempt(body *ast.BlockStmt) {
+	info := c.pass.pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if calleeBuiltin(info, n) == "panic" {
+				for _, a := range n.Args {
+					c.exempt[a] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			if c.errRet && len(n.Results) > 0 {
+				last := n.Results[len(n.Results)-1]
+				if id, ok := ast.Unparen(last).(*ast.Ident); !ok || id.Name != "nil" {
+					c.exempt[n] = true
+				}
+			}
+		case *ast.IfStmt:
+			if condReadsCapLen(info, n.Cond) {
+				c.exempt[n.Body] = true
+			} else if target, ok := nilCheckTarget(n.Cond); ok && assignsTo(n.Body, target) {
+				c.exempt[n.Body] = true
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && condReadsCapLen(info, n.Cond) {
+				c.exempt[n.Body] = true
+			}
+		}
+		return true
+	})
+}
+
+// condReadsCapLen reports whether the condition consults cap() or len()
+// — the signature of a grow-on-demand capacity guard.
+func condReadsCapLen(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch calleeBuiltin(info, call) {
+			case "cap", "len":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// nilCheckTarget matches `x == nil` (possibly joined by && / ||) and
+// returns the printable form of x.
+func nilCheckTarget(cond ast.Expr) (string, bool) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.EQL {
+			if isNilIdent(e.Y) {
+				return exprString(e.X), true
+			}
+			if isNilIdent(e.X) {
+				return exprString(e.Y), true
+			}
+		}
+		if e.Op == token.LAND || e.Op == token.LOR {
+			if t, ok := nilCheckTarget(e.X); ok {
+				return t, true
+			}
+			return nilCheckTarget(e.Y)
+		}
+	}
+	return "", false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// assignsTo reports whether any assignment in body writes the named
+// expression — the lazy-init signature distinguishing `if x == nil {
+// x = new… }` from a mere conditional branch.
+func assignsTo(body *ast.BlockStmt, target string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if exprString(lhs) == target {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// walk is the construct check: a manual pre-order traversal honoring
+// the exempt set.
+func (c *allocChecker) walk(root ast.Node) {
+	info := c.pass.pkg.Info
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil || c.exempt[n] {
+			return n == nil
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return c.call(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.report(n.Pos(), "composite literal escapes to the heap via &")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.Types[n].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					c.report(n.Pos(), "slice literal allocates")
+				case *types.Map:
+					c.report(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.Types[n].Type) {
+				c.report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.FuncLit:
+			c.report(n.Pos(), "closure creation allocates")
+			// Keep walking the body: it still runs on the hot path.
+		case *ast.GoStmt:
+			c.report(n.Pos(), "go statement allocates a goroutine")
+		case *ast.AssignStmt:
+			c.checkMapWrites(n.Lhs)
+		case *ast.IncDecStmt:
+			c.checkMapWrites([]ast.Expr{n.X})
+		}
+		return true
+	})
+}
+
+func (c *allocChecker) checkMapWrites(lhs []ast.Expr) {
+	info := c.pass.pkg.Info
+	for _, e := range lhs {
+		if ix, ok := ast.Unparen(e).(*ast.IndexExpr); ok {
+			if _, isMap := info.Types[ix.X].Type.Underlying().(*types.Map); isMap {
+				c.report(e.Pos(), "map write may allocate")
+			}
+		}
+	}
+}
+
+// call checks one call expression, returning whether to descend into
+// its children (false only for panic, whose args are already exempt).
+func (c *allocChecker) call(call *ast.CallExpr) bool {
+	info := c.pass.pkg.Info
+
+	if dst, ok := isConversion(info, call); ok {
+		c.conversion(call, dst)
+		return true
+	}
+	if b := calleeBuiltin(info, call); b != "" {
+		c.builtin(call, b)
+		return true
+	}
+	if f := calleeFunc(info, call); f != nil {
+		c.funcCall(call, f)
+		return true
+	}
+	c.report(call.Pos(), "call through a function value cannot be verified")
+	return true
+}
+
+func (c *allocChecker) conversion(call *ast.CallExpr, dst types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	info := c.pass.pkg.Info
+	src := info.Types[call.Args[0]].Type
+	if src == nil {
+		return
+	}
+	switch {
+	case isStringType(dst) && isSliceType(src):
+		c.report(call.Pos(), "conversion of a slice to string allocates")
+	case isSliceType(dst) && isStringType(src):
+		c.report(call.Pos(), "conversion of a string to slice allocates")
+	case types.IsInterface(dst) && boxes(src):
+		c.report(call.Pos(), "conversion to interface boxes %s on the heap", src)
+	}
+}
+
+func (c *allocChecker) builtin(call *ast.CallExpr, name string) {
+	switch name {
+	case "panic":
+		// Allowed: the program is crashing. Its args are exempt.
+	case "make":
+		c.report(call.Pos(), "make allocates (guard it behind a cap/len check if it grows reusable scratch)")
+	case "new":
+		c.report(call.Pos(), "new allocates")
+	case "append":
+		c.checkAppend(call)
+	default:
+		if !allowedBuiltins[name] {
+			c.report(call.Pos(), "builtin %s is not allowed in a noalloc function", name)
+		}
+	}
+}
+
+// checkAppend applies the caller-owned-storage rule: the appended-to
+// base must resolve to a parameter, receiver, struct field, or
+// package-level variable.
+func (c *allocChecker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	info := c.pass.pkg.Info
+	base := ast.Unparen(call.Args[0])
+	for {
+		switch e := base.(type) {
+		case *ast.SliceExpr:
+			base = ast.Unparen(e.X)
+		case *ast.IndexExpr:
+			base = ast.Unparen(e.X)
+		default:
+			goto resolved
+		}
+	}
+resolved:
+	switch e := base.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return // struct field: caller-owned
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+			return // package-level var
+		}
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if c.owned[obj] {
+			return // parameter or receiver
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return // package-level var
+		}
+	}
+	c.report(call.Pos(), "append to a function-local slice may allocate (append to caller-owned storage instead)")
+}
+
+func (c *allocChecker) funcCall(call *ast.CallExpr, f *types.Func) {
+	full := f.FullName()
+	_, marked := c.pass.facts.Noalloc[full]
+	if !marked && !allowedCall(full) {
+		c.report(call.Pos(), "calls %s, which is neither //repro:noalloc nor allowlisted", full)
+		return
+	}
+	// The callee is trusted; still check the argument boundary for
+	// implicit interface boxing.
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	c.checkBoxing(call, sig)
+}
+
+// checkBoxing flags implicit concrete-to-interface conversions at a
+// call boundary, the allocation that hides best.
+func (c *allocChecker) checkBoxing(call *ast.CallExpr, sig *types.Signature) {
+	info := c.pass.pkg.Info
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at != nil && boxes(at) {
+			c.report(arg.Pos(), "argument boxes %s into an interface on the heap", at)
+		}
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= params.Len() {
+		c.report(call.Pos(), "variadic call allocates its argument slice (pass an explicit slice with ...)")
+	}
+}
+
+// boxes reports whether converting a value of type t to an interface
+// heap-allocates: pointer-shaped and zero-size values do not.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	case *types.Struct:
+		return u.NumFields() > 0
+	case *types.Array:
+		return u.Len() > 0
+	}
+	return true
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

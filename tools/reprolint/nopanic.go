@@ -1,0 +1,124 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// nopanic keeps the request path free of process-killing control flow:
+// no panic, log.Fatal*/log.Panic*, or os.Exit anywhere under
+// internal/serve (which covers the batching scheduler, the RPS2
+// streaming layer, and admission control — errors there must flow as
+// typed values to be mapped onto HTTP statuses and stream frames), nor
+// in anything reachable from program.(*Program).Run within its package
+// (the compiled-program entry the serving workers drive).
+
+// nopanicScope is the package subtree checked wholesale.
+const nopanicScope = "repro/internal/serve"
+
+// nopanicEntry names the additional entry point whose same-package
+// transitive call closure is checked (both receiver spellings).
+var nopanicEntries = []string{
+	"(*repro/internal/program.Program).Run",
+	"(repro/internal/program.Program).Run",
+}
+
+const nopanicEntryPkg = "repro/internal/program"
+
+func runNopanic(pass *Pass) {
+	path := pass.pkg.ImportPath
+	if path == nopanicScope || strings.HasPrefix(path, nopanicScope+"/") {
+		for _, f := range pass.pkg.Files {
+			checkNopanic(pass, f, "")
+		}
+		return
+	}
+	if path == nopanicEntryPkg {
+		checkNopanicClosure(pass)
+	}
+}
+
+// checkNopanic flags the fatal constructs in one syntax tree. via, when
+// non-empty, names the call chain that makes the site reachable.
+func checkNopanic(pass *Pass, root ast.Node, via string) {
+	info := pass.pkg.Info
+	suffix := ""
+	if via != "" {
+		suffix = " (reachable from " + via + ")"
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if calleeBuiltin(info, call) == "panic" {
+			pass.report(call.Pos(), "panic in the request path%s — return a typed error instead", suffix)
+			return true
+		}
+		if f := calleeFunc(info, call); f != nil && fatalCall(f) {
+			pass.report(call.Pos(), "%s terminates the process in the request path%s — return a typed error instead",
+				f.FullName(), suffix)
+		}
+		return true
+	})
+}
+
+// fatalCall matches the stdlib process-terminating calls.
+func fatalCall(f *types.Func) bool {
+	full := f.FullName()
+	switch {
+	case full == "os.Exit":
+		return true
+	case strings.HasPrefix(full, "log.Fatal"), strings.HasPrefix(full, "log.Panic"):
+		return true
+	case strings.HasPrefix(full, "(*log.Logger).Fatal"), strings.HasPrefix(full, "(*log.Logger).Panic"):
+		return true
+	}
+	return false
+}
+
+// checkNopanicClosure walks the same-package static call graph from the
+// (*Program).Run entry and applies the fatal-construct check to every
+// reachable declaration. Calls that leave the package (into packages
+// with their own validation contracts) end the closure.
+func checkNopanicClosure(pass *Pass) {
+	info := pass.pkg.Info
+
+	decls := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if full := funcFullName(pass.pkg, fd); full != "" {
+					decls[full] = fd
+				}
+			}
+		}
+	}
+
+	queue := append([]string(nil), nopanicEntries...)
+	seen := make(map[string]bool)
+	for len(queue) > 0 {
+		full := queue[0]
+		queue = queue[1:]
+		if seen[full] {
+			continue
+		}
+		seen[full] = true
+		fd, ok := decls[full]
+		if !ok {
+			continue
+		}
+		checkNopanic(pass, fd.Body, "(*Program).Run")
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if f := calleeFunc(info, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == pass.pkg.ImportPath {
+				queue = append(queue, f.FullName())
+			}
+			return true
+		})
+	}
+}

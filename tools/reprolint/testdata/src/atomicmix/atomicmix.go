@@ -1,0 +1,34 @@
+// Package lintcorpus exercises the atomicmix analyzer: a field touched
+// through sync/atomic anywhere in the tree is poisoned for plain access
+// everywhere.
+package lintcorpus
+
+import "sync/atomic"
+
+type counter struct {
+	hot  int64
+	cold int64
+}
+
+// inc poisons counter.hot: from here on, every access must go through
+// sync/atomic.
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hot, 1)
+}
+
+// read mixes a plain load into the atomic protocol: flagged.
+func (c *counter) read() int64 {
+	return c.hot // want "plain access to repro/lintcorpus/atomicmix\.counter\.hot, which is accessed atomically"
+}
+
+// atomicRead stays inside the protocol.
+func (c *counter) atomicRead() int64 {
+	return atomic.LoadInt64(&c.hot)
+}
+
+// coldTouch is fine: cold is never accessed via sync/atomic, so plain
+// access carries no mixed-protocol risk.
+func (c *counter) coldTouch() int64 {
+	c.cold++
+	return c.cold
+}

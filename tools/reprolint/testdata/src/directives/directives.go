@@ -1,0 +1,32 @@
+// Package lintcorpus exercises the directive grammar itself: every
+// malformed //repro: comment is a driver diagnostic, and a lint-ignore
+// that suppresses nothing is one too.
+package lintcorpus
+
+// wantnext "empty //repro: directive"
+//repro:
+
+// wantnext "unknown directive //repro:frobnicate"
+//repro:frobnicate
+
+// wantnext "malformed //repro:noalloc directive"
+//repro:noalloc with arguments
+
+// wantnext "misplaced //repro:noalloc"
+//
+//repro:noalloc
+var misplaced = 1
+
+// wantnext "//repro:lint-ignore needs an analyzer name and a reason"
+//repro:lint-ignore
+
+// wantnext "names unknown analyzer \"nosuch\""
+//repro:lint-ignore nosuch because reasons
+
+// wantnext "missing its reason"
+//repro:lint-ignore noalloc
+
+// wantnext "unused //repro:lint-ignore errcheck"
+//
+//repro:lint-ignore errcheck nothing on this line needs suppressing
+var unusedIgnore = 2

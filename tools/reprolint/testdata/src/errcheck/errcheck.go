@@ -1,0 +1,40 @@
+// Package lintcorpus exercises the errcheck analyzer inside its scope
+// (the package path sits under repro/internal/).
+package lintcorpus
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+// discards drops the error on the floor: flagged.
+func discards(name string) {
+	os.Remove(name) // want "result of os\.Remove contains an error that is discarded"
+}
+
+// acknowledged assigns to the blank identifier: an explicit decision.
+func acknowledged(name string) {
+	_ = os.Remove(name)
+}
+
+// deferredTeardown: deferred calls are best-effort by convention.
+func deferredTeardown(f *os.File) {
+	defer f.Close()
+}
+
+// sinks covers the never-fails writers and terminal output.
+func sinks(buf *bytes.Buffer) {
+	buf.WriteString("x")
+	fmt.Fprintf(buf, "%d", 1)
+	fmt.Fprintln(os.Stderr, "to the terminal")
+	fmt.Println("ok")
+}
+
+// handled propagates: the normal path.
+func handled(name string) error {
+	if err := os.Remove(name); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package lintcorpus proves the errcheck scope boundary: this package
+// path is outside internal/ and tools/, so the same discarded error
+// that fires in the in-scope corpus draws nothing here.
+package lintcorpus
+
+import "os"
+
+func discardsOutOfScope(name string) {
+	os.Remove(name)
+}

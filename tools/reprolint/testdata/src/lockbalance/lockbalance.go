@@ -1,0 +1,96 @@
+// Package lintcorpus exercises the lockbalance analyzer: Lock/Unlock
+// pairing on every control-flow path, per-iteration balance in loops,
+// and independent interpretation of closures.
+package lintcorpus
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// balanced is the straight-line pairing.
+func (b *box) balanced() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// deferred is the canonical defer pairing.
+func (b *box) deferred() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// reads pairs the read-side of an RWMutex.
+func (b *box) reads() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n
+}
+
+// leaks never unlocks: flagged at the function's closing brace.
+func (b *box) leaks() {
+	b.mu.Lock()
+	b.n++
+} // want "b\.mu ends the function still held"
+
+// earlyReturn leaks on one path only.
+func (b *box) earlyReturn(c bool) {
+	b.mu.Lock()
+	if c {
+		return // want "return while b\.mu is held"
+	}
+	b.mu.Unlock()
+}
+
+// doubleLock deadlocks against itself.
+func (b *box) doubleLock() {
+	b.mu.Lock()
+	b.mu.Lock() // want "b\.mu locked again while already held"
+	b.mu.Unlock()
+}
+
+// unlockCold releases a mutex this path never acquired.
+func (b *box) unlockCold() {
+	b.mu.Unlock() // want "b\.mu unlocked but not locked on this path"
+}
+
+// perItem is the balanced per-iteration pattern.
+func (b *box) perItem(k int) {
+	for i := 0; i < k; i++ {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}
+}
+
+// divergent acquires on one branch only: the merge point reports it.
+func (b *box) divergent(c bool) {
+	if c { // want "b\.mu is held on some paths through this statement but not others"
+		b.mu.Lock()
+	}
+	b.mu.Unlock()
+}
+
+// deferInLoop: the defers pile up until function exit, so every
+// iteration after the first deadlocks — reported at the defer, and the
+// iteration itself ends unbalanced.
+func (b *box) deferInLoop(ms []*sync.Mutex) {
+	for _, m := range ms { // want "m is still held at the end of a loop iteration"
+		m.Lock()
+		defer m.Unlock() // want "defer of m\.Unlock inside a loop runs at function exit"
+	}
+}
+
+// closureLeak: the closure body is interpreted independently and ends
+// still holding the lock.
+func (b *box) closureLeak() func() {
+	return func() {
+		b.mu.Lock()
+		b.n++
+	} // want "b\.mu ends the closure still held"
+}

@@ -1,0 +1,194 @@
+// Package lintcorpus exercises the noalloc analyzer: every line with a
+// want comment must draw exactly that diagnostic, every other line must
+// stay silent. The package sits outside internal/ so only noalloc,
+// atomicmix, and lockbalance apply.
+package lintcorpus
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+type ring struct {
+	buf   []float64
+	cache []float64
+	n     atomic.Int64
+	mu    sync.Mutex
+}
+
+// helper is deliberately unmarked: calling it from a noalloc function
+// is a finding even though its body is allocation-free.
+func helper() {}
+
+// callsUnmarked shows the transitive rule: the callee must be marked.
+//
+//repro:noalloc
+func callsUnmarked() {
+	helper() // want "calls repro/lintcorpus/noalloc\.helper, which is neither"
+}
+
+// markedLeaf is a pure kernel; math.* is allowlisted.
+//
+//repro:noalloc
+func markedLeaf(x float64) float64 { return math.Sqrt(x) }
+
+// callsMarked may call marked functions, typed atomics, and mutexes.
+//
+//repro:noalloc
+func callsMarked(r *ring) float64 {
+	r.n.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return markedLeaf(2)
+}
+
+// allocSites is the catalogue of flagged constructs.
+//
+//repro:noalloc
+func allocSites(n int) {
+	_ = make([]float64, n) // want "make allocates"
+	_ = new(ring)          // want "new allocates"
+	_ = []int{1, 2}        // want "slice literal allocates"
+	_ = map[string]int{}   // want "map literal allocates"
+	_ = func() {}          // want "closure creation allocates"
+}
+
+// escapes returns a pointer to a fresh composite literal.
+//
+//repro:noalloc
+func escapes() *ring {
+	return &ring{} // want "composite literal escapes to the heap"
+}
+
+// concat allocates the joined string.
+//
+//repro:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// mapWrite may grow the map.
+//
+//repro:noalloc
+func mapWrite(m map[string]int) {
+	m["k"] = 1 // want "map write may allocate"
+}
+
+// convs covers both string<->slice conversion directions.
+//
+//repro:noalloc
+func convs(b []byte, s string) {
+	_ = string(b) // want "conversion of a slice to string allocates"
+	_ = []byte(s) // want "conversion of a string to slice allocates"
+}
+
+// indirect calls cannot be verified statically.
+//
+//repro:noalloc
+func indirect(f func()) {
+	f() // want "call through a function value cannot be verified"
+}
+
+// sum is a marked variadic kernel.
+//
+//repro:noalloc
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// callsVariadic: a non-spread variadic call allocates the argument
+// slice; the explicit spread form does not.
+//
+//repro:noalloc
+func callsVariadic(xs []int) {
+	_ = sum(1, 2)  // want "variadic call allocates its argument slice"
+	_ = sum(xs...) // spread: caller-owned backing array
+}
+
+// appendParam appends to caller-owned storage: allowed.
+//
+//repro:noalloc
+func appendParam(dst []float64, v float64) []float64 {
+	return append(dst, v)
+}
+
+// appendLocal appends to a slice this function owns: flagged.
+//
+//repro:noalloc
+func appendLocal() {
+	var s []int
+	s = append(s, 1) // want "append to a function-local slice may allocate"
+	_ = s
+}
+
+// errRet shows the error-return carve-out: an allocation feeding a
+// non-nil error result is the accepted failure-path cost.
+//
+//repro:noalloc
+func errRet(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad n %d", n)
+	}
+	return nil
+}
+
+// grow shows the cap-guard carve-out: growth behind a capacity check is
+// the reusable-scratch pattern the tier is built around.
+//
+//repro:noalloc
+func (r *ring) grow(n int) {
+	if cap(r.buf) < n {
+		r.buf = make([]float64, n)
+	}
+	r.buf = r.buf[:n]
+}
+
+// lazy shows the nil-guard carve-out: one-time lazy initialisation of
+// the checked expression.
+//
+//repro:noalloc
+func (r *ring) lazy() {
+	if r.cache == nil {
+		r.cache = make([]float64, 8)
+	}
+}
+
+// mustPositive shows the panic carve-out: the function is dying anyway,
+// so its panic arguments may allocate.
+//
+//repro:noalloc
+func mustPositive(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+}
+
+// suppressed shows //repro:lint-ignore working: no diagnostic escapes.
+//
+//repro:noalloc
+func suppressed() []int {
+	//repro:lint-ignore noalloc the corpus exercises the suppression path
+	return []int{1, 2, 3}
+}
+
+var pool sync.Pool
+
+// putsConcrete boxes an int into sync.Pool's any parameter.
+//
+//repro:noalloc
+func putsConcrete(n int) {
+	pool.Put(n) // want "argument boxes int into an interface on the heap"
+}
+
+// putsPointer stores a pointer-shaped value: no boxing.
+//
+//repro:noalloc
+func putsPointer(r *ring) {
+	pool.Put(r)
+}

@@ -1,0 +1,39 @@
+// Package lintcorpus exercises the nopanic analyzer: the package path
+// sits under repro/internal/serve, so every process-killing construct
+// is flagged wholesale.
+package lintcorpus
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+)
+
+var errBad = errors.New("bad request")
+
+func panics(n int) {
+	if n < 0 {
+		panic("negative") // want "panic in the request path"
+	}
+}
+
+func fatals(err error) {
+	if err != nil {
+		log.Fatal(err) // want "log\.Fatal terminates the process in the request path"
+	}
+}
+
+func exits(code int) {
+	if code != 0 {
+		os.Exit(code) // want "os\.Exit terminates the process in the request path"
+	}
+}
+
+// typed is the approved shape: errors flow as values.
+func typed(n int) error {
+	if n < 0 {
+		return fmt.Errorf("reject %d: %w", n, errBad)
+	}
+	return nil
+}

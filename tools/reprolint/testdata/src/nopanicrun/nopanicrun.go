@@ -1,0 +1,31 @@
+// Package program mirrors the compiled-program entry shape: checked
+// under the real import path, (*Program).Run's same-package call
+// closure must stay panic-free while unreachable code may panic.
+package program
+
+import "fmt"
+
+type Program struct {
+	ops []int
+}
+
+func (p *Program) Run(x int) int {
+	for _, o := range p.ops {
+		x = step(x, o)
+	}
+	return x
+}
+
+// step is reachable from Run: its panic is in the request path.
+func step(x, o int) int {
+	if o < 0 {
+		panic(fmt.Sprintf("bad op %d", o)) // want "panic in the request path \(reachable from \(\*Program\)\.Run\)"
+	}
+	return x + o
+}
+
+// unreachable is not in Run's closure: the nopanic closure walk stops
+// at the entry's call graph, so this panic is allowed.
+func unreachable() {
+	panic("not in the request path")
+}
