@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-compare alloc-gate check-gates fuzz
+.PHONY: all build test race lint bench bench-compare alloc-gate check-gates chaos fuzz
 
 all: build test
 
@@ -51,7 +51,7 @@ bench:
 GATE ?= BenchmarkBatchedSpectralForward|BenchmarkFig2_CirculantMatvec|BenchmarkAblationSpectralCache|BenchmarkAblationAccumulateSpectral|BenchmarkCompiledForward
 # Serving acceptance benchmarks, gated at a wide catastrophic-only
 # threshold (2.5x) because closed-loop per-op medians are scheduler-shaped.
-SERVEGATE ?= BenchmarkRegistryRoutedInfer|BenchmarkStreamInfer
+SERVEGATE ?= BenchmarkRegistryRoutedInfer|BenchmarkStreamInfer|BenchmarkRouterRoutedInfer
 # Alloc-gate only benchmarks whose hot path is deterministically serial
 # (above the spectral engine's parallel threshold the worker fan-out heap-
 # allocates its closures by design, and the closed-loop serving benches
@@ -76,6 +76,15 @@ check-gates:
 # runtime skews allocation accounting).
 alloc-gate:
 	$(GO) test -count=1 -run 'ZeroAlloc' ./...
+
+# Fault-injection chaos suite for the fleet tier (DESIGN.md §10): kill
+# and revive backends under closed-loop load, seeded connection faults on
+# the router's persistent clients, drain during a concurrent hot-swap,
+# and the 2-backend throughput-scaling floor — all under the race
+# detector, asserting zero non-typed client-visible errors throughout.
+# -count=1 defeats the test cache: chaos runs must actually run.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/router/
 
 # Coverage-guided fuzzing of the wire decoders (request + results codecs,
 # RPS2 stream frames). `go test` accepts one -fuzz pattern per invocation,

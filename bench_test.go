@@ -36,6 +36,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/prune"
 	"repro/internal/quant"
+	"repro/internal/router"
 	"repro/internal/serve"
 	"repro/internal/serve/admission"
 	"repro/internal/serve/stream"
@@ -958,6 +959,104 @@ func BenchmarkStreamInfer(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 	})
+}
+
+// routerBench stands up n single-model fleet backends (an Arch-1
+// registry behind an RPS2 listener each, the cmd/serve shape without the
+// HTTP side) behind a Router with background health traffic parked, and
+// returns the router plus inputs and teardown.
+func routerBench(b *testing.B, n int) (*router.Router, [][]float64, func()) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(26))
+	const features = 256
+	cfgs := make([]router.BackendConfig, 0, n)
+	closers := make([]func(), 0, n)
+	for i := 0; i < n; i++ {
+		m, err := model.FromNetwork("arch1", "v1", nn.Arch1(rand.New(rand.NewSource(26))), []int{features})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg := serve.NewRegistry(serve.Options{MaxBatch: 16, MaxDelay: 500 * time.Microsecond})
+		if err := reg.Register(m); err != nil {
+			b.Fatal(err)
+		}
+		srv := stream.NewServer(reg, stream.Options{Window: 128, Handlers: 8})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(ln)
+		cfgs = append(cfgs, router.BackendConfig{Addr: ln.Addr().String()})
+		closers = append(closers, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			reg.Close()
+		})
+	}
+	// No HTTPURL ⇒ every backend optimistically holds every route, and
+	// hour-scale intervals keep scrapes and probes out of the measured
+	// window — the benchmark times the routed data path alone.
+	rt, err := router.New(router.Options{
+		Backends:        cfgs,
+		RefreshInterval: time.Hour,
+		ProbeInterval:   time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([][]float64, 64)
+	for i := range inputs {
+		inputs[i] = make([]float64, features)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.NormFloat64()
+		}
+	}
+	return rt, inputs, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		rt.Close(ctx)
+		for _, c := range closers {
+			c()
+		}
+	}
+}
+
+// BenchmarkRouterRoutedInfer is the fleet tier's acceptance benchmark:
+// the PR 6 streaming hot path addressed through the router's pick →
+// persistent-client DoInto data path instead of one dialed connection.
+// Sub-benches scale the backend count under the same closed-loop
+// concurrent load, so the scaling claim the chaos suite asserts
+// (backends=2 ≥ 1.6× backends=1 on saturated CPU-bound models) is
+// recorded alongside the absolute routed-hop cost.
+func BenchmarkRouterRoutedInfer(b *testing.B) {
+	for _, n := range []int{1, 2} {
+		b.Run(fmt.Sprintf("backends=%d", n), func(b *testing.B) {
+			rt, inputs, done := routerBench(b, n)
+			defer done()
+			b.SetParallelism(32)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var idx atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				ctx := context.Background()
+				var scores []float64
+				for pb.Next() {
+					k := int(idx.Add(1)) % len(inputs)
+					res, err := rt.InferInto(ctx, "arch1", "", inputs[k], scores)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					scores = res.Scores
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			st := rt.Stats()
+			b.ReportMetric(float64(st.Retries), "retries")
+		})
+	}
 }
 
 // BenchmarkStreamSaturation measures the overload story the README's

@@ -1,0 +1,192 @@
+// Command router is the fleet tier: a shared-nothing proxy fronting N
+// cmd/serve backends over persistent RPS2 connections, re-exposing the
+// same HTTP and RPS2 front ends one backend exposes — so capacity scales
+// horizontally without clients learning a new protocol or losing the
+// registry semantics (aliases, pinned versions, A/B weight splits all
+// keep resolving in the backends).
+//
+// Usage:
+//
+//	router -backend 10.0.0.1:9090=http://10.0.0.1:8080 \
+//	       -backend 10.0.0.2:9090=http://10.0.0.2:8080 [flags]
+//
+// Each -backend names one cmd/serve process: its RPS2 address (the data
+// path) and, after "=", its HTTP base URL, scraped every -refresh for
+// the registry view (/v1/models → which routes the backend can answer)
+// and health signals (/metrics → windowed p99 and shed rate). The bare
+// form "-backend addr" skips scraping: the backend is assumed to hold
+// every route and is health-checked by synthetic probes only.
+//
+// Fault tolerance, per backend:
+//
+//   - A three-state circuit breaker (closed / open / half-open) driven
+//     by data-path failures, synthetic probe infers, and the scraped
+//     health signals (-max-p99 / -max-shed-rate trip it even while the
+//     data path still answers). Open circuits reopen through jittered
+//     exponential backoff probes.
+//   - Idempotent infers that fail with a transport-shaped error (conn
+//     lost, 503, GOAWAY) retry once on a different healthy backend,
+//     bounded by a token-bucket retry budget (-retry-budget per request,
+//     so retries stay near 10% of traffic by default). Typed 429
+//     overload sheds pass through untouched.
+//   - POST /v1/backends/{addr}/drain excludes a backend from routing
+//     while its in-flight work completes (the stream layer's GOAWAY
+//     handshake); /undrain restores it.
+//
+// Endpoints: the cmd/serve /v1 surface (models, infer in JSON or wire
+// v1) answered by the fleet, plus GET /v1/backends (per-backend breaker
+// / drain / health rows), the drain admin posts, GET /stats, /healthz
+// and /metrics. With -listen-tcp the same routing is served over RPS2;
+// SIGTERM drains it with the same GOAWAY handshake cmd/serve uses, so a
+// router restart behind a TCP balancer loses no requests either.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/router"
+	"repro/internal/serve/stream"
+)
+
+// backendFlag collects repeated "-backend addr[=httpurl]" occurrences.
+type backendFlag struct{ specs []string }
+
+func (f *backendFlag) String() string     { return strings.Join(f.specs, ",") }
+func (f *backendFlag) Set(s string) error { f.specs = append(f.specs, s); return nil }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("router: ")
+	addr := flag.String("addr", ":8081", "HTTP listen address")
+	listenTCP := flag.String("listen-tcp", "", "also serve the routed RPS2 protocol on this TCP address (empty disables)")
+	var backends backendFlag
+	flag.Var(&backends, "backend", "one backend: rps2addr=httpurl, or bare rps2addr to skip view/health scraping (repeatable)")
+	conns := flag.Int("conns", 1, "persistent RPS2 connections per backend")
+	refresh := flag.Duration("refresh", 500*time.Millisecond, "view and health scrape interval")
+	probeInterval := flag.Duration("probe-interval", 250*time.Millisecond, "synthetic probe infer interval")
+	probeTimeout := flag.Duration("probe-timeout", 250*time.Millisecond, "synthetic probe infer timeout")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive failures that open a backend's circuit")
+	breakerOpen := flag.Duration("breaker-open", 200*time.Millisecond, "base open-circuit backoff before a reopen probe")
+	breakerOpenMax := flag.Duration("breaker-open-max", 5*time.Second, "open-circuit backoff cap")
+	retryBudget := flag.Float64("retry-budget", 0.1, "retry tokens accrued per routed request (negative disables retries)")
+	maxP99 := flag.Duration("max-p99", 0, "trip a backend's breaker when its scraped windowed p99 exceeds this (0 disables)")
+	maxShedRate := flag.Float64("max-shed-rate", 0, "trip the breaker when the scraped windowed shed rate exceeds this (0 disables)")
+	minWindow := flag.Int("min-window", 16, "minimum scraped request window before p99/shed verdicts apply")
+	seed := flag.Int64("seed", 0, "breaker jitter seed (0 seeds from the clock)")
+	flag.Parse()
+
+	cfgs, err := parseBackends(backends.specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mx := metrics.NewRegistry()
+	rt, err := router.New(router.Options{
+		Backends:        cfgs,
+		Conns:           *conns,
+		RefreshInterval: *refresh,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		Breaker: router.BreakerConfig{
+			Failures: *breakerFailures,
+			OpenBase: *breakerOpen,
+			OpenMax:  *breakerOpenMax,
+		},
+		RetryBudget: *retryBudget,
+		MaxP99:      *maxP99,
+		MaxShedRate: *maxShedRate,
+		MinWindow:   *minWindow,
+		Metrics:     mx,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: rt.Mux(mx)}
+	go func() {
+		log.Printf("routing %d backends on %s (conns/backend=%d refresh=%v probe=%v)",
+			len(cfgs), *addr, *conns, *refresh, *probeInterval)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	// The RPS2 front end serves the router as a stream backend: the same
+	// listener code cmd/serve uses, handed the fleet instead of a
+	// registry.
+	var ss *stream.Server
+	if *listenTCP != "" {
+		ln, err := net.Listen("tcp", *listenTCP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ss = stream.NewServer(rt, stream.Options{Metrics: mx})
+		go func() {
+			log.Printf("streaming (RPS2) on %s", ln.Addr())
+			if err := ss.Serve(ln); err != nil && !errors.Is(err, stream.ErrServerClosed) {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	// Graceful drain mirrors cmd/serve: GOAWAY-drain the streaming front
+	// end (every pipelined frame completes), stop accepting HTTP, then
+	// close the router — which drains its own backend connections the
+	// same way, so nothing in flight anywhere is dropped.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if ss != nil {
+		if err := ss.Shutdown(ctx); err != nil {
+			log.Printf("stream shutdown: %v", err)
+		}
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := rt.Close(ctx); err != nil {
+		log.Printf("router close: %v", err)
+	}
+}
+
+// parseBackends resolves -backend specs ("addr=httpurl" or bare "addr")
+// into configs, rejecting duplicates — two entries for one address would
+// silently double a backend's routing weight.
+func parseBackends(specs []string) ([]router.BackendConfig, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("need at least one -backend addr=httpurl")
+	}
+	seen := make(map[string]bool, len(specs))
+	cfgs := make([]router.BackendConfig, 0, len(specs))
+	for _, spec := range specs {
+		addr, url, _ := strings.Cut(spec, "=")
+		if addr == "" {
+			return nil, fmt.Errorf("-backend %q: want rps2addr=httpurl", spec)
+		}
+		if seen[addr] {
+			return nil, fmt.Errorf("-backend %q: address %s given twice", spec, addr)
+		}
+		seen[addr] = true
+		if url != "" && !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			return nil, fmt.Errorf("-backend %q: HTTP URL must start with http:// or https://", spec)
+		}
+		cfgs = append(cfgs, router.BackendConfig{Addr: addr, HTTPURL: strings.TrimSuffix(url, "/")})
+	}
+	return cfgs, nil
+}

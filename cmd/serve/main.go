@@ -20,7 +20,7 @@
 // ready for a -weights A/B split.
 //
 // Flags: [-addr :8080] [-workers N] [-batch 16] [-deadline 2ms] [-cache 1024]
-// [-pprof] [-listen-tcp :9090] [-max-inflight N] [-quota name=N]
+// [-pprof] [-listen-tcp :9090] [-max-inflight N] [-fair-share N] [-quota name=N]
 // [-slo 5ms] [-retry-after 50ms] [-canary name@base:name@cand]
 // [-canary-interval 15s] [-canary-schedule 0.05,0.25,0.5]
 //
@@ -126,6 +126,7 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ for live profiling")
 	listenTCP := flag.String("listen-tcp", "", "also serve the RPS2 streaming protocol (wire v2) on this TCP address (empty disables)")
 	maxInflight := flag.Int("max-inflight", 0, "admission control: max requests in flight process-wide across HTTP and stream (0 disables)")
+	fairShare := flag.Int("fair-share", 0, "admission control: max in-flight requests per stream connection (0 disables; sheds with reason \"fairness\")")
 	var quotas modelFlag
 	flag.Var(&quotas, "quota", "admission control: per-model inflight quota, name=N (repeatable)")
 	slo := flag.Duration("slo", 0, "shed requests queued longer than this before running them (0 disables)")
@@ -187,7 +188,7 @@ func main() {
 
 	// One admission controller guards both protocol front ends, so
 	// -max-inflight is a process capacity, not a per-listener one.
-	ctrl, err := newAdmission(*maxInflight, quotas.specs, *retryAfter)
+	ctrl, err := newAdmission(*maxInflight, *fairShare, quotas.specs, *retryAfter)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -344,11 +345,11 @@ func canaryProbes(reg *serve.Registry, baseID string) [][]float64 {
 
 // newAdmission builds the shared admission controller from the capacity
 // flags, or returns nil (admit everything) when none are set.
-func newAdmission(maxInflight int, quotaSpecs []string, retryAfter time.Duration) (*admission.Controller, error) {
-	if maxInflight <= 0 && len(quotaSpecs) == 0 {
+func newAdmission(maxInflight, fairShare int, quotaSpecs []string, retryAfter time.Duration) (*admission.Controller, error) {
+	if maxInflight <= 0 && fairShare <= 0 && len(quotaSpecs) == 0 {
 		return nil, nil
 	}
-	cfg := admission.Config{MaxInflight: maxInflight, RetryAfter: retryAfter}
+	cfg := admission.Config{MaxInflight: maxInflight, MaxPerConn: fairShare, RetryAfter: retryAfter}
 	if len(quotaSpecs) > 0 {
 		cfg.Quota = make(map[string]int, len(quotaSpecs))
 		for _, spec := range quotaSpecs {

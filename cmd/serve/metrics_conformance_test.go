@@ -142,6 +142,7 @@ func TestMetricsConformance(t *testing.T) {
 		serve.MetricWorkers,
 		"repro_admission_admitted_total",
 		"repro_admission_shed_total",
+		`repro_admission_shed_total{reason="fairness"}`,
 		"repro_admission_inflight",
 		"repro_stream_conns",
 		"repro_stream_frames_total",

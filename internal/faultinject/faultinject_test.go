@@ -1,0 +1,184 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns the two ends of an in-memory transport, the injector
+// side wrapped with cfg.
+func pipePair(t *testing.T, in *Injector) (faulty, clean net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return in.Wrap(a), b
+}
+
+// TestPassthrough pins that a zero schedule changes nothing: bytes round
+// trip untouched.
+func TestPassthrough(t *testing.T) {
+	in := New(Config{Seed: 1})
+	faulty, clean := pipePair(t, in)
+
+	msg := []byte("hello fleet")
+	go func() { _, _ = faulty.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(clean, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q, want %q", got, msg)
+	}
+	if st := in.Stats(); st.Drops+st.Corrupted+st.Truncated+st.Delays != 0 {
+		t.Fatalf("zero schedule injected faults: %+v", st)
+	}
+}
+
+// TestDropAfterOps pins the deterministic kill: exactly the N-th write
+// fails with the typed drop error, and the transport is closed.
+func TestDropAfterOps(t *testing.T) {
+	in := New(Config{Seed: 2, DropAfterOps: 3})
+	faulty, clean := pipePair(t, in)
+	go func() { _, _ = io.Copy(io.Discard, clean) }()
+
+	msg := []byte("x")
+	for i := 0; i < 2; i++ {
+		if _, err := faulty.Write(msg); err != nil {
+			t.Fatalf("write %d failed before schedule: %v", i, err)
+		}
+	}
+	if _, err := faulty.Write(msg); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("3rd write: %v, want ErrInjectedDrop", err)
+	}
+	// The connection stays dead.
+	if _, err := faulty.Write(msg); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("post-drop write: %v, want ErrInjectedDrop", err)
+	}
+	if st := in.Stats(); st.Drops != 1 {
+		t.Fatalf("drops = %d, want 1", st.Drops)
+	}
+}
+
+// TestCorruptionIsDeterministic pins the schedule contract: the same
+// seed corrupts the same bytes of the same traffic, and a different seed
+// draws a different schedule.
+func TestCorruptionIsDeterministic(t *testing.T) {
+	run := func(seed int64) []byte {
+		in := New(Config{Seed: seed, CorruptProb: 0.5})
+		faulty, clean := pipePair(t, in)
+		msg := bytes.Repeat([]byte("abcdefgh"), 4)
+		go func() { _, _ = faulty.Write(msg) }()
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(clean, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(7), run(7)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different schedules:\n%x\n%x", a, b)
+	}
+	orig := bytes.Repeat([]byte("abcdefgh"), 4)
+	if bytes.Equal(a, orig) {
+		t.Fatal("CorruptProb 0.5 never corrupted (schedule not applied?)")
+	}
+}
+
+// TestTruncatedWriteDrops pins the truncation fault: a prefix is
+// delivered, the writer sees the typed error, and the peer's next read
+// fails (connection gone).
+func TestTruncatedWriteDrops(t *testing.T) {
+	in := New(Config{Seed: 3, TruncateProb: 1})
+	faulty, clean := pipePair(t, in)
+
+	msg := bytes.Repeat([]byte("frame"), 10)
+	read := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, len(msg))
+		n, _ := clean.Read(buf)
+		read <- buf[:n]
+	}()
+	if _, err := faulty.Write(msg); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("truncated write: %v, want ErrInjectedDrop", err)
+	}
+	got := <-read
+	if len(got) == 0 || len(got) >= len(msg) {
+		t.Fatalf("peer read %d bytes, want a proper prefix of %d", len(got), len(msg))
+	}
+	if st := in.Stats(); st.Truncated != 1 || st.Drops != 1 {
+		t.Fatalf("stats after truncation: %+v", st)
+	}
+}
+
+// TestDelay pins injected latency: with DelayProb 1 every operation
+// sleeps the configured delay.
+func TestDelay(t *testing.T) {
+	in := New(Config{Seed: 4, DelayProb: 1, Delay: 20 * time.Millisecond})
+	faulty, clean := pipePair(t, in)
+	go func() { _, _ = io.Copy(io.Discard, clean) }()
+
+	start := time.Now()
+	if _, err := faulty.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("write returned after %v, want ≥ 20ms injected delay", d)
+	}
+	if st := in.Stats(); st.Delays == 0 {
+		t.Fatal("no delay counted")
+	}
+}
+
+// TestDisarm pins the runtime gate: a disarmed injector passes bytes
+// through and consumes no schedule.
+func TestDisarm(t *testing.T) {
+	in := New(Config{Seed: 5, DropProb: 1})
+	in.Disarm()
+	faulty, clean := pipePair(t, in)
+	go func() { _, _ = io.Copy(io.Discard, clean) }()
+	if _, err := faulty.Write([]byte("x")); err != nil {
+		t.Fatalf("disarmed write: %v", err)
+	}
+	in.Arm()
+	if _, err := faulty.Write([]byte("x")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("armed DropProb=1 write: %v, want ErrInjectedDrop", err)
+	}
+}
+
+// TestListenerWraps pins that accepted connections carry the schedule.
+func TestListenerWraps(t *testing.T) {
+	in := New(Config{Seed: 6, DropAfterOps: 1})
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := in.Listen(base)
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer nc.Close()
+		_, err = nc.Write([]byte("x"))
+		done <- err
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := <-done; !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("accepted conn first op: %v, want ErrInjectedDrop", err)
+	}
+	if st := in.Stats(); st.Conns != 1 {
+		t.Fatalf("conns = %d, want 1", st.Conns)
+	}
+}

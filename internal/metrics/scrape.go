@@ -1,0 +1,375 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the consumer half of the exposition format: a parser for
+// Prometheus text 0.0.4 documents that reassembles histogram series back
+// into HistSnapshot, so anything this registry can write — or any real
+// Prometheus endpoint shaped like it — can be read back with the same
+// types the instruments expose. The fleet router's health checker is the
+// primary caller: it scrapes each backend's /metrics, diffs consecutive
+// latency HistSnapshots with Sub, and feeds the windowed Quantile(0.99)
+// into its circuit breaker.
+
+// Sample is one parsed non-histogram series.
+type Sample struct {
+	// Labels maps label name to (unescaped) value; nil for a bare series.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// histAcc accumulates one histogram series' parts across lines.
+type histAcc struct {
+	labels  map[string]string
+	buckets []histBucket
+	sum     float64
+	count   uint64
+}
+
+type histBucket struct {
+	le  float64
+	cum uint64
+}
+
+// Scrape is one parsed exposition document. Lookup methods take
+// alternating label name/value pairs, order-independent.
+type Scrape struct {
+	samples map[string][]Sample // family name → series
+	hists   map[string][]*histAcc
+}
+
+// ParseText parses a Prometheus text 0.0.4 document. Histogram families
+// (recognized by their `# TYPE name histogram` header) are reassembled:
+// their _bucket/_sum/_count series become HistSnapshot values retrievable
+// with Histogram. Unparseable lines are an error — this is a conformance
+// surface, not a best-effort one.
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{
+		samples: make(map[string][]Sample),
+		hists:   make(map[string][]*histAcc),
+	}
+	histFamilies := make(map[string]bool)
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Only TYPE matters: it tells us which families to
+			// reassemble as histograms.
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" && fields[3] == "histogram" {
+				histFamilies[fields[2]] = true
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: scrape line %d: %w", lineNo, err)
+		}
+		if fam, part, ok := histPart(name, histFamilies); ok {
+			sc.addHistPart(fam, part, labels, value)
+			continue
+		}
+		sc.samples[name] = append(sc.samples[name], Sample{Labels: labels, Value: value})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: scrape read: %w", err)
+	}
+	for _, accs := range sc.hists {
+		for _, h := range accs {
+			sort.Slice(h.buckets, func(i, j int) bool { return h.buckets[i].le < h.buckets[j].le })
+		}
+	}
+	return sc, nil
+}
+
+// histPart maps a series name onto its histogram family and part
+// ("bucket", "sum", "count"), using the TYPE headers seen so far.
+func histPart(name string, histFamilies map[string]bool) (fam, part string, ok bool) {
+	for _, suffix := range [...]string{"_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, suffix); found && histFamilies[base] {
+			return base, suffix[1:], true
+		}
+	}
+	return "", "", false
+}
+
+func (sc *Scrape) addHistPart(fam, part string, labels map[string]string, value float64) {
+	var le float64
+	if part == "bucket" {
+		leStr, ok := labels["le"]
+		if !ok {
+			return // malformed bucket; skip rather than misfile
+		}
+		var err error
+		le, err = parseLe(leStr)
+		if err != nil {
+			return
+		}
+		delete(labels, "le")
+	}
+	h := sc.findHist(fam, labels)
+	switch part {
+	case "bucket":
+		h.buckets = append(h.buckets, histBucket{le: le, cum: uint64(value)})
+	case "sum":
+		h.sum = value
+	case "count":
+		h.count = uint64(value)
+	}
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func (sc *Scrape) findHist(fam string, labels map[string]string) *histAcc {
+	for _, h := range sc.hists[fam] {
+		if labelsEqual(h.labels, labels) {
+			return h
+		}
+	}
+	h := &histAcc{labels: labels}
+	sc.hists[fam] = append(sc.hists[fam], h)
+	return h
+}
+
+// Value returns the sample of family name whose label set matches the
+// given pairs exactly.
+func (sc *Scrape) Value(name string, labelPairs ...string) (float64, bool) {
+	want := pairsToMap(labelPairs)
+	for _, s := range sc.samples[name] {
+		if labelsEqual(s.Labels, want) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum adds every sample of family name whose labels include all of the
+// given pairs — e.g. Sum("repro_shed_total", "model", id) totals the
+// sheds across reasons.
+func (sc *Scrape) Sum(name string, labelPairs ...string) float64 {
+	want := pairsToMap(labelPairs)
+	total := 0.0
+	for _, s := range sc.samples[name] {
+		if labelsInclude(s.Labels, want) {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// Series returns every sample of the named family.
+func (sc *Scrape) Series(name string) []Sample { return sc.samples[name] }
+
+// Histogram returns the reassembled HistSnapshot for the named histogram
+// family and exact label set (le excluded). The snapshot's Counts are
+// per-bucket (cumulative differences undone), so Sub and Quantile behave
+// exactly as they do on a live instrument's Snapshot.
+func (sc *Scrape) Histogram(name string, labelPairs ...string) (HistSnapshot, bool) {
+	want := pairsToMap(labelPairs)
+	for _, h := range sc.hists[name] {
+		if labelsEqual(h.labels, want) {
+			return h.snapshot(), true
+		}
+	}
+	return HistSnapshot{}, false
+}
+
+// HistogramSum merges every series of the named histogram family into
+// one HistSnapshot — the "whole process" view of a per-model family. All
+// series of one family share a bucket layout (the registry enforces this
+// on the writing side), so the merge is element-wise; a document where
+// layouts disagree returns ok=false.
+func (sc *Scrape) HistogramSum(name string) (HistSnapshot, bool) {
+	accs := sc.hists[name]
+	if len(accs) == 0 {
+		return HistSnapshot{}, false
+	}
+	merged := accs[0].snapshot()
+	for _, h := range accs[1:] {
+		s := h.snapshot()
+		if len(s.Upper) != len(merged.Upper) || len(s.Counts) != len(merged.Counts) {
+			return HistSnapshot{}, false
+		}
+		for i := range s.Upper {
+			if s.Upper[i] != merged.Upper[i] {
+				return HistSnapshot{}, false
+			}
+		}
+		for i := range s.Counts {
+			merged.Counts[i] += s.Counts[i]
+		}
+		merged.Sum += s.Sum
+	}
+	return merged, true
+}
+
+func (h *histAcc) snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Upper:  make([]float64, 0, len(h.buckets)),
+		Counts: make([]uint64, 0, len(h.buckets)),
+		Sum:    h.sum,
+	}
+	prev := uint64(0)
+	for _, b := range h.buckets {
+		if !math.IsInf(b.le, 1) {
+			s.Upper = append(s.Upper, b.le)
+		}
+		cum := b.cum
+		if cum < prev {
+			cum = prev // clamp a non-monotone document instead of underflowing
+		}
+		s.Counts = append(s.Counts, cum-prev)
+		prev = cum
+	}
+	return s
+}
+
+func pairsToMap(pairs []string) map[string]string {
+	if len(pairs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[pairs[i]] = pairs[i+1]
+	}
+	return m
+}
+
+func labelsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func labelsInclude(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSampleLine splits one sample line into name, labels and value.
+// The format is `name value`, or `name{k="v",...} value`; label values
+// use the \\, \", \n escapes of the exposition format. A trailing
+// timestamp (real Prometheus endpoints may emit one) is ignored.
+func parseSampleLine(line string) (string, map[string]string, float64, error) {
+	var name, rest string
+	if brace := strings.IndexByte(line, '{'); brace >= 0 {
+		name = line[:brace]
+		end, labels, err := parseLabels(line[brace+1:])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(line[brace+1+end:])
+		value, err := parseValueField(rest)
+		if err != nil {
+			return "", nil, 0, err
+		}
+		return name, labels, value, nil
+	}
+	sp := strings.IndexAny(line, " \t")
+	if sp < 0 {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+	}
+	name = line[:sp]
+	value, err := parseValueField(strings.TrimSpace(line[sp:]))
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return name, nil, value, nil
+}
+
+// parseValueField parses the value, tolerating a trailing timestamp.
+func parseValueField(s string) (float64, error) {
+	if sp := strings.IndexAny(s, " \t"); sp >= 0 {
+		s = s[:sp]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// parseLabels consumes a label block starting just past '{', returning
+// the index just past the closing '}' (relative to the given string) and
+// the unescaped label map.
+func parseLabels(s string) (int, map[string]string, error) {
+	labels := make(map[string]string)
+	i := 0
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("unterminated label block %q", s)
+		}
+		key := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %q value is not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(c)
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+	}
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestScrapeRoundTrip pins the parser against this registry's own
+// renderer: every instrument written into an exposition document must
+// come back with the same values — and a histogram must come back as a
+// HistSnapshot identical to the live instrument's, so Sub/Quantile work
+// on scraped data exactly as they do in-process.
+func TestScrapeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rt_requests_total", "Requests.", "model", "mnist@v1")
+	for i := 0; i < 7; i++ {
+		c.Inc()
+	}
+	r.Counter("rt_requests_total", "Requests.", "model", "cifar@v2").Add(3)
+	g := r.Gauge("rt_inflight", "In flight.")
+	g.Set(2.5)
+	buckets := []float64{0.001, 0.01, 0.1, 1}
+	h := r.Histogram("rt_latency_seconds", "Latency.", buckets, "model", "mnist@v1")
+	for _, v := range []float64{0.0005, 0.004, 0.004, 0.05, 0.2, 3} {
+		h.Observe(v)
+	}
+
+	sc, err := ParseText(strings.NewReader(r.Expose()))
+	if err != nil {
+		t.Fatalf("parse own exposition: %v", err)
+	}
+
+	if v, ok := sc.Value("rt_requests_total", "model", "mnist@v1"); !ok || v != 7 {
+		t.Errorf("counter value = %v, %v; want 7, true", v, ok)
+	}
+	if v, ok := sc.Value("rt_requests_total", "model", "cifar@v2"); !ok || v != 3 {
+		t.Errorf("second series = %v, %v; want 3, true", v, ok)
+	}
+	if got := sc.Sum("rt_requests_total"); got != 10 {
+		t.Errorf("family sum = %v, want 10", got)
+	}
+	if v, ok := sc.Value("rt_inflight"); !ok || v != 2.5 {
+		t.Errorf("gauge = %v, %v; want 2.5, true", v, ok)
+	}
+
+	want := h.Snapshot()
+	got, ok := sc.Histogram("rt_latency_seconds", "model", "mnist@v1")
+	if !ok {
+		t.Fatal("histogram not reassembled")
+	}
+	if len(got.Upper) != len(want.Upper) || len(got.Counts) != len(want.Counts) {
+		t.Fatalf("snapshot shape: got %d/%d buckets, want %d/%d",
+			len(got.Upper), len(got.Counts), len(want.Upper), len(want.Counts))
+	}
+	for i := range want.Upper {
+		if got.Upper[i] != want.Upper[i] {
+			t.Errorf("Upper[%d] = %v, want %v", i, got.Upper[i], want.Upper[i])
+		}
+	}
+	for i := range want.Counts {
+		if got.Counts[i] != want.Counts[i] {
+			t.Errorf("Counts[%d] = %d, want %d", i, got.Counts[i], want.Counts[i])
+		}
+	}
+	if math.Abs(got.Sum-want.Sum) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", got.Sum, want.Sum)
+	}
+	if got.Count() != want.Count() {
+		t.Errorf("Count = %d, want %d", got.Count(), want.Count())
+	}
+	// The consumer contract: quantiles on scraped snapshots.
+	if q, wq := got.Quantile(0.99), want.Quantile(0.99); q != wq {
+		t.Errorf("Quantile(0.99) = %v on scrape, %v live", q, wq)
+	}
+}
+
+// TestScrapeWindowedQuantile pins the router's health-check usage: two
+// scrapes of the same endpoint, Sub'd, give the p99 of just the window.
+func TestScrapeWindowedQuantile(t *testing.T) {
+	r := NewRegistry()
+	buckets := []float64{0.001, 0.01, 0.1, 1}
+	h := r.Histogram("w_latency_seconds", "Latency.", buckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.0005) // fast history
+	}
+	first, err := ParseText(strings.NewReader(r.Expose()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, _ := first.Histogram("w_latency_seconds")
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5) // slow window
+	}
+	second, err := ParseText(strings.NewReader(r.Expose()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := second.Histogram("w_latency_seconds")
+	delta := cur.Sub(prev)
+	if got := delta.Count(); got != 50 {
+		t.Fatalf("window count = %d, want 50", got)
+	}
+	if p99 := delta.Quantile(0.99); p99 <= 0.1 {
+		t.Errorf("windowed p99 = %v, want > 0.1 (the slow window, not the fast history)", p99)
+	}
+}
+
+// TestScrapeEscapedLabels pins that escaped label values round trip.
+func TestScrapeEscapedLabels(t *testing.T) {
+	r := NewRegistry()
+	odd := "a\\b\"c\nd"
+	r.Counter("esc_total", "Escapes.", "path", odd).Add(1)
+	sc, err := ParseText(strings.NewReader(r.Expose()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("esc_total", "path", odd); !ok || v != 1 {
+		t.Errorf("escaped label lookup = %v, %v; want 1, true", v, ok)
+	}
+}
+
+// TestScrapeForeignDocument pins tolerance for shapes this registry never
+// emits but real endpoints do: timestamps, reordered labels, +Inf-only
+// histograms.
+func TestScrapeForeignDocument(t *testing.T) {
+	doc := `# HELP http_requests_total Requests.
+# TYPE http_requests_total counter
+http_requests_total{code="200",method="get"} 1027 1395066363000
+http_requests_total{method="post",code="200"} 3
+# TYPE rpc_duration_seconds histogram
+rpc_duration_seconds_bucket{le="+Inf"} 5
+rpc_duration_seconds_sum 0.25
+rpc_duration_seconds_count 5
+`
+	sc, err := ParseText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("http_requests_total", "method", "get", "code", "200"); !ok || v != 1027 {
+		t.Errorf("timestamped sample = %v, %v; want 1027, true", v, ok)
+	}
+	if got := sc.Sum("http_requests_total", "code", "200"); got != 1030 {
+		t.Errorf("subset sum = %v, want 1030", got)
+	}
+	h, ok := sc.Histogram("rpc_duration_seconds")
+	if !ok || h.Count() != 5 || len(h.Upper) != 0 || len(h.Counts) != 1 {
+		t.Errorf("degenerate histogram: ok=%v %+v", ok, h)
+	}
+	if _, err := ParseText(strings.NewReader("garbage with no value at all{")); err == nil {
+		t.Error("malformed document parsed without error")
+	}
+}

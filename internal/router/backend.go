@@ -1,0 +1,214 @@
+package router
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/serve/stream"
+)
+
+// BackendConfig names one cmd/serve process the router fronts.
+type BackendConfig struct {
+	// Addr is the backend's RPS2 listener ("host:port") — the data path.
+	Addr string
+	// HTTPURL is the backend's HTTP base URL ("http://host:port"),
+	// scraped for the registry view (/v1/models) and health signals
+	// (/metrics). Empty disables scraping: the backend is assumed to
+	// hold every route and is health-checked by transport probes only.
+	HTTPURL string
+	// Dial overrides the stream transport dialer (fault-injection hook);
+	// nil dials plain TCP to Addr.
+	Dial func() (net.Conn, error)
+}
+
+// view is one backend's propagated registry snapshot: which routes it
+// can answer, refreshed from /v1/models. Routes hold both the bare name
+// (alias traffic — the backend's own registry applies its A/B split and
+// latest alias, so PR 3 semantics survive the extra tier) and every
+// pinned name@version.
+type view struct {
+	routes map[string]serve.ModelInfo
+	models []serve.ModelInfo
+}
+
+// holds reports whether the view can answer the route.
+//
+//repro:noalloc
+func (v *view) holds(route string) bool {
+	_, ok := v.routes[route]
+	return ok
+}
+
+// backend is the router's per-process state: a pool of reconnecting
+// stream clients, the breaker, the propagated view and the health
+// signals feeding it.
+type backend struct {
+	cfg BackendConfig
+
+	clients []*stream.Client
+	rr      atomic.Uint64 // round-robin cursor over clients
+	pending atomic.Int64  // router-side in-flight, the least-loaded key
+
+	br       *breaker
+	draining atomic.Bool
+
+	view atomic.Pointer[view] // nil until the first refresh succeeds
+
+	requests atomic.Uint64 // routed requests sent (including retries landing here)
+	failures atomic.Uint64 // transport/503 failures observed
+
+	// Health-scrape state, owned by the health loop goroutine.
+	prevLatency  metrics.HistSnapshot
+	prevRequests float64
+	prevShed     float64
+	scrapeReady  bool
+
+	// Scrape-derived signals for /v1/backends and the metrics gauges
+	// (stored as µs / ppm to keep them in atomics).
+	p99Micros   atomic.Int64
+	shedPPM     atomic.Int64
+	probeErr    atomic.Pointer[string]
+	lastRefresh atomic.Int64 // unix nanos of the last successful view refresh
+}
+
+// inDims returns a route the backend holds and its input width, for the
+// health prober's synthetic infer. ok is false until a view exists.
+func (b *backend) probeTarget() (route string, dim int, ok bool) {
+	v := b.view.Load()
+	if v == nil || len(v.models) == 0 {
+		return "", 0, false
+	}
+	m := v.models[0]
+	return m.Name + "@" + m.Version, m.InDim, true
+}
+
+// holds reports whether the backend's current view answers the route. A
+// backend with scraping disabled (no HTTPURL) optimistically holds
+// everything — the breaker handles the consequences.
+//
+//repro:noalloc
+func (b *backend) holds(route string) bool {
+	if b.cfg.HTTPURL == "" {
+		return true
+	}
+	v := b.view.Load()
+	return v != nil && v.holds(route)
+}
+
+// client returns the next stream client in round-robin order.
+//
+//repro:noalloc
+func (b *backend) client() *stream.Client {
+	n := uint64(len(b.clients))
+	if n == 1 {
+		return b.clients[0]
+	}
+	return b.clients[b.rr.Add(1)%n]
+}
+
+// reqCarrier is the per-call scratch that keeps the routed hot path
+// allocation-free: the single-input batch header and the reusable result
+// slot a stream DoInto parses into.
+type reqCarrier struct {
+	inputs [1][]float64
+	out    []serve.Result
+}
+
+var carrierPool = sync.Pool{
+	New: func() any { return &reqCarrier{out: make([]serve.Result, 0, 1)} },
+}
+
+// do sends one routed request to this backend and reports the outcome to
+// the breaker. scores is the caller's result buffer, reused when capacity
+// suffices.
+//
+//repro:noalloc
+func (b *backend) do(ctx context.Context, route string, input, scores []float64) (serve.Result, error) {
+	b.pending.Add(1)
+	b.requests.Add(1)
+	cr := carrierPool.Get().(*reqCarrier)
+	cr.inputs[0] = input
+	out, err := b.client().DoInto(ctx, route, cr.inputs[:], cr.out[:0])
+	cr.inputs[0] = nil
+	var res serve.Result
+	if err == nil && len(out) == 1 {
+		res = out[0]
+		res.Scores = append(scores[:0], out[0].Scores...)
+	}
+	cr.out = out[:0]
+	carrierPool.Put(cr)
+	b.pending.Add(-1)
+	if err == nil {
+		b.br.Success()
+		return res, nil
+	}
+	if isBackendFailure(err) {
+		b.failures.Add(1)
+		b.br.Fail(time.Now())
+	}
+	return res, err
+}
+
+// BackendStatus is one backend's row in the router's /v1/backends
+// answer.
+type BackendStatus struct {
+	Addr     string  `json:"addr"`
+	Breaker  string  `json:"breaker"`
+	Draining bool    `json:"draining"`
+	Down     bool    `json:"down"`
+	Pending  int64   `json:"pending"`
+	Requests uint64  `json:"requests"`
+	Failures uint64  `json:"failures"`
+	Dials    uint64  `json:"dials"`
+	Models   int     `json:"models"`
+	P99      float64 `json:"p99_seconds,omitempty"`
+	ShedRate float64 `json:"shed_rate,omitempty"`
+	ProbeErr string  `json:"probe_error,omitempty"`
+}
+
+func (b *backend) status() BackendStatus {
+	st := BackendStatus{
+		Addr:     b.cfg.Addr,
+		Breaker:  b.br.State().String(),
+		Draining: b.draining.Load(),
+		Down:     b.down(),
+		Pending:  b.pending.Load(),
+		Requests: b.requests.Load(),
+		Failures: b.failures.Load(),
+		P99:      float64(b.p99Micros.Load()) / 1e6,
+		ShedRate: float64(b.shedPPM.Load()) / 1e6,
+	}
+	for _, c := range b.clients {
+		st.Dials += c.Dials()
+	}
+	if v := b.view.Load(); v != nil {
+		st.Models = len(v.models)
+	}
+	if e := b.probeErr.Load(); e != nil {
+		st.ProbeErr = *e
+	}
+	return st
+}
+
+// down reports whether every stream client currently lacks a transport.
+//
+//repro:noalloc
+func (b *backend) down() bool {
+	for _, c := range b.clients {
+		if !c.Down() {
+			return false
+		}
+	}
+	return len(b.clients) > 0
+}
+
+func (b *backend) close(ctx context.Context) {
+	for _, c := range b.clients {
+		_ = c.Close(ctx)
+	}
+}

@@ -1,0 +1,196 @@
+package router
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the backend takes traffic normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the backend takes nothing until the reopen deadline.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is deciding the backend's fate.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterises a backend's circuit breaker. Zero fields
+// take the defaults noted on each.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure count that opens a closed
+	// circuit (default 5). Health-check failures and routed-request
+	// transport failures both count; successes of either kind reset.
+	Failures int
+	// OpenBase is the first open interval (default 200ms). Each
+	// consecutive re-open doubles it — jittered ±50% so a fleet of
+	// routers does not probe a recovering backend in lockstep — up to
+	// OpenMax (default 5s).
+	OpenBase time.Duration
+	OpenMax  time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 5
+	}
+	if c.OpenBase <= 0 {
+		c.OpenBase = 200 * time.Millisecond
+	}
+	if c.OpenMax <= 0 {
+		c.OpenMax = 5 * time.Second
+	}
+	return c
+}
+
+// breaker is the three-state circuit on one backend:
+//
+//	closed --(Failures consecutive fails)--> open
+//	open --(reopen deadline passes; next TryProbe)--> half-open
+//	half-open --(probe succeeds)--> closed
+//	half-open --(probe fails)--> open, with doubled backoff
+//
+// The "probe" is whichever request TryProbe admits first — a routed
+// request or the health checker's synthetic infer; only one is in flight
+// at a time, so a half-open backend sees a trickle, not a stampede.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	opens    int       // consecutive opens, drives the backoff exponent
+	reopenAt time.Time // when an open circuit becomes probe-eligible
+	probing  bool      // a half-open probe is outstanding
+	rng      *rand.Rand
+}
+
+func newBreaker(cfg BreakerConfig, seed int64) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// State reports the current position, surfacing open→half-open eligibility
+// without mutating (the transition itself happens in TryProbe).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Closed reports whether normal traffic may route to the backend.
+//
+//repro:noalloc
+func (b *breaker) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == BreakerClosed
+}
+
+// TryProbe claims the half-open probe slot: on an open circuit past its
+// reopen deadline (or a half-open one with no probe outstanding) it
+// transitions to half-open, marks the probe taken and returns true. The
+// caller MUST report the probe's outcome via Success or Fail — that
+// report closes or re-opens the circuit and frees the slot.
+//
+//repro:noalloc
+func (b *breaker) TryProbe(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if now.Before(b.reopenAt) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a successful request or probe.
+//
+//repro:noalloc
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails = 0
+	case BreakerHalfOpen:
+		b.state = BreakerClosed
+		b.fails = 0
+		b.opens = 0
+		b.probing = false
+	}
+}
+
+// Fail records a failed request or probe.
+//
+//repro:noalloc
+func (b *breaker) Fail(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Failures {
+			b.open(now)
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		b.open(now)
+	}
+}
+
+// Trip opens the circuit immediately regardless of the failure count —
+// the health checker uses it when a scrape shows the backend past its
+// p99 or shed-rate thresholds.
+func (b *breaker) Trip(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		return
+	}
+	b.probing = false
+	b.open(now)
+}
+
+// open transitions to BreakerOpen with jittered exponential backoff;
+// callers hold mu.
+//
+//repro:noalloc
+func (b *breaker) open(now time.Time) {
+	backoff := b.cfg.OpenBase << b.opens
+	if backoff > b.cfg.OpenMax || backoff <= 0 {
+		backoff = b.cfg.OpenMax
+	}
+	// Jitter ±50%: reopen probes from independent routers decorrelate.
+	//repro:lint-ignore noalloc rand.Int63n is pure arithmetic on the rng state
+	backoff = backoff/2 + time.Duration(b.rng.Int63n(int64(backoff)))
+	b.state = BreakerOpen
+	b.fails = 0
+	b.opens++
+	b.reopenAt = now.Add(backoff)
+}

@@ -1,0 +1,111 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks the three states along every edge.
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(BreakerConfig{Failures: 3, OpenBase: 100 * time.Millisecond, OpenMax: time.Second}, 1)
+	now := time.Unix(0, 0)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state %v", b.State())
+	}
+	// Failures below the threshold keep it closed; a success resets.
+	b.Fail(now)
+	b.Fail(now)
+	b.Success()
+	b.Fail(now)
+	b.Fail(now)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after reset + 2 fails: %v", b.State())
+	}
+	// The third consecutive failure opens.
+	b.Fail(now)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 consecutive fails: %v", b.State())
+	}
+	// Open refuses probes before the deadline (backoff is jittered
+	// within [base/2, 3*base/2], so before base/2 it is surely closed).
+	if b.TryProbe(now.Add(49 * time.Millisecond)) {
+		t.Fatal("probe admitted before any possible reopen deadline")
+	}
+	// After the jitter's upper bound it must admit exactly one probe.
+	due := now.Add(151 * time.Millisecond)
+	if !b.TryProbe(due) {
+		t.Fatal("probe refused after reopen deadline")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after admitted probe: %v", b.State())
+	}
+	if b.TryProbe(due) {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	// Probe failure re-opens with a grown backoff.
+	b.Fail(due)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe: %v", b.State())
+	}
+	// Second open: backoff doubles (jittered in [base, 3*base]).
+	if b.TryProbe(due.Add(99 * time.Millisecond)) {
+		t.Fatal("probe admitted before doubled backoff could elapse")
+	}
+	due2 := due.Add(601 * time.Millisecond)
+	if !b.TryProbe(due2) {
+		t.Fatal("probe refused after doubled backoff")
+	}
+	// Probe success closes and resets the backoff exponent.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe: %v", b.State())
+	}
+	// Re-open uses the base backoff again (exponent reset): after
+	// 3*base/2 the probe must be admitted.
+	b.Fail(due2)
+	b.Fail(due2)
+	b.Fail(due2)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not re-open")
+	}
+	if !b.TryProbe(due2.Add(151 * time.Millisecond)) {
+		t.Fatal("backoff exponent not reset by successful probe")
+	}
+}
+
+// TestBreakerTrip pins the health checker's immediate trip: open at
+// once, regardless of the failure count, idempotent while open.
+func TestBreakerTrip(t *testing.T) {
+	b := newBreaker(BreakerConfig{Failures: 100, OpenBase: 50 * time.Millisecond}, 2)
+	now := time.Unix(0, 0)
+	b.Trip(now)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after trip: %v", b.State())
+	}
+	deadline1 := b.reopenAt
+	b.Trip(now) // no-op while open: must not extend the deadline
+	if !b.reopenAt.Equal(deadline1) {
+		t.Fatal("trip while open moved the reopen deadline")
+	}
+}
+
+// TestBreakerJitterVaries pins that reopen deadlines are actually
+// jittered: across many opens the backoff is not constant.
+func TestBreakerJitterVaries(t *testing.T) {
+	now := time.Unix(0, 0)
+	seen := make(map[time.Duration]bool)
+	for seed := int64(0); seed < 16; seed++ {
+		b := newBreaker(BreakerConfig{Failures: 1, OpenBase: 100 * time.Millisecond}, seed)
+		b.Fail(now)
+		seen[b.reopenAt.Sub(now)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("16 seeds produced %d distinct backoffs; jitter missing", len(seen))
+	}
+	for d := range seen {
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Errorf("jittered backoff %v outside [base/2, 3*base/2]", d)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// scrapeClient is the HTTP client for view refreshes and metrics
+// scrapes; its timeout bounds one health-loop iteration.
+var scrapeClient = &http.Client{Timeout: 2 * time.Second}
+
+// healthLoop is one backend's keeper: it refreshes the propagated
+// registry view and scrape-derived health signals every RefreshInterval
+// and sends a synthetic probe infer every ProbeInterval. Probe and
+// scrape verdicts feed the breaker — including reopen probes for an open
+// circuit, so a killed backend's circuit re-closes by itself after
+// revival.
+func (rt *Router) healthLoop(b *backend) {
+	defer rt.wg.Done()
+	refresh := time.NewTicker(rt.opts.RefreshInterval)
+	probe := time.NewTicker(rt.opts.ProbeInterval)
+	defer refresh.Stop()
+	defer probe.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-refresh.C:
+			rt.refresh(b)
+		case <-probe.C:
+			rt.probe(b)
+		}
+	}
+}
+
+// refresh pulls /v1/models and /metrics from the backend's HTTP surface.
+// The models answer becomes the routing view; the metrics scrape yields
+// the windowed p99 and shed-rate that can trip the breaker even while
+// the data path still answers.
+func (rt *Router) refresh(b *backend) {
+	if b.cfg.HTTPURL == "" {
+		return
+	}
+	if v, err := fetchView(b.cfg.HTTPURL); err == nil {
+		b.view.Store(v)
+		b.lastRefresh.Store(time.Now().UnixNano())
+	}
+	rt.scrapeHealth(b)
+}
+
+// modelsAnswer is the backend's /v1/models JSON shape.
+type modelsAnswer struct {
+	Models []serve.ModelInfo `json:"models"`
+}
+
+func fetchView(baseURL string) (*view, error) {
+	resp, err := scrapeClient.Get(baseURL + "/v1/models")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router: /v1/models status %d", resp.StatusCode)
+	}
+	var ans modelsAnswer
+	if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+		return nil, err
+	}
+	v := &view{
+		routes: make(map[string]serve.ModelInfo, 2*len(ans.Models)),
+		models: ans.Models,
+	}
+	for _, m := range ans.Models {
+		// The bare name is routable whenever the backend holds any
+		// version of it: the backend's own registry resolves the alias
+		// and applies its A/B split, so weight semantics survive the
+		// router tier untouched.
+		v.routes[m.Name] = m
+		v.routes[m.Name+"@"+m.Version] = m
+	}
+	return v, nil
+}
+
+// scrapeHealth diffs consecutive /metrics scrapes into windowed p99 and
+// shed-rate, trips the breaker past the thresholds, and stores the
+// signals for /v1/backends and the gauges.
+func (rt *Router) scrapeHealth(b *backend) {
+	sc, err := fetchScrape(b.cfg.HTTPURL)
+	if err != nil {
+		return // transport health is the probe's job; scrape gaps are not failures
+	}
+	lat, ok := sc.HistogramSum(serve.MetricRequestLatency)
+	if !ok {
+		return
+	}
+	requests := sc.Sum(serve.MetricRequests)
+	shed := sc.Sum(serve.MetricShed)
+	if !b.scrapeReady {
+		b.prevLatency, b.prevRequests, b.prevShed = lat, requests, shed
+		b.scrapeReady = true
+		return
+	}
+	window := lat.Sub(b.prevLatency)
+	dReq := requests - b.prevRequests
+	dShed := shed - b.prevShed
+	b.prevLatency, b.prevRequests, b.prevShed = lat, requests, shed
+
+	if window.Count() > 0 {
+		b.p99Micros.Store(int64(window.Quantile(0.99) * 1e6))
+	}
+	if dReq > 0 {
+		b.shedPPM.Store(int64(dShed / dReq * 1e6))
+	}
+	if int(window.Count()) < rt.opts.MinWindow {
+		return // thin window: no verdict either way
+	}
+	if rt.opts.MaxP99 > 0 && window.Quantile(0.99) > rt.opts.MaxP99.Seconds() {
+		b.br.Trip(time.Now())
+		return
+	}
+	if rt.opts.MaxShedRate > 0 && dReq > 0 && dShed/dReq > rt.opts.MaxShedRate {
+		b.br.Trip(time.Now())
+	}
+}
+
+func fetchScrape(baseURL string) (*metrics.Scrape, error) {
+	resp, err := scrapeClient.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router: /metrics status %d", resp.StatusCode)
+	}
+	return metrics.ParseText(resp.Body)
+}
+
+// probe sends one synthetic infer down the data path. For a closed
+// breaker it contributes to the consecutive-failure count; for an open
+// one past its backoff it claims the half-open probe slot, so recovery
+// is discovered without waiting for live traffic to gamble on the
+// backend.
+func (rt *Router) probe(b *backend) {
+	route, dim, ok := b.probeTarget()
+	if !ok {
+		return // no view yet: nothing safe to infer against
+	}
+	state := b.br.State()
+	if state != BreakerClosed && !b.br.TryProbe(time.Now()) {
+		return // open and not yet due, or another probe owns the slot
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
+	defer cancel()
+	input := make([]float64, dim)
+	_, err := b.do(ctx, route, input, nil)
+	// b.do already reported transport verdicts to the breaker. What it
+	// does not know: a half-open probe that failed for a *non*-backend
+	// reason (e.g. our own timeout) must still release the probe slot
+	// and keep the circuit open rather than leak the slot.
+	if err != nil && !isBackendFailure(err) && b.br.State() == BreakerHalfOpen {
+		b.br.Fail(time.Now())
+	}
+	if err != nil {
+		msg := err.Error()
+		b.probeErr.Store(&msg)
+	} else {
+		b.probeErr.Store(nil)
+	}
+}

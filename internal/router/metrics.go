@@ -1,0 +1,70 @@
+package router
+
+import "repro/internal/metrics"
+
+// Router metric family names. Like the serving layers' families these
+// are callback-backed: every series reads the same atomics Stats and
+// Backends read, so /metrics, /v1/backends and the JSON stats can never
+// disagree.
+const (
+	// MetricRouted counts requests entering the routing decision.
+	MetricRouted = "repro_router_requests_total"
+	// MetricRetries counts requests re-sent to a second backend.
+	MetricRetries = "repro_router_retries_total"
+	// MetricNoBackend counts requests refused because no healthy
+	// backend held the route.
+	MetricNoBackend = "repro_router_no_backend_total"
+	// MetricBackendRequests/Failures/Pending are per-backend series
+	// labelled backend="addr".
+	MetricBackendRequests = "repro_router_backend_requests_total"
+	MetricBackendFailures = "repro_router_backend_failures_total"
+	MetricBackendPending  = "repro_router_backend_pending"
+	// MetricBreakerState is 0 closed, 1 half-open, 2 open.
+	MetricBreakerState = "repro_router_breaker_state"
+	// MetricBackendDraining is 1 while the backend is excluded for
+	// drain.
+	MetricBackendDraining = "repro_router_backend_draining"
+	// MetricBackendP99 is the scrape-derived windowed p99 in seconds.
+	MetricBackendP99 = "repro_router_backend_p99_seconds"
+	// MetricBackendShedRate is the scrape-derived windowed shed rate.
+	MetricBackendShedRate = "repro_router_backend_shed_rate"
+)
+
+func (rt *Router) registerMetrics(r *metrics.Registry) {
+	r.CounterFunc(MetricRouted, "Requests entering the routing decision.",
+		func() float64 { return float64(rt.routed.Load()) })
+	r.CounterFunc(MetricRetries, "Requests retried on a different backend.",
+		func() float64 { return float64(rt.retries.Load()) })
+	r.CounterFunc(MetricNoBackend, "Requests refused with no healthy backend for the route.",
+		func() float64 { return float64(rt.noBackend.Load()) })
+	for _, b := range rt.backends {
+		b := b
+		r.CounterFunc(MetricBackendRequests, "Requests sent to the backend.",
+			func() float64 { return float64(b.requests.Load()) }, "backend", b.cfg.Addr)
+		r.CounterFunc(MetricBackendFailures, "Backend-indicting failures (transport loss, 503).",
+			func() float64 { return float64(b.failures.Load()) }, "backend", b.cfg.Addr)
+		r.GaugeFunc(MetricBackendPending, "Router-side in-flight requests on the backend.",
+			func() float64 { return float64(b.pending.Load()) }, "backend", b.cfg.Addr)
+		r.GaugeFunc(MetricBreakerState, "Circuit state: 0 closed, 1 half-open, 2 open.",
+			func() float64 {
+				switch b.br.State() {
+				case BreakerHalfOpen:
+					return 1
+				case BreakerOpen:
+					return 2
+				}
+				return 0
+			}, "backend", b.cfg.Addr)
+		r.GaugeFunc(MetricBackendDraining, "1 while the backend is drained out of routing.",
+			func() float64 {
+				if b.draining.Load() {
+					return 1
+				}
+				return 0
+			}, "backend", b.cfg.Addr)
+		r.GaugeFunc(MetricBackendP99, "Scrape-derived windowed p99 latency in seconds.",
+			func() float64 { return float64(b.p99Micros.Load()) / 1e6 }, "backend", b.cfg.Addr)
+		r.GaugeFunc(MetricBackendShedRate, "Scrape-derived windowed shed rate.",
+			func() float64 { return float64(b.shedPPM.Load()) / 1e6 }, "backend", b.cfg.Addr)
+	}
+}

@@ -39,6 +39,10 @@ const (
 	// ReasonSLO: the request sat queued past its latency SLO and was
 	// dropped by the batch scheduler before execution.
 	ReasonSLO = "slo"
+	// ReasonFairness: the requesting connection's in-flight share is
+	// exhausted — one hot pipelined connection may not consume the whole
+	// global budget.
+	ReasonFairness = "fairness"
 )
 
 // OverloadError is the typed load-shed error every overload path returns:
@@ -76,6 +80,13 @@ type Config struct {
 	// name, not name@version — a hot-swap must not reset the budget);
 	// models without an entry are bounded only by MaxInflight.
 	Quota map[string]int
+	// MaxPerConn caps concurrently admitted requests per client
+	// connection (fairness share), enforced for front ends that pass a
+	// ConnState to AdmitConn; 0 means unlimited. A connection at its
+	// share is shed with ReasonFairness even when global capacity
+	// remains, so pipelining depth on one connection cannot starve the
+	// others.
+	MaxPerConn int
 	// RetryAfter is the backoff hint attached to shed errors.
 	RetryAfter time.Duration
 }
@@ -84,9 +95,11 @@ type Config struct {
 type Stats struct {
 	// Admitted counts requests that passed admission.
 	Admitted uint64 `json:"admitted"`
-	// ShedInflight and ShedQuota count rejections by reason.
+	// ShedInflight, ShedQuota and ShedFairness count rejections by
+	// reason.
 	ShedInflight uint64 `json:"shed_inflight"`
 	ShedQuota    uint64 `json:"shed_quota"`
+	ShedFairness uint64 `json:"shed_fairness"`
 	// Inflight is the number of currently admitted, unreleased requests.
 	Inflight int64 `json:"inflight"`
 }
@@ -102,6 +115,7 @@ type Controller struct {
 	admitted     atomic.Uint64
 	shedInflight atomic.Uint64
 	shedQuota    atomic.Uint64
+	shedFairness atomic.Uint64
 }
 
 type quota struct {
@@ -132,9 +146,21 @@ func (c *Controller) RetryAfter() time.Duration { return c.cfg.RetryAfter }
 // or fails. The zero Ticket (from a rejected Admit) releases nothing, so
 // callers may defer Release unconditionally.
 type Ticket struct {
-	c *Controller
-	q *quota
+	c  *Controller
+	q  *quota
+	cs *ConnState
 }
+
+// ConnState is one client connection's admission accounting. A front end
+// creates one per accepted connection and passes it to AdmitConn so the
+// controller can enforce the per-connection fairness share. The zero
+// value is ready to use.
+type ConnState struct {
+	inflight atomic.Int64
+}
+
+// Inflight reports the connection's currently admitted requests.
+func (cs *ConnState) Inflight() int64 { return cs.inflight.Load() }
 
 // Release returns the ticket's capacity to the controller.
 //
@@ -147,6 +173,9 @@ func (t Ticket) Release() {
 	if t.q != nil {
 		t.q.inflight.Add(-1)
 	}
+	if t.cs != nil {
+		t.cs.inflight.Add(-1)
+	}
 }
 
 // Admit reserves capacity for one request addressed to the named model
@@ -156,8 +185,32 @@ func (t Ticket) Release() {
 //
 //repro:noalloc
 func (c *Controller) Admit(model string) (Ticket, error) {
+	return c.AdmitConn(model, nil)
+}
+
+// AdmitConn is Admit with the requesting connection's fairness
+// accounting: when Config.MaxPerConn is set and cs is non-nil, the
+// connection's share is checked first — before any global capacity is
+// reserved — so a connection at its share sheds with ReasonFairness
+// without touching the budget the other connections are using. Front
+// ends without per-connection identity (one-shot HTTP) pass nil.
+//
+//repro:noalloc
+func (c *Controller) AdmitConn(model string, cs *ConnState) (Ticket, error) {
+	if cs != nil && c.cfg.MaxPerConn > 0 {
+		if cs.inflight.Add(1) > int64(c.cfg.MaxPerConn) {
+			cs.inflight.Add(-1)
+			c.shedFairness.Add(1)
+			return Ticket{}, &OverloadError{Reason: ReasonFairness, Model: model, RetryAfter: c.cfg.RetryAfter}
+		}
+	} else {
+		cs = nil // no share accounting on the ticket
+	}
 	if n := c.inflight.Add(1); c.cfg.MaxInflight > 0 && n > int64(c.cfg.MaxInflight) {
 		c.inflight.Add(-1)
+		if cs != nil {
+			cs.inflight.Add(-1)
+		}
 		c.shedInflight.Add(1)
 		return Ticket{}, &OverloadError{Reason: ReasonInflight, Model: model, RetryAfter: c.cfg.RetryAfter}
 	}
@@ -165,11 +218,14 @@ func (c *Controller) Admit(model string) (Ticket, error) {
 	if q != nil && q.inflight.Add(1) > q.limit {
 		q.inflight.Add(-1)
 		c.inflight.Add(-1)
+		if cs != nil {
+			cs.inflight.Add(-1)
+		}
 		c.shedQuota.Add(1)
 		return Ticket{}, &OverloadError{Reason: ReasonQuota, Model: model, RetryAfter: c.cfg.RetryAfter}
 	}
 	c.admitted.Add(1)
-	return Ticket{c: c, q: q}, nil
+	return Ticket{c: c, q: q, cs: cs}, nil
 }
 
 // Overloaded builds the typed shed error front ends use for their own
@@ -192,6 +248,8 @@ func (c *Controller) RegisterMetrics(r *metrics.Registry) {
 		func() float64 { return float64(c.shedInflight.Load()) }, "reason", ReasonInflight)
 	r.CounterFunc("repro_admission_shed_total", "Requests rejected at admission, by reason.",
 		func() float64 { return float64(c.shedQuota.Load()) }, "reason", ReasonQuota)
+	r.CounterFunc("repro_admission_shed_total", "Requests rejected at admission, by reason.",
+		func() float64 { return float64(c.shedFairness.Load()) }, "reason", ReasonFairness)
 	r.GaugeFunc("repro_admission_inflight", "Currently admitted, unreleased requests.",
 		func() float64 { return float64(c.inflight.Load()) })
 }
@@ -202,6 +260,7 @@ func (c *Controller) Stats() Stats {
 		Admitted:     c.admitted.Load(),
 		ShedInflight: c.shedInflight.Load(),
 		ShedQuota:    c.shedQuota.Load(),
+		ShedFairness: c.shedFairness.Load(),
 		Inflight:     c.inflight.Load(),
 	}
 }

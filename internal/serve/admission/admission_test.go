@@ -207,3 +207,81 @@ func TestAdmitConcurrentInvariant(t *testing.T) {
 	t.Logf("admitted=%d sheds=%d maxConcurrent=%d quotaMax=%d",
 		admitted.Load(), sheds.Load(), maxSeen.Load(), qMax.Load())
 }
+
+// TestAdmitConnFairness pins the per-connection share: a connection at
+// its MaxPerConn sheds with ReasonFairness before any global capacity is
+// consumed, other connections (and share-less callers) are unaffected,
+// and Release returns the share.
+func TestAdmitConnFairness(t *testing.T) {
+	c := New(Config{MaxInflight: 10, MaxPerConn: 2, RetryAfter: 3 * time.Millisecond})
+	var a, b ConnState
+	t1, err := c.AdmitConn("m", &a)
+	if err != nil {
+		t.Fatalf("admit 1 on conn A: %v", err)
+	}
+	t2, err := c.AdmitConn("m", &a)
+	if err != nil {
+		t.Fatalf("admit 2 on conn A: %v", err)
+	}
+	_, err = c.AdmitConn("m", &a)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != ReasonFairness {
+		t.Fatalf("admit past share: got %v, want fairness shed", err)
+	}
+	if oe.Model != "m" || oe.RetryAfter != 3*time.Millisecond {
+		t.Errorf("fairness shed error fields: %+v", oe)
+	}
+	// The fairness shed reserved nothing: global inflight is exactly the
+	// two admitted requests, and a second connection admits freely.
+	if st := c.Stats(); st.Inflight != 2 {
+		t.Fatalf("inflight after fairness shed = %d, want 2", st.Inflight)
+	}
+	t3, err := c.AdmitConn("m", &b)
+	if err != nil {
+		t.Fatalf("conn B blocked by conn A's share: %v", err)
+	}
+	// Callers without connection identity are bounded only by the global
+	// caps.
+	t4, err := c.AdmitConn("m", nil)
+	if err != nil {
+		t.Fatalf("share-less admit: %v", err)
+	}
+	// Releasing returns the share.
+	t1.Release()
+	t5, err := c.AdmitConn("m", &a)
+	if err != nil {
+		t.Fatalf("conn A after release: %v", err)
+	}
+	for _, tk := range []Ticket{t2, t3, t4, t5} {
+		tk.Release()
+	}
+	if got := a.Inflight(); got != 0 {
+		t.Errorf("conn A inflight after drain: %d", got)
+	}
+	st := c.Stats()
+	if st.ShedFairness != 1 || st.Inflight != 0 || st.Admitted != 5 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestFairnessSkipsGlobalBudgetWhenGlobalFull pins the ordering: a
+// connection past its share sheds with ReasonFairness even when the
+// global cap is also exhausted — the per-connection verdict comes first
+// and costs nothing.
+func TestFairnessSkipsGlobalBudgetWhenGlobalFull(t *testing.T) {
+	c := New(Config{MaxInflight: 1, MaxPerConn: 1})
+	var a ConnState
+	tk, err := c.AdmitConn("m", &a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.AdmitConn("m", &a)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != ReasonFairness {
+		t.Fatalf("want fairness (checked before inflight), got %v", err)
+	}
+	tk.Release()
+	if st := c.Stats(); st.ShedFairness != 1 || st.ShedInflight != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}

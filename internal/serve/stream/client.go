@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -22,7 +23,27 @@ var (
 	ErrGoingAway = errors.New("stream: connection draining (GOAWAY received)")
 	// ErrClientClosed is returned by Do after Close.
 	ErrClientClosed = errors.New("stream: client closed")
+	// ErrConnLost is the typed identity of a transport failure: every Do
+	// that was in flight when the connection died fails with an error for
+	// which errors.Is(err, ErrConnLost) is true, and a reconnecting
+	// client (ClientOptions.Reconnect) fails fast with it while the
+	// redial loop is still backing off. The response to an in-flight call
+	// is gone with the connection — the caller decides whether the
+	// request is safe to retry (the fleet router does, on a different
+	// backend).
+	ErrConnLost = errors.New("stream: connection lost")
 )
+
+// connLostError carries the transport error underneath the typed
+// ErrConnLost identity. One instance is built per disconnect and shared
+// by every call it failed.
+type connLostError struct{ cause error }
+
+func (e *connLostError) Error() string {
+	return "stream: connection lost: " + e.cause.Error()
+}
+func (e *connLostError) Is(target error) bool { return target == ErrConnLost }
+func (e *connLostError) Unwrap() error        { return e.cause }
 
 // StatusError is a non-overload status frame surfaced as an error. Its
 // Is method maps protocol codes back onto the serving sentinels, so
@@ -51,6 +72,38 @@ func (e *StatusError) Is(target error) bool {
 	return false
 }
 
+// ClientOptions parameterises Dial behaviour beyond the defaults.
+type ClientOptions struct {
+	// Dial overrides the transport dialer — the seam the fault-injection
+	// harness (internal/faultinject) and a future TLS wrap plug into.
+	// nil dials plain TCP to the DialOptions address.
+	Dial func() (net.Conn, error)
+	// Reconnect opts into automatic redial: when the connection fails,
+	// in-flight calls fail with a typed ErrConnLost error, and the
+	// client redials with exponential backoff and jitter instead of
+	// dying permanently. Calls made while the transport is down fail
+	// fast with ErrConnLost. A server GOAWAY drain followed by a
+	// connection close also redials — the rolling-restart shape, where
+	// the backend comes back on the same address.
+	Reconnect bool
+	// ReconnectMin is the initial redial backoff (default 5ms); each
+	// failed redial doubles it up to ReconnectMax (default 1s), and each
+	// wait is jittered ±50% so a fleet of clients does not thunder back
+	// in lockstep.
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.ReconnectMin <= 0 {
+		o.ReconnectMin = 5 * time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = time.Second
+	}
+	return o
+}
+
 // call is one in-flight request's rendezvous, pooled so the steady-state
 // Do round trip allocates nothing. The reader parses the response into
 // the call's own scratch before signalling done; Do copies outward and
@@ -71,8 +124,13 @@ var callPool = sync.Pool{
 // Client is one RPS2 connection: any number of goroutines may Do on it
 // concurrently, each request becomes one pipelined frame, and responses
 // are matched back by id as they complete — out of order, as the server's
-// batching dictates. Create one with Dial or NewClient.
+// batching dictates. Create one with Dial, DialOptions or NewClient.
 type Client struct {
+	opts ClientOptions
+
+	// nc is the current transport. It is written at construction and —
+	// for a reconnecting client — replaced by the redial loop while
+	// holding both mu and wmu; every reader holds one of the two.
 	nc net.Conn
 
 	wmu  sync.Mutex
@@ -83,40 +141,76 @@ type Client struct {
 	inflight int
 	idle     chan struct{} // signalled when inflight drops to 0, for Close
 	closed   bool
+	drained  chan struct{} // closed on the server's GOAWAY drain ack; fresh per connection
 
 	nextID    atomic.Uint64
 	goingAway atomic.Bool
+	down      atomic.Bool   // reconnecting client with no live transport
+	gen       atomic.Uint64 // connection generation, bumped per redial
+	dials     atomic.Uint64 // transports established
 
-	readDone chan struct{} // closed when the read loop exits
+	shutdown chan struct{} // closed by Close, wakes the redial backoff
+
+	readDone chan struct{} // closed when the read loop exits for good
 	readErr  error         // valid after readDone
-	drained  chan struct{} // closed on the server's GOAWAY drain ack
 }
 
 // Dial connects an RPS2 client to addr over TCP.
 func Dial(addr string) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialOptions(addr, ClientOptions{})
+}
+
+// DialOptions is Dial with explicit options: a transport dial hook
+// and/or opt-in reconnect. The initial dial failing is returned
+// directly — reconnection only spans the life of an established client.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	if opts.Dial == nil {
+		opts.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	nc, err := opts.Dial()
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(nc), nil
+	return newClient(nc, opts), nil
 }
 
 // NewClient speaks RPS2 over an established connection (any net.Conn,
-// including net.Pipe ends in tests) and starts its read loop.
+// including net.Pipe ends in tests) and starts its read loop. A client
+// built this way has no dialer, so it cannot reconnect.
 func NewClient(nc net.Conn) *Client {
+	return newClient(nc, ClientOptions{}.withDefaults())
+}
+
+func newClient(nc net.Conn, opts ClientOptions) *Client {
 	c := &Client{
+		opts:     opts,
 		nc:       nc,
 		calls:    make(map[uint64]*call),
 		idle:     make(chan struct{}, 1),
-		readDone: make(chan struct{}),
 		drained:  make(chan struct{}),
+		shutdown: make(chan struct{}),
+		readDone: make(chan struct{}),
 	}
+	c.gen.Store(1)
+	c.dials.Store(1)
 	go c.read()
 	return c
 }
 
 // GoingAway reports whether the server has announced a drain.
 func (c *Client) GoingAway() bool { return c.goingAway.Load() }
+
+// Down reports whether a reconnecting client currently has no live
+// transport (the redial loop is backing off). Calls fail fast with
+// ErrConnLost while down.
+//
+//repro:noalloc
+func (c *Client) Down() bool { return c.down.Load() }
+
+// Dials reports how many transport connections the client has
+// established — 1 until the first reconnect.
+func (c *Client) Dials() uint64 { return c.dials.Load() }
 
 // Do submits one routed request — route is "name" or "name@version",
 // exactly the HTTP path's id — and blocks until its response frame
@@ -135,6 +229,9 @@ func (c *Client) Do(ctx context.Context, route string, inputs [][]float64) ([]se
 func (c *Client) DoInto(ctx context.Context, route string, inputs [][]float64, out []serve.Result) ([]serve.Result, error) {
 	if c.goingAway.Load() {
 		return out, ErrGoingAway
+	}
+	if c.down.Load() {
+		return out, ErrConnLost
 	}
 	var budget time.Duration
 	if dl, ok := ctx.Deadline(); ok {
@@ -165,11 +262,31 @@ func (c *Client) DoInto(ctx context.Context, route string, inputs [][]float64, o
 	c.wbuf, err = appendRequestPayload(c.wbuf, route, budget, inputs)
 	if err == nil {
 		c.wbuf = finishFrame(c.wbuf, start)
-		_, err = c.nc.Write(c.wbuf)
+		if _, werr := c.nc.Write(c.wbuf); werr != nil {
+			// A failed frame write IS a lost connection; give it the
+			// typed identity retry policies key on.
+			err = &connLostError{cause: werr}
+		}
 	}
 	c.wmu.Unlock()
 	if err != nil {
-		c.forget(id)
+		// The reader may have raced us: a connection failure between
+		// registering the call and the write error runs failInflight,
+		// which claims the call and signals done. Pooling a call with
+		// that signal still pending would poison the pool, so claim it
+		// back under mu — and if the reader won, drain its signal (and
+		// prefer its typed error) before recycling.
+		c.mu.Lock()
+		_, mine := c.calls[id]
+		delete(c.calls, id)
+		c.mu.Unlock()
+		if !mine {
+			<-cl.done
+			if cl.err != nil {
+				err = cl.err
+			}
+		}
+		c.decInflight()
 		callPool.Put(cl)
 		return out, err
 	}
@@ -253,19 +370,52 @@ func appendResults(out, parsed []serve.Result) []serve.Result {
 	return out
 }
 
-// read is the response demultiplexer: one loop per connection matching
-// response and status frames back to their waiting calls.
+// read owns the connection lifecycle end to end: it demultiplexes one
+// transport until that fails, and — for a reconnecting client — fails
+// the in-flight calls with the typed ErrConnLost, redials with backoff,
+// and resumes on the fresh transport. It exits (closing readDone) when
+// the client is closed or, without Reconnect, on the first transport
+// failure.
 func (c *Client) read() {
-	br := bufio.NewReaderSize(c.nc, 64<<10)
-	var f Frame
+	var rng *rand.Rand // lazily built; jitter only matters when redialing
 	for {
-		if err := DecodeFrame(br, &f); err != nil {
+		err := c.readConn()
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed || !c.opts.Reconnect {
 			c.readErr = err
 			c.mu.Lock()
 			c.closed = true
 			c.mu.Unlock()
 			close(c.readDone)
 			return
+		}
+		c.down.Store(true)
+		c.failInflight(err)
+		if rng == nil {
+			rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		}
+		if !c.redial(rng) {
+			c.readErr = ErrClientClosed
+			c.mu.Lock()
+			c.closed = true
+			c.mu.Unlock()
+			close(c.readDone)
+			return
+		}
+	}
+}
+
+// readConn demultiplexes the current transport until it fails, returning
+// the transport error.
+func (c *Client) readConn() error {
+	gen := c.gen.Load()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var f Frame
+	for {
+		if err := DecodeFrame(br, &f); err != nil {
+			return err
 		}
 		switch f.Type {
 		case FrameGoAway:
@@ -275,8 +425,11 @@ func (c *Client) read() {
 			// the server can finish the handshake without waiting on an
 			// explicit Close.
 			if !c.goingAway.Swap(true) {
-				close(c.drained)
-				go c.ackGoAway()
+				c.mu.Lock()
+				drained := c.drained
+				c.mu.Unlock()
+				close(drained)
+				go c.ackGoAway(gen)
 			}
 		case FrameResponse:
 			cl := c.take(f.ID)
@@ -304,26 +457,106 @@ func (c *Client) read() {
 	}
 }
 
+// failInflight answers every registered call with the typed conn-lost
+// error; their waiting Dos wake through the normal done path and release
+// the in-flight accounting themselves.
+func (c *Client) failInflight(cause error) {
+	lost := &connLostError{cause: cause}
+	c.mu.Lock()
+	failed := make([]*call, 0, len(c.calls))
+	for id, cl := range c.calls {
+		delete(c.calls, id)
+		cl.err = lost
+		failed = append(failed, cl)
+	}
+	c.mu.Unlock()
+	// Signal outside mu: a Do racing a failed write may need mu to claim
+	// its call back before it consumes this signal.
+	for _, cl := range failed {
+		cl.done <- struct{}{}
+	}
+}
+
+// redial re-establishes the transport with exponential backoff and
+// ±50% jitter, returning false when the client was closed instead.
+func (c *Client) redial(rng *rand.Rand) bool {
+	backoff := c.opts.ReconnectMin
+	for {
+		select {
+		case <-c.shutdown:
+			return false
+		default:
+		}
+		nc, err := c.opts.Dial()
+		if err == nil {
+			// Install the fresh transport under both locks so no writer
+			// or GOAWAY acker can touch a half-swapped connection, and
+			// reset the per-connection drain state.
+			c.wmu.Lock()
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				c.wmu.Unlock()
+				_ = nc.Close()
+				return false
+			}
+			c.nc = nc
+			c.drained = make(chan struct{})
+			c.gen.Add(1)
+			c.dials.Add(1)
+			c.goingAway.Store(false)
+			c.down.Store(false)
+			c.mu.Unlock()
+			c.wmu.Unlock()
+			return true
+		}
+		// Jittered exponential backoff: wait backoff ± 50%.
+		wait := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+		select {
+		case <-c.shutdown:
+			return false
+		case <-time.After(wait):
+		}
+		backoff *= 2
+		if backoff > c.opts.ReconnectMax {
+			backoff = c.opts.ReconnectMax
+		}
+	}
+}
+
 // ackGoAway completes the client half of a server-initiated drain: wait
 // for the in-flight calls to finish (goingAway already blocks new ones),
-// then send GOAWAY so the server knows nothing else is coming. Marking
-// the client closed under mu before writing makes the wait race-free
-// against a Do that passed the goingAway fast-path but has not yet
-// registered: it observes closed and fails instead of slipping a frame
-// past the handshake.
-func (c *Client) ackGoAway() {
+// then send GOAWAY so the server knows nothing else is coming. In
+// non-reconnect mode, marking the client closed under mu before writing
+// makes the wait race-free against a Do that passed the goingAway
+// fast-path but has not yet registered: it observes closed and fails
+// instead of slipping a frame past the handshake. A reconnecting client
+// stays open — the redial loop resets the drain state once the server
+// closes the drained connection — so it marks itself down instead. The
+// generation guard keeps a stale acker (its connection already replaced)
+// from touching the successor transport.
+func (c *Client) ackGoAway(gen uint64) {
 	for {
+		if c.gen.Load() != gen {
+			return
+		}
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
 			return // Close owns the handshake from here
 		}
 		if c.inflight == 0 {
-			c.closed = true
+			if c.opts.Reconnect {
+				c.down.Store(true)
+			} else {
+				c.closed = true
+			}
 			c.mu.Unlock()
 			c.wmu.Lock()
-			c.wbuf, _ = AppendFrame(c.wbuf[:0], FrameGoAway, 0, nil)
-			_, _ = c.nc.Write(c.wbuf) // best-effort: a failed GOAWAY surfaces in the read loop
+			if c.gen.Load() == gen {
+				c.wbuf, _ = AppendFrame(c.wbuf[:0], FrameGoAway, 0, nil)
+				_, _ = c.nc.Write(c.wbuf) // best-effort: a failed GOAWAY surfaces in the read loop
+			}
 			c.wmu.Unlock()
 			return
 		}
@@ -331,6 +564,8 @@ func (c *Client) ackGoAway() {
 		select {
 		case <-c.idle:
 		case <-c.readDone:
+			return
+		case <-c.shutdown:
 			return
 		}
 	}
@@ -349,11 +584,30 @@ func (c *Client) take(id uint64) *call {
 	return cl
 }
 
+// closeShutdown closes the shutdown channel once.
+func (c *Client) closeShutdown() {
+	c.mu.Lock()
+	select {
+	case <-c.shutdown:
+	default:
+		close(c.shutdown)
+	}
+	c.mu.Unlock()
+}
+
+// conn returns the current transport under the write lock.
+func (c *Client) conn() net.Conn {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.nc
+}
+
 // Close drains the connection: it waits for in-flight calls to complete
 // (bounded by ctx), sends GOAWAY, and closes the socket. Calls made after
 // Close fail with ErrClientClosed.
 func (c *Client) Close(ctx context.Context) error {
 	c.goingAway.Store(true) // fail-fast new Do calls
+	c.closeShutdown()       // stop any redial backoff
 	for {
 		c.mu.Lock()
 		n := c.inflight
@@ -364,12 +618,12 @@ func (c *Client) Close(ctx context.Context) error {
 		select {
 		case <-c.idle:
 		case <-ctx.Done():
-			_ = c.nc.Close()
+			_ = c.conn().Close()
 			<-c.readDone
 			return ctx.Err()
 		case <-c.readDone:
 			// Connection already gone; nothing left to drain.
-			_ = c.nc.Close()
+			_ = c.conn().Close()
 			return c.readErr
 		}
 	}
@@ -379,15 +633,16 @@ func (c *Client) Close(ctx context.Context) error {
 	c.wmu.Unlock()
 	c.mu.Lock()
 	c.closed = true
+	drained := c.drained
 	c.mu.Unlock()
 	// The server acks the drain with its own GOAWAY before closing; wait
 	// for either the ack or the close so no response frame is cut off.
 	select {
-	case <-c.drained:
+	case <-drained:
 	case <-c.readDone:
 	case <-ctx.Done():
 	}
-	err := c.nc.Close()
+	err := c.conn().Close()
 	<-c.readDone
 	if errors.Is(c.readErr, net.ErrClosed) {
 		return nil

@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/serve/admission"
+)
+
+// TestStreamPerConnFairness pins the fairness satellite end to end: with
+// Config.MaxPerConn set, a hot pipelined connection is shed with the
+// typed "fairness" reason once its share is in flight, a second
+// connection keeps being admitted, and the controller's /stats counters
+// agree exactly with both the client-observed sheds and the /metrics
+// series (same atomics on all three surfaces).
+func TestStreamPerConnFairness(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	m, err := model.FromNetwork("mnist", "v1", nn.Arch2(rng), []int{121})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry(serve.Options{Workers: 4, MaxBatch: 1})
+	if err := reg.Register(slowModel{Model: m, delay: 100 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	mx := metrics.NewRegistry()
+	ctrl := admission.New(admission.Config{MaxPerConn: 1, RetryAfter: 5 * time.Millisecond})
+	ctrl.RegisterMetrics(mx)
+	srv := NewServer(reg, Options{Window: 16, Handlers: 4, Admission: ctrl})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	hot, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	polite, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hot.Close(ctx)
+		polite.Close(ctx)
+		srv.Close()
+		<-serveDone
+	})
+
+	input := make([]float64, 121)
+	ctx := context.Background()
+
+	// The hot connection pipelines a burst; with a share of 1 and a
+	// 100ms model, at most one request is in flight while the rest of
+	// the burst is read, so the surplus sheds with the typed reason.
+	const burst = 6
+	var (
+		wg        sync.WaitGroup
+		succeeded atomic.Int64
+		fairness  atomic.Int64
+	)
+	for g := 0; g < burst; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := hot.Do(ctx, "mnist", [][]float64{input})
+			if err == nil {
+				succeeded.Add(1)
+				return
+			}
+			var oe *admission.OverloadError
+			if !errors.As(err, &oe) {
+				t.Errorf("hot connection got untyped error: %v", err)
+				return
+			}
+			if oe.Reason != admission.ReasonFairness {
+				t.Errorf("shed reason %q, want %q", oe.Reason, admission.ReasonFairness)
+				return
+			}
+			if oe.RetryAfter != 5*time.Millisecond {
+				t.Errorf("Retry-After hint lost over the wire: %v", oe.RetryAfter)
+			}
+			fairness.Add(1)
+		}()
+	}
+	// The polite connection, one request at a time, is never shed even
+	// while the hot burst is being rejected.
+	politeDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < 3; i++ {
+			if _, err := polite.Do(ctx, "mnist", [][]float64{input}); err != nil {
+				politeDone <- fmt.Errorf("polite request %d: %w", i, err)
+				return
+			}
+		}
+		politeDone <- nil
+	}()
+	wg.Wait()
+	if err := <-politeDone; err != nil {
+		t.Error(err)
+	}
+	if succeeded.Load() == 0 {
+		t.Error("hot connection should have had its fair share admitted")
+	}
+	if fairness.Load() == 0 {
+		t.Fatal("burst past the share produced no fairness sheds; test is vacuous")
+	}
+
+	// Parity: /stats counters, client observations and /metrics series
+	// must all agree.
+	st := ctrl.Stats()
+	if st.ShedFairness != uint64(fairness.Load()) {
+		t.Errorf("stats.ShedFairness = %d, clients observed %d", st.ShedFairness, fairness.Load())
+	}
+	want := fmt.Sprintf(`repro_admission_shed_total{reason="fairness"} %d`, st.ShedFairness)
+	if exp := mx.Expose(); !strings.Contains(exp, want) {
+		t.Errorf("/metrics missing %q\nscrape:\n%s", want, exp)
+	}
+}

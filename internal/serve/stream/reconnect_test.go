@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+// TestClientReconnect drives a reconnecting client through the
+// fault-injection harness: the schedule kills each connection after a
+// fixed number of I/O operations, and the test pins the satellite
+// contract — every failure a caller sees is the typed ErrConnLost (in
+// flight or fail-fast), and once the schedule is disarmed the client
+// redials by itself and serves again on a fresh transport.
+func TestClientReconnect(t *testing.T) {
+	reg, inputs := newArch2Registry(t, serve.Options{Workers: 2, MaxBatch: 8})
+	srv := NewServer(reg, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		<-serveDone
+		reg.Close()
+	})
+
+	// Each connection dies on its 8th operation of either direction —
+	// roughly four round trips in, so requests are genuinely in flight
+	// when the transport goes.
+	in := faultinject.New(faultinject.Config{Seed: 9, DropAfterOps: 8})
+	cl, err := DialOptions(ln.Addr().String(), ClientOptions{
+		Dial:         in.Dialer(ln.Addr().String()),
+		Reconnect:    true,
+		ReconnectMin: time.Millisecond,
+		ReconnectMax: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	t.Cleanup(func() { cl.Close(ctx) })
+
+	// Phase 1: armed. Run until the schedule has killed at least two
+	// connections; every error must carry the typed identity.
+	lost := 0
+	for i := 0; in.Stats().Drops < 2; i++ {
+		if i > 10_000 {
+			t.Fatal("schedule never dropped two connections")
+		}
+		_, err := cl.Do(ctx, "mnist", inputs[:1])
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrConnLost):
+			lost++
+			time.Sleep(200 * time.Microsecond) // let the redial loop win the race
+		default:
+			t.Fatalf("non-typed error under injected drops: %v", err)
+		}
+	}
+	if lost == 0 {
+		t.Fatal("two connections dropped but no Do ever saw ErrConnLost")
+	}
+
+	// Phase 2: disarmed. The redial loop must re-establish a transport
+	// and serve without intervention.
+	in.Disarm()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := cl.Do(ctx, "mnist", inputs[:1]); err == nil {
+			break
+		} else if !errors.Is(err, ErrConnLost) {
+			t.Fatalf("non-typed error while recovering: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after disarming the schedule")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d := cl.Dials(); d < 2 {
+		t.Fatalf("Dials() = %d, want ≥ 2 (client must have redialed)", d)
+	}
+	if cl.GoingAway() || cl.Down() {
+		t.Fatalf("recovered client reports GoingAway=%v Down=%v", cl.GoingAway(), cl.Down())
+	}
+
+	// Steady state after recovery: concurrent traffic round trips clean.
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := cl.Do(ctx, "mnist", inputs[:1]); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("post-recovery traffic failed: %v", err)
+	}
+}
+
+// TestClientReconnectInFlightTyped pins the in-flight path specifically:
+// a burst of concurrent calls is outstanding when the schedule cuts the
+// connection, and each one resolves to the typed ErrConnLost — no hangs,
+// no raw transport errors.
+func TestClientReconnectInFlightTyped(t *testing.T) {
+	reg, inputs := newArch2Registry(t, serve.Options{Workers: 1, MaxBatch: 1})
+	srv := NewServer(reg, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		<-serveDone
+		reg.Close()
+	})
+
+	// The very first read op kills the connection: every request of the
+	// burst is written, none is ever answered.
+	in := faultinject.New(faultinject.Config{Seed: 11, DropAfterOps: 1})
+	cl, err := DialOptions(ln.Addr().String(), ClientOptions{
+		Dial:         in.Dialer(ln.Addr().String()),
+		Reconnect:    true,
+		ReconnectMin: time.Millisecond,
+		ReconnectMax: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	t.Cleanup(func() { cl.Close(context.Background()) })
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := range errs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, errs[g] = cl.Do(ctx, "mnist", inputs[:1])
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err == nil {
+			continue // raced ahead of the drop; fine
+		}
+		if !errors.Is(err, ErrConnLost) {
+			t.Fatalf("in-flight call %d failed untyped: %v", g, err)
+		}
+	}
+	in.Disarm()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := cl.Do(ctx, "mnist", inputs[:1]); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClientReconnectAfterDrain pins the rolling-restart shape: the
+// server drains (GOAWAY handshake) and exits, a replacement comes up on
+// the same address, and a reconnecting client crosses the gap by itself —
+// the drain is honored (in-flight completes), downtime errors are typed,
+// and traffic resumes against the successor.
+func TestClientReconnectAfterDrain(t *testing.T) {
+	reg, inputs := newArch2Registry(t, serve.Options{Workers: 2, MaxBatch: 8})
+	srv1 := NewServer(reg, Options{})
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln1.Addr().String()
+	serveDone1 := make(chan error, 1)
+	go func() { serveDone1 <- srv1.Serve(ln1) }()
+
+	cl, err := DialOptions(addr, ClientOptions{
+		Reconnect:    true,
+		ReconnectMin: time.Millisecond,
+		ReconnectMax: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	t.Cleanup(func() { cl.Close(ctx); reg.Close() })
+
+	if _, err := cl.Do(ctx, "mnist", inputs[:1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain and stop the first server; its listener closes with it.
+	sctx, scancel := context.WithTimeout(ctx, 5*time.Second)
+	if err := srv1.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	scancel()
+	<-serveDone1
+
+	// Bring the replacement up on the same address and wait for the
+	// client to find it. Until then every Do fails typed.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	srv2 := NewServer(reg, Options{})
+	serveDone2 := make(chan error, 1)
+	go func() { serveDone2 <- srv2.Serve(ln2) }()
+	t.Cleanup(func() {
+		srv2.Close()
+		<-serveDone2
+	})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := cl.Do(ctx, "mnist", inputs[:1])
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrConnLost) && !errors.Is(err, ErrGoingAway) {
+			t.Fatalf("non-typed error across restart: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never reattached to the replacement server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d := cl.Dials(); d < 2 {
+		t.Fatalf("Dials() = %d, want ≥ 2 across restart", d)
+	}
+}

@@ -75,11 +75,19 @@ type ServerStats struct {
 	GoAways uint64 `json:"goaways"`
 }
 
+// Backend answers routed inference requests. *serve.Registry satisfies
+// it in a single process; the fleet router satisfies it too, which is
+// how cmd/router re-exposes the same RPS2 front end it consumes.
+type Backend interface {
+	InferInto(ctx context.Context, name, version string, input, scores []float64) (serve.Result, error)
+}
+
 // Server speaks RPS2 over any net.Listener, routing request frames into a
-// serve.Registry. One Server may serve several listeners; Shutdown drains
-// every connection (GOAWAY handshake) before returning.
+// Backend (usually a serve.Registry). One Server may serve several
+// listeners; Shutdown drains every connection (GOAWAY handshake) before
+// returning.
 type Server struct {
-	reg  *serve.Registry
+	reg  Backend
 	opts Options
 
 	mu       sync.Mutex
@@ -99,7 +107,7 @@ type Server struct {
 // NewServer builds a streaming server over reg. When opts.Metrics is set
 // the listener's series are registered here, once per server — they are
 // callback-backed, reading the same counters Stats reads.
-func NewServer(reg *serve.Registry, opts Options) *Server {
+func NewServer(reg Backend, opts Options) *Server {
 	s := &Server{
 		reg:   reg,
 		opts:  opts.withDefaults(),
@@ -231,6 +239,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// Draining reports whether Shutdown has begun: new connections are
+// refused, existing ones are completing their GOAWAY handshake. The
+// router's drain admin endpoint surfaces this per backend.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 // Close force-closes every listener and connection without draining.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -277,6 +294,11 @@ type sconn struct {
 	pending chan *sreq
 	free    chan *sreq
 	routes  map[string]route // route bytes → interned name/version
+
+	// admit is this connection's fairness accounting, handed to
+	// AdmitConn so one hot pipelined connection cannot consume the whole
+	// global admission budget (Config.MaxPerConn).
+	admit admission.ConnState
 
 	ctx    context.Context // cancelled when the connection is torn down
 	cancel context.CancelFunc
@@ -413,7 +435,7 @@ func (c *sconn) readRequest(f *Frame) {
 	name, version := c.lookupRoute(routeB)
 	var ticket admission.Ticket
 	if ctrl := c.srv.opts.Admission; ctrl != nil {
-		t, err := ctrl.Admit(name)
+		t, err := ctrl.AdmitConn(name, &c.admit)
 		if err != nil {
 			c.srv.shed.Add(1)
 			var oe *admission.OverloadError

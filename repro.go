@@ -23,6 +23,10 @@
 //   - a program compiler (internal/program): trained networks lowered to
 //     typed op graphs, pass-driven fusion, and pluggable float /
 //     fixed-point execution backends
+//   - a fleet tier (internal/router, cmd/router): a fault-tolerant proxy
+//     over N serving processes — health-checked circuit breakers,
+//     budget-bounded retries, graceful drain — proved by the seeded
+//     fault-injection harness of internal/faultinject
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure.
@@ -40,6 +44,7 @@ import (
 	"repro/internal/circulant"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/fft"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -47,6 +52,7 @@ import (
 	"repro/internal/ops"
 	"repro/internal/platform"
 	"repro/internal/program"
+	"repro/internal/router"
 	"repro/internal/serve"
 	"repro/internal/serve/admission"
 	"repro/internal/serve/stream"
@@ -353,3 +359,55 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // NewCanary validates a canary configuration against the registry and
 // returns a controller; call Start to begin the ramp.
 func NewCanary(cfg CanaryConfig) (*CanaryController, error) { return canary.New(cfg) }
+
+// Fleet tier (internal/router, internal/faultinject): a shared-nothing
+// proxy fronting N serving processes over persistent RPS2 connections,
+// re-exposing the same HTTP and RPS2 front ends. Routing is keyed by
+// "name[@version]" against a propagated registry view (periodic
+// /v1/models + /metrics scrapes), selection is least-loaded among
+// healthy holders, and per-backend fault tolerance is a three-state
+// circuit breaker, a token-bucket-bounded single retry on a different
+// backend, and an admin-driven graceful drain riding the GOAWAY
+// handshake. The fault injector that proves all of this — seeded,
+// deterministic connection faults wrapped around real net.Conns — is
+// exported too, because chaos harnesses are part of the product's
+// contract, not just its tests.
+type (
+	// FleetRouter fans requests out across backends; it implements the
+	// same InferInto seam a Registry does, so the stream server and the
+	// HTTP handlers run unchanged on top of it.
+	FleetRouter = router.Router
+	// FleetOptions parameterises NewFleetRouter (backends, intervals,
+	// breaker and retry-budget tuning).
+	FleetOptions = router.Options
+	// FleetBackend names one fronted process: RPS2 address, HTTP base
+	// URL for view/health scraping, and an optional dial hook.
+	FleetBackend = router.BackendConfig
+	// FleetBreakerConfig tunes every backend's circuit breaker.
+	FleetBreakerConfig = router.BreakerConfig
+	// FaultInjector wraps net.Conns with a seeded, deterministic fault
+	// schedule (drops, delays, truncations, corruption).
+	FaultInjector = faultinject.Injector
+	// FaultConfig is the injector's fault schedule.
+	FaultConfig = faultinject.Config
+)
+
+// Fleet routing sentinels: ErrFleetNoBackend (known route, nothing
+// healthy holds it — a 503) versus ErrFleetUnknownRoute (no backend has
+// ever advertised it — a 404).
+var (
+	ErrFleetNoBackend    = router.ErrNoBackend
+	ErrFleetUnknownRoute = router.ErrUnknownRoute
+	// ErrInjectedFault is the typed error a scheduled connection drop
+	// surfaces through a wrapped conn.
+	ErrInjectedFault = faultinject.ErrInjectedDrop
+)
+
+// NewFleetRouter dials every backend and starts the health loops; the
+// router is serving as soon as it returns.
+func NewFleetRouter(opts FleetOptions) (*FleetRouter, error) { return router.New(opts) }
+
+// NewFaultInjector builds a deterministic connection-fault injector;
+// wire its Dialer into a FleetBackend or wrap a test listener with
+// Listen.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultinject.New(cfg) }
