@@ -150,6 +150,13 @@ func (b *backend) do(ctx context.Context, route string, input, scores []float64)
 	if isBackendFailure(err) {
 		b.failures.Add(1)
 		b.br.Fail(time.Now())
+	} else {
+		// A non-backend failure (typed overload shed, caller
+		// cancel/deadline, 404) neither closes nor indicts — but if this
+		// request was admitted as the half-open probe it must release the
+		// slot, or the breaker stays probing forever and the backend is
+		// excluded from routing until restart.
+		b.br.ReleaseProbe(time.Now())
 	}
 	return res, err
 }

@@ -164,6 +164,24 @@ func (b *breaker) Fail(now time.Time) {
 	}
 }
 
+// ReleaseProbe frees an outstanding half-open probe slot after a request
+// whose failure does not indict the backend — a typed overload shed, a
+// caller cancel/deadline, a 404. The verdict is "not proven healthy": the
+// circuit re-opens with grown backoff exactly as a failed probe does,
+// instead of leaking the slot and excluding the backend from routing
+// forever. No-op in any other state, so callers may invoke it
+// unconditionally on error.
+//
+//repro:noalloc
+func (b *breaker) ReleaseProbe(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probing {
+		b.probing = false
+		b.open(now)
+	}
+}
+
 // Trip opens the circuit immediately regardless of the failure count —
 // the health checker uses it when a scrape shows the backend past its
 // p99 or shed-rate thresholds.

@@ -74,6 +74,40 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// TestBreakerReleaseProbe pins the half-open slot release: a probe whose
+// failure does not indict the backend must re-open the circuit and free
+// the slot rather than leave it claimed forever.
+func TestBreakerReleaseProbe(t *testing.T) {
+	b := newBreaker(BreakerConfig{Failures: 1, OpenBase: 100 * time.Millisecond, OpenMax: time.Second}, 3)
+	now := time.Unix(0, 0)
+
+	// Closed: ReleaseProbe is a no-op.
+	b.ReleaseProbe(now)
+	if b.State() != BreakerClosed {
+		t.Fatalf("ReleaseProbe moved a closed breaker to %v", b.State())
+	}
+
+	b.Fail(now)
+	due := now.Add(151 * time.Millisecond)
+	if !b.TryProbe(due) {
+		t.Fatal("probe refused after reopen deadline")
+	}
+	b.ReleaseProbe(due)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after released probe: %v", b.State())
+	}
+	// The slot is free again: after the grown backoff (jittered within
+	// [base, 3*base]) another probe is admitted — nothing leaked.
+	due2 := due.Add(601 * time.Millisecond)
+	if !b.TryProbe(due2) {
+		t.Fatal("probe slot leaked: TryProbe refused after released probe's backoff")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe: %v", b.State())
+	}
+}
+
 // TestBreakerTrip pins the health checker's immediate trip: open at
 // once, regardless of the failure count, idempotent while open.
 func TestBreakerTrip(t *testing.T) {

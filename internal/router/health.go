@@ -159,13 +159,9 @@ func (rt *Router) probe(b *backend) {
 	defer cancel()
 	input := make([]float64, dim)
 	_, err := b.do(ctx, route, input, nil)
-	// b.do already reported transport verdicts to the breaker. What it
-	// does not know: a half-open probe that failed for a *non*-backend
-	// reason (e.g. our own timeout) must still release the probe slot
-	// and keep the circuit open rather than leak the slot.
-	if err != nil && !isBackendFailure(err) && b.br.State() == BreakerHalfOpen {
-		b.br.Fail(time.Now())
-	}
+	// b.do reports every verdict to the breaker, including releasing a
+	// half-open probe slot when the failure does not indict the backend
+	// (e.g. our own probe timeout) — the slot never leaks.
 	if err != nil {
 		msg := err.Error()
 		b.probeErr.Store(&msg)

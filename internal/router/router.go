@@ -173,14 +173,16 @@ func New(opts Options) (*Router, error) {
 	if opts.Metrics != nil {
 		rt.registerMetrics(opts.Metrics)
 	}
+	// One synchronous refresh round so the router does not route blind
+	// for the first interval — before the health loops start, so the
+	// non-atomic scrape state (prevLatency etc., owned by the health
+	// loop) is never touched by two goroutines at once.
+	for _, b := range rt.backends {
+		rt.refresh(b)
+	}
 	rt.wg.Add(len(rt.backends))
 	for _, b := range rt.backends {
 		go rt.healthLoop(b)
-	}
-	// One synchronous refresh round so the router does not route blind
-	// for the first interval.
-	for _, b := range rt.backends {
-		rt.refresh(b)
 	}
 	return rt, nil
 }
@@ -393,18 +395,25 @@ func (rt *Router) SetDraining(addr string, draining bool) bool {
 // whose view is freshest. This is the router's /v1/models answer.
 func (rt *Router) Models() []serve.ModelInfo {
 	seen := make(map[string]serve.ModelInfo)
+	fresh := make(map[string]int64) // id -> lastRefresh of the winning row
 	order := make([]string, 0, 8)
 	for _, b := range rt.backends {
 		v := b.view.Load()
 		if v == nil {
 			continue
 		}
+		ts := b.lastRefresh.Load()
 		for _, m := range v.models {
 			id := m.Name + "@" + m.Version
-			if _, dup := seen[id]; !dup {
+			if prev, dup := fresh[id]; dup {
+				if ts <= prev {
+					continue
+				}
+			} else {
 				order = append(order, id)
 			}
 			seen[id] = m
+			fresh[id] = ts
 		}
 	}
 	out := make([]serve.ModelInfo, 0, len(order))
@@ -442,8 +451,8 @@ type tokenBucket struct {
 }
 
 func (tb *tokenBucket) init(perRequest float64, burst int64) {
-	if perRequest < 0 {
-		perRequest = 0
+	if perRequest <= 0 {
+		return // disabled: zero accrual, empty bucket — take() always fails
 	}
 	tb.accrual = int64(perRequest * 1e6)
 	tb.max = burst * 1e6

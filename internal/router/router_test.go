@@ -390,6 +390,106 @@ func TestRouterBreakerOpensAndRecovers(t *testing.T) {
 	}
 }
 
+// TestRouterHalfOpenProbeSlotReleased pins the probe-slot release: a
+// routed request admitted as the half-open probe that then fails for a
+// non-backend reason (here: the caller's own cancelled context) must
+// free the slot. Before the fix the breaker stayed half-open with the
+// probe claimed forever — the health loop's TryProbe kept refusing and
+// the backend was excluded from routing until restart.
+func TestRouterHalfOpenProbeSlotReleased(t *testing.T) {
+	b1 := startFleetBackend(t, newFleetRegistry(t, nil, "v1"), nil, stream.Options{})
+	rt := newTestRouter(t, Options{
+		Backends:        []BackendConfig{b1.config()},
+		RefreshInterval: 50 * time.Millisecond,
+		// The health prober must not be the one reclaiming the slot.
+		ProbeInterval: time.Hour,
+		Breaker:       BreakerConfig{Failures: 1, OpenBase: 10 * time.Millisecond, OpenMax: 20 * time.Millisecond},
+		Seed:          6,
+	})
+	ctx := context.Background()
+	in := testInput(23)
+	if _, err := rt.Infer(ctx, "mnist", "v1", in); err != nil {
+		t.Fatalf("healthy routed infer: %v", err)
+	}
+
+	// Trip the circuit, wait past the jittered backoff ceiling (1.5 *
+	// OpenMax = 30ms), then route with an already-cancelled context:
+	// pick() admits it as the half-open probe and it fails without
+	// indicting the backend.
+	rt.backends[0].br.Trip(time.Now())
+	time.Sleep(50 * time.Millisecond)
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := rt.Infer(cctx, "mnist", "v1", in); err == nil {
+		t.Fatal("infer with cancelled context succeeded")
+	}
+
+	// The slot must be free again: a later request claims it, succeeds,
+	// and re-closes the circuit with zero operator intervention.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := rt.Infer(ctx, "mnist", "v1", in); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("probe slot leaked; status %+v", rt.Backends()[0])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for rt.Backends()[0].Breaker != "closed" {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never re-closed; status %+v", rt.Backends()[0])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRetryBudgetDisabled pins that a negative RetryBudget disables
+// retries outright: the bucket starts empty and never accrues, so not
+// even the burst allowance leaks retries through.
+func TestRetryBudgetDisabled(t *testing.T) {
+	var tb tokenBucket
+	tb.init(-1, 10)
+	if tb.take() {
+		t.Fatal("disabled retry budget granted its initial burst")
+	}
+	for i := 0; i < 1000; i++ {
+		tb.accrue()
+	}
+	if tb.take() {
+		t.Fatal("disabled retry budget accrued tokens")
+	}
+}
+
+// TestModelsFreshestWins pins the duplicate-id merge rule in Models():
+// the row from the backend whose view refreshed most recently wins,
+// regardless of configuration order.
+func TestModelsFreshestWins(t *testing.T) {
+	mk := func(weight float64, ts int64) *backend {
+		b := &backend{}
+		b.view.Store(&view{models: []serve.ModelInfo{
+			{Name: "mnist", Version: "v1", InDim: 121, Weight: weight},
+		}})
+		b.lastRefresh.Store(ts)
+		return b
+	}
+	// Stale view first in config order with a distinguishable Weight: the
+	// fresher second backend's row must win the merge anyway.
+	rt := &Router{backends: []*backend{mk(0.25, 100), mk(0.75, 200)}}
+	models := rt.Models()
+	if len(models) != 1 {
+		t.Fatalf("merged models = %d rows, want 1", len(models))
+	}
+	if models[0].Weight != 0.75 {
+		t.Fatalf("duplicate winner Weight = %v, want 0.75 (freshest view)", models[0].Weight)
+	}
+	// Same views, freshness reversed: now the first backend wins.
+	rt = &Router{backends: []*backend{mk(0.25, 300), mk(0.75, 200)}}
+	if models = rt.Models(); models[0].Weight != 0.25 {
+		t.Fatalf("duplicate winner Weight = %v, want 0.25 (freshest view)", models[0].Weight)
+	}
+}
+
 // slowModel delays every batch, so admission limits reliably engage.
 type slowModel struct {
 	model.Model
