@@ -48,16 +48,16 @@ bench:
 # regression on hot-path benchmarks fails, and ANY allocs/op increase on
 # the steady-state serving/spectral benchmarks fails:
 #   make bench-compare BASE=BENCH_20260701.json HEAD=BENCH_20260728.json
-GATE ?= BenchmarkBatchedSpectralForward|BenchmarkFig2_CirculantMatvec|BenchmarkAblationSpectralCache|BenchmarkAblationAccumulateSpectral|BenchmarkCompiledForward
+GATE ?= BenchmarkBatchedSpectralForward|BenchmarkFig2_CirculantMatvec|BenchmarkAblationSpectralCache|BenchmarkAblationAccumulateSpectral|BenchmarkCompiledForward|BenchmarkVectorSearch
 # Serving acceptance benchmarks, gated at a wide catastrophic-only
 # threshold (2.5x) because closed-loop per-op medians are scheduler-shaped.
-SERVEGATE ?= BenchmarkRegistryRoutedInfer|BenchmarkStreamInfer|BenchmarkRouterRoutedInfer
+SERVEGATE ?= BenchmarkRegistryRoutedInfer|BenchmarkStreamInfer|BenchmarkRouterRoutedInfer|BenchmarkEmbed
 # Alloc-gate only benchmarks whose hot path is deterministically serial
 # (above the spectral engine's parallel threshold the worker fan-out heap-
 # allocates its closures by design, and the closed-loop serving benches
 # spawn client goroutines); the hard `alloc-gate` test target below covers
 # the full set of steady-state paths exactly.
-ALLOCGATE ?= BenchmarkBatchedSpectralForward/arch1Batched|BenchmarkCompiledForward|BenchmarkQuantizedForward|BenchmarkStreamInfer/serial
+ALLOCGATE ?= BenchmarkBatchedSpectralForward/arch1Batched|BenchmarkCompiledForward|BenchmarkQuantizedForward|BenchmarkStreamInfer/serial|BenchmarkEmbed|BenchmarkVectorSearch
 
 bench-compare:
 	$(GO) run ./tools/benchjson compare -threshold 1.15 -gate '$(GATE)' -allocgate '$(ALLOCGATE)' $(BASE) $(HEAD)
@@ -96,3 +96,6 @@ fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzDecodeWireRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
 	$(GO) test -run xxx -fuzz 'FuzzDecodeWireResults$$' -fuzztime $(FUZZTIME) ./internal/serve/
 	$(GO) test -run xxx -fuzz 'FuzzDecodeStreamFrame$$' -fuzztime $(FUZZTIME) ./internal/serve/stream/
+	$(GO) test -run xxx -fuzz 'FuzzDecodeEmbedRequest$$' -fuzztime $(FUZZTIME) ./internal/embed/
+	$(GO) test -run xxx -fuzz 'FuzzDecodeEmbedResults$$' -fuzztime $(FUZZTIME) ./internal/embed/
+	$(GO) test -run xxx -fuzz 'FuzzParseStoreIndex$$' -fuzztime $(FUZZTIME) ./internal/store/

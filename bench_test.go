@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/circulant"
 	"repro/internal/dataset"
+	"repro/internal/embed"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/fft"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/serve/admission"
 	"repro/internal/serve/stream"
 	"repro/internal/tensor"
+	"repro/internal/vector"
 )
 
 // Trained results are shared across benches (training once, quick config).
@@ -859,6 +861,118 @@ func BenchmarkQuantizedForward(b *testing.B) {
 				b.ReportMetric(float64(b.N)*float64(batch)/b.Elapsed().Seconds(), "vec/s")
 			})
 		}
+	}
+}
+
+// BenchmarkEmbed is the embedding tier's acceptance benchmark: the
+// penultimate-activation build (classifier head cut off after lowering)
+// served through the registry-routed path — the /embed endpoint's hot
+// path minus HTTP. Warm serial iterations are allocation-free, pinned by
+// the CI alloc gate: the derived ".embed" model runs the same compiled
+// zero-alloc executor as its scoring sibling.
+func BenchmarkEmbed(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	const features = 256
+	m, err := embed.NewModel("arch1", "v1", nn.Arch1(rng), []int{features})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := serve.NewRegistry(serve.Options{Workers: 1, MaxBatch: 16})
+	defer reg.Close()
+	if err := reg.Register(m); err != nil {
+		b.Fatal(err)
+	}
+	input := make([]float64, features)
+	for i := range input {
+		input[i] = rng.NormFloat64()
+	}
+	ctx := context.Background()
+	name := embed.ModelName("arch1")
+	var scores []float64
+	for k := 0; k < 20; k++ { // warm the request pool and score buffers
+		res, err := reg.InferInto(ctx, name, "", input, scores)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scores = res.Scores
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := reg.InferInto(ctx, name, "", input, scores)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scores = res.Scores
+	}
+	b.ReportMetric(float64(len(scores)), "dim")
+}
+
+// BenchmarkVectorSearch measures the top-k engine over a 4096-vector
+// clustered corpus (dim 64, k=10): exact brute force against the IVF ANN
+// index (32 lists, nprobe 4), float32 kernels against the int8 quantised
+// mirror. Warm SearchInto through a reused Searcher is allocation-free on
+// every variant, pinned by the CI alloc gate.
+func BenchmarkVectorSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(30))
+	const n, dim, clusters = 4096, 64, 32
+	centers := make([][]float32, clusters)
+	for i := range centers {
+		centers[i] = make([]float32, dim)
+		for j := range centers[i] {
+			centers[i][j] = float32(rng.NormFloat64()) * 4
+		}
+	}
+	data := make([][]float32, n)
+	ids := make([]string, n)
+	for i := range data {
+		c := centers[i%clusters]
+		data[i] = make([]float32, dim)
+		for j := range data[i] {
+			data[i][j] = c[j] + float32(rng.NormFloat64())
+		}
+		ids[i] = fmt.Sprintf("v%05d", i)
+	}
+	s := vector.NewStore()
+	col, err := s.Ensure("bench", dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := col.Upsert(ids, data); err != nil {
+		b.Fatal(err)
+	}
+	if err := col.TrainANN(clusters, 1); err != nil {
+		b.Fatal(err)
+	}
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = centers[3][j] + float32(rng.NormFloat64())
+	}
+	for _, tc := range []struct {
+		name string
+		opt  vector.SearchOptions
+	}{
+		{"brute/float32", vector.SearchOptions{}},
+		{"brute/int8", vector.SearchOptions{Quantized: true}},
+		{"ann/float32", vector.SearchOptions{NProbe: 4}},
+		{"ann/int8", vector.SearchOptions{NProbe: 4, Quantized: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var sc vector.Searcher
+			dst := make([]vector.Result, 0, 10)
+			dst, err := col.SearchInto(dst, &sc, q, 10, tc.opt) // warm
+			if err != nil || len(dst) != 10 {
+				b.Fatalf("warm search: %d results, err %v", len(dst), err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dst, err = col.SearchInto(dst, &sc, q, 10, tc.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mvec/s")
+		})
 	}
 }
 

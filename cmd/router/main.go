@@ -84,6 +84,8 @@ func main() {
 	maxP99 := flag.Duration("max-p99", 0, "trip a backend's breaker when its scraped windowed p99 exceeds this (0 disables)")
 	maxShedRate := flag.Float64("max-shed-rate", 0, "trip the breaker when the scraped windowed shed rate exceeds this (0 disables)")
 	minWindow := flag.Int("min-window", 16, "minimum scraped request window before p99/shed verdicts apply")
+	affinity := flag.Bool("affinity", false, "route inference by rendezvous hashing on the route (cache affinity) instead of least-loaded")
+	proxyTimeout := flag.Duration("proxy-timeout", 30*time.Second, "timeout for one proxied vector/embed call")
 	seed := flag.Int64("seed", 0, "breaker jitter seed (0 seeds from the clock)")
 	flag.Parse()
 
@@ -104,12 +106,14 @@ func main() {
 			OpenBase: *breakerOpen,
 			OpenMax:  *breakerOpenMax,
 		},
-		RetryBudget: *retryBudget,
-		MaxP99:      *maxP99,
-		MaxShedRate: *maxShedRate,
-		MinWindow:   *minWindow,
-		Metrics:     mx,
-		Seed:        *seed,
+		RetryBudget:  *retryBudget,
+		MaxP99:       *maxP99,
+		MaxShedRate:  *maxShedRate,
+		MinWindow:    *minWindow,
+		Affinity:     *affinity,
+		ProxyTimeout: *proxyTimeout,
+		Metrics:      mx,
+		Seed:         *seed,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/serve"
 	"repro/internal/serve/admission"
+	"repro/internal/vector"
 )
 
 // registerPprof mounts net/http/pprof's handlers under /debug/pprof/ on
@@ -41,9 +42,21 @@ func registerPprof(mux *http.ServeMux) {
 // process metrics registry served at GET /metrics in Prometheus text
 // exposition format; the serving layers register their series into it, so
 // the scrape and the /stats JSON read the same counters.
-func newMux(reg *serve.Registry, defaultName string, start time.Time, ctrl *admission.Controller, mx *metrics.Registry) *http.ServeMux {
+// vs is the vector tier's collection store; nil creates a fresh one (the
+// endpoints are always mounted — an empty store costs nothing).
+func newMux(reg *serve.Registry, defaultName string, start time.Time, ctrl *admission.Controller, mx *metrics.Registry, vs *vector.Store) *http.ServeMux {
+	if vs == nil {
+		vs = vector.NewStore()
+	}
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", mx.Handler())
+	registerVectorAPI(mux, vs)
+	registerVectorMetrics(mx, vs)
+	embedRequests := mx.Counter(metricEmbedRequests, "POST /embed requests accepted by admission control.")
+	mux.HandleFunc("POST /v1/models/{id}/embed", func(w http.ResponseWriter, r *http.Request) {
+		name, version := model.ParseID(r.PathValue("id"))
+		handleEmbed(w, r, reg, name, version, ctrl, embedRequests)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":   "ok",

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"mime"
+	"net/http"
+
+	"repro/internal/embed"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/serve/admission"
+)
+
+// metricEmbedRequests counts /embed posts (any outcome past admission).
+const metricEmbedRequests = "repro_embed_requests_total"
+
+// handleEmbed answers POST /v1/models/{id}/embed: the id names the *base*
+// model, the handler rewrites it to the derived "<name>.embed" identity
+// (see internal/embed) and routes through the registry exactly like
+// /infer — batching, versions and the "latest" alias all apply. Payloads
+// are JSON or the compact embed wire codec (e1), selected by Content-Type;
+// responses mirror the request's format, the binary one carrying float32
+// (the vector tier's dtype).
+func handleEmbed(w http.ResponseWriter, r *http.Request, reg *serve.Registry, name, version string, ctrl *admission.Controller, requests *metrics.Counter) {
+	ename := embed.ModelName(name)
+	if ctrl != nil {
+		ticket, err := ctrl.Admit(ename)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer ticket.Release()
+	}
+	if requests != nil {
+		requests.Inc()
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	mediaType, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if mediaType == embed.WireContentType {
+		inputs, err := embed.DecodeWireRequest(body)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody(err))
+			return
+		}
+		vecs, err := embedAll(r.Context(), reg, ename, version, inputs)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", embed.WireContentType)
+		if err := embed.EncodeWireResults(w, vecs); err != nil {
+			log.Printf("encoding embed response: %v", err)
+		}
+		return
+	}
+
+	var req inferRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	if len(req.Inputs) > maxInputsPerRequest {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("%d inputs in one request, limit %d", len(req.Inputs), maxInputsPerRequest),
+		})
+		return
+	}
+	if req.Input != nil && len(req.Inputs) > 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": `body sets both "input" and "inputs"; use one`})
+		return
+	}
+	switch {
+	case req.Input != nil:
+		res, err := reg.Infer(r.Context(), ename, version, req.Input)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"embedding": res.Scores, "dim": len(res.Scores)})
+	case len(req.Inputs) > 0:
+		vecs, err := embedAll(r.Context(), reg, ename, version, req.Inputs)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"embeddings": vecs, "dim": len(vecs[0])})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": `need "input" or "inputs"`})
+	}
+}
+
+// embedAll runs every input through the embedding model concurrently (the
+// batching scheduler coalesces them) and returns the vectors in order.
+func embedAll(ctx context.Context, reg *serve.Registry, name, version string, inputs [][]float64) ([][]float64, error) {
+	results, err := inferAll(ctx, reg, name, version, inputs)
+	if err != nil {
+		return nil, err
+	}
+	vecs := make([][]float64, len(results))
+	for i := range results {
+		vecs[i] = results[i].Scores
+	}
+	return vecs, nil
+}

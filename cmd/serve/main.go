@@ -86,12 +86,14 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"encoding/json"
 
 	"repro/internal/canary"
+	"repro/internal/embed"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -99,6 +101,8 @@ import (
 	"repro/internal/serve"
 	"repro/internal/serve/admission"
 	"repro/internal/serve/stream"
+	"repro/internal/store"
+	"repro/internal/vector"
 )
 
 // modelFlag collects repeated "-model name[@version]=value" occurrences.
@@ -135,11 +139,26 @@ func main() {
 	flag.Var(&canaries, "canary", "canary autopilot: ramp candidate against base, name@base:name@cand (repeatable)")
 	canaryInterval := flag.Duration("canary-interval", 15*time.Second, "canary evaluation period")
 	canarySchedule := flag.String("canary-schedule", "0.05,0.25,0.5", "canary weight ramp, ascending shares in (0,1)")
+	var embeds, simcaches modelFlag
+	flag.Var(&embeds, "embed", "also serve a loaded model's penultimate-layer embedding under \"<name>.embed\": name[@version] (repeatable)")
+	flag.Var(&simcaches, "simcache", "enable the similarity-keyed result cache on a model (requires -embed of the same model): name[@version] (repeatable)")
+	simThreshold := flag.Float64("sim-threshold", 0.999, "similarity-cache cosine hit threshold")
+	simCapacity := flag.Int("sim-capacity", 256, "similarity-cache entries per model")
+	simValidate := flag.Int("sim-validate", 0, "audit every Nth similarity hit against the exact answer (0 disables)")
+	storeDir := flag.String("store", "", "mmap-backed artifact store directory: register every indexed model at boot, weights resident via mmap only")
+	packDir := flag.String("pack", "", "pack every loaded model into an artifact-store directory and exit")
 	flag.Parse()
 
-	loaded, err := loadModels(models.specs, demos.specs, *bundle, *archPath, *paramsPath)
+	loaded, err := loadModels(models.specs, demos.specs, *bundle, *archPath, *paramsPath, *storeDir != "")
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *packDir != "" {
+		if err := packModels(*packDir, loaded); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("packed %d model(s) into %s", len(loaded), *packDir)
+		return
 	}
 	quantized, err := quantizeModels(loaded, quantize.specs)
 	if err != nil {
@@ -151,17 +170,37 @@ func main() {
 	// and GET /metrics scrapes it.
 	mx := metrics.NewRegistry()
 
-	reg := serve.NewRegistry(serve.Options{
+	serveOpts := serve.Options{
 		Workers:   *workers,
 		MaxBatch:  *batch,
 		MaxDelay:  *deadline,
 		CacheSize: *cache,
 		SLO:       *slo,
 		Metrics:   mx,
-	})
+	}
+	reg := serve.NewRegistry(serveOpts)
+
+	// Resolve the similarity-cache specs before registration: the cache
+	// must be configured when its model's server is built, and its Embed
+	// closure routes through the registry to the model's ".embed" sibling
+	// (registered below — the closure only runs per request, so order
+	// doesn't matter, but the spec must name a model that has one).
+	simSet, err := simCacheSet(simcaches.specs, embeds.specs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var names []string
 	for _, l := range loaded {
-		if err := reg.Register(l.Model); err != nil {
+		opts := serveOpts
+		if id := serve.ModelID(l.Model); simSet[id] {
+			opts.SimCache = serve.SimCacheOptions{
+				Embed:         registryEmbedFn(reg, embed.ModelName(l.Name()), l.Version()),
+				Capacity:      *simCapacity,
+				Threshold:     *simThreshold,
+				ValidateEvery: *simValidate,
+			}
+		}
+		if err := reg.RegisterWith(l.Model, opts); err != nil {
 			log.Fatal(err)
 		}
 		names = append(names, serve.ModelID(l.Model))
@@ -171,6 +210,35 @@ func main() {
 			log.Fatal(err)
 		}
 		names = append(names, serve.ModelID(m))
+	}
+	for _, spec := range embeds.specs {
+		m, err := embedModel(loaded, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.Register(m); err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, serve.ModelID(m))
+	}
+	var artifacts *store.Store
+	if *storeDir != "" {
+		artifacts, err = store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range artifacts.Entries() {
+			m, err := artifacts.Load(e.Name, e.Version)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := reg.Register(m); err != nil {
+				log.Fatal(err)
+			}
+			names = append(names, serve.ModelID(m))
+		}
+		n, all := artifacts.Mapped()
+		log.Printf("artifact store %s: %d model(s) loaded, %d mapping(s), mmap=%v", *storeDir, len(artifacts.Entries()), n, all)
 	}
 	for _, spec := range weights.specs {
 		name, split, err := parseWeights(spec)
@@ -183,8 +251,15 @@ func main() {
 	}
 
 	// The deprecated /infer and /stats endpoints bind to the first
-	// registered model's name, routed through its latest alias.
-	defaultName := loaded[0].Name()
+	// registered model's name, routed through its latest alias. A
+	// store-only invocation binds them to the first artifact instead.
+	var defaultName string
+	if len(loaded) > 0 {
+		defaultName = loaded[0].Name()
+	} else {
+		name, _ := model.ParseID(names[0])
+		defaultName = name
+	}
 
 	// One admission controller guards both protocol front ends, so
 	// -max-inflight is a process capacity, not a per-listener one.
@@ -196,7 +271,7 @@ func main() {
 		ctrl.RegisterMetrics(mx)
 	}
 
-	mux := newMux(reg, defaultName, time.Now(), ctrl, mx)
+	mux := newMux(reg, defaultName, time.Now(), ctrl, mx, vector.NewStore())
 	if *pprofFlag {
 		registerPprof(mux)
 		log.Print("pprof enabled on /debug/pprof/")
@@ -253,6 +328,94 @@ func main() {
 		log.Printf("http shutdown: %v", err)
 	}
 	reg.Close()
+	if artifacts != nil {
+		// Unmap only after the registry has drained: serving replicas read
+		// the mapped weights until their last request completes.
+		if err := artifacts.Close(); err != nil {
+			log.Printf("artifact store close: %v", err)
+		}
+	}
+}
+
+// simCacheSet resolves -simcache specs to model ids, checking each names a
+// model that also has an -embed spec (the cache keys on that embedding).
+func simCacheSet(simSpecs, embedSpecs []string) (map[string]bool, error) {
+	if len(simSpecs) == 0 {
+		return nil, nil
+	}
+	embedded := make(map[string]bool, len(embedSpecs))
+	for _, spec := range embedSpecs {
+		name, version, err := parseSimSpec("embed", spec)
+		if err != nil {
+			return nil, err
+		}
+		embedded[model.ID(name, version)] = true
+	}
+	set := make(map[string]bool, len(simSpecs))
+	for _, spec := range simSpecs {
+		name, version, err := parseSimSpec("simcache", spec)
+		if err != nil {
+			return nil, err
+		}
+		id := model.ID(name, version)
+		if !embedded[id] {
+			return nil, fmt.Errorf("-simcache %s: needs a matching -embed %s (the cache keys on that embedding)", spec, id)
+		}
+		set[id] = true
+	}
+	return set, nil
+}
+
+// registryEmbedFn adapts the registry's InferInto seam into a
+// SimCacheOptions.Embed function: the input runs through the model's
+// ".embed" sibling (its own batcher coalesces concurrent lookups) and the
+// float64 activations narrow into the caller's float32 buffer. The
+// float64 scratch is pooled — the similarity path's documented allocation
+// is the cache machinery itself, not a fresh score row per lookup.
+func registryEmbedFn(reg *serve.Registry, name, version string) func([]float64, []float32) ([]float32, error) {
+	pool := sync.Pool{New: func() any { return new([]float64) }}
+	return func(input []float64, dst []float32) ([]float32, error) {
+		scratch := pool.Get().(*[]float64)
+		res, err := reg.InferInto(context.Background(), name, version, input, *scratch)
+		if err != nil {
+			pool.Put(scratch)
+			return dst, err
+		}
+		for _, v := range res.Scores {
+			dst = append(dst, float32(v))
+		}
+		*scratch = res.Scores
+		pool.Put(scratch)
+		return dst, nil
+	}
+}
+
+// embedModel resolves an -embed spec against the loaded models and builds
+// the tapped embedding sibling (internal/embed): same network, the
+// classifier head cut off at compile time.
+func embedModel(loaded []loadedModel, spec string) (model.Model, error) {
+	name, version, err := parseSimSpec("embed", spec)
+	if err != nil {
+		return nil, err
+	}
+	for i := range loaded {
+		if loaded[i].Name() == name && loaded[i].Version() == version {
+			return embed.NewModel(name, version, loaded[i].net, loaded[i].inShape)
+		}
+	}
+	return nil, fmt.Errorf("-embed %s: no loaded model %s (artifact-store models cannot be tapped from flags yet)", spec, model.ID(name, version))
+}
+
+// packModels writes every loaded model into an artifact-store directory.
+func packModels(dir string, loaded []loadedModel) error {
+	if len(loaded) == 0 {
+		return errors.New("-pack: no models loaded")
+	}
+	pms := make([]store.PackModel, len(loaded))
+	for i, l := range loaded {
+		pms[i] = store.PackModel{Name: l.Name(), Version: l.Version(), Net: l.net, InShape: l.inShape}
+	}
+	return store.Pack(dir, pms)
 }
 
 // startCanaries launches one canary controller per -canary spec
@@ -382,7 +545,7 @@ type loadedModel struct {
 // single-model flags register under "default@v1" so pre-registry
 // invocations keep working; as before the redesign, -bundle takes
 // precedence over -arch/-params when both are given.
-func loadModels(modelSpecs, demoSpecs []string, bundle, archPath, paramsPath string) ([]loadedModel, error) {
+func loadModels(modelSpecs, demoSpecs []string, bundle, archPath, paramsPath string, allowEmpty bool) ([]loadedModel, error) {
 	var out []loadedModel
 	if bundle != "" {
 		// Prepended so the deprecated single-model flags keep claiming the
@@ -422,8 +585,8 @@ func loadModels(modelSpecs, demoSpecs []string, bundle, archPath, paramsPath str
 		}
 		out = append(out, m)
 	}
-	if len(out) == 0 {
-		return nil, errors.New("need at least one of -model, -demo, -bundle, or -arch/-params")
+	if len(out) == 0 && !allowEmpty {
+		return nil, errors.New("need at least one of -model, -demo, -bundle, -store, or -arch/-params")
 	}
 	return out, nil
 }

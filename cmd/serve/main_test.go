@@ -49,7 +49,7 @@ func newTestServer(t *testing.T, cacheSize int) (*serve.Registry, *httptest.Serv
 	if err := reg.Register(m); err != nil {
 		t.Fatal(err)
 	}
-	hs := httptest.NewServer(newMux(reg, "test", time.Now(), nil, metrics.NewRegistry()))
+	hs := httptest.NewServer(newMux(reg, "test", time.Now(), nil, metrics.NewRegistry(), nil))
 	t.Cleanup(func() { hs.Close(); reg.Close() })
 	return reg, hs
 }
@@ -444,7 +444,7 @@ func TestFlagParsing(t *testing.T) {
 	}
 
 	// loadModels: demo specs build registrable models; no specs is an error.
-	ms, err := loadModels(nil, []string{"fc=arch1", "conv@v2=arch3"}, "", "", "")
+	ms, err := loadModels(nil, []string{"fc=arch1", "conv@v2=arch3"}, "", "", "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -455,10 +455,10 @@ func TestFlagParsing(t *testing.T) {
 		}
 		t.Errorf("loadModels demo ids = %v", ids)
 	}
-	if _, err := loadModels(nil, nil, "", "", ""); err == nil {
+	if _, err := loadModels(nil, nil, "", "", "", false); err == nil {
 		t.Error("no model sources accepted")
 	}
-	if _, err := loadModels(nil, []string{"x=arch9"}, "", "", ""); err == nil ||
+	if _, err := loadModels(nil, []string{"x=arch9"}, "", "", "", false); err == nil ||
 		!strings.Contains(err.Error(), "arch9") {
 		t.Errorf("unknown demo arch error = %v", err)
 	}
@@ -503,7 +503,7 @@ func TestBundleFlagPrecedence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ms, err := loadModels(nil, nil, dir, filepath.Join(dir, "arch.txt"), filepath.Join(dir, "params.bin"))
+	ms, err := loadModels(nil, nil, dir, filepath.Join(dir, "arch.txt"), filepath.Join(dir, "params.bin"), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -538,7 +538,7 @@ func TestPprofRegistration(t *testing.T) {
 	if err := reg.Register(m); err != nil {
 		t.Fatal(err)
 	}
-	mux := newMux(reg, "test", time.Now(), nil, metrics.NewRegistry())
+	mux := newMux(reg, "test", time.Now(), nil, metrics.NewRegistry(), nil)
 	registerPprof(mux)
 	ts2 := httptest.NewServer(mux)
 	defer ts2.Close()
@@ -570,7 +570,7 @@ func TestAdmissionHTTP429(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctrl := admission.New(admission.Config{MaxInflight: 1, RetryAfter: 2 * time.Second})
-	hs := httptest.NewServer(newMux(reg, "test", time.Now(), ctrl, metrics.NewRegistry()))
+	hs := httptest.NewServer(newMux(reg, "test", time.Now(), ctrl, metrics.NewRegistry(), nil))
 	defer hs.Close()
 	url := hs.URL + "/v1/models/test/infer"
 	body, _ := json.Marshal(map[string]any{"input": make([]float64, 64)})

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/embed"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/serve"
@@ -98,12 +99,33 @@ func TestMetricsConformance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := reg.Register(m); err != nil {
+	// The embed sibling first, then the scoring model with the similarity
+	// cache routed through it — exactly main's -embed/-simcache wiring —
+	// so the embed and sim-cache families are in the scrape too.
+	em, err := embed.NewModel("test", "v1", testNet(1), []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(em); err != nil {
+		t.Fatal(err)
+	}
+	simOpts := serve.Options{
+		Workers:   2,
+		MaxBatch:  4,
+		MaxDelay:  100 * time.Microsecond,
+		CacheSize: 8,
+		Metrics:   mx,
+		SimCache: serve.SimCacheOptions{
+			Embed:    registryEmbedFn(reg, embed.ModelName("test"), "v1"),
+			Capacity: 8,
+		},
+	}
+	if err := reg.RegisterWith(m, simOpts); err != nil {
 		t.Fatal(err)
 	}
 	ss := stream.NewServer(reg, stream.Options{Admission: ctrl, Metrics: mx})
 	defer ss.Close()
-	hs := httptest.NewServer(newMux(reg, "test", time.Now(), ctrl, mx))
+	hs := httptest.NewServer(newMux(reg, "test", time.Now(), ctrl, mx, nil))
 	defer func() { hs.Close(); reg.Close() }()
 
 	// Real traffic so counters and histogram buckets move: distinct
@@ -120,6 +142,39 @@ func TestMetricsConformance(t *testing.T) {
 		for _, in := range inputs {
 			postInfer(t, hs.URL+"/infer", in)
 		}
+	}
+	// Embed and vector-tier traffic so their counters move too.
+	body, _ := jsonBody(inputs[0])
+	resp, err := http.Post(hs.URL+"/v1/models/test@v1/embed", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/embed status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPut, hs.URL+"/v1/vectors/conf",
+		strings.NewReader(`{"ids":["a","b"],"vectors":[[1,0],[0,1]]}`))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("vector upsert status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(hs.URL+"/v1/vectors/conf/search", "application/json",
+		strings.NewReader(`{"vector":[1,0],"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("vector search status %d", resp.StatusCode)
 	}
 
 	exposition := scrapeMetrics(t, hs.URL)
@@ -148,6 +203,15 @@ func TestMetricsConformance(t *testing.T) {
 		"repro_stream_frames_total",
 		"repro_stream_pipeline_depth",
 		"repro_stream_goaways_total",
+		serve.MetricSimCacheHits,
+		serve.MetricSimCacheMisses,
+		serve.MetricSimCacheFalseHits,
+		serve.MetricSimCacheEntries,
+		metricEmbedRequests,
+		metricVectorCollections,
+		metricVectorVectors,
+		metricVectorQueriesTotal,
+		metricVectorUpsertsTotal,
 	} {
 		if !strings.Contains(exposition, family) {
 			t.Errorf("scrape is missing family %s", family)
@@ -183,7 +247,7 @@ func TestStatsMetricsParity(t *testing.T) {
 		if err := reg.Register(m); err != nil {
 			t.Fatal(err)
 		}
-		hs := httptest.NewServer(newMux(reg, "test", time.Now(), nil, mx))
+		hs := httptest.NewServer(newMux(reg, "test", time.Now(), nil, mx, nil))
 		defer func() { hs.Close(); reg.Close() }()
 
 		rng := rand.New(rand.NewSource(3))
@@ -236,7 +300,7 @@ func TestStatsMetricsParity(t *testing.T) {
 		if err := reg.Register(m); err != nil {
 			t.Fatal(err)
 		}
-		hs := httptest.NewServer(newMux(reg, "test", time.Now(), nil, mx))
+		hs := httptest.NewServer(newMux(reg, "test", time.Now(), nil, mx, nil))
 		defer func() { hs.Close(); reg.Close() }()
 
 		in := make([]float64, 64)

@@ -1,0 +1,177 @@
+package embed
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestNaming(t *testing.T) {
+	if got := ModelName("mnist"); got != "mnist.embed" {
+		t.Fatalf("ModelName = %q", got)
+	}
+	if base, ok := BaseName("mnist.embed"); !ok || base != "mnist" {
+		t.Fatalf("BaseName = %q, %v", base, ok)
+	}
+	if _, ok := BaseName("mnist"); ok {
+		t.Error("BaseName accepted a non-embed name")
+	}
+	if _, ok := BaseName(".embed"); ok {
+		t.Error("BaseName accepted an empty base")
+	}
+}
+
+// TestNewModelMatchesTrunk: the embedding model must produce the
+// interpreted trunk activation (all layers but the classifier head) and
+// advertise the embedding width as OutDim.
+func TestNewModelMatchesTrunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	net := nn.Arch1(rng)
+	m, err := NewModel("mnist", "v1", net, []int{256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "mnist.embed" || m.Version() != "v1" {
+		t.Fatalf("registered as %s@%s", m.Name(), m.Version())
+	}
+	if m.OutDim() != 128 {
+		t.Fatalf("OutDim = %d, want 128", m.OutDim())
+	}
+	trunk := nn.NewNetwork(net.Layers[:len(net.Layers)-1]...)
+	x := tensor.New(4, 256).Randn(rng, 1)
+	want := trunk.Forward(x, false)
+	got := m.Forward(nil, x)
+	if !got.SameShape(want) {
+		t.Fatalf("shape %v, want %v", got.Shape(), want.Shape())
+	}
+	for i := range want.Data {
+		if d := math.Abs(got.Data[i] - want.Data[i]); d > 1e-12 {
+			t.Fatalf("element %d deviates by %g", i, d)
+		}
+	}
+	// Replicas must be independent executors producing the same vectors.
+	rep, err := m.Replicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := rep.Forward(nil, x)
+	for i := range want.Data {
+		if got2.Data[i] != got.Data[i] {
+			t.Fatalf("replica deviates at element %d", i)
+		}
+	}
+	if _, err := NewModel("bad@name", "v1", net, []int{256}); err == nil {
+		t.Error("NewModel accepted an invalid base name")
+	}
+}
+
+func TestWireRequestRoundTrip(t *testing.T) {
+	inputs := [][]float64{{1, 2.5, -3}, {0, math.Pi, 1e-9}}
+	var buf bytes.Buffer
+	if err := EncodeWireRequest(&buf, inputs); err != nil {
+		t.Fatal(err)
+	}
+	if want := 12 + 8*2*3; buf.Len() != want {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), want)
+	}
+	enc := append([]byte(nil), buf.Bytes()...)
+	dec, err := DecodeWireRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s WireRequestScratch
+	parsed, err := ParseWireRequest(enc, &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		for j := range inputs[i] {
+			if dec[i][j] != inputs[i][j] || parsed[i][j] != inputs[i][j] {
+				t.Fatalf("value [%d][%d] did not round-trip", i, j)
+			}
+		}
+	}
+	// Warm parses through a scratch must be allocation-free.
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := ParseWireRequest(enc, &s); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("warm ParseWireRequest allocates %.0f/op; want 0", allocs)
+	}
+}
+
+func TestWireResultsRoundTrip(t *testing.T) {
+	vecs := [][]float64{{0.5, -1.25}, {3, 4}}
+	var buf bytes.Buffer
+	if err := EncodeWireResults(&buf, vecs); err != nil {
+		t.Fatal(err)
+	}
+	if want := 12 + 4*2*2; buf.Len() != want {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), want)
+	}
+	enc := append([]byte(nil), buf.Bytes()...)
+	dec, err := DecodeWireResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s WireResultsScratch
+	parsed, err := ParseWireResults(enc, &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vecs {
+		for j := range vecs[i] {
+			want := float32(vecs[i][j])
+			if dec[i][j] != want || parsed[i][j] != want {
+				t.Fatalf("value [%d][%d] did not round-trip", i, j)
+			}
+		}
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := ParseWireResults(enc, &s); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("warm ParseWireResults allocates %.0f/op; want 0", allocs)
+	}
+}
+
+func TestWireMalformed(t *testing.T) {
+	good, err := AppendWireRequest(nil, [][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     good[:8],
+		"truncated body":   good[:len(good)-3],
+		"trailing garbage": append(append([]byte(nil), good...), 0xAA),
+	}
+	for name, data := range cases {
+		if _, err := ParseWireRequest(data, nil); err == nil {
+			t.Errorf("%s: ParseWireRequest accepted", name)
+		}
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := ParseWireRequest(bad, nil); err == nil {
+		t.Error("wrong magic accepted")
+	}
+	// Hostile count: header claims 2^32-1 vectors.
+	hostile := append([]byte(nil), good...)
+	hostile[4], hostile[5], hostile[6], hostile[7] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := ParseWireRequest(hostile, nil); err == nil {
+		t.Error("hostile count accepted")
+	}
+	if _, err := AppendWireRequest(nil, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged inputs accepted")
+	}
+	if _, err := AppendWireResults(nil, nil); err == nil {
+		t.Error("empty response accepted")
+	}
+}

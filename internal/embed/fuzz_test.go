@@ -1,0 +1,165 @@
+package embed
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// Fuzz seeds: valid e1 frames of both directions plus the hostile shapes
+// the bounds checks exist for — truncations, header/body disagreements,
+// huge counts, count×dim overflow products.
+
+func embedRequestSeed(t testing.TB, inputs [][]float64) []byte {
+	t.Helper()
+	b, err := AppendWireRequest(nil, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func embedResultsSeed(t testing.TB, vecs [][]float64) []byte {
+	t.Helper()
+	b, err := AppendWireResults(nil, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// FuzzDecodeEmbedRequest drives both e1 request decoders with arbitrary
+// bytes: no input may panic, nothing past MaxWireBytes may decode, the
+// in-memory and reader decoders must agree, and whatever decodes must
+// re-encode to identical bytes (float64 payloads travel as raw bits, so
+// the byte comparison is NaN-safe).
+func FuzzDecodeEmbedRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(embedRequestSeed(f, [][]float64{{1, 2, 3}}))
+	f.Add(embedRequestSeed(f, [][]float64{{math.NaN(), math.Inf(1)}, {0, math.Copysign(0, -1)}}))
+	valid := embedRequestSeed(f, [][]float64{{0.5, -0.5}})
+	f.Add(valid[:7])                      // truncated header
+	f.Add(valid[:len(valid)-3])           // truncated body
+	f.Add(append(valid, 0xAA))            // trailing garbage
+	f.Add([]byte("RSE1\x01\x00\x00\x00")) // response magic on the request decoder
+	hostile := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hostile[0:], wireReqMagic)
+	binary.LittleEndian.PutUint32(hostile[4:], 0xFFFFFFFF) // count wraps negative as int32
+	binary.LittleEndian.PutUint32(hostile[8:], 0xFFFFFFFF)
+	f.Add(append([]byte(nil), hostile...))
+	binary.LittleEndian.PutUint32(hostile[4:], 1<<16) // count*dim overflows MaxWireBytes
+	binary.LittleEndian.PutUint32(hostile[8:], 1<<16)
+	f.Add(append([]byte(nil), hostile...))
+	binary.LittleEndian.PutUint32(hostile[4:], 0) // zero count
+	binary.LittleEndian.PutUint32(hostile[8:], 0)
+	f.Add(append([]byte(nil), hostile...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var scratch WireRequestScratch
+		inputs, err := ParseWireRequest(data, &scratch)
+		if err != nil {
+			return
+		}
+		if len(data) > MaxWireBytes {
+			t.Fatalf("decoded a %d-byte request past the %d-byte bound", len(data), MaxWireBytes)
+		}
+		reenc, err := AppendWireRequest(nil, inputs)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatalf("request round trip changed bytes: %d in, %d out", len(data), len(reenc))
+		}
+		rd, err := DecodeWireRequest(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("reader decoder rejected what the parser accepted: %v", err)
+		}
+		if len(rd) != len(inputs) {
+			t.Fatalf("decoders disagree: %d vs %d inputs", len(rd), len(inputs))
+		}
+		for i := range rd {
+			for j := range rd[i] {
+				if math.Float64bits(rd[i][j]) != math.Float64bits(inputs[i][j]) {
+					t.Fatalf("decoders disagree at input %d feature %d", i, j)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeEmbedResults is the response-side twin. The response codec
+// narrows through float64 on encode, and Go does not promise NaN payload
+// bits survive a float32→float64→float32 bridge — so instead of demanding
+// byte-exact re-encoding, the check is idempotence: one re-encode may
+// canonicalise NaN payloads, but re-encoding ITS parse must reproduce it
+// exactly, and the frame geometry must never change.
+func FuzzDecodeEmbedResults(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(embedResultsSeed(f, [][]float64{{0.5, -1.25}}))
+	f.Add(embedResultsSeed(f, [][]float64{{math.NaN(), math.Inf(-1)}, {0, 1e30}}))
+	valid := embedResultsSeed(f, [][]float64{{1, 2}})
+	f.Add(valid[:5])
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(valid, 0x00))
+	f.Add([]byte("RQE1\x01\x00\x00\x00")) // request magic on the response decoder
+	hostile := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hostile[0:], wireRespMagic)
+	binary.LittleEndian.PutUint32(hostile[4:], 0xFFFFFFFF)
+	binary.LittleEndian.PutUint32(hostile[8:], 0xFFFFFFFF)
+	f.Add(append([]byte(nil), hostile...))
+	binary.LittleEndian.PutUint32(hostile[4:], 1<<17) // count*dim overflows MaxWireBytes
+	binary.LittleEndian.PutUint32(hostile[8:], 1<<17)
+	f.Add(append([]byte(nil), hostile...))
+
+	widen := func(vecs [][]float32) [][]float64 {
+		out := make([][]float64, len(vecs))
+		for i, v := range vecs {
+			row := make([]float64, len(v))
+			for j, x := range v {
+				row[j] = float64(x)
+			}
+			out[i] = row
+		}
+		return out
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var scratch WireResultsScratch
+		vecs, err := ParseWireResults(data, &scratch)
+		if err != nil {
+			return
+		}
+		if len(data) > MaxWireBytes {
+			t.Fatalf("decoded a %d-byte response past the %d-byte bound", len(data), MaxWireBytes)
+		}
+		reenc, err := AppendWireResults(nil, widen(vecs))
+		if err != nil {
+			t.Fatalf("decoded response does not re-encode: %v", err)
+		}
+		if len(reenc) != len(data) {
+			t.Fatalf("response round trip changed size: %d in, %d out", len(data), len(reenc))
+		}
+		again, err := ParseWireResults(reenc, nil)
+		if err != nil {
+			t.Fatalf("re-encoded response does not parse: %v", err)
+		}
+		reenc2, err := AppendWireResults(nil, widen(again))
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(reenc, reenc2) {
+			t.Fatal("response re-encoding is not idempotent")
+		}
+		rd, err := DecodeWireResults(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("reader decoder rejected what the parser accepted: %v", err)
+		}
+		for i := range rd {
+			for j := range rd[i] {
+				if math.Float32bits(rd[i][j]) != math.Float32bits(vecs[i][j]) {
+					t.Fatalf("decoders disagree at vector %d element %d", i, j)
+				}
+			}
+		}
+	})
+}

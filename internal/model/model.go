@@ -104,6 +104,8 @@ type netModel struct {
 	outDim  int
 	backend program.Backend
 	prog    *program.Program
+	tap     bool // compile with TapPenultimate: serve the embedding, not the scores
+	shared  bool // Replicate shares the (read-only) network instead of cloning
 }
 
 // FromNetwork compiles a trained network into an inference program on the
@@ -130,6 +132,45 @@ func Quantized(name, version string, net *nn.Network, inShape []int, weightBits,
 // Forward path — the reference arm of a dense-versus-circulant A/B pair.
 func DenseBaseline(name, version string, net *nn.Network, inShape []int) (Model, error) {
 	return fromNetwork(name, version, net, inShape, nil)
+}
+
+// Embedding compiles the network with the classifier head cut off
+// (program.CompileOptions.TapPenultimate), so Forward returns the
+// penultimate-layer activation — the network's embedding — through the
+// same batched zero-alloc executor the scoring path uses. OutDim is the
+// embedding width. The serving convention registers the result under a
+// derived name (see internal/embed), keeping every tier above this
+// package unchanged.
+func Embedding(name, version string, net *nn.Network, inShape []int) (Model, error) {
+	m, err := fromNetwork(name, version, net, inShape, program.Float64Split())
+	if err != nil {
+		return nil, err
+	}
+	nm := m.(*netModel)
+	nm.tap = true
+	prog, err := program.Compile(net, program.CompileOptions{InShape: inShape, Backend: nm.backend, TapPenultimate: true})
+	if err != nil {
+		return nil, fmt.Errorf("model: %s: %w", ID(name, version), err)
+	}
+	nm.prog, nm.outDim = prog, prog.OutDim()
+	return nm, nil
+}
+
+// FromNetworkShared compiles the network like FromNetwork but marks it
+// shared: Replicate recompiles a fresh program (the per-worker mutable
+// state) against the SAME network instead of deep-copying it. The caller
+// must guarantee the network's parameters are never written after
+// construction — this is the mmap artifact store's adapter, where the
+// weights live in a read-only file mapping and cloning them onto the heap
+// would defeat the zero-copy load. In-place weight updates (SetWeights,
+// training) are out of contract for shared models.
+func FromNetworkShared(name, version string, net *nn.Network, inShape []int) (Model, error) {
+	m, err := fromNetwork(name, version, net, inShape, program.Float64Split())
+	if err != nil {
+		return nil, err
+	}
+	m.(*netModel).shared = true
+	return m, nil
 }
 
 func fromNetwork(name, version string, net *nn.Network, inShape []int, backend program.Backend) (Model, error) {
@@ -183,15 +224,24 @@ func (m *netModel) Forward(ws *nn.Workspace, batch *tensor.Tensor) *tensor.Tenso
 }
 
 func (m *netModel) Replicate() (Model, error) {
-	clone, err := m.net.Clone()
-	if err != nil {
-		return nil, fmt.Errorf("model: replicating %s: %w", ID(m.name, m.version), err)
-	}
 	cp := *m
-	cp.net = clone
+	if m.shared {
+		// Shared (read-only) weights: the network is immutable by
+		// contract, so replicas share it and only the program — the
+		// per-worker mutable state — is rebuilt. This keeps mmap-backed
+		// parameters file-resident instead of cloning them onto the heap.
+		cp.net = m.net
+	} else {
+		clone, err := m.net.Clone()
+		if err != nil {
+			return nil, fmt.Errorf("model: replicating %s: %w", ID(m.name, m.version), err)
+		}
+		cp.net = clone
+	}
 	cp.prog = nil
 	if cp.backend != nil {
-		cp.prog, err = program.Compile(clone, program.CompileOptions{InShape: cp.inShape, Backend: cp.backend})
+		var err error
+		cp.prog, err = program.Compile(cp.net, program.CompileOptions{InShape: cp.inShape, Backend: cp.backend, TapPenultimate: cp.tap})
 		if err != nil {
 			return nil, fmt.Errorf("model: replicating %s: %w", ID(m.name, m.version), err)
 		}

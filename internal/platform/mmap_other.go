@@ -1,0 +1,22 @@
+//go:build !unix
+
+package platform
+
+import "os"
+
+// MapFile on platforms without a Unix mmap reads the file onto the heap;
+// the API is identical but Mapped reports false, so callers (and tests)
+// can tell the degraded mode apart.
+func MapFile(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data}, nil
+}
+
+// Close drops the buffer.
+func (m *Mapping) Close() error {
+	m.data, m.mapped = nil, false
+	return nil
+}

@@ -1,0 +1,47 @@
+//go:build unix
+
+package platform
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MapFile maps path read-only. Empty files yield an empty, unmapped
+// Mapping (mmap of length 0 is an error on most kernels, and there is
+// nothing to share anyway).
+func MapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("platform: %s is %d bytes, too large to map", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("platform: mmap %s: %w", path, err)
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+// Close unmaps the file.
+func (m *Mapping) Close() error {
+	if !m.mapped {
+		m.data = nil
+		return nil
+	}
+	data := m.data
+	m.data, m.mapped = nil, false
+	return syscall.Munmap(data)
+}

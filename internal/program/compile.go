@@ -21,6 +21,13 @@ type CompileOptions struct {
 	// sizing to the first Run (the arena grows to the largest batch seen
 	// and is retained).
 	BatchHint int
+	// TapPenultimate truncates the lowered chain just before its final
+	// product op (the classifier head), so the compiled program returns
+	// the penultimate-layer activation — the network's natural embedding —
+	// instead of class scores. The surviving chain still runs the full
+	// pass pipeline, so the embedding path gets the same fusion, dead-op
+	// elimination and arena planning as the scoring path.
+	TapPenultimate bool
 }
 
 // Program is a compiled inference program: the typed op graph bound to a
@@ -95,6 +102,11 @@ func Compile(net *nn.Network, opts CompileOptions) (*Program, error) {
 		inDim:   flatLen(opts.InShape),
 	}
 	p.lower(net)
+	if opts.TapPenultimate {
+		if err := p.tapPenultimate(); err != nil {
+			return nil, err
+		}
+	}
 	if err := p.inferShapes(); err != nil {
 		return nil, err
 	}
@@ -152,6 +164,29 @@ func (p *Program) lower(net *nn.Network) {
 			emit(op{kind: KindLayer, layer: l})
 		}
 	}
+}
+
+// tapPenultimate cuts the freshly lowered chain just before its last
+// product op — the classifier head and its epilogue — leaving a program
+// whose output is the penultimate activation. The cut happens before
+// shape inference, so the truncated chain is validated (including the
+// flat-output requirement) exactly like a full program.
+func (p *Program) tapPenultimate() error {
+	last := -1
+	for i := range p.ops {
+		switch p.ops[i].kind {
+		case KindCircMul, KindBlockCircMul, KindMatMul:
+			last = i
+		}
+	}
+	if last < 0 {
+		return errors.New("program: TapPenultimate needs a product op to cut before")
+	}
+	if last == 0 {
+		return errors.New("program: TapPenultimate on a single-product network leaves nothing to run")
+	}
+	p.ops = p.ops[:last]
+	return nil
 }
 
 // inferShapes is the static shape-inference pass: per-sample shapes

@@ -359,3 +359,52 @@ func TestBatchHintPresizes(t *testing.T) {
 		t.Errorf("first hinted Run allocates %.0f/op; want 0", allocs)
 	}
 }
+
+// TestTapPenultimate: a program compiled with TapPenultimate must return
+// the activation feeding the classifier head — the interpreted forward of
+// every layer but the final product — and must stay allocation-free when
+// warm, since it is the embedding serving hot path.
+func TestTapPenultimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	net := nn.Arch1(rng)
+	prog, err := Compile(net, CompileOptions{InShape: []int{256}, TapPenultimate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.OutDim() != 128 {
+		t.Fatalf("tapped OutDim = %d, want 128 (second circulant layer width)", prog.OutDim())
+	}
+	// Oracle: the interpreted forward over the trunk — every layer except
+	// the Dense head the tap cuts before.
+	trunk := nn.NewNetwork(net.Layers[:len(net.Layers)-1]...)
+	ws := nn.NewWorkspace()
+	for _, batch := range []int{1, 16} {
+		x := tensor.New(batch, 256).Randn(rng, 1)
+		want := trunk.ForwardWS(ws, x, false)
+		got := prog.Run(x)
+		if !got.SameShape(want) {
+			t.Fatalf("batch %d: shape %v, want %v", batch, got.Shape(), want.Shape())
+		}
+		if d := maxAbsDiff(got.Data, want.Data); d > eqTol {
+			t.Errorf("batch %d: tapped program deviates from trunk oracle by %g", batch, d)
+		}
+		allocs := testing.AllocsPerRun(30, func() { prog.Run(x) })
+		if allocs > 0 {
+			t.Errorf("batch %d: warm tapped Run allocates %.0f/op; want 0", batch, allocs)
+		}
+	}
+}
+
+// TestTapPenultimateErrors: tapping needs a head product to cut before
+// and at least one op left after the cut.
+func TestTapPenultimateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	head := nn.NewNetwork(nn.NewDense(8, 4, rng))
+	if _, err := Compile(head, CompileOptions{InShape: []int{8}, TapPenultimate: true}); err == nil {
+		t.Error("tapping a single-product network must fail")
+	}
+	relu := nn.NewNetwork(nn.NewReLU())
+	if _, err := Compile(relu, CompileOptions{InShape: []int{8}, TapPenultimate: true}); err == nil {
+		t.Error("tapping a productless network must fail")
+	}
+}

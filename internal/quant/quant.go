@@ -18,6 +18,26 @@ import (
 	"repro/internal/tensor"
 )
 
+// Levels returns the positive quantisation range of a symmetric bits-wide
+// representation: 2^(bits−1)−1 steps either side of zero.
+//
+//repro:noalloc
+func Levels(bits int) int { return 1<<(bits-1) - 1 }
+
+// ScaleFor returns the symmetric quantisation scale mapping max|v| onto
+// the bits-wide integer range — the shared convention of every quantised
+// path in the repo (QTensor, the Int16Spectral backend's activation
+// scales, the vector tier's int8 mirrors). A zero maxAbs yields scale 1,
+// so all-zero data quantises to all-zero integers instead of NaNs.
+//
+//repro:noalloc
+func ScaleFor(maxAbs float64, bits int) float64 {
+	if maxAbs == 0 {
+		return 1
+	}
+	return maxAbs / float64(Levels(bits))
+}
+
 // QTensor is a symmetric linearly-quantised tensor: value ≈ Scale·int.
 type QTensor struct {
 	Shape []int
@@ -40,12 +60,11 @@ func Quantize(t *tensor.Tensor, bits int) (*QTensor, error) {
 		}
 	}
 	q := &QTensor{Shape: t.Shape(), Data: make([]int16, t.Len()), Bits: bits}
-	levels := float64(int(1)<<(bits-1)) - 1
+	levels := float64(Levels(bits))
+	q.Scale = ScaleFor(maxAbs, bits)
 	if maxAbs == 0 {
-		q.Scale = 1
 		return q, nil
 	}
-	q.Scale = maxAbs / levels
 	for i, v := range t.Data {
 		r := math.RoundToEven(v / q.Scale)
 		if r > levels {

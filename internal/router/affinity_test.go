@@ -1,0 +1,295 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve/stream"
+)
+
+// TestRendezvousDeterminism pins the placement function's contract: the
+// score is a pure function of (key, addr), every backend wins some share
+// of a large key space, and removing one backend moves only the keys it
+// owned — the minimal-disruption property that makes rendezvous worth
+// having over modulo hashing.
+func TestRendezvousDeterminism(t *testing.T) {
+	addrs := []string{"10.0.0.1:9090", "10.0.0.2:9090", "10.0.0.3:9090"}
+	if rendezvousScore("mnist@v1", addrs[0]) != rendezvousScore("mnist@v1", addrs[0]) {
+		t.Fatal("rendezvousScore is not deterministic")
+	}
+	if rendezvousScore("mnist@v1", addrs[0]) == rendezvousScore("mnist@v2", addrs[0]) {
+		t.Fatal("distinct keys collided; hash is ignoring the key")
+	}
+
+	winner := func(key string, pool []string) string {
+		best, bestScore := "", uint64(0)
+		for _, a := range pool {
+			if s := rendezvousScore(key, a); best == "" || s > bestScore {
+				best, bestScore = a, s
+			}
+		}
+		return best
+	}
+
+	const keys = 300
+	wins := map[string]int{}
+	for i := 0; i < keys; i++ {
+		wins[winner(fmt.Sprintf("model-%d", i), addrs)]++
+	}
+	for _, a := range addrs {
+		if wins[a] == 0 {
+			t.Errorf("backend %s won zero of %d keys; distribution is degenerate", a, keys)
+		}
+	}
+
+	// Remove addrs[0]: keys it did not own must keep their winner.
+	rest := addrs[1:]
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		before := winner(key, addrs)
+		after := winner(key, rest)
+		if before == addrs[0] {
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %s moved from %s to %s though its backend stayed", key, before, after)
+		}
+	}
+	if moved != wins[addrs[0]] {
+		t.Fatalf("moved %d keys, want exactly the %d owned by the removed backend", moved, wins[addrs[0]])
+	}
+}
+
+// TestRouterAffinityPinsRoute drives an Affinity router at two live
+// backends: every request for one route lands on its rendezvous owner,
+// draining the owner fails the route over to the other backend, and
+// undraining restores the original placement.
+func TestRouterAffinityPinsRoute(t *testing.T) {
+	regA := newFleetRegistry(t, nil, "v1")
+	regB := newFleetRegistry(t, nil, "v1")
+	fbA := startFleetBackend(t, regA, nil, stream.Options{})
+	fbB := startFleetBackend(t, regB, nil, stream.Options{})
+
+	rt := newTestRouter(t, Options{
+		Backends:      []BackendConfig{fbA.config(), fbB.config()},
+		Affinity:      true,
+		ProbeInterval: time.Hour, // keep synthetic probes out of the request counters
+	})
+
+	fbs := []*fleetBackend{fbA, fbB}
+	want := 0
+	if rendezvousScore("mnist@v1", fbB.addr) > rendezvousScore("mnist@v1", fbA.addr) {
+		want = 1
+	}
+	other := 1 - want
+
+	base := []uint64{rt.backends[0].requests.Load(), rt.backends[1].requests.Load()}
+	in := testInput(7)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := rt.Infer(ctx, "mnist", "v1", in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rt.backends[want].requests.Load() - base[want]; got != 10 {
+		t.Fatalf("rendezvous owner %s got %d of 10 requests", fbs[want].addr, got)
+	}
+	if got := rt.backends[other].requests.Load() - base[other]; got != 0 {
+		t.Fatalf("non-owner %s got %d requests, want 0", fbs[other].addr, got)
+	}
+
+	// Drain the owner: the route must fail over to the survivor...
+	rt.SetDraining(fbs[want].addr, true)
+	if _, err := rt.Infer(ctx, "mnist", "v1", in); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.backends[other].requests.Load() - base[other]; got != 1 {
+		t.Fatalf("drained owner: survivor got %d requests, want 1", got)
+	}
+	// ...and undraining must restore the original placement.
+	rt.SetDraining(fbs[want].addr, false)
+	if _, err := rt.Infer(ctx, "mnist", "v1", in); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.backends[want].requests.Load() - base[want]; got != 11 {
+		t.Fatalf("undrained owner got %d requests, want 11", got)
+	}
+}
+
+// callLog records which proxied calls reached one backend.
+type callLog struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (cl *callLog) add(s string) {
+	cl.mu.Lock()
+	cl.calls = append(cl.calls, s)
+	cl.mu.Unlock()
+}
+
+func (cl *callLog) count() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return len(cl.calls)
+}
+
+func (cl *callLog) last() string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if len(cl.calls) == 0 {
+		return ""
+	}
+	return cl.calls[len(cl.calls)-1]
+}
+
+// proxySurface mounts fake vector/embed endpoints that record and echo.
+func proxySurface(cl *callLog) func(*http.ServeMux) {
+	return func(mux *http.ServeMux) {
+		rec := func(w http.ResponseWriter, r *http.Request) {
+			body, _ := io.ReadAll(r.Body)
+			cl.add(r.Method + " " + r.URL.Path + " " + string(body))
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"ok":true}`)
+		}
+		mux.HandleFunc("PUT /v1/vectors/{collection}", rec)
+		mux.HandleFunc("POST /v1/vectors/{collection}/search", rec)
+		mux.HandleFunc("POST /v1/vectors/{collection}/train", rec)
+		mux.HandleFunc("POST /v1/models/{id}/embed", rec)
+	}
+}
+
+// TestRouterProxyCollectionAffinity proves the proxied vector tier's
+// placement story end to end: a collection's upsert and its searches meet
+// on the same backend (rendezvous owner by collection name), the /embed
+// proxy forwards bodies verbatim, and killing the owner's HTTP surface
+// fails the collection over to the next rank with the failover counted.
+func TestRouterProxyCollectionAffinity(t *testing.T) {
+	logs := make([]*callLog, 3)
+	fbs := make([]*fleetBackend, 3)
+	for i := range fbs {
+		logs[i] = &callLog{}
+		fbs[i] = startFleetBackend(t, newFleetRegistry(t, nil, "v1"), nil, stream.Options{}, proxySurface(logs[i]))
+	}
+	rt := newTestRouter(t, Options{
+		Backends: []BackendConfig{fbs[0].config(), fbs[1].config(), fbs[2].config()},
+		// Freeze the health loops: the failover leg below kills an HTTP
+		// surface and must observe the transport-error fallback, not a
+		// scrape-driven eviction racing it.
+		RefreshInterval: time.Hour,
+		ProbeInterval:   time.Hour,
+	})
+	front := httptest.NewServer(rt.Mux(nil))
+	defer front.Close()
+
+	owner := func(key string) int {
+		best, bestScore := -1, uint64(0)
+		for i, fb := range fbs {
+			if s := rendezvousScore(key, fb.addr); best < 0 || s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		return best
+	}
+	do := func(method, path, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, front.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := front.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	colOwner := owner("colA")
+	if resp := do(http.MethodPut, "/v1/vectors/colA", `{"vectors":[[1,0]]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("upsert: status %d", resp.StatusCode)
+	}
+	if resp := do(http.MethodPost, "/v1/vectors/colA/search", `{"vector":[1,0],"k":1}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: status %d", resp.StatusCode)
+	}
+	if got := logs[colOwner].count(); got != 2 {
+		t.Fatalf("collection owner %d saw %d calls, want upsert+search=2", colOwner, got)
+	}
+	for i, cl := range logs {
+		if i != colOwner && cl.count() != 0 {
+			t.Fatalf("backend %d saw %d calls for a collection it does not own", i, cl.count())
+		}
+	}
+	if !strings.Contains(logs[colOwner].last(), `{"vector":[1,0],"k":1}`) {
+		t.Fatalf("search body not forwarded verbatim: %q", logs[colOwner].last())
+	}
+
+	// /embed proxies by route with the same placement function.
+	embedOwner := owner("mnist@v1")
+	before := logs[embedOwner].count()
+	if resp := do(http.MethodPost, "/v1/models/mnist@v1/embed", `{"input":[1]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("embed: status %d", resp.StatusCode)
+	}
+	if got := logs[embedOwner].count() - before; got != 1 {
+		t.Fatalf("embed owner saw %d calls, want 1", got)
+	}
+
+	// Kill the collection owner's HTTP surface: the next request must
+	// fail over to the runner-up and count the failover.
+	counts := func() []int {
+		out := make([]int, len(logs))
+		for i, cl := range logs {
+			out[i] = cl.count()
+		}
+		return out
+	}
+	beforeAll := counts()
+	fbs[colOwner].hs.Close()
+	if resp := do(http.MethodPost, "/v1/vectors/colA/search", `{"vector":[1,0],"k":1}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover search: status %d", resp.StatusCode)
+	}
+	served := -1
+	for i, c := range counts() {
+		if c > beforeAll[i] {
+			served = i
+		}
+	}
+	if served == colOwner || served < 0 {
+		t.Fatalf("failover served by backend %d, want a surviving runner-up", served)
+	}
+	if st := rt.Stats(); st.ProxyFailovers == 0 {
+		t.Fatal("failover not counted in Stats().ProxyFailovers")
+	}
+}
+
+// TestRouterProxyNoBackend pins the empty-fleet answer: a backend with no
+// HTTP surface cannot host the vector tier, so the proxy endpoints answer
+// a typed 503 instead of hanging or panicking.
+func TestRouterProxyNoBackend(t *testing.T) {
+	fb := startFleetBackend(t, newFleetRegistry(t, nil, "v1"), nil, stream.Options{})
+	rt := newTestRouter(t, Options{
+		Backends:      []BackendConfig{{Addr: fb.addr}}, // bare: no HTTPURL
+		ProbeInterval: time.Hour,
+	})
+	front := httptest.NewServer(rt.Mux(nil))
+	defer front.Close()
+
+	resp, err := front.Client().Post(front.URL+"/v1/vectors/colA/search", "application/json", strings.NewReader(`{"vector":[1],"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}

@@ -22,6 +22,10 @@ import (
 // endpoints:
 //
 //	POST /v1/models/{id}/infer   routed inference (JSON or wire v1)
+//	POST /v1/models/{id}/embed   proxied to the route's rendezvous owner
+//	PUT  /v1/vectors/{collection}         proxied to the collection's owner
+//	POST /v1/vectors/{collection}/search  proxied to the collection's owner
+//	POST /v1/vectors/{collection}/train   proxied to the collection's owner
 //	GET  /v1/models              merged, deduplicated fleet view
 //	GET  /v1/backends            per-backend health/breaker/drain status
 //	POST /v1/backends/{addr}/drain    exclude a backend from routing
@@ -58,6 +62,25 @@ func (rt *Router) Mux(mx *metrics.Registry) *http.ServeMux {
 		name, version := model.ParseID(r.PathValue("id"))
 		rt.handleInfer(w, r, name, version)
 	})
+	// HTTP-proxied endpoints: embeddings and the vector tier are stateful
+	// on the backend (embed models, collections), so the router forwards
+	// them whole to the rendezvous-ranked owner rather than re-implement
+	// them. Keyed on the route for /embed and on the collection for
+	// /v1/vectors, so one collection's upserts and searches meet on the
+	// same backend.
+	mux.HandleFunc("POST /v1/models/{id}/embed", func(w http.ResponseWriter, r *http.Request) {
+		if !rt.proxyHTTP(w, r, r.PathValue("id")) {
+			writeError(w, ErrNoBackend)
+		}
+	})
+	proxyByCollection := func(w http.ResponseWriter, r *http.Request) {
+		if !rt.proxyHTTP(w, r, r.PathValue("collection")) {
+			writeError(w, ErrNoBackend)
+		}
+	}
+	mux.HandleFunc("PUT /v1/vectors/{collection}", proxyByCollection)
+	mux.HandleFunc("POST /v1/vectors/{collection}/search", proxyByCollection)
+	mux.HandleFunc("POST /v1/vectors/{collection}/train", proxyByCollection)
 	mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"backends": rt.Backends()})
 	})

@@ -14,6 +14,11 @@ const (
 	// MetricNoBackend counts requests refused because no healthy
 	// backend held the route.
 	MetricNoBackend = "repro_router_no_backend_total"
+	// MetricProxied counts HTTP-proxied calls (vector tier, /embed) that
+	// reached a backend; MetricProxyFailovers counts the transport
+	// failures that fell to the next rendezvous rank.
+	MetricProxied        = "repro_router_proxied_total"
+	MetricProxyFailovers = "repro_router_proxy_failovers_total"
 	// MetricBackendRequests/Failures/Pending are per-backend series
 	// labelled backend="addr".
 	MetricBackendRequests = "repro_router_backend_requests_total"
@@ -37,6 +42,10 @@ func (rt *Router) registerMetrics(r *metrics.Registry) {
 		func() float64 { return float64(rt.retries.Load()) })
 	r.CounterFunc(MetricNoBackend, "Requests refused with no healthy backend for the route.",
 		func() float64 { return float64(rt.noBackend.Load()) })
+	r.CounterFunc(MetricProxied, "HTTP-proxied vector/embed calls answered by a backend.",
+		func() float64 { return float64(rt.proxied.Load()) })
+	r.CounterFunc(MetricProxyFailovers, "Proxied calls that failed over to the next rendezvous rank.",
+		func() float64 { return float64(rt.proxyFailovers.Load()) })
 	for _, b := range rt.backends {
 		b := b
 		r.CounterFunc(MetricBackendRequests, "Requests sent to the backend.",

@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,18 @@ type Options struct {
 	// MinWindow is the minimum windowed request count before p99 and
 	// shed-rate verdicts apply (default 16) — thin windows are noise.
 	MinWindow int
+	// Affinity switches inference routing from least-loaded to rendezvous
+	// (highest-random-weight) hashing keyed on the route: one model
+	// version's traffic sticks to one backend while it stays healthy, so
+	// that backend's exact-input LRU and similarity caches stay warm
+	// instead of being diluted across the fleet. The HTTP-proxied
+	// endpoints (vector tier, /embed) always use rendezvous placement
+	// regardless of this setting — a vector collection must live
+	// somewhere definite.
+	Affinity bool
+	// ProxyTimeout bounds one HTTP-proxied call (vector/embed endpoints;
+	// default 30s).
+	ProxyTimeout time.Duration
 	// Metrics registers the router's series when set.
 	Metrics *metrics.Registry
 	// Seed roots the breaker/backoff jitter (0 seeds from the clock).
@@ -106,6 +119,9 @@ func (o Options) withDefaults() Options {
 	if o.MinWindow <= 0 {
 		o.MinWindow = 16
 	}
+	if o.ProxyTimeout <= 0 {
+		o.ProxyTimeout = 30 * time.Second
+	}
 	if o.Seed == 0 {
 		o.Seed = time.Now().UnixNano()
 	}
@@ -126,9 +142,15 @@ type Router struct {
 
 	budget tokenBucket
 
-	retries   atomic.Uint64
-	noBackend atomic.Uint64
-	routed    atomic.Uint64
+	// proxyClient carries the HTTP-proxied endpoints (vector tier,
+	// /embed) to backend HTTP surfaces, rendezvous-placed by key.
+	proxyClient *http.Client
+
+	retries        atomic.Uint64
+	noBackend      atomic.Uint64
+	routed         atomic.Uint64
+	proxied        atomic.Uint64
+	proxyFailovers atomic.Uint64
 
 	stop   chan struct{}
 	wg     sync.WaitGroup
@@ -147,9 +169,10 @@ func New(opts Options) (*Router, error) {
 		return nil, errors.New("router: no backends configured")
 	}
 	rt := &Router{
-		opts:   opts,
-		routes: make(map[routeKey]string),
-		stop:   make(chan struct{}),
+		opts:        opts,
+		routes:      make(map[routeKey]string),
+		stop:        make(chan struct{}),
+		proxyClient: &http.Client{Timeout: opts.ProxyTimeout},
 	}
 	rt.budget.init(opts.RetryBudget, 10)
 	for i, cfg := range opts.Backends {
@@ -237,13 +260,17 @@ func (rt *Router) internRoute(k routeKey) string {
 	return r
 }
 
-// pick selects the least-loaded routable backend, skipping exclude (the
-// backend a retry already failed on). Closed-breaker backends win; if
-// none qualifies, a half-open-eligible backend may claim its probe slot
-// and take the request.
+// pick selects the routable backend for route, skipping exclude (the
+// backend a retry already failed on): rendezvous-ranked under
+// Options.Affinity, least-loaded otherwise. Closed-breaker backends win;
+// if none qualifies, a half-open-eligible backend may claim its probe
+// slot and take the request.
 //
 //repro:noalloc
 func (rt *Router) pick(route string, exclude *backend) *backend {
+	if rt.opts.Affinity {
+		return rt.pickAffine(route, exclude)
+	}
 	var best *backend
 	var bestLoad int64
 	for _, b := range rt.backends {
@@ -428,14 +455,21 @@ type Stats struct {
 	Routed    uint64 `json:"routed"`
 	Retries   uint64 `json:"retries"`
 	NoBackend uint64 `json:"no_backend"`
+	// Proxied counts HTTP-proxied calls (vector tier, /embed) that
+	// reached a backend; ProxyFailovers counts transport failures that
+	// fell to the next rendezvous rank.
+	Proxied        uint64 `json:"proxied"`
+	ProxyFailovers uint64 `json:"proxy_failovers"`
 }
 
 // Stats snapshots the router counters.
 func (rt *Router) Stats() Stats {
 	return Stats{
-		Routed:    rt.routed.Load(),
-		Retries:   rt.retries.Load(),
-		NoBackend: rt.noBackend.Load(),
+		Routed:         rt.routed.Load(),
+		Retries:        rt.retries.Load(),
+		NoBackend:      rt.noBackend.Load(),
+		Proxied:        rt.proxied.Load(),
+		ProxyFailovers: rt.proxyFailovers.Load(),
 	}
 }
 

@@ -40,7 +40,9 @@ type fleetBackend struct {
 	serveDone chan error
 }
 
-func startFleetBackend(t *testing.T, reg *serve.Registry, mx *metrics.Registry, streamOpts stream.Options) *fleetBackend {
+// The variadic extra hooks let a test mount additional HTTP handlers on
+// the backend's surface (the proxy tests serve fake vector endpoints).
+func startFleetBackend(t *testing.T, reg *serve.Registry, mx *metrics.Registry, streamOpts stream.Options, extra ...func(*http.ServeMux)) *fleetBackend {
 	t.Helper()
 	fb := &fleetBackend{t: t, reg: reg, streamOpts: streamOpts}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -59,6 +61,9 @@ func startFleetBackend(t *testing.T, reg *serve.Registry, mx *metrics.Registry, 
 	})
 	if mx != nil {
 		mux.Handle("GET /metrics", mx.Handler())
+	}
+	for _, fn := range extra {
+		fn(mux)
 	}
 	fb.hs = httptest.NewServer(mux)
 

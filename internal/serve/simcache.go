@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/vector"
+)
+
+// SimCacheOptions configures the optional similarity-keyed result cache: a
+// second cache layer behind the exact-input LRU that answers *near*-repeat
+// traffic. The input is embedded (the caller supplies the embedding
+// function, typically a tapped trunk of the served model — see
+// internal/embed), and a lookup hits when some cached embedding's cosine
+// similarity reaches Threshold. Embedded-vision traffic is full of inputs
+// that are not byte-identical but semantically the same frame — sensor
+// noise, re-encoded JPEGs, off-by-one crops — which the exact LRU can
+// never hit on.
+//
+// Unlike the exact cache, a similarity hit is a wager: cosine closeness in
+// embedding space does not *guarantee* the classifier head agrees. The
+// cache therefore self-audits: every ValidateEvery-th would-be hit is
+// spent on validation — the request runs through the model anyway and the
+// exact answer is compared against the cached one. A disagreement counts
+// as a false hit (exposed in Stats and as repro_simcache_false_hits_total),
+// giving operators a live estimate of the hit error rate at the configured
+// Threshold; the validated request itself is always answered exactly, so
+// audits never serve a wrong result.
+type SimCacheOptions struct {
+	// Embed maps an input vector to its embedding, appending to dst (which
+	// may be nil) and returning the extended slice. Required; nil disables
+	// the similarity cache. The function must be safe for concurrent use —
+	// it is called on the Infer path from any number of goroutines.
+	Embed func(input []float64, dst []float32) ([]float32, error)
+	// Capacity is the number of cached (embedding, result) pairs, evicted
+	// FIFO. Required; 0 disables the similarity cache.
+	Capacity int
+	// Threshold is the minimum cosine similarity for a hit, in (0, 1].
+	// Default: 0.999.
+	Threshold float64
+	// ValidateEvery audits every Nth would-be hit by running the exact
+	// inference and comparing classes (see above). 0 disables auditing.
+	ValidateEvery int
+}
+
+func (o SimCacheOptions) enabled() bool { return o.Embed != nil && o.Capacity > 0 }
+
+func (o SimCacheOptions) validate() error {
+	if !o.enabled() {
+		if o.Embed == nil && o.Capacity > 0 {
+			return errors.New("serve: SimCache.Capacity set without SimCache.Embed")
+		}
+		return nil
+	}
+	if o.Threshold < 0 || o.Threshold > 1 {
+		return fmt.Errorf("serve: SimCache.Threshold %g outside [0, 1]", o.Threshold)
+	}
+	if o.ValidateEvery < 0 {
+		return fmt.Errorf("serve: SimCache.ValidateEvery %d is negative", o.ValidateEvery)
+	}
+	return nil
+}
+
+// simEntry is one cached (normalised embedding, result) pair. Slot buffers
+// are reused across evictions, so a full ring stops allocating.
+type simEntry struct {
+	vec    []float32 // L2-normalised embedding
+	class  int
+	scores []float64
+}
+
+// simCache is the similarity-keyed result cache. A single mutex guards the
+// ring: lookups scan every entry with the vector tier's Dot kernel, so the
+// scan itself dominates and sharding would buy little; capacities are
+// expected to be small (hundreds), as each hit saves a full model pass.
+// Counters are lookup-scoped: hits+misses equals lookups that produced an
+// embedding, regardless of what happens to the request afterwards.
+type simCache struct {
+	embed         func([]float64, []float32) ([]float32, error)
+	threshold     float32
+	validateEvery uint64
+
+	mu      sync.Mutex
+	ring    []simEntry
+	next    int // ring slot the next add overwrites
+	count   int // live entries, ≤ len(ring)
+	hits    uint64
+	misses  uint64
+	false_  uint64 // audited hits whose exact class disagreed
+	audits  uint64 // hits spent on validation
+	embErrs uint64 // Embed failures (fell through to exact inference)
+}
+
+func newSimCache(o SimCacheOptions) *simCache {
+	if o.Threshold == 0 {
+		o.Threshold = 0.999
+	}
+	return &simCache{
+		embed:         o.Embed,
+		threshold:     float32(o.Threshold),
+		validateEvery: uint64(o.ValidateEvery),
+		ring:          make([]simEntry, o.Capacity),
+	}
+}
+
+// simLookup embeds the input (into the request's reusable buffer) and
+// scans the ring for the nearest cached embedding. Outcomes:
+//
+//	hit, !validate — res holds the cached answer, serve it.
+//	hit, validate  — this hit is audited: fall through to exact inference
+//	                 and compare classes afterwards (class holds the bet).
+//	!hit           — miss (or embed failure); fall through and add after.
+//
+// The embedding stays in r.simVec either way, so the worker can add a
+// missed request's entry without re-embedding.
+func (c *simCache) lookup(r *request, scores []float64) (res Result, hit, validate bool) {
+	vec, err := c.embed(r.input, r.simVec[:0])
+	if err != nil {
+		c.mu.Lock()
+		c.embErrs++
+		c.mu.Unlock()
+		r.simVec = r.simVec[:0]
+		return Result{}, false, false
+	}
+	r.simVec = vec
+	n := vector.Norm(vec)
+	if n == 0 {
+		return c.miss(), false, false
+	}
+	inv := 1 / n
+	for i := range vec {
+		vec[i] *= inv
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best := -1
+	var bestSim float32
+	for i := 0; i < c.count; i++ {
+		e := &c.ring[i]
+		if len(e.vec) != len(vec) {
+			continue
+		}
+		if sim := vector.Dot(e.vec, vec); best < 0 || sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	if best < 0 || bestSim < c.threshold {
+		c.misses++
+		return Result{}, false, false
+	}
+	c.hits++
+	e := &c.ring[best]
+	if c.validateEvery > 0 && c.hits%c.validateEvery == 0 {
+		c.audits++
+		return Result{Class: e.class}, true, true
+	}
+	res = Result{
+		Class:      e.class,
+		Scores:     append(scores[:0], e.scores...),
+		Cached:     true,
+		Similarity: float64(bestSim),
+	}
+	return res, true, false
+}
+
+func (c *simCache) miss() Result {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return Result{}
+}
+
+// add inserts the (already normalised) embedding and its exact result,
+// overwriting the oldest slot when full. The worker calls it after a miss;
+// buffers are copied, the caller keeps ownership.
+func (c *simCache) add(vec []float32, class int, scores []float64) {
+	if len(vec) == 0 {
+		return // embed failed or produced a zero vector; nothing to key on
+	}
+	c.mu.Lock()
+	e := &c.ring[c.next]
+	e.vec = append(e.vec[:0], vec...)
+	e.class = class
+	e.scores = append(e.scores[:0], scores...)
+	c.next = (c.next + 1) % len(c.ring)
+	if c.count < len(c.ring) {
+		c.count++
+	}
+	c.mu.Unlock()
+}
+
+// falseHit records an audited hit whose exact answer disagreed.
+func (c *simCache) falseHit() {
+	c.mu.Lock()
+	c.false_++
+	c.mu.Unlock()
+}
+
+// counters snapshots the cache's figures under its lock.
+func (c *simCache) counters() (hits, misses, falseHits, audits, embErrs uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.false_, c.audits, c.embErrs, c.count
+}

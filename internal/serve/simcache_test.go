@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// identityEmbed embeds an input as itself, narrowed to float32 — so the
+// similarity cache's cosine matching operates directly on input space and
+// the tests can construct inputs with known similarity.
+func identityEmbed(input []float64, dst []float32) ([]float32, error) {
+	for _, v := range input {
+		dst = append(dst, float32(v))
+	}
+	return dst, nil
+}
+
+func newSimServer(t *testing.T, sc SimCacheOptions) *Server {
+	t.Helper()
+	m, err := model.FromNetwork("sim", "v1", testModel(7), []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewModel(m, Options{
+		Workers:  2,
+		MaxBatch: 4,
+		MaxDelay: time.Millisecond,
+		SimCache: sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestSimCacheHit: an input within the cosine threshold of a previously
+// served one is answered from the similarity cache — Cached with a
+// non-zero Similarity — with the cached scores; a dissimilar input is not.
+func TestSimCacheHit(t *testing.T) {
+	srv := newSimServer(t, SimCacheOptions{
+		Embed:     identityEmbed,
+		Capacity:  8,
+		Threshold: 0.99,
+	})
+	base := make([]float64, 64)
+	for i := range base {
+		base[i] = float64(i%7) - 3
+	}
+	first, err := srv.Infer(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first request served from an empty cache")
+	}
+	// A tiny perturbation keeps cosine ≈ 1: well above the threshold.
+	near := append([]float64(nil), base...)
+	near[0] += 1e-3
+	hit, err := srv.Infer(context.Background(), near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.Similarity < 0.99 {
+		t.Fatalf("near-duplicate not served from the similarity cache: %+v", hit)
+	}
+	if hit.Class != first.Class || len(hit.Scores) != len(first.Scores) {
+		t.Fatalf("sim hit answered class %d, exact answer was %d", hit.Class, first.Class)
+	}
+	for i := range hit.Scores {
+		if hit.Scores[i] != first.Scores[i] {
+			t.Fatal("sim hit scores are not the cached scores")
+		}
+	}
+	// An orthogonal input must miss.
+	far := make([]float64, 64)
+	for i := range far {
+		far[i] = float64((i*13)%11) - 5
+	}
+	miss, err := srv.Infer(context.Background(), far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Cached {
+		t.Fatalf("dissimilar input served from cache: %+v", miss)
+	}
+	st := srv.Stats()
+	if st.SimCacheHits != 1 || st.SimCacheMisses != 2 {
+		t.Fatalf("sim counters hits=%d misses=%d, want 1/2", st.SimCacheHits, st.SimCacheMisses)
+	}
+	if st.SimCacheEntries != 2 {
+		t.Fatalf("%d ring entries, want 2 (the two misses)", st.SimCacheEntries)
+	}
+	if st.Requests != 3 {
+		t.Fatalf("Requests=%d, want 3", st.Requests)
+	}
+}
+
+// TestSimCacheAudit: with ValidateEvery=1 every hit is audited — the
+// request runs exactly (so the caller never sees a cached result), and
+// since identical inputs always agree with themselves, no false hits.
+func TestSimCacheAudit(t *testing.T) {
+	srv := newSimServer(t, SimCacheOptions{
+		Embed:         identityEmbed,
+		Capacity:      8,
+		Threshold:     0.999,
+		ValidateEvery: 1,
+	})
+	in := make([]float64, 64)
+	for i := range in {
+		in[i] = float64(i) / 64
+	}
+	for k := 0; k < 3; k++ {
+		res, err := srv.Infer(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Fatal("audited hit must be served exactly, not from cache")
+		}
+	}
+	st := srv.Stats()
+	if st.SimCacheHits != 2 {
+		t.Fatalf("SimCacheHits=%d, want 2 (every repeat audited)", st.SimCacheHits)
+	}
+	if st.SimCacheFalseHits != 0 {
+		t.Fatalf("%d false hits on identical repeats", st.SimCacheFalseHits)
+	}
+	if st.Completed != 3 {
+		t.Fatalf("Completed=%d, want 3 — audits must run the model", st.Completed)
+	}
+}
+
+// TestSimCacheFalseHit forces a disagreement: a cached ring entry whose
+// class differs from the exact answer for a similar-enough input must be
+// counted as a false hit, and the caller still gets the exact answer.
+func TestSimCacheFalseHit(t *testing.T) {
+	srv := newSimServer(t, SimCacheOptions{
+		Embed: func(input []float64, dst []float32) ([]float32, error) {
+			// Constant embedding: everything is similar to everything,
+			// guaranteeing class disagreements between distinct inputs.
+			return append(dst, 1, 0, 0, 0), nil
+		},
+		Capacity:      4,
+		Threshold:     0.9,
+		ValidateEvery: 1,
+	})
+	inputs, want := testInputs(testModel(7), 8, 64)
+	classes := map[int]bool{}
+	for _, c := range want {
+		classes[c] = true
+	}
+	if len(classes) < 2 {
+		t.Skip("test inputs all map to one class; cannot force a disagreement")
+	}
+	for i, in := range inputs {
+		res, err := srv.Infer(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Class != want[i] {
+			t.Fatalf("audited request %d answered class %d, exact is %d", i, res.Class, want[i])
+		}
+	}
+	st := srv.Stats()
+	if st.SimCacheFalseHits == 0 {
+		t.Fatal("distinct-class inputs behind a constant embedding produced no false hits")
+	}
+	if st.SimCacheHits < st.SimCacheFalseHits {
+		t.Fatalf("false hits %d exceed hits %d", st.SimCacheFalseHits, st.SimCacheHits)
+	}
+}
+
+// TestSimCacheOptionsValidate: malformed configurations must be rejected
+// at construction, not at the first request.
+func TestSimCacheOptionsValidate(t *testing.T) {
+	m, err := model.FromNetwork("sim", "v1", testModel(7), []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{SimCache: SimCacheOptions{Capacity: 4}},                                          // capacity without embed
+		{SimCache: SimCacheOptions{Embed: identityEmbed, Capacity: 4, Threshold: 1.5}},    // threshold out of range
+		{SimCache: SimCacheOptions{Embed: identityEmbed, Capacity: 4, ValidateEvery: -1}}, // negative audit rate
+	}
+	for i, o := range bad {
+		if srv, err := NewModel(m, o); err == nil {
+			srv.Close()
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

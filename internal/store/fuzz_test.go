@@ -1,0 +1,93 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzIndexBytes builds a small valid index to seed the corpus.
+func fuzzIndexBytes() []byte {
+	idx, err := AppendIndex(nil, []Entry{
+		{
+			Name:     "mnist",
+			Version:  "v1",
+			InShape:  []int{256},
+			Arch:     "input 256\ncircdense 256 128 64\nrelu\ndense 128 10\n",
+			Blob:     "mnist@v1.w64",
+			Params:   4242,
+			Checksum: 0xDEADBEEFCAFEF00D,
+		},
+		{
+			Name:     "mnist2",
+			Version:  "v2",
+			InShape:  []int{11, 11},
+			Arch:     "input 121\ndense 121 10\n",
+			Blob:     "mnist2@v2.w64",
+			Params:   1220,
+			Checksum: 7,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// FuzzParseStoreIndex hammers the index decoder with hostile bytes. The
+// invariant mirrors the embed-wire fuzzers: parsing never panics, and any
+// input ParseIndex accepts must re-encode byte-identically through
+// AppendIndex (the format has exactly one encoding per entry list).
+func FuzzParseStoreIndex(f *testing.F) {
+	valid := fuzzIndexBytes()
+	f.Add(valid)
+	// Truncations: inside the header, inside an entry, one byte short.
+	for _, n := range []int{0, 3, 4, 11, 12, 20, len(valid) / 2, len(valid) - 1} {
+		if n <= len(valid) {
+			f.Add(valid[:n])
+		}
+	}
+	// Trailing garbage after a well-formed index.
+	f.Add(append(append([]byte(nil), valid...), 0x00))
+	// Bad magic / bad version.
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xFF
+	f.Add(bad)
+	badVer := append([]byte(nil), valid...)
+	badVer[4] = 9
+	f.Add(badVer)
+	// Hostile count: claims 2^32-1 entries with no bodies.
+	hostile := binary.LittleEndian.AppendUint32(nil, indexMagic)
+	hostile = binary.LittleEndian.AppendUint32(hostile, indexVersion)
+	hostile = binary.LittleEndian.AppendUint32(hostile, 0xFFFFFFFF)
+	f.Add(hostile)
+	// Zero count.
+	zero := binary.LittleEndian.AppendUint32(nil, indexMagic)
+	zero = binary.LittleEndian.AppendUint32(zero, indexVersion)
+	zero = binary.LittleEndian.AppendUint32(zero, 0)
+	f.Add(zero)
+	// Oversized string length inside the first entry's name field.
+	long := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(long[12:], 0xFFFF)
+	f.Add(long)
+	// Corrupted checksum field: flip a byte in the last 8 (the trailing
+	// u64 of the final entry). The index must still parse — checksums
+	// describe blobs, not the index — and re-encode with the flip intact.
+	chk := append([]byte(nil), valid...)
+	chk[len(chk)-3] ^= 0x40
+	f.Add(chk)
+	// Duplicate entry: the same body twice under count=2.
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ParseIndex(data)
+		if err != nil {
+			return
+		}
+		reenc, err := AppendIndex(nil, entries)
+		if err != nil {
+			t.Fatalf("parsed index failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatalf("index round trip changed bytes: %d in, %d out", len(data), len(reenc))
+		}
+	})
+}

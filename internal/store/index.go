@@ -1,0 +1,327 @@
+// Package store is the mmap-backed model artifact store: a flat,
+// versioned, checksummed index file naming per-model weight blobs that
+// load zero-copy via platform.MapFile. One serving process can register
+// tens of models without holding their weights on heap — the OS pages
+// weights in on first touch and evicts them under pressure, and clean
+// pages are shared across processes serving the same artifacts.
+//
+// Layout of a store directory:
+//
+//	index.rms          — the binary index (format below)
+//	<name>@<ver>.w64   — one blob per model: the network's parameters as
+//	                     raw little-endian float64, concatenated in
+//	                     Network.Params() order, nothing else. Offset 0 is
+//	                     page-aligned under mmap, so the float64 view is
+//	                     always 8-byte aligned.
+//
+// Index format ("RMS1", all integers little-endian):
+//
+//	magic    uint32  0x31534D52 ("RMS1")
+//	version  uint32  (1)
+//	count    uint32  number of entries
+//	per entry:
+//	  name     uint16 len + bytes     model name
+//	  version  uint16 len + bytes     model version
+//	  ndims    uint8 + ndims × uint32 per-sample input shape
+//	  arch     uint32 len + bytes     architecture text (ParseArchitecture)
+//	  blob     uint16 len + bytes     blob filename, relative to the dir
+//	  params   uint32                 float64 count the blob must hold
+//	  checksum uint64                 FNV-64a of the blob file's bytes
+//
+// The blob carries numbers only; shapes come from the architecture text,
+// exactly like the engine's FDLP parameter files — but unlike FDLP the
+// blob has no per-tensor headers, so it can be bound as one contiguous
+// mapped view. Values are read through the host's native float64 layout;
+// the store targets the repo's little-endian platforms.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// IndexFile is the index's filename inside a store directory.
+const IndexFile = "index.rms"
+
+const (
+	indexMagic   = 0x31534D52 // "RMS1"
+	indexVersion = 1
+)
+
+// Decode bounds for the index parser — an index travels as a small file,
+// so a header demanding more than these is corrupt or hostile.
+const (
+	// MaxEntries bounds the model count in one index.
+	MaxEntries = 1024
+	// MaxNameLen bounds name, version and blob-filename lengths.
+	MaxNameLen = 256
+	// MaxArchLen bounds one architecture text.
+	MaxArchLen = 1 << 20
+	// MaxShapeDims bounds the input-shape rank.
+	MaxShapeDims = 8
+	// MaxParams bounds one blob's float64 count (2 GiB of weights).
+	MaxParams = 1 << 28
+	// MaxIndexBytes bounds the whole index file.
+	MaxIndexBytes = 16 << 20
+)
+
+// Entry describes one stored model.
+type Entry struct {
+	Name     string
+	Version  string
+	InShape  []int
+	Arch     string // architecture text, engine.ParseArchitecture format
+	Blob     string // blob filename relative to the store directory
+	Params   int    // float64 count the blob must hold
+	Checksum uint64 // FNV-64a of the blob file's bytes
+}
+
+// ID returns the entry's registry identifier.
+func (e *Entry) ID() string { return model.ID(e.Name, e.Version) }
+
+// validateBlobName keeps blob references inside the store directory: a
+// plain filename from a conservative character set, no separators, no
+// traversal.
+func validateBlobName(s string) error {
+	if s == "" || len(s) > MaxNameLen {
+		return fmt.Errorf("store: blob filename empty or longer than %d", MaxNameLen)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-' || c == '@':
+		default:
+			return fmt.Errorf("store: blob filename %q contains %q (want [A-Za-z0-9._@-])", s, c)
+		}
+	}
+	if s[0] == '.' {
+		return fmt.Errorf("store: blob filename %q may not start with '.'", s)
+	}
+	return nil
+}
+
+func validateEntry(e *Entry) error {
+	if err := model.ValidateName("name", e.Name); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := model.ValidateName("version", e.Version); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if len(e.Name) > MaxNameLen || len(e.Version) > MaxNameLen {
+		return fmt.Errorf("store: entry %s name or version longer than %d", e.ID(), MaxNameLen)
+	}
+	if len(e.InShape) < 1 || len(e.InShape) > MaxShapeDims {
+		return fmt.Errorf("store: entry %s input shape rank %d outside [1, %d]", e.ID(), len(e.InShape), MaxShapeDims)
+	}
+	for _, d := range e.InShape {
+		if d < 1 {
+			return fmt.Errorf("store: entry %s has non-positive input dimension", e.ID())
+		}
+	}
+	if e.Arch == "" || len(e.Arch) > MaxArchLen {
+		return fmt.Errorf("store: entry %s architecture text empty or longer than %d", e.ID(), MaxArchLen)
+	}
+	if err := validateBlobName(e.Blob); err != nil {
+		return err
+	}
+	if e.Params < 1 || e.Params > MaxParams {
+		return fmt.Errorf("store: entry %s parameter count %d outside [1, %d]", e.ID(), e.Params, MaxParams)
+	}
+	return nil
+}
+
+func appendStr16(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// AppendIndex appends the encoded index to dst and returns the extended
+// slice. Every decode-side bound is enforced here, so an index that
+// encodes always parses.
+func AppendIndex(dst []byte, entries []Entry) ([]byte, error) {
+	if len(entries) == 0 || len(entries) > MaxEntries {
+		return dst, fmt.Errorf("store: index with %d entries outside [1, %d]", len(entries), MaxEntries)
+	}
+	for i := range entries {
+		if err := validateEntry(&entries[i]); err != nil {
+			return dst, fmt.Errorf("entry %d: %w", i, err)
+		}
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, indexMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, indexVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(entries)))
+	for i := range entries {
+		e := &entries[i]
+		dst = appendStr16(dst, e.Name)
+		dst = appendStr16(dst, e.Version)
+		dst = append(dst, byte(len(e.InShape)))
+		for _, d := range e.InShape {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(d))
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Arch)))
+		dst = append(dst, e.Arch...)
+		dst = appendStr16(dst, e.Blob)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Params))
+		dst = binary.LittleEndian.AppendUint64(dst, e.Checksum)
+	}
+	return dst, nil
+}
+
+// indexReader walks the encoded bytes with bounds checks on every read.
+type indexReader struct {
+	data []byte
+	off  int
+}
+
+func (r *indexReader) u8() (byte, error) {
+	if r.off+1 > len(r.data) {
+		return 0, fmt.Errorf("store: index truncated at byte %d", r.off)
+	}
+	v := r.data[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *indexReader) u16() (int, error) {
+	if r.off+2 > len(r.data) {
+		return 0, fmt.Errorf("store: index truncated at byte %d", r.off)
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.off:])
+	r.off += 2
+	return int(v), nil
+}
+
+func (r *indexReader) u32() (uint32, error) {
+	if r.off+4 > len(r.data) {
+		return 0, fmt.Errorf("store: index truncated at byte %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *indexReader) u64() (uint64, error) {
+	if r.off+8 > len(r.data) {
+		return 0, fmt.Errorf("store: index truncated at byte %d", r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *indexReader) str(n, max int, what string) (string, error) {
+	if n < 0 || n > max {
+		return "", fmt.Errorf("store: index %s length %d outside [0, %d]", what, n, max)
+	}
+	if r.off+n > len(r.data) {
+		return "", fmt.Errorf("store: index truncated reading %s at byte %d", what, r.off)
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+// ParseIndex decodes one index held entirely in data. Every entry is
+// re-validated with the same rules the encoder enforces (a corrupt or
+// hostile index is rejected, not partially applied), and trailing bytes
+// are an error.
+func ParseIndex(data []byte) ([]Entry, error) {
+	if len(data) > MaxIndexBytes {
+		return nil, fmt.Errorf("store: index of %d bytes exceeds the %d-byte limit", len(data), MaxIndexBytes)
+	}
+	r := &indexReader{data: data}
+	magic, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("store: bad index magic %#x (want \"RMS1\")", magic)
+	}
+	ver, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != indexVersion {
+		return nil, fmt.Errorf("store: unsupported index version %d", ver)
+	}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if count < 1 || count > MaxEntries {
+		return nil, fmt.Errorf("store: index entry count %d outside [1, %d]", count, MaxEntries)
+	}
+	entries := make([]Entry, 0, count)
+	seen := make(map[string]bool, count)
+	for i := 0; i < int(count); i++ {
+		var e Entry
+		n, err := r.u16()
+		if err == nil {
+			e.Name, err = r.str(n, MaxNameLen, "name")
+		}
+		if err == nil {
+			n, err = r.u16()
+		}
+		if err == nil {
+			e.Version, err = r.str(n, MaxNameLen, "version")
+		}
+		if err != nil {
+			return nil, err
+		}
+		nd, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if int(nd) < 1 || int(nd) > MaxShapeDims {
+			return nil, fmt.Errorf("store: entry %d shape rank %d outside [1, %d]", i, nd, MaxShapeDims)
+		}
+		e.InShape = make([]int, nd)
+		for j := range e.InShape {
+			d, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if d < 1 || d > 1<<24 {
+				return nil, fmt.Errorf("store: entry %d shape dimension %d out of range", i, d)
+			}
+			e.InShape[j] = int(d)
+		}
+		an, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if e.Arch, err = r.str(int(an), MaxArchLen, "arch"); err != nil {
+			return nil, err
+		}
+		if n, err = r.u16(); err != nil {
+			return nil, err
+		}
+		if e.Blob, err = r.str(n, MaxNameLen, "blob"); err != nil {
+			return nil, err
+		}
+		pc, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		e.Params = int(pc)
+		if e.Checksum, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if err := validateEntry(&e); err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+		if id := e.ID(); seen[id] {
+			return nil, fmt.Errorf("store: duplicate entry %s", id)
+		} else {
+			seen[id] = true
+		}
+		entries = append(entries, e)
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("store: %d trailing bytes after the index", len(data)-r.off)
+	}
+	return entries, nil
+}

@@ -1,0 +1,154 @@
+package vector
+
+import "math/rand"
+
+// ivfIndex is the coarse-quantiser (IVF-style) ANN index: k centroids
+// trained by Lloyd iterations over the collection, and one inverted list
+// of row indices per centroid. A query ranks centroids by L2 distance,
+// scans the nprobe nearest lists with the exact kernels, and returns the
+// top-k of that candidate set — trading a bounded recall loss for an
+// n/k·nprobe-sized scan. The structure is immutable once built; upserts
+// rebuild the lists against the frozen centroids (rebucket) and TrainANN
+// re-runs Lloyd from scratch.
+type ivfIndex struct {
+	k         int
+	dim       int
+	centroids []float32 // k×dim
+	cnorm2    []float32 // per-centroid squared norms, for the distance rank
+	lists     [][]int32 // row indices per centroid
+}
+
+// nearest returns the centroid minimising L2 distance to v, using
+// dist² = |v|² − 2⟨v,c⟩ + |c|² and dropping the constant |v|² term.
+//
+//repro:noalloc
+func (ix *ivfIndex) nearest(v []float32) int {
+	best, bestScore := 0, float32(0)
+	for c := 0; c < ix.k; c++ {
+		score := ix.cnorm2[c] - 2*Dot(v, ix.centroids[c*ix.dim:(c+1)*ix.dim])
+		if c == 0 || score < bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+// rebucket rebuilds the inverted lists for a new row set against the
+// existing centroids.
+func (ix *ivfIndex) rebucket(flat []float32, dim int) *ivfIndex {
+	next := &ivfIndex{k: ix.k, dim: ix.dim, centroids: ix.centroids, cnorm2: ix.cnorm2, lists: make([][]int32, ix.k)}
+	n := len(flat) / dim
+	for row := 0; row < n; row++ {
+		c := ix.nearest(flat[row*dim : (row+1)*dim])
+		next.lists[c] = append(next.lists[c], int32(row))
+	}
+	return next
+}
+
+// trainIVF runs seeded Lloyd k-means over the rows: centroids start at k
+// distinct rows drawn from the seed, then alternate assign/mean steps
+// until assignments stabilise (bounded at 25 iterations). Empty clusters
+// steal the row currently farthest from its centroid, so every list ends
+// non-degenerate. Deterministic for a given (flat, k, seed).
+func trainIVF(flat []float32, dim, k int, seed int64) *ivfIndex {
+	n := len(flat) / dim
+	rng := rand.New(rand.NewSource(seed))
+	ix := &ivfIndex{k: k, dim: dim, centroids: make([]float32, k*dim), cnorm2: make([]float32, k)}
+	for i, row := range rng.Perm(n)[:k] {
+		copy(ix.centroids[i*dim:(i+1)*dim], flat[row*dim:(row+1)*dim])
+	}
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	counts := make([]int, k)
+	for iter := 0; iter < 25; iter++ {
+		for c := range ix.cnorm2 {
+			cv := ix.centroids[c*dim : (c+1)*dim]
+			ix.cnorm2[c] = Dot(cv, cv)
+		}
+		changed := 0
+		for row := 0; row < n; row++ {
+			c := int32(ix.nearest(flat[row*dim : (row+1)*dim]))
+			if c != assign[row] {
+				assign[row] = c
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+		// Mean step.
+		for i := range ix.centroids {
+			ix.centroids[i] = 0
+		}
+		for c := range counts {
+			counts[c] = 0
+		}
+		for row := 0; row < n; row++ {
+			c := int(assign[row])
+			counts[c]++
+			cv := ix.centroids[c*dim : (c+1)*dim]
+			rv := flat[row*dim : (row+1)*dim]
+			for j := range cv {
+				cv[j] += rv[j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Steal the row farthest from its current centroid.
+				worst, worstD := 0, float32(-1)
+				for row := 0; row < n; row++ {
+					a := int(assign[row])
+					if counts[a] <= 1 {
+						continue
+					}
+					rv := flat[row*dim : (row+1)*dim]
+					cv := ix.centroids[a*dim : (a+1)*dim]
+					// Centroid sums are unnormalised here; compare against
+					// the mean.
+					var d float32
+					for j := range rv {
+						x := rv[j] - cv[j]/float32(counts[a])
+						d += x * x
+					}
+					if d > worstD {
+						worst, worstD = row, d
+					}
+				}
+				if worstD < 0 {
+					continue // nothing stealable; leave the list empty
+				}
+				a := int(assign[worst])
+				rv := flat[worst*dim : (worst+1)*dim]
+				av := ix.centroids[a*dim : (a+1)*dim]
+				for j := range rv {
+					av[j] -= rv[j]
+				}
+				counts[a]--
+				copy(ix.centroids[c*dim:(c+1)*dim], rv)
+				counts[c] = 1
+				assign[worst] = int32(c)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 1 {
+				cv := ix.centroids[c*dim : (c+1)*dim]
+				inv := 1 / float32(counts[c])
+				for j := range cv {
+					cv[j] *= inv
+				}
+			}
+		}
+	}
+	for c := range ix.cnorm2 {
+		cv := ix.centroids[c*dim : (c+1)*dim]
+		ix.cnorm2[c] = Dot(cv, cv)
+	}
+	ix.lists = make([][]int32, k)
+	for row := 0; row < n; row++ {
+		c := ix.nearest(flat[row*dim : (row+1)*dim])
+		ix.lists[c] = append(ix.lists[c], int32(row))
+	}
+	return ix
+}
